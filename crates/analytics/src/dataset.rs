@@ -1,0 +1,183 @@
+//! Seeded synthetic datasets for the analytics workloads.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A point in 3-D space (the paper's K-Means operates on 3-D points).
+pub type Point3 = [f64; 3];
+
+/// Gaussian blobs: `n` points around `k` well-separated centers.
+/// Deterministic for a given seed.
+pub fn gaussian_blobs(n: usize, k: usize, spread: f64, seed: u64) -> Vec<Point3> {
+    assert!(k >= 1 && n >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<Point3> = (0..k)
+        .map(|_| {
+            [
+                rng.gen_range(-100.0..100.0),
+                rng.gen_range(-100.0..100.0),
+                rng.gen_range(-100.0..100.0),
+            ]
+        })
+        .collect();
+    (0..n)
+        .map(|i| {
+            let c = centers[i % k];
+            [
+                c[0] + normal(&mut rng) * spread,
+                c[1] + normal(&mut rng) * spread,
+                c[2] + normal(&mut rng) * spread,
+            ]
+        })
+        .collect()
+}
+
+/// One frame of a synthetic molecular-dynamics trajectory: positions of
+/// `atoms` atoms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    pub positions: Vec<Point3>,
+}
+
+/// Random-walk trajectory: `frames` frames of `atoms` atoms, where each
+/// frame perturbs the previous one (so RMSD grows with frame distance —
+/// the property trajectory analyses depend on).
+pub fn md_trajectory(atoms: usize, frames: usize, step: f64, seed: u64) -> Vec<Frame> {
+    assert!(atoms >= 1 && frames >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut current: Vec<Point3> = (0..atoms)
+        .map(|_| {
+            [
+                rng.gen_range(-10.0..10.0),
+                rng.gen_range(-10.0..10.0),
+                rng.gen_range(-10.0..10.0),
+            ]
+        })
+        .collect();
+    let mut out = Vec::with_capacity(frames);
+    out.push(Frame {
+        positions: current.clone(),
+    });
+    for _ in 1..frames {
+        for p in current.iter_mut() {
+            for x in p.iter_mut() {
+                *x += normal(&mut rng) * step;
+            }
+        }
+        out.push(Frame {
+            positions: current.clone(),
+        });
+    }
+    out
+}
+
+/// Undirected graph as an adjacency list (sorted, deduplicated).
+#[derive(Debug, Clone)]
+pub struct Graph {
+    pub adj: Vec<Vec<u32>>,
+}
+
+impl Graph {
+    pub fn nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    pub fn edges(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+}
+
+/// Erdős–Rényi-style random graph with ~`avg_degree` mean degree.
+pub fn random_graph(nodes: usize, avg_degree: f64, seed: u64) -> Graph {
+    assert!(nodes >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let p = (avg_degree / (nodes as f64 - 1.0)).clamp(0.0, 1.0);
+    let mut adj = vec![Vec::new(); nodes];
+    // Sample edges u<v with probability p via geometric skipping.
+    for u in 0..nodes as u32 {
+        let mut v = u + 1;
+        while (v as usize) < nodes {
+            if rng.gen_bool(p) {
+                adj[u as usize].push(v);
+                adj[v as usize].push(u);
+            }
+            v += 1;
+        }
+    }
+    for l in adj.iter_mut() {
+        l.sort_unstable();
+        l.dedup();
+    }
+    Graph { adj }
+}
+
+/// A small deterministic triangle-rich graph for exact-count tests:
+/// complete graph on `n` nodes (C(n,3) triangles).
+pub fn complete_graph(n: usize) -> Graph {
+    let adj = (0..n as u32)
+        .map(|u| (0..n as u32).filter(|&v| v != u).collect())
+        .collect();
+    Graph { adj }
+}
+
+fn normal(rng: &mut StdRng) -> f64 {
+    // Box–Muller (matches rp-sim's approach; avoids rand_distr).
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blobs_are_deterministic_and_sized() {
+        let a = gaussian_blobs(1000, 5, 1.0, 7);
+        let b = gaussian_blobs(1000, 5, 1.0, 7);
+        assert_eq!(a.len(), 1000);
+        assert_eq!(a, b);
+        let c = gaussian_blobs(1000, 5, 1.0, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn trajectory_drifts_over_time() {
+        let t = md_trajectory(50, 100, 0.5, 3);
+        assert_eq!(t.len(), 100);
+        let d_near = frame_dist(&t[0], &t[1]);
+        let d_far = frame_dist(&t[0], &t[99]);
+        assert!(d_far > d_near * 2.0, "far {d_far} near {d_near}");
+    }
+
+    fn frame_dist(a: &Frame, b: &Frame) -> f64 {
+        a.positions
+            .iter()
+            .zip(&b.positions)
+            .map(|(p, q)| {
+                (p[0] - q[0]).powi(2) + (p[1] - q[1]).powi(2) + (p[2] - q[2]).powi(2)
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    #[test]
+    fn random_graph_degree_close_to_target() {
+        let g = random_graph(2000, 10.0, 5);
+        let mean = 2.0 * g.edges() as f64 / g.nodes() as f64;
+        assert!((mean - 10.0).abs() < 1.5, "{mean}");
+        // Symmetry.
+        for (u, l) in g.adj.iter().enumerate() {
+            for &v in l {
+                assert!(g.adj[v as usize].contains(&(u as u32)));
+            }
+        }
+    }
+
+    #[test]
+    fn complete_graph_shape() {
+        let g = complete_graph(6);
+        assert_eq!(g.nodes(), 6);
+        assert_eq!(g.edges(), 15);
+    }
+}

@@ -1,0 +1,41 @@
+//! `cargo bench` entry that regenerates the paper's figures in quick mode.
+//!
+//! This is a plain (non-Criterion) bench target so that
+//! `cargo bench --workspace` reproduces every table/figure; run the
+//! binaries in `src/bin/` directly for the full-size sweeps.
+
+fn main() {
+    // Criterion-style filter arguments are ignored.
+    println!("(figures bench target: run the rp-bench binaries for full-size sweeps)");
+    let bins = [
+        "fig5_startup",
+        "fig5_unit_startup",
+        "fig6_kmeans",
+        "ablation_am_reuse",
+        "ablation_shuffle_backend",
+        "ablation_polling",
+        "ablation_docker",
+        "ablation_stage_coupling",
+        "ablation_spark_deploy",
+        "ablation_speculative",
+        "extension_spark_kmeans",
+    ];
+    for bin in bins {
+        println!("\n################ {bin} ################");
+        let exe = std::env::current_exe().unwrap();
+        // target/<profile>/deps/figures-hash → target/<profile>/<bin>
+        let dir = exe.parent().unwrap().parent().unwrap();
+        let path = dir.join(bin);
+        if !path.exists() {
+            println!("(binary {path:?} not built; skipping)");
+            continue;
+        }
+        let status = std::process::Command::new(&path)
+            .arg("--quick")
+            .status()
+            .expect("spawn figure binary");
+        if !status.success() {
+            println!("({bin} reported shape violations)");
+        }
+    }
+}

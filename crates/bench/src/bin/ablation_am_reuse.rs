@@ -1,0 +1,100 @@
+//! Ablation A — AM/container reuse (the paper's §III-C future work:
+//! "In the future, we will further optimize the implementation by
+//! providing support for Application Master and container re-use").
+//!
+//! 16 sequential Compute-Units on a Mode I pilot, with and without the
+//! AM-reuse pool; reports per-unit startup for the first unit (cold) and
+//! the mean over subsequent units (warm).
+//!
+//! ```text
+//! cargo run -p rp-bench --release --bin ablation_am_reuse
+//! ```
+
+use rp_bench::{ShapeChecks, Table};
+use rp_pilot::{
+    AccessMode, ComputeUnitDescription, PilotDescription, PilotManager, PilotState, Session,
+    SessionConfig, UmScheduler, UnitManager, UnitState, WorkSpec,
+};
+use rp_sim::{Engine, SimDuration};
+
+const UNITS: usize = 16;
+
+fn run(reuse: bool, seed: u64) -> (f64, f64) {
+    let mut e = Engine::new(seed);
+    let session = Session::new(SessionConfig {
+        am_reuse: reuse,
+        ..SessionConfig::default()
+    });
+    let pm = PilotManager::new(&session);
+    let pilot = pm
+        .submit(
+            &mut e,
+            PilotDescription::new("xsede.stampede", 1, SimDuration::from_secs(4 * 3600))
+                .with_access(AccessMode::YarnModeI { with_hdfs: false }),
+        )
+        .unwrap();
+    while pilot.state() != PilotState::Active {
+        assert!(e.step());
+    }
+    let mut um = UnitManager::new(&session, UmScheduler::Direct);
+    um.add_pilot(&pilot);
+    let mut startups = Vec::new();
+    for i in 0..UNITS {
+        let units = um.submit_units(
+            &mut e,
+            vec![ComputeUnitDescription::new(
+                format!("u{i}"),
+                1,
+                WorkSpec::Sleep(SimDuration::from_secs(5)),
+            )],
+        );
+        while !units[0].state().is_final() {
+            assert!(e.step());
+        }
+        assert_eq!(units[0].state(), UnitState::Done, "{:?}", units[0].failure());
+        startups.push(units[0].times().startup_time().unwrap().as_secs_f64());
+    }
+    pm.cancel(&mut e, &pilot);
+    e.run();
+    let cold = startups[0];
+    let warm = startups[1..].iter().sum::<f64>() / (UNITS - 1) as f64;
+    (cold, warm)
+}
+
+fn main() {
+    println!("== Ablation A: RADICAL-Pilot YARN Application Master reuse ==");
+    println!("   ({UNITS} sequential CUs on a Mode I pilot, Stampede)\n");
+    let mut table = Table::new(vec![
+        "configuration",
+        "first-unit startup (s)",
+        "subsequent units (s)",
+    ]);
+    let (cold_off, warm_off) = run(false, 42);
+    let (cold_on, warm_on) = run(true, 42);
+    table.row(vec![
+        "per-unit AM (baseline)".to_string(),
+        format!("{cold_off:6.1}"),
+        format!("{warm_off:6.1}"),
+    ]);
+    table.row(vec![
+        "AM reuse pool".to_string(),
+        format!("{cold_on:6.1}"),
+        format!("{warm_on:6.1}"),
+    ]);
+    table.print();
+    println!(
+        "\nwarm-unit startup reduction: {:.0}%",
+        (1.0 - warm_on / warm_off) * 100.0
+    );
+
+    let checks = ShapeChecks::new();
+    checks.check(
+        format!("first unit pays the full AM path either way ({cold_on:.1}s vs {cold_off:.1}s)"),
+        (cold_on - cold_off).abs() < 8.0,
+    );
+    checks.check(
+        format!("reuse cuts warm startup by >50% ({warm_on:.1}s vs {warm_off:.1}s)"),
+        warm_on < warm_off * 0.5,
+    );
+    std::process::exit(if checks.report() { 0 } else { 1 });
+}

@@ -1,0 +1,96 @@
+//! Ablation D — Docker container runtime on YARN (paper §V future work:
+//! "container-based virtualization (based on Docker) … is increasingly
+//! used in cloud environments and also supported by YARN. Support for
+//! these emerging infrastructures is being added to the Pilot-
+//! Abstraction.").
+//!
+//! Measures CU startup on a Mode I pilot with process containers vs
+//! Docker containers (cold image vs node-cached image).
+//!
+//! ```text
+//! cargo run -p rp-bench --release --bin ablation_docker
+//! ```
+
+use rp_bench::{ShapeChecks, Table};
+use rp_pilot::{
+    AccessMode, ComputeUnitDescription, PilotDescription, PilotManager, PilotState, Session,
+    SessionConfig, UmScheduler, UnitManager, UnitState, WorkSpec,
+};
+use rp_sim::{Engine, SimDuration};
+use rp_yarn::ContainerRuntime;
+
+/// Startup of the first and the fifth sequential unit on a 1-node pilot.
+fn run(runtime: ContainerRuntime, seed: u64) -> (f64, f64) {
+    let mut cfg = SessionConfig::default();
+    cfg.yarn.container_runtime = runtime;
+    let mut e = Engine::new(seed);
+    let session = Session::new(cfg);
+    let pm = PilotManager::new(&session);
+    let pilot = pm
+        .submit(
+            &mut e,
+            PilotDescription::new("xsede.stampede", 1, SimDuration::from_secs(4 * 3600))
+                .with_access(AccessMode::YarnModeI { with_hdfs: false }),
+        )
+        .unwrap();
+    while pilot.state() != PilotState::Active {
+        assert!(e.step());
+    }
+    let mut um = UnitManager::new(&session, UmScheduler::Direct);
+    um.add_pilot(&pilot);
+    let mut startups = Vec::new();
+    for i in 0..5 {
+        let units = um.submit_units(
+            &mut e,
+            vec![ComputeUnitDescription::new(
+                format!("u{i}"),
+                1,
+                WorkSpec::Sleep(SimDuration::from_secs(5)),
+            )],
+        );
+        while !units[0].state().is_final() {
+            assert!(e.step());
+        }
+        assert_eq!(units[0].state(), UnitState::Done);
+        startups.push(units[0].times().startup_time().unwrap().as_secs_f64());
+    }
+    pm.cancel(&mut e, &pilot);
+    e.run();
+    (startups[0], startups[4])
+}
+
+fn main() {
+    println!("== Ablation D: Docker container runtime on YARN ==");
+    println!("   (5 sequential CUs, Mode I pilot, Stampede, 1 node)\n");
+    let mut table = Table::new(vec!["runtime", "first CU startup (s)", "fifth CU startup (s)"]);
+    let (proc_first, proc_warm) = run(ContainerRuntime::Process, 42);
+    let docker = ContainerRuntime::Docker {
+        image_pull_s: (45.0, 5.0), // RP wrapper image over the campus mirror
+        start_overhead_s: 1.0,
+    };
+    let (dock_first, dock_warm) = run(docker, 42);
+    table.row(vec![
+        "process".to_string(),
+        format!("{proc_first:6.1}"),
+        format!("{proc_warm:6.1}"),
+    ]);
+    table.row(vec![
+        "docker".to_string(),
+        format!("{dock_first:6.1}"),
+        format!("{dock_warm:6.1}"),
+    ]);
+    table.print();
+
+    let checks = ShapeChecks::new();
+    checks.check(
+        format!("cold Docker unit pays the image pull ({dock_first:.1}s vs {proc_first:.1}s)"),
+        dock_first > proc_first + 30.0,
+    );
+    checks.check(
+        format!(
+            "warm Docker units only pay start overhead ({dock_warm:.1}s vs {proc_warm:.1}s)"
+        ),
+        (dock_warm - proc_warm) < 8.0,
+    );
+    std::process::exit(if checks.report() { 0 } else { 1 });
+}

@@ -1,0 +1,97 @@
+//! Ablation C — coordination-store polling-interval sensitivity.
+//!
+//! The Unit-Manager → MongoDB → agent path (U.2–U.3) gates every unit on
+//! the agent's poll cadence. This sweep measures the makespan of 64 small
+//! Compute-Units under different poll intervals — the trade-off between
+//! store load and unit turnaround the paper's architecture implies.
+//!
+//! ```text
+//! cargo run -p rp-bench --release --bin ablation_polling
+//! ```
+
+use rp_bench::{ShapeChecks, Table};
+use rp_pilot::{
+    ComputeUnitDescription, PilotDescription, PilotManager, PilotState, Session, SessionConfig,
+    UmScheduler, UnitManager, UnitState, WorkSpec,
+};
+use rp_sim::{Engine, SimDuration};
+
+const UNITS: usize = 64;
+const INTERVALS_MS: [u64; 4] = [100, 500, 1_000, 5_000];
+
+/// Makespan (first submission → last unit done) and store poll count.
+fn run(poll_ms: u64, seed: u64) -> (f64, u64) {
+    let mut e = Engine::new(seed);
+    let mut cfg = SessionConfig::default();
+    cfg.coordination.poll_ms = poll_ms;
+    cfg.exec_prep_s = (0.2, 0.02); // fast spawner so polling dominates
+    let session = Session::new(cfg);
+    let pm = PilotManager::new(&session);
+    let pilot = pm
+        .submit(
+            &mut e,
+            PilotDescription::new("xsede.stampede", 2, SimDuration::from_secs(4 * 3600)),
+        )
+        .unwrap();
+    while pilot.state() != PilotState::Active {
+        assert!(e.step());
+    }
+    let mut um = UnitManager::new(&session, UmScheduler::Direct);
+    um.add_pilot(&pilot);
+    let t0 = e.now();
+    // Submit in 8 waves of 8 so later waves actually wait on fresh polls.
+    let mut last_done = t0;
+    for wave in 0..8 {
+        let units = um.submit_units(
+            &mut e,
+            (0..UNITS / 8)
+                .map(|i| {
+                    ComputeUnitDescription::new(
+                        format!("w{wave}u{i}"),
+                        1,
+                        WorkSpec::Sleep(SimDuration::from_secs(2)),
+                    )
+                })
+                .collect(),
+        );
+        while units.iter().any(|u| !u.state().is_final()) {
+            assert!(e.step());
+        }
+        assert!(units.iter().all(|u| u.state() == UnitState::Done));
+        last_done = e.now();
+    }
+    let makespan = last_done.since(t0).as_secs_f64();
+    let polls = session.store().polls();
+    pm.cancel(&mut e, &pilot);
+    e.run();
+    (makespan, polls)
+}
+
+fn main() {
+    println!("== Ablation C: coordination-store poll interval ==");
+    println!("   ({UNITS} sleep-2s CUs in 8 waves, Stampede, 2 nodes)\n");
+    let mut table = Table::new(vec!["poll interval (ms)", "makespan (s)", "store polls"]);
+    let mut spans = Vec::new();
+    for &ms in &INTERVALS_MS {
+        let (makespan, polls) = run(ms, 11);
+        table.row(vec![
+            ms.to_string(),
+            format!("{makespan:7.1}"),
+            polls.to_string(),
+        ]);
+        spans.push(makespan);
+    }
+    table.print();
+
+    let checks = ShapeChecks::new();
+    checks.check(
+        format!(
+            "makespan grows with the poll interval ({:.1}s → {:.1}s)",
+            spans[0],
+            spans[spans.len() - 1]
+        ),
+        spans.windows(2).all(|w| w[0] <= w[1] + 0.5)
+            && spans[spans.len() - 1] > spans[0] + 5.0,
+    );
+    std::process::exit(if checks.report() { 0 } else { 1 });
+}

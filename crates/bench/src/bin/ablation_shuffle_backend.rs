@@ -1,0 +1,122 @@
+//! Ablation B — shuffle backend: node-local disk vs Lustre (the
+//! Hadoop-on-HPC storage choice discussed in §II and §V).
+//!
+//! Runs the 1M-point K-Means MapReduce job (32 maps) directly on a YARN
+//! cluster with each backend, on both machines, and reports the phase
+//! breakdown.
+//!
+//! ```text
+//! cargo run -p rp-bench --release --bin ablation_shuffle_backend
+//! ```
+
+use rp_bench::{ShapeChecks, Table};
+use rp_hdfs::{Hdfs, HdfsConfig, StoragePolicy};
+use rp_hpc::{Cluster, MachineSpec, NodeId};
+use rp_mapreduce::{run_on_yarn, MrCostModel, MrJobSpec, MrJobStats, ShuffleBackend};
+use rp_sim::Engine;
+use rp_yarn::{Resource, YarnCluster, YarnConfig};
+
+const TASKS: u32 = 32;
+const POINTS: u64 = 1_000_000;
+const CLUSTERS: f64 = 50.0;
+const RECORD_BYTES: f64 = 600.0;
+const INPUT_BYTES_PER_POINT: f64 = 30.0;
+
+fn run(machine: MachineSpec, backend: ShuffleBackend, seed: u64) -> MrJobStats {
+    let mut e = Engine::new(seed);
+    let cluster = Cluster::new(machine);
+    let nodes: Vec<NodeId> = cluster.node_ids().take(3).collect();
+    let yarn = YarnCluster::start(&mut e, &cluster, &nodes, YarnConfig::default());
+    let hdfs = Hdfs::attach(cluster.clone(), nodes, HdfsConfig::default());
+    let input = (POINTS as f64 * INPUT_BYTES_PER_POINT) as u64;
+    hdfs.create_synthetic_with_blocks("/in", input, StoragePolicy::Default, TASKS)
+        .unwrap();
+    let points_per_mb = rp_sim::MB / INPUT_BYTES_PER_POINT;
+    let spec = MrJobSpec {
+        name: "kmeans-iter".into(),
+        input_path: "/in".into(),
+        num_reducers: 4,
+        container: Resource::new(1, 2048),
+        shuffle: backend,
+        cost: MrCostModel {
+            map_core_s_per_input_mb: points_per_mb * CLUSTERS * 1.2e-4,
+            map_fixed_s: 1.5,
+            map_output_ratio: RECORD_BYTES / INPUT_BYTES_PER_POINT,
+            reduce_core_s_per_shuffle_mb: (rp_sim::MB / RECORD_BYTES) * 4.0e-5,
+            reduce_fixed_s: 1.5,
+            reduce_output_ratio: 0.01,
+            task_jitter_sigma: 0.08,
+            speculative_threshold: 0.0,
+        },
+    };
+    let out = std::rc::Rc::new(std::cell::RefCell::new(None));
+    let o = out.clone();
+    run_on_yarn(&mut e, &cluster, &yarn, &hdfs, spec, move |_, stats| {
+        *o.borrow_mut() = Some(stats);
+    });
+    e.run();
+    let stats = out.borrow_mut().take().expect("job finished");
+    stats
+}
+
+fn main() {
+    println!("== Ablation B: shuffle backend (K-Means 1M pts, 32 maps, 4 reducers) ==\n");
+    let mut table = Table::new(vec![
+        "machine",
+        "backend",
+        "total (s)",
+        "map (s)",
+        "shuffle (s)",
+        "reduce (s)",
+    ]);
+    let mut totals = std::collections::BTreeMap::new();
+    for (mname, machine) in [
+        ("stampede", MachineSpec::stampede()),
+        ("wrangler", MachineSpec::wrangler()),
+    ] {
+        for (bname, backend) in [
+            ("local-disk", ShuffleBackend::LocalDisk),
+            ("lustre", ShuffleBackend::Lustre),
+            ("in-memory", ShuffleBackend::InMemory),
+        ] {
+            let s = run(machine.clone(), backend, 7);
+            table.row(vec![
+                mname.to_string(),
+                bname.to_string(),
+                format!("{:7.1}", s.total.as_secs_f64()),
+                format!("{:6.1}", s.map_phase.as_secs_f64()),
+                format!("{:6.1}", s.shuffle_phase.as_secs_f64()),
+                format!("{:6.1}", s.reduce_phase.as_secs_f64()),
+            ]);
+            totals.insert((mname, bname), s.total.as_secs_f64());
+        }
+    }
+    table.print();
+
+    let checks = ShapeChecks::new();
+    checks.check(
+        format!(
+            "local-disk shuffle beats Lustre on Stampede ({:.1}s vs {:.1}s)",
+            totals[&("stampede", "local-disk")],
+            totals[&("stampede", "lustre")]
+        ),
+        totals[&("stampede", "local-disk")] < totals[&("stampede", "lustre")],
+    );
+    checks.check(
+        format!(
+            "wrangler is less sensitive to the backend (Δ {:.1}s vs Δ {:.1}s)",
+            totals[&("wrangler", "lustre")] - totals[&("wrangler", "local-disk")],
+            totals[&("stampede", "lustre")] - totals[&("stampede", "local-disk")]
+        ),
+        (totals[&("wrangler", "lustre")] - totals[&("wrangler", "local-disk")])
+            <= (totals[&("stampede", "lustre")] - totals[&("stampede", "local-disk")]),
+    );
+    checks.check(
+        format!(
+            "in-memory shuffle (Tachyon-style, §V) is fastest on Stampede ({:.1}s)",
+            totals[&("stampede", "in-memory")]
+        ),
+        totals[&("stampede", "in-memory")] <= totals[&("stampede", "local-disk")],
+    );
+    std::process::exit(if checks.report() { 0 } else { 1 });
+}

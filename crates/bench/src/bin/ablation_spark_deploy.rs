@@ -1,0 +1,95 @@
+//! Ablation F — Spark deployment mode: standalone vs on-YARN (paper
+//! §III-D: RADICAL-Pilot deploys Spark standalone because running it on
+//! YARN means "two instead of one framework need to be configured and
+//! run" with no multi-tenancy benefit in a single-user pilot).
+//!
+//! Measures, on a 3-node Stampede allocation, the time from allocation to
+//! a Spark application with 12 executor cores being ready:
+//! (a) standalone: Spark bootstrap + app submission;
+//! (b) on-YARN: YARN (+HDFS-less) bootstrap + Spark driver AM + executor
+//!     containers through the YARN allocation pipeline.
+//!
+//! ```text
+//! cargo run -p rp-bench --release --bin ablation_spark_deploy
+//! ```
+
+use rp_bench::{mean_std, repeat, ShapeChecks, Table};
+use rp_hpc::{Cluster, MachineSpec, NodeId};
+use rp_sim::Engine;
+use rp_spark::{submit_spark_on_yarn, SparkCluster, SparkConfig};
+use rp_yarn::{bootstrap_mode_i, YarnConfig};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+const EXECUTORS: u32 = 6;
+const CORES_PER_EXECUTOR: u32 = 2;
+
+fn standalone(seed: u64) -> f64 {
+    let mut e = Engine::new(seed);
+    let cluster = Cluster::new(MachineSpec::stampede());
+    let nodes: Vec<NodeId> = cluster.node_ids().take(3).collect();
+    let done = Rc::new(RefCell::new(0.0));
+    let d = done.clone();
+    SparkCluster::bootstrap(&mut e, &cluster, nodes, SparkConfig::default(), move |eng, sc, _| {
+        let d = d.clone();
+        sc.submit_app(eng, EXECUTORS * CORES_PER_EXECUTOR, move |eng, res| {
+            res.expect("cores available");
+            *d.borrow_mut() = eng.now().as_secs_f64();
+        });
+    });
+    e.run();
+    let out = *done.borrow();
+    out
+}
+
+fn on_yarn(seed: u64) -> f64 {
+    let mut e = Engine::new(seed);
+    let cluster = Cluster::new(MachineSpec::stampede());
+    let nodes: Vec<NodeId> = cluster.node_ids().take(3).collect();
+    let done = Rc::new(RefCell::new(0.0));
+    let d = done.clone();
+    bootstrap_mode_i(&mut e, cluster, nodes, YarnConfig::default(), false, move |eng, env| {
+        let d = d.clone();
+        submit_spark_on_yarn(
+            eng,
+            &env.yarn,
+            "spark-pi",
+            EXECUTORS,
+            CORES_PER_EXECUTOR,
+            4096,
+            move |eng, app| {
+                *d.borrow_mut() = eng.now().as_secs_f64();
+                app.finish(eng);
+            },
+        );
+    });
+    e.run();
+    let out = *done.borrow();
+    out
+}
+
+fn main() {
+    println!("== Ablation F: Spark deployment mode (Stampede, 3 nodes, {EXECUTORS}×{CORES_PER_EXECUTOR} cores) ==\n");
+    let mut table = Table::new(vec!["deployment", "allocation → app ready (s)"]);
+    let sa = repeat(8, standalone);
+    let oy = repeat(8, on_yarn);
+    table.row(vec!["standalone (paper's choice)".to_string(), mean_std(&sa)]);
+    table.row(vec!["on YARN".to_string(), mean_std(&oy)]);
+    table.print();
+    println!(
+        "\non-YARN overhead: +{:.0}s ({:.1}×) — two frameworks bootstrapped,\n\
+         executors through heartbeat-gated container allocation",
+        oy.mean - sa.mean,
+        oy.mean / sa.mean
+    );
+
+    let checks = ShapeChecks::new();
+    checks.check(
+        format!(
+            "standalone is substantially faster ({:.0}s vs {:.0}s)",
+            sa.mean, oy.mean
+        ),
+        oy.mean > sa.mean * 1.3,
+    );
+    std::process::exit(if checks.report() { 0 } else { 1 });
+}

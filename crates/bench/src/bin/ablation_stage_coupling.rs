@@ -1,0 +1,103 @@
+//! Ablation E — coupling HPC and analytics stages: persist-to-filesystem
+//! vs direct streaming (paper §V: "most importantly data needs to be
+//! moved, which involves persisting files and re-reading them … In the
+//! future it can be expected that data can be directly streamed between
+//! these two environments").
+//!
+//! A producer node hands a trajectory to a consumer node, for growing
+//! data sizes, via (a) Lustre persist + re-read, (b) node-local persist +
+//! fabric + node-local write, (c) direct streaming.
+//!
+//! ```text
+//! cargo run -p rp-bench --release --bin ablation_stage_coupling
+//! ```
+
+use rp_bench::{ShapeChecks, Table};
+use rp_hpc::{Cluster, MachineSpec, NodeId};
+use rp_saga::{stream, transfer, Endpoint};
+use rp_sim::{Engine, MB};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn persist_lustre(bytes: f64) -> f64 {
+    let mut e = Engine::new(1);
+    let cluster = Cluster::new(MachineSpec::stampede());
+    let t = Rc::new(RefCell::new(0.0));
+    let t2 = t.clone();
+    let c2 = cluster.clone();
+    transfer(&mut e, &cluster, Endpoint::Local(NodeId(0)), Endpoint::Lustre, bytes, move |eng| {
+        let t2 = t2.clone();
+        transfer(eng, &c2, Endpoint::Lustre, Endpoint::Local(NodeId(1)), bytes, move |eng| {
+            *t2.borrow_mut() = eng.now().as_secs_f64();
+        });
+    });
+    e.run();
+    let out = *t.borrow();
+    out
+}
+
+fn local_hop(bytes: f64) -> f64 {
+    let mut e = Engine::new(1);
+    let cluster = Cluster::new(MachineSpec::stampede());
+    let t = Rc::new(RefCell::new(0.0));
+    let t2 = t.clone();
+    transfer(
+        &mut e,
+        &cluster,
+        Endpoint::Local(NodeId(0)),
+        Endpoint::Local(NodeId(1)),
+        bytes,
+        move |eng| *t2.borrow_mut() = eng.now().as_secs_f64(),
+    );
+    e.run();
+    let out = *t.borrow();
+    out
+}
+
+fn direct_stream(bytes: f64) -> f64 {
+    let mut e = Engine::new(1);
+    let cluster = Cluster::new(MachineSpec::stampede());
+    let t = Rc::new(RefCell::new(0.0));
+    let t2 = t.clone();
+    stream(&mut e, &cluster, NodeId(0), NodeId(1), bytes, move |eng| {
+        *t2.borrow_mut() = eng.now().as_secs_f64();
+    });
+    e.run();
+    let out = *t.borrow();
+    out
+}
+
+fn main() {
+    println!("== Ablation E: stage coupling — persist vs stream (Stampede) ==\n");
+    let mut table = Table::new(vec![
+        "payload (MB)",
+        "Lustre persist+reload (s)",
+        "local persist+hop (s)",
+        "direct stream (s)",
+    ]);
+    let mut last = (0.0, 0.0);
+    for mb in [100.0, 1_000.0, 10_000.0] {
+        let bytes = mb * MB;
+        let lustre = persist_lustre(bytes);
+        let local = local_hop(bytes);
+        let streamed = direct_stream(bytes);
+        table.row(vec![
+            format!("{mb:.0}"),
+            format!("{lustre:8.2}"),
+            format!("{local:8.2}"),
+            format!("{streamed:8.2}"),
+        ]);
+        last = (lustre, streamed);
+    }
+    table.print();
+
+    let checks = ShapeChecks::new();
+    checks.check(
+        format!(
+            "streaming beats persist+reload by >3x at 10 GB ({:.1}s vs {:.1}s)",
+            last.1, last.0
+        ),
+        last.1 * 3.0 < last.0,
+    );
+    std::process::exit(if checks.report() { 0 } else { 1 });
+}

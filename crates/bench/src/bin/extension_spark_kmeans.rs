@@ -1,0 +1,72 @@
+//! Extension experiment — K-Means on a third system: **RP-Spark**
+//! (Mode I standalone Spark with cached RDDs), against the paper's RP and
+//! RP-YARN. This quantifies the §V future-work claim that in-memory
+//! runtimes are the right substrate "for iterative algorithms":
+//! Spark reads the input once, keeps it cached across iterations, and
+//! map-side-combines the shuffle — while each MapReduce iteration is a
+//! fresh job that re-reads HDFS and pays the AM path.
+//!
+//! ```text
+//! cargo run -p rp-bench --release --bin extension_spark_kmeans
+//! ```
+
+use rp_analytics::{
+    fig6_session_config, run_rp_kmeans, run_rp_spark_kmeans, run_rp_yarn_kmeans,
+    KMeansCalibration, SCENARIOS,
+};
+use rp_bench::{ShapeChecks, Table};
+use rp_pilot::Session;
+use rp_sim::Engine;
+
+fn main() {
+    let cal = KMeansCalibration::default();
+    let scenario = SCENARIOS[2]; // 1M points / 50 clusters
+    println!("== Extension: K-Means on RP vs RP-YARN vs RP-Spark ==");
+    println!("   ({}, 2 iterations, Wrangler; bootstraps included)\n", scenario.label);
+
+    let mut table = Table::new(vec![
+        "tasks",
+        "RADICAL-Pilot (s)",
+        "RP-YARN (s)",
+        "RP-Spark (s)",
+        "Spark vs YARN",
+    ]);
+    let mut results = Vec::new();
+    for tasks in [8u32, 16, 32] {
+        let seed = 500 + tasks as u64;
+        let mut e = Engine::new(seed);
+        let session = Session::new(fig6_session_config());
+        let rp = run_rp_kmeans(&mut e, &session, "xsede.wrangler", tasks, scenario, &cal)
+            .time_to_completion;
+        let mut e = Engine::new(seed + 1);
+        let session = Session::new(fig6_session_config());
+        let yarn = run_rp_yarn_kmeans(&mut e, &session, "xsede.wrangler", tasks, scenario, &cal)
+            .time_to_completion;
+        let mut e = Engine::new(seed + 2);
+        let session = Session::new(fig6_session_config());
+        let spark = run_rp_spark_kmeans(&mut e, &session, "xsede.wrangler", tasks, scenario, &cal)
+            .time_to_completion;
+        table.row(vec![
+            tasks.to_string(),
+            format!("{rp:8.1}"),
+            format!("{yarn:8.1}"),
+            format!("{spark:8.1}"),
+            format!("{:5.2}x", yarn / spark),
+        ]);
+        results.push((tasks, rp, yarn, spark));
+    }
+    table.print();
+
+    let checks = ShapeChecks::new();
+    let all_spark_wins = results.iter().all(|&(_, _, yarn, spark)| spark < yarn);
+    checks.check(
+        "cached-RDD Spark beats per-iteration MapReduce at every task count",
+        all_spark_wins,
+    );
+    let (_, rp32, _, spark32) = results[2];
+    checks.check(
+        format!("at 32 tasks Spark also beats plain RP ({spark32:.0}s vs {rp32:.0}s)"),
+        spark32 < rp32,
+    );
+    std::process::exit(if checks.report() { 0 } else { 1 });
+}

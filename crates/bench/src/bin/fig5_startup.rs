@@ -1,0 +1,82 @@
+//! Fig. 5 (main): Pilot startup time on Stampede and Wrangler for
+//! RADICAL-Pilot, RP-YARN Mode I (Hadoop on HPC) and RP-YARN Mode II
+//! (dedicated Hadoop environment, Wrangler only).
+//!
+//! Paper observations to reproduce:
+//! * Mode I adds 50–85 s of YARN download/config/daemon startup.
+//! * Mode II startup is comparable to the plain RADICAL-Pilot startup.
+//!
+//! ```text
+//! cargo run -p rp-bench --release --bin fig5_startup
+//! ```
+
+use rp_bench::{mean_std, measure_pilot_startup, repeat, ShapeChecks, Table, Variant};
+use rp_pilot::SessionConfig;
+
+const REPS: u64 = 8;
+
+fn main() {
+    println!("== Fig. 5 (main): Pilot startup time ==\n");
+    let mut table = Table::new(vec![
+        "machine",
+        "variant",
+        "startup (s)",
+        "framework bootstrap (s)",
+        "min",
+        "max",
+    ]);
+
+    let mut results = std::collections::BTreeMap::new();
+    let cases: Vec<(&str, Variant)> = vec![
+        ("xsede.stampede", Variant::Rp),
+        ("xsede.stampede", Variant::RpYarnModeI),
+        ("xsede.wrangler", Variant::Rp),
+        ("xsede.wrangler", Variant::RpYarnModeI),
+        ("xsede.wrangler", Variant::RpYarnModeII),
+    ];
+    for (machine, variant) in cases {
+        let boot = std::cell::RefCell::new(Vec::new());
+        let s = repeat(REPS, |seed| {
+            let (startup, fw) =
+                measure_pilot_startup(machine, variant, 1, seed, SessionConfig::default());
+            boot.borrow_mut().push(fw);
+            startup
+        });
+        let boots = boot.into_inner();
+        let boot_mean = boots.iter().sum::<f64>() / boots.len() as f64;
+        table.row(vec![
+            machine.to_string(),
+            variant.label().to_string(),
+            mean_std(&s),
+            format!("{boot_mean:7.1}"),
+            format!("{:7.1}", s.min),
+            format!("{:7.1}", s.max),
+        ]);
+        results.insert((machine, variant.label()), (s.mean, boot_mean));
+    }
+    table.print();
+
+    let checks = ShapeChecks::new();
+    let rp_s = results[&("xsede.stampede", "RADICAL-Pilot")].0;
+    let yarn_s = results[&("xsede.stampede", "RP-YARN (Mode I)")].0;
+    let rp_w = results[&("xsede.wrangler", "RADICAL-Pilot")].0;
+    let yarn_w = results[&("xsede.wrangler", "RP-YARN (Mode I)")].0;
+    let mode2_w = results[&("xsede.wrangler", "RP-YARN (Mode II)")].0;
+    let boot_s = results[&("xsede.stampede", "RP-YARN (Mode I)")].1;
+    let boot_w = results[&("xsede.wrangler", "RP-YARN (Mode I)")].1;
+
+    checks.check(
+        format!("Mode I bootstrap in the paper's 50-85 s band (stampede {boot_s:.0}s, wrangler {boot_w:.0}s)"),
+        (45.0..95.0).contains(&boot_s) && (45.0..95.0).contains(&boot_w),
+    );
+    checks.check(
+        format!("Mode I startup exceeds plain RP on both machines (+{:.0}s / +{:.0}s)",
+            yarn_s - rp_s, yarn_w - rp_w),
+        yarn_s > rp_s + 40.0 && yarn_w > rp_w + 40.0,
+    );
+    checks.check(
+        format!("Mode II ≈ plain RP on Wrangler ({mode2_w:.0}s vs {rp_w:.0}s)"),
+        (mode2_w - rp_w).abs() < 10.0,
+    );
+    std::process::exit(if checks.report() { 0 } else { 1 });
+}

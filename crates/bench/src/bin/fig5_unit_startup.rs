@@ -1,0 +1,51 @@
+//! Fig. 5 (inset): Compute-Unit startup time — plain RADICAL-Pilot vs
+//! RADICAL-Pilot-YARN on Stampede.
+//!
+//! The paper's point: every YARN CU pays a two-stage allocation (AM
+//! container first, then the task container, each gated on heartbeats and
+//! container launches), so CU startup is an order of magnitude above the
+//! plain fork path — a bottleneck for short-running jobs.
+//!
+//! ```text
+//! cargo run -p rp-bench --release --bin fig5_unit_startup
+//! ```
+
+use rp_bench::{mean_std, measure_unit_startup, repeat, ShapeChecks, Table, Variant};
+use rp_pilot::SessionConfig;
+
+const REPS: u64 = 8;
+
+fn main() {
+    println!("== Fig. 5 (inset): Compute-Unit startup time on Stampede ==\n");
+    let mut table = Table::new(vec!["variant", "unit startup (s)", "min", "max"]);
+    let mut means = Vec::new();
+    for variant in [Variant::Rp, Variant::RpYarnModeI] {
+        let s = repeat(REPS, |seed| {
+            measure_unit_startup("xsede.stampede", variant, seed, SessionConfig::default())
+        });
+        table.row(vec![
+            variant.label().to_string(),
+            mean_std(&s),
+            format!("{:6.1}", s.min),
+            format!("{:6.1}", s.max),
+        ]);
+        means.push(s.mean);
+    }
+    table.print();
+
+    let checks = ShapeChecks::new();
+    let (rp, yarn) = (means[0], means[1]);
+    checks.check(
+        format!("plain RP CU startup is seconds-scale ({rp:.1}s)"),
+        rp < 10.0,
+    );
+    checks.check(
+        format!("YARN CU startup is tens of seconds ({yarn:.1}s)"),
+        (15.0..60.0).contains(&yarn),
+    );
+    checks.check(
+        format!("YARN CU startup ≫ plain ({:.1}×)", yarn / rp),
+        yarn / rp > 4.0,
+    );
+    std::process::exit(if checks.report() { 0 } else { 1 });
+}

@@ -1,0 +1,196 @@
+//! Fig. 6: K-Means time-to-completion — RADICAL-Pilot vs
+//! RADICAL-Pilot-YARN on Stampede and Wrangler.
+//!
+//! Sweep: 3 scenarios (10k pts/5k clusters, 100k/500, 1M/50; 3-D points,
+//! constant compute) × {8, 16, 32} tasks on {1, 2, 3} nodes × both
+//! machines × both systems; 2 K-Means iterations, several seeds.
+//! RP-YARN runtimes include the YARN cluster download/startup (as in the
+//! paper); plain-RP runtimes start at pilot activation.
+//!
+//! ```text
+//! cargo run -p rp-bench --release --bin fig6_kmeans [--quick] [--csv PATH]
+//! ```
+
+use rp_analytics::{
+    fig6_session_config, run_rp_kmeans, run_rp_yarn_kmeans, KMeansCalibration, SCENARIOS,
+};
+use rp_bench::{ShapeChecks, Table};
+use rp_pilot::Session;
+use rp_sim::Engine;
+
+fn main() {
+    // Wall time is dominated by event count, not the cost constants, so
+    // --quick only reduces repetitions (the problem stays full-size).
+    let quick = std::env::args().any(|a| a == "--quick");
+    let csv_path = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--csv")
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let reps: u64 = if quick { 1 } else { 3 };
+    let cal = KMeansCalibration::default();
+
+    println!("== Fig. 6: K-Means time-to-completion (2 iterations) ==");
+    if quick {
+        println!("   (--quick: 1 repetition per cell)");
+    }
+    let machines = ["xsede.stampede", "xsede.wrangler"];
+    let task_counts = [8u32, 16, 32];
+
+    // results[(machine, scenario, tasks)] = (rp_mean, yarn_mean)
+    let mut results: std::collections::BTreeMap<(usize, usize, u32), (f64, f64)> =
+        std::collections::BTreeMap::new();
+
+    for (mi, machine) in machines.iter().enumerate() {
+        for (si, scenario) in SCENARIOS.iter().enumerate() {
+            println!("\n-- {machine} · {} --", scenario.label);
+            let mut table = Table::new(vec![
+                "tasks",
+                "nodes",
+                "RADICAL-Pilot (s)",
+                "RP-YARN (s)",
+                "RP speedup",
+                "YARN speedup",
+            ]);
+            let mut rp_base = 0.0;
+            let mut yarn_base = 0.0;
+            for &tasks in &task_counts {
+                let mut rp_sum = 0.0;
+                let mut yarn_sum = 0.0;
+                for rep in 0..reps {
+                    let seed = 10_000 + rep * 7919 + tasks as u64;
+                    let mut e = Engine::new(seed);
+                    let session = Session::new(fig6_session_config());
+                    rp_sum +=
+                        run_rp_kmeans(&mut e, &session, machine, tasks, *scenario, &cal)
+                            .time_to_completion;
+                    let mut e = Engine::new(seed + 1);
+                    let session = Session::new(fig6_session_config());
+                    yarn_sum +=
+                        run_rp_yarn_kmeans(&mut e, &session, machine, tasks, *scenario, &cal)
+                            .time_to_completion;
+                }
+                let rp = rp_sum / reps as f64;
+                let yarn = yarn_sum / reps as f64;
+                if tasks == task_counts[0] {
+                    rp_base = rp;
+                    yarn_base = yarn;
+                }
+                results.insert((mi, si, tasks), (rp, yarn));
+                table.row(vec![
+                    tasks.to_string(),
+                    rp_analytics::nodes_for_tasks(tasks).to_string(),
+                    format!("{rp:8.1}"),
+                    format!("{yarn:8.1}"),
+                    format!("{:5.2}", rp_base / rp),
+                    format!("{:5.2}", yarn_base / yarn),
+                ]);
+            }
+            table.print();
+        }
+    }
+
+    if let Some(path) = csv_path {
+        let mut csv = String::from("machine,scenario_points,scenario_clusters,tasks,nodes,rp_s,rp_yarn_s\n");
+        for (&(mi, si, tasks), &(rp, yarn)) in &results {
+            csv.push_str(&format!(
+                "{},{},{},{},{},{rp:.1},{yarn:.1}\n",
+                machines[mi],
+                SCENARIOS[si].points,
+                SCENARIOS[si].clusters,
+                tasks,
+                rp_analytics::nodes_for_tasks(tasks),
+            ));
+        }
+        std::fs::write(&path, csv).expect("write csv");
+        println!("\n(wrote {path})");
+    }
+
+    // ---- shape checks against the paper's observations ----
+    let checks = ShapeChecks::new();
+
+    // 1. Runtimes decrease with the number of tasks, everywhere.
+    let mut monotone = true;
+    for mi in 0..machines.len() {
+        for si in 0..SCENARIOS.len() {
+            let series: Vec<f64> = task_counts
+                .iter()
+                .map(|&t| results[&(mi, si, t)].0)
+                .collect();
+            monotone &= series[0] > series[1] && series[1] > series[2];
+            let series: Vec<f64> = task_counts
+                .iter()
+                .map(|&t| results[&(mi, si, t)].1)
+                .collect();
+            monotone &= series[0] > series[1] && series[1] > series[2];
+        }
+    }
+    checks.check("runtimes decrease with task count (both systems)", monotone);
+
+    // 2. YARN overhead visible at 8 tasks (YARN ≥ RP at 8 tasks).
+    let mut yarn_slower_at_8 = 0;
+    for mi in 0..machines.len() {
+        for si in 0..SCENARIOS.len() {
+            let (rp, yarn) = results[&(mi, si, 8)];
+            if yarn > rp {
+                yarn_slower_at_8 += 1;
+            }
+        }
+    }
+    checks.check(
+        format!("YARN overhead visible at 8 tasks ({yarn_slower_at_8}/6 cells)"),
+        yarn_slower_at_8 >= 4,
+    );
+
+    // 3. RP-YARN faster "in particular for larger number of tasks": mean
+    //    advantage over the 32-task cells (paper: on average 13%).
+    let mut advantages = Vec::new();
+    for mi in 0..machines.len() {
+        for si in 0..SCENARIOS.len() {
+            let (rp, yarn) = results[&(mi, si, 32)];
+            advantages.push((rp - yarn) / rp);
+        }
+    }
+    let mean_adv = advantages.iter().sum::<f64>() / advantages.len() as f64 * 100.0;
+    checks.check(
+        format!("RP-YARN faster at 32 tasks, mean advantage {mean_adv:.0}% (paper: 13%)"),
+        mean_adv > 5.0,
+    );
+
+    // 4. Wrangler 1M-points speedups: YARN above RP (paper: 3.2 vs 2.4).
+    let rp_speedup = results[&(1, 2, 8)].0 / results[&(1, 2, 32)].0;
+    let yarn_speedup = results[&(1, 2, 8)].1 / results[&(1, 2, 32)].1;
+    checks.check(
+        format!("Wrangler 1M-pts 32-task speedup: YARN {yarn_speedup:.2} > RP {rp_speedup:.2} (paper: 3.2 vs 2.4)"),
+        yarn_speedup > rp_speedup,
+    );
+
+    // 5. Wrangler beats Stampede cell-by-cell (better CPUs/memory).
+    let mut wrangler_wins = 0;
+    for si in 0..SCENARIOS.len() {
+        for &t in &task_counts {
+            if results[&(1, si, t)].0 < results[&(0, si, t)].0 {
+                wrangler_wins += 1;
+            }
+        }
+    }
+    checks.check(
+        format!("Wrangler outperforms Stampede ({wrangler_wins}/9 RP cells)"),
+        wrangler_wins >= 8,
+    );
+
+    // 6. Stampede YARN speedup declines as points grow (I/O saturation);
+    //    Wrangler shows no such decline.
+    let sp = |mi: usize, si: usize| results[&(mi, si, 8)].1 / results[&(mi, si, 32)].1;
+    let stampede_decline = sp(0, 0) > sp(0, 2);
+    checks.check(
+        format!(
+            "Stampede YARN speedup declines with points ({:.2} → {:.2}); Wrangler {:.2} → {:.2}",
+            sp(0, 0), sp(0, 2), sp(1, 0), sp(1, 2)
+        ),
+        stampede_decline,
+    );
+
+    std::process::exit(if checks.report() { 0 } else { 1 });
+}

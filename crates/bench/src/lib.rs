@@ -1,0 +1,263 @@
+//! Shared harness utilities for the figure-regeneration binaries: startup
+//! measurement runners and a plain-text table formatter that prints the
+//! same rows/series the paper's figures report.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use rp_pilot::{
+    AccessMode, ComputeUnitDescription, PilotDescription, PilotManager, PilotState, Session,
+    SessionConfig, UmScheduler, UnitManager, UnitState, WorkSpec,
+};
+use rp_sim::{Engine, SimDuration, Summary};
+
+/// Aligned plain-text table.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Table {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for i in 0..ncols {
+                line.push_str(&format!("{:<w$}", cells[i], w = widths[i] + 2));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Format a Summary as `mean ± std`.
+pub fn mean_std(s: &Summary) -> String {
+    format!("{:7.1} ± {:4.1}", s.mean, s.std)
+}
+
+/// Which pilot variant a startup measurement exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    Rp,
+    RpYarnModeI,
+    RpYarnModeII,
+    RpSpark,
+}
+
+impl Variant {
+    pub fn label(self) -> &'static str {
+        match self {
+            Variant::Rp => "RADICAL-Pilot",
+            Variant::RpYarnModeI => "RP-YARN (Mode I)",
+            Variant::RpYarnModeII => "RP-YARN (Mode II)",
+            Variant::RpSpark => "RP-Spark (Mode I)",
+        }
+    }
+
+    pub fn access(self) -> AccessMode {
+        match self {
+            Variant::Rp => AccessMode::Plain,
+            Variant::RpYarnModeI => AccessMode::YarnModeI { with_hdfs: true },
+            Variant::RpYarnModeII => AccessMode::YarnModeII,
+            Variant::RpSpark => AccessMode::SparkModeI,
+        }
+    }
+}
+
+/// Measure pilot startup (submission → Active) for one variant/seed.
+/// Returns (startup_s, framework_bootstrap_s).
+pub fn measure_pilot_startup(
+    resource: &str,
+    variant: Variant,
+    nodes: u32,
+    seed: u64,
+    config: SessionConfig,
+) -> (f64, f64) {
+    let mut e = Engine::new(seed);
+    let session = Session::new(config);
+    let pm = PilotManager::new(&session);
+    let pilot = pm
+        .submit(
+            &mut e,
+            PilotDescription::new(resource, nodes, SimDuration::from_secs(3600))
+                .with_access(variant.access()),
+        )
+        .unwrap_or_else(|err| panic!("{}: {err}", variant.label()));
+    while pilot.state() != PilotState::Active {
+        assert!(e.step(), "engine drained before pilot became active");
+    }
+    let startup = pilot.times().startup_time().unwrap().as_secs_f64();
+    let boot = pilot
+        .agent()
+        .map(|a| a.framework_bootstrap_time().as_secs_f64())
+        .unwrap_or(0.0);
+    pm.cancel(&mut e, &pilot);
+    e.run();
+    (startup, boot)
+}
+
+/// Measure Compute-Unit startup (submission → Executing) on an already
+/// active pilot of the given variant.
+pub fn measure_unit_startup(
+    resource: &str,
+    variant: Variant,
+    seed: u64,
+    config: SessionConfig,
+) -> f64 {
+    let mut e = Engine::new(seed);
+    let session = Session::new(config);
+    let pm = PilotManager::new(&session);
+    let pilot = pm
+        .submit(
+            &mut e,
+            PilotDescription::new(resource, 1, SimDuration::from_secs(3600))
+                .with_access(variant.access()),
+        )
+        .unwrap();
+    while pilot.state() != PilotState::Active {
+        assert!(e.step(), "engine drained before pilot became active");
+    }
+    let mut um = UnitManager::new(&session, UmScheduler::Direct);
+    um.add_pilot(&pilot);
+    let units = um.submit_units(
+        &mut e,
+        vec![ComputeUnitDescription::new(
+            "probe",
+            1,
+            WorkSpec::Sleep(SimDuration::from_secs(10)),
+        )],
+    );
+    while !units[0].state().is_final() {
+        assert!(e.step(), "engine drained before unit finished");
+    }
+    assert_eq!(units[0].state(), UnitState::Done, "{:?}", units[0].failure());
+    let t = units[0].times().startup_time().unwrap().as_secs_f64();
+    pm.cancel(&mut e, &pilot);
+    e.run();
+    t
+}
+
+/// Run a closure over `reps` seeds and summarise.
+pub fn repeat(reps: u64, mut f: impl FnMut(u64) -> f64) -> Summary {
+    let samples: Vec<f64> = (0..reps).map(|i| f(1000 + i * 7919)).collect();
+    Summary::of(&samples)
+}
+
+/// Collects pass/fail shape assertions printed at the end of harnesses.
+#[derive(Clone, Default)]
+pub struct ShapeChecks {
+    results: Rc<RefCell<Vec<(String, bool)>>>,
+}
+
+impl ShapeChecks {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn check(&self, label: impl Into<String>, ok: bool) {
+        self.results.borrow_mut().push((label.into(), ok));
+    }
+
+    /// Print `[ok]`/`[VIOLATED]` lines; returns whether all held.
+    pub fn report(&self) -> bool {
+        let results = self.results.borrow();
+        println!("\nShape checks (paper-vs-measured):");
+        let mut all = true;
+        for (label, ok) in results.iter() {
+            println!("  [{}] {label}", if *ok { "ok" } else { "VIOLATED" });
+            all &= ok;
+        }
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(vec!["a", "bb"]);
+        t.row(vec!["1", "2"]);
+        t.row(vec!["333", "4"]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a"));
+        assert!(lines[2].starts_with("1"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only one"]);
+    }
+
+    #[test]
+    fn startup_measurement_works_on_localhost() {
+        let (startup, boot) = measure_pilot_startup(
+            "localhost",
+            Variant::Rp,
+            1,
+            1,
+            SessionConfig::test_profile(),
+        );
+        assert!(startup > 0.0 && startup < 10.0);
+        assert_eq!(boot, 0.0);
+    }
+
+    #[test]
+    fn unit_startup_measurement_works() {
+        let t = measure_unit_startup("localhost", Variant::Rp, 2, SessionConfig::test_profile());
+        assert!(t > 0.0 && t < 5.0, "{t}");
+    }
+
+    #[test]
+    fn repeat_summarises() {
+        let s = repeat(5, |seed| seed as f64);
+        assert_eq!(s.n, 5);
+    }
+
+    #[test]
+    fn shape_checks_track_failures() {
+        let c = ShapeChecks::new();
+        c.check("good", true);
+        assert!(c.report());
+        c.check("bad", false);
+        assert!(!c.report());
+    }
+}

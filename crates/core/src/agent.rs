@@ -1,0 +1,979 @@
+//! The RADICAL-Pilot-Agent (paper §III-B/C/D, right half of Fig. 3).
+//!
+//! The agent runs inside the placeholder batch job. Its Local Resource
+//! Manager detects the allocation and — depending on the pilot's access
+//! mode — bootstraps YARN/HDFS (Mode I), connects to the machine's
+//! dedicated Hadoop environment (Mode II) or deploys standalone Spark.
+//! The agent scheduler assigns execution slots (cores for plain pilots;
+//! cores *and memory* for YARN-backed pilots, as the paper highlights),
+//! the Task Spawner stages data and launches units through the selected
+//! Launch Method, and completion flows back through the coordination
+//! store.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
+use std::rc::Rc;
+
+use rp_hpc::{Allocation, IoKind, NodeId, StorageTarget};
+use rp_saga::filetransfer::{transfer, Endpoint};
+use rp_sim::{Engine, SimDuration};
+use rp_spark::SparkCluster;
+use rp_yarn::{
+    bootstrap_mode_i, connect_mode_ii, AmHandle, HadoopEnv, Resource, ResourceRequest,
+};
+
+use crate::coordination::CoordinationStore;
+use crate::description::{
+    AccessMode, StageEndpoint, StagingDirective, UnitIoTarget, WorkSpec,
+};
+use crate::launch::{self, LaunchMethod};
+use crate::session::{MachineHandle, SessionConfig};
+use crate::states::UnitState;
+use crate::unit::{PilotId, UnitHandle};
+
+/// What the LRM provisioned for this pilot.
+#[derive(Clone)]
+pub(crate) enum RuntimeAccess {
+    Plain,
+    Yarn { env: HadoopEnv, mode_i: bool },
+    Spark { cluster: SparkCluster },
+}
+
+/// Where a scheduled unit runs.
+enum Placement {
+    /// Plain execution on agent-managed core slots: (node, cores) pairs,
+    /// plus the unit's memory demand for pressure accounting.
+    Nodes {
+        nodes: Vec<(NodeId, u32)>,
+        mem_mb: u64,
+        cores: u32,
+    },
+    /// Through the pilot's YARN cluster (gate, vcores, mem reserved).
+    Yarn { vcores: u32, mem_mb: u64 },
+    /// Through the pilot's Spark cluster (cores reserved).
+    Spark { cores: u32 },
+}
+
+struct AgentInner {
+    pilot: PilotId,
+    machine: MachineHandle,
+    alloc: Allocation,
+    access: RuntimeAccess,
+    cfg: SessionConfig,
+    store: CoordinationStore,
+    /// Plain-scheduler slot accounting.
+    free_cores: BTreeMap<NodeId, u32>,
+    /// Memory committed per node (pressure model for the plain scheduler).
+    committed_mem: BTreeMap<NodeId, u64>,
+    /// Submission gate for framework-backed units (framework does its own
+    /// placement; the agent avoids flooding it).
+    yarn_inflight: Resource,
+    spark_inflight_cores: u32,
+    queue: VecDeque<UnitHandle>,
+    /// Units staged and waiting for the (serial) Task Spawner.
+    spawn_queue: VecDeque<(UnitHandle, Placement)>,
+    spawner_busy: bool,
+    running: usize,
+    stopping: bool,
+    /// Idle RADICAL-Pilot Application Masters kept for reuse (§III-C
+    /// future-work optimization, enabled by `SessionConfig::am_reuse`).
+    am_pool: Vec<AmHandle>,
+    framework_bootstrap: SimDuration,
+    units_completed: u64,
+    heartbeats: u64,
+    heartbeat_armed: bool,
+}
+
+/// Shared handle to a running agent.
+#[derive(Clone)]
+pub struct Agent {
+    inner: Rc<RefCell<AgentInner>>,
+}
+
+impl Agent {
+    /// Start the agent inside a granted allocation. `on_active` fires once
+    /// the LRM finished provisioning (the pilot becomes Active then).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn start(
+        engine: &mut Engine,
+        pilot: PilotId,
+        machine: MachineHandle,
+        alloc: Allocation,
+        access: AccessMode,
+        cfg: SessionConfig,
+        store: CoordinationStore,
+        on_active: impl FnOnce(&mut Engine, Agent) + 'static,
+    ) {
+        let (boot_mean, boot_std) = machine.cluster.spec().agent_bootstrap_s;
+        let agent_boot =
+            SimDuration::from_secs_f64(engine.rng.normal_min(boot_mean, boot_std, 0.05));
+        engine.trace.record(
+            engine.now(),
+            "agent",
+            format!("{pilot:?} bootstrapping on {} nodes", alloc.nodes.len()),
+        );
+        let cluster_outer = machine.cluster.clone();
+        let nodes_outer = alloc.nodes.clone();
+        let yarn_cfg = cfg.yarn.clone();
+        let spark_cfg = cfg.spark.clone();
+        let dedicated = machine.dedicated.clone();
+        let finish = move |eng: &mut Engine,
+                           access: RuntimeAccess,
+                           framework_bootstrap: SimDuration| {
+            let free_cores = alloc
+                .nodes
+                .iter()
+                .map(|&n| (n, machine.cluster.spec().cores_per_node))
+                .collect();
+            let committed_mem = alloc.nodes.iter().map(|&n| (n, 0u64)).collect();
+            let agent = Agent {
+                inner: Rc::new(RefCell::new(AgentInner {
+                    pilot,
+                    machine,
+                    alloc,
+                    access,
+                    cfg,
+                    store: store.clone(),
+                    free_cores,
+                    committed_mem,
+                    yarn_inflight: Resource::new(0, 0),
+                    spark_inflight_cores: 0,
+                    queue: VecDeque::new(),
+                    spawn_queue: VecDeque::new(),
+                    spawner_busy: false,
+                    running: 0,
+                    stopping: false,
+                    am_pool: Vec::new(),
+                    framework_bootstrap,
+                    units_completed: 0,
+                    heartbeats: 0,
+                    heartbeat_armed: false,
+                })),
+            };
+            let a2 = agent.clone();
+            store.register_agent(eng, pilot, move |eng, batch| {
+                a2.receive_units(eng, batch);
+            });
+            eng.trace
+                .record(eng.now(), "agent", format!("{pilot:?} active"));
+            on_active(eng, agent);
+        };
+
+        engine.schedule_in(agent_boot, move |eng| {
+            let t0 = eng.now();
+            match access {
+                AccessMode::Plain => finish(eng, RuntimeAccess::Plain, SimDuration::ZERO),
+                AccessMode::YarnModeI { with_hdfs } => {
+                    bootstrap_mode_i(
+                        eng,
+                        cluster_outer,
+                        nodes_outer,
+                        yarn_cfg,
+                        with_hdfs,
+                        move |eng, env| {
+                            let boot = eng.now().since(t0);
+                            finish(eng, RuntimeAccess::Yarn { env, mode_i: true }, boot);
+                        },
+                    );
+                }
+                AccessMode::YarnModeII => {
+                    let env = dedicated.expect("manager validated dedicated env exists");
+                    connect_mode_ii(eng, env, &yarn_cfg, move |eng, env| {
+                        let boot = eng.now().since(t0);
+                        finish(eng, RuntimeAccess::Yarn { env, mode_i: false }, boot);
+                    });
+                }
+                AccessMode::SparkModeI => {
+                    SparkCluster::bootstrap(
+                        eng,
+                        &cluster_outer,
+                        nodes_outer,
+                        spark_cfg,
+                        move |eng, cluster, boot| {
+                            finish(eng, RuntimeAccess::Spark { cluster }, boot);
+                        },
+                    );
+                }
+            }
+        });
+    }
+
+    /// Time the LRM spent provisioning the framework (YARN/Spark); zero
+    /// for plain pilots. The Mode I bar-height delta of Fig. 5.
+    pub fn framework_bootstrap_time(&self) -> SimDuration {
+        self.inner.borrow().framework_bootstrap
+    }
+
+    /// The pilot's Hadoop environment, if one was provisioned (exposed so
+    /// applications can pre-load HDFS data and inspect cluster state).
+    pub fn hadoop_env(&self) -> Option<HadoopEnv> {
+        match &self.inner.borrow().access {
+            RuntimeAccess::Yarn { env, .. } => Some(env.clone()),
+            _ => None,
+        }
+    }
+
+    pub fn spark_cluster(&self) -> Option<SparkCluster> {
+        match &self.inner.borrow().access {
+            RuntimeAccess::Spark { cluster } => Some(cluster.clone()),
+            _ => None,
+        }
+    }
+
+    pub fn units_completed(&self) -> u64 {
+        self.inner.borrow().units_completed
+    }
+
+    /// Heartbeats the agent pushed to the coordination store so far (the
+    /// Heartbeat Monitor of Fig. 3; armed only while work is in flight so
+    /// idle sessions drain the event queue).
+    pub fn heartbeats(&self) -> u64 {
+        self.inner.borrow().heartbeats
+    }
+
+    /// Arm the next heartbeat if work is in flight and none is scheduled.
+    fn ensure_heartbeat(&self, engine: &mut Engine) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            let busy = inner.running > 0 || !inner.queue.is_empty();
+            if inner.heartbeat_armed || inner.stopping || !busy {
+                return;
+            }
+            inner.heartbeat_armed = true;
+        }
+        let this = self.clone();
+        engine.schedule_in(SimDuration::from_secs(10), move |eng| {
+            let (pilot, still_busy) = {
+                let mut inner = this.inner.borrow_mut();
+                inner.heartbeat_armed = false;
+                if inner.stopping {
+                    return;
+                }
+                inner.heartbeats += 1;
+                (inner.pilot, inner.running > 0 || !inner.queue.is_empty())
+            };
+            eng.trace
+                .record(eng.now(), "agent", format!("{pilot:?} heartbeat"));
+            if still_busy {
+                this.ensure_heartbeat(eng);
+            }
+        });
+    }
+
+    pub fn queued_units(&self) -> usize {
+        self.inner.borrow().queue.len()
+    }
+
+    pub fn running_units(&self) -> usize {
+        self.inner.borrow().running
+    }
+
+    /// Tear the agent down: cancel queued units, stop Mode I frameworks
+    /// (a Mode II dedicated environment keeps running — it is not ours).
+    pub(crate) fn stop(&self, engine: &mut Engine) {
+        let (queued, access, pool, pilot) = {
+            let mut inner = self.inner.borrow_mut();
+            if inner.stopping {
+                return;
+            }
+            inner.stopping = true;
+            (
+                std::mem::take(&mut inner.queue),
+                inner.access.clone(),
+                std::mem::take(&mut inner.am_pool),
+                inner.pilot,
+            )
+        };
+        self.inner.borrow().store.deregister_agent(pilot);
+        for u in queued {
+            u.advance(engine, UnitState::Canceled);
+        }
+        for am in pool {
+            am.finish(engine);
+        }
+        match access {
+            RuntimeAccess::Yarn { env, mode_i: true } => env.yarn.shutdown(engine),
+            RuntimeAccess::Spark { cluster } => cluster.shutdown(engine, |_| {}),
+            _ => {}
+        }
+        engine
+            .trace
+            .record(engine.now(), "agent", format!("{pilot:?} stopped"));
+    }
+
+    // ---- unit intake & scheduling ----
+
+    fn receive_units(&self, engine: &mut Engine, batch: Vec<UnitHandle>) {
+        for unit in batch {
+            unit.advance(engine, UnitState::AgentScheduling);
+            if let Err(reason) = self.validate(&unit) {
+                unit.fail(engine, reason);
+                continue;
+            }
+            self.inner.borrow_mut().queue.push_back(unit);
+        }
+        self.try_schedule(engine);
+        self.ensure_heartbeat(engine);
+    }
+
+    /// Reject units this pilot can never run (fail fast, like the agent
+    /// scheduler's sanity checks).
+    fn validate(&self, unit: &UnitHandle) -> Result<(), String> {
+        let inner = self.inner.borrow();
+        let d = unit.description();
+        let spec = inner.machine.cluster.spec();
+        match (&d.work, &inner.access) {
+            (WorkSpec::MapReduce(_), RuntimeAccess::Yarn { .. }) => {}
+            (WorkSpec::MapReduce(_), _) => {
+                return Err("MapReduce unit requires a YARN pilot (Mode I/II)".into())
+            }
+            (WorkSpec::SparkApp { .. }, RuntimeAccess::Spark { .. }) => {}
+            (WorkSpec::SparkApp { .. }, _) => {
+                return Err("Spark unit requires a Spark pilot".into())
+            }
+            (WorkSpec::SparkJob(_), RuntimeAccess::Spark { .. }) => {}
+            (WorkSpec::SparkJob(_), _) => {
+                return Err("Spark job requires a Spark pilot".into())
+            }
+            _ => {}
+        }
+        let total_cores = inner.alloc.nodes.len() as u32 * spec.cores_per_node;
+        if d.cores > total_cores {
+            return Err(format!(
+                "unit needs {} cores, pilot has {total_cores}",
+                d.cores
+            ));
+        }
+        // Paper §II: "gang-scheduled parallel MPI applications … are less
+        // well supported" on YARN — a container cannot span nodes.
+        if matches!(inner.access, RuntimeAccess::Yarn { .. })
+            && d.mpi
+            && d.cores > spec.cores_per_node
+        {
+            return Err(format!(
+                "gang-scheduled MPI unit ({} cores) cannot span YARN containers                  (max {} vcores per NodeManager)",
+                d.cores, spec.cores_per_node
+            ));
+        }
+        if !d.mpi && d.cores > spec.cores_per_node && !matches!(d.work, WorkSpec::MapReduce(_)) {
+            return Err(format!(
+                "non-MPI unit needs {} cores on one node ({} available)",
+                d.cores, spec.cores_per_node
+            ));
+        }
+        Ok(())
+    }
+
+    fn try_schedule(&self, engine: &mut Engine) {
+        loop {
+            let next = {
+                let mut inner = self.inner.borrow_mut();
+                if inner.stopping {
+                    return;
+                }
+                inner.pop_schedulable()
+            };
+            match next {
+                Some((unit, placement)) => self.begin_unit(engine, unit, placement),
+                None => return,
+            }
+        }
+    }
+
+    fn begin_unit(&self, engine: &mut Engine, unit: UnitHandle, placement: Placement) {
+        self.inner.borrow_mut().running += 1;
+        unit.advance(engine, UnitState::StagingInput);
+        let descr = unit.description();
+        let mut directives = descr.input_staging;
+        // Pilot-Data dependencies not resident on this machine are pulled
+        // over the inter-site network onto the parallel filesystem first.
+        let (resource, wan) = {
+            let inner = self.inner.borrow();
+            (inner.machine.name.clone(), inner.cfg.inter_site_mbps)
+        };
+        let remote = crate::data::remote_bytes(&descr.data_deps, &resource);
+        if remote > 0 {
+            engine.trace.record(
+                engine.now(),
+                "agent",
+                format!("{:?} pulling {remote} B of pilot-data over WAN", unit.id()),
+            );
+            directives.insert(
+                0,
+                StagingDirective {
+                    bytes: remote as f64,
+                    from: StageEndpoint::Remote {
+                        bandwidth_mbps: wan,
+                    },
+                    to: StageEndpoint::Lustre,
+                },
+            );
+        }
+        let primary = match &placement {
+            Placement::Nodes { nodes, .. } => Some(nodes[0].0),
+            _ => None,
+        };
+        let this = self.clone();
+        self.run_staging(engine, directives, primary, move |eng| {
+            this.enqueue_spawn(eng, unit, placement);
+        });
+    }
+
+    /// The Task Spawner is a single serial worker (as in RADICAL-Pilot's
+    /// agent): launches queue behind each other even though the launched
+    /// work itself runs concurrently. With many concurrent units this
+    /// serialization is a first-order scaling cost of the plain pilot —
+    /// one of the effects behind Fig. 6.
+    fn enqueue_spawn(&self, engine: &mut Engine, unit: UnitHandle, placement: Placement) {
+        self.inner
+            .borrow_mut()
+            .spawn_queue
+            .push_back((unit, placement));
+        self.drain_spawner(engine);
+    }
+
+    fn drain_spawner(&self, engine: &mut Engine) {
+        let next = {
+            let mut inner = self.inner.borrow_mut();
+            if inner.spawner_busy {
+                return;
+            }
+            match inner.spawn_queue.pop_front() {
+                Some(x) => {
+                    inner.spawner_busy = true;
+                    x
+                }
+                None => return,
+            }
+        };
+        let (unit, placement) = next;
+        self.launch_unit(engine, unit, placement);
+    }
+
+    /// Run staging directives sequentially.
+    fn run_staging(
+        &self,
+        engine: &mut Engine,
+        mut directives: Vec<StagingDirective>,
+        exec_node: Option<NodeId>,
+        done: impl FnOnce(&mut Engine) + 'static,
+    ) {
+        if directives.is_empty() {
+            engine.schedule_now(done);
+            return;
+        }
+        let d = directives.remove(0);
+        let cluster = self.inner.borrow().machine.cluster.clone();
+        let from = self.resolve_endpoint(d.from, exec_node);
+        let to = self.resolve_endpoint(d.to, exec_node);
+        let this = self.clone();
+        transfer(engine, &cluster, from, to, d.bytes, move |eng| {
+            this.run_staging(eng, directives, exec_node, done);
+        });
+    }
+
+    fn resolve_endpoint(&self, e: StageEndpoint, exec_node: Option<NodeId>) -> Endpoint {
+        let inner = self.inner.borrow();
+        match e {
+            StageEndpoint::Remote { bandwidth_mbps } => Endpoint::Remote { bandwidth_mbps },
+            StageEndpoint::Lustre => Endpoint::Lustre,
+            StageEndpoint::ExecNode => {
+                match (exec_node, inner.machine.cluster.has_local_disk()) {
+                    (Some(n), true) => Endpoint::Local(n),
+                    // No local disk (or framework placement): the directive
+                    // degrades to the shared filesystem.
+                    _ => Endpoint::Lustre,
+                }
+            }
+        }
+    }
+
+    /// Task Spawner: pay exec-prep + launch overhead, then run the work.
+    fn launch_unit(&self, engine: &mut Engine, unit: UnitHandle, placement: Placement) {
+        let (prep, method) = {
+            let inner = self.inner.borrow();
+            let (m, s) = inner.cfg.exec_prep_s;
+            let mut prep = engine.rng.normal_min(m, s, 0.01);
+            let method = launch::select(
+                inner.machine.cluster.spec(),
+                &unit.description(),
+                matches!(inner.access, RuntimeAccess::Yarn { .. }),
+                matches!(inner.access, RuntimeAccess::Spark { .. }),
+            );
+            prep += method.overhead_s();
+            if unit.description().mpi && method != LaunchMethod::Fork {
+                let (mm, ms) = inner.cfg.mpi_launch_s;
+                prep += engine.rng.normal_min(mm, ms, 0.01);
+            }
+            (SimDuration::from_secs_f64(prep), method)
+        };
+        engine.trace.record(
+            engine.now(),
+            "agent",
+            format!("{:?} launching via {method:?}", unit.id()),
+        );
+        let this = self.clone();
+        engine.schedule_in(prep, move |eng| {
+            // Spawner done with this unit; next launch may proceed while
+            // this unit's work executes.
+            this.inner.borrow_mut().spawner_busy = false;
+            this.drain_spawner(eng);
+            match placement {
+                p @ Placement::Nodes { .. } => this.exec_on_nodes(eng, unit, p),
+                Placement::Yarn { vcores, mem_mb } => {
+                    this.exec_on_yarn(eng, unit, vcores, mem_mb)
+                }
+                Placement::Spark { cores } => this.exec_on_spark(eng, unit, cores),
+            }
+        });
+    }
+
+    // ---- plain execution ----
+
+    fn exec_on_nodes(&self, engine: &mut Engine, unit: UnitHandle, placement: Placement) {
+        let nodes = match &placement {
+            Placement::Nodes { nodes, .. } => nodes.clone(),
+            _ => unreachable!("exec_on_nodes requires node placement"),
+        };
+        unit.rec.borrow_mut().exec_nodes = nodes.iter().map(|&(n, _)| n).collect();
+        unit.advance(engine, UnitState::Executing);
+        let this = self.clone();
+        let u2 = unit.clone();
+        self.run_work(engine, &unit, &nodes, move |eng| {
+            this.complete_unit(eng, u2, placement);
+        });
+    }
+
+    /// Execute a WorkSpec on agent-managed slots.
+    fn run_work(
+        &self,
+        engine: &mut Engine,
+        unit: &UnitHandle,
+        nodes: &[(NodeId, u32)],
+        done: impl FnOnce(&mut Engine) + 'static,
+    ) {
+        let d = unit.description();
+        let inner = self.inner.borrow();
+        let cluster = inner.machine.cluster.clone();
+        let primary = nodes[0].0;
+        let total_cores: u32 = nodes.iter().map(|&(_, c)| c).sum();
+        // Memory-pressure factor: committed/capacity on the worst node
+        // (models swapping/GC once the plain cores-only scheduler
+        // oversubscribes memory — the Stampede 32 GB effect).
+        // Framework-placed containers may land outside the agent's own
+        // allocation (Mode II dedicated nodes): those are not tracked by
+        // the plain scheduler, so they carry no committed memory.
+        let pressure = nodes
+            .iter()
+            .map(|&(n, _)| {
+                let committed = inner.committed_mem.get(&n).copied().unwrap_or(0) as f64;
+                let cap = cluster.spec().mem_per_node_mb as f64;
+                (committed / cap).max(1.0)
+            })
+            .fold(1.0f64, f64::max);
+        drop(inner);
+
+        match d.work {
+            WorkSpec::Sleep(dur) => {
+                engine.schedule_in(dur, done);
+            }
+            WorkSpec::Native(f) => {
+                let t0 = std::time::Instant::now();
+                f();
+                let dur = SimDuration::from_secs_f64(t0.elapsed().as_secs_f64());
+                engine.schedule_in(dur, done);
+            }
+            WorkSpec::Compute {
+                core_seconds,
+                read_mb,
+                write_mb,
+                io,
+            } => {
+                let target = match io {
+                    UnitIoTarget::LocalDisk if cluster.has_local_disk() => {
+                        StorageTarget::LocalDisk(primary)
+                    }
+                    _ => StorageTarget::Lustre,
+                };
+                let jitter = {
+                    let sigma = self.inner.borrow().cfg.compute_jitter_sigma;
+                    if sigma > 0.0 {
+                        engine.rng.lognormal(0.0, sigma)
+                    } else {
+                        1.0
+                    }
+                };
+                let compute = cluster
+                    .compute_duration(core_seconds / total_cores as f64)
+                    .mul_f64(pressure * jitter);
+                let cluster2 = cluster.clone();
+                cluster.storage_io(
+                    engine,
+                    target,
+                    IoKind::Read,
+                    read_mb * rp_sim::MB,
+                    move |eng| {
+                        eng.schedule_in(compute, move |eng| {
+                            cluster2.storage_io(
+                                eng,
+                                target,
+                                IoKind::Write,
+                                write_mb * rp_sim::MB,
+                                done,
+                            );
+                        });
+                    },
+                );
+            }
+            WorkSpec::MapReduce(_) | WorkSpec::SparkApp { .. } | WorkSpec::SparkJob(_) => {
+                unreachable!("validated: framework work never placed on plain slots")
+            }
+        }
+    }
+
+    // ---- YARN execution (the RADICAL-Pilot YARN application, Fig. 4) ----
+
+    fn exec_on_yarn(&self, engine: &mut Engine, unit: UnitHandle, vcores: u32, mem_mb: u64) {
+        let env = match &self.inner.borrow().access {
+            RuntimeAccess::Yarn { env, .. } => env.clone(),
+            _ => unreachable!("yarn placement on non-yarn pilot"),
+        };
+        let d = unit.description();
+        if let WorkSpec::MapReduce(spec) = d.work {
+            // A full MapReduce job: the MR AM drives its own containers.
+            unit.advance(engine, UnitState::Executing);
+            let this = self.clone();
+            let u2 = unit.clone();
+            let cluster = self.inner.borrow().machine.cluster.clone();
+            let hdfs = env
+                .hdfs
+                .clone()
+                .expect("MapReduce pilot requires HDFS (use with_hdfs: true)");
+            rp_mapreduce::run_on_yarn(engine, &cluster, &env.yarn, &hdfs, spec, move |eng, stats| {
+                u2.rec.borrow_mut().mr_stats = Some(stats);
+                this.complete_unit(eng, u2.clone(), Placement::Yarn { vcores, mem_mb });
+            });
+            return;
+        }
+
+        // Ordinary unit wrapped in the RADICAL-Pilot YARN app: allocate an
+        // AM (or reuse a pooled one), then the task container.
+        let reuse_am = {
+            let mut inner = self.inner.borrow_mut();
+            if inner.cfg.am_reuse {
+                inner.am_pool.pop()
+            } else {
+                None
+            }
+        };
+        let this = self.clone();
+        let req = ResourceRequest {
+            resource: Resource::new(d.cores.max(1), d.mem_mb),
+            preferred_node: None,
+        };
+        match reuse_am {
+            Some(am) => {
+                engine.trace.record(
+                    engine.now(),
+                    "agent",
+                    format!("{:?} reusing pooled AM", unit.id()),
+                );
+                this.yarn_task_container(engine, am, req, unit, vcores, mem_mb);
+            }
+            None => {
+                let name = format!("rp-yarn-app-{:?}", unit.id());
+                let this2 = this.clone();
+                env.yarn.submit_app(
+                    engine,
+                    name,
+                    ResourceRequest::new(1, 1536),
+                    move |eng, am| {
+                        this2.yarn_task_container(eng, am, req, unit, vcores, mem_mb);
+                    },
+                );
+            }
+        }
+    }
+
+    /// Request the task container for a unit, run the work, and survive
+    /// RM preemption: a preempted attempt re-requests a fresh container
+    /// and re-runs the work from the start (the "dynamic set of
+    /// resources" behaviour YARN applications must implement, §III-B).
+    fn yarn_task_container(
+        &self,
+        engine: &mut Engine,
+        am: AmHandle,
+        req: ResourceRequest,
+        unit: UnitHandle,
+        vcores: u32,
+        mem_mb: u64,
+    ) {
+        let this = self.clone();
+        let am_for_cb = am.clone();
+        let alive = Rc::new(std::cell::Cell::new(true));
+        let alive_preempt = alive.clone();
+        let retry = {
+            let this = self.clone();
+            let am = am.clone();
+            let req = req.clone();
+            let unit = unit.clone();
+            move |eng: &mut Engine, container: rp_yarn::Container| {
+                alive_preempt.set(false);
+                eng.trace.record(
+                    eng.now(),
+                    "agent",
+                    format!(
+                        "{:?} lost {:?} to preemption; re-requesting",
+                        unit.id(),
+                        container.id
+                    ),
+                );
+                this.yarn_task_container(eng, am.clone(), req.clone(), unit.clone(), vcores, mem_mb);
+            }
+        };
+        am.request_container_preemptible(engine, req, retry, move |eng, container| {
+            let am = am_for_cb;
+            unit.rec.borrow_mut().exec_nodes = vec![container.node];
+            // On a preemption restart the unit is already Executing.
+            if unit.state() != UnitState::Executing {
+                unit.advance(eng, UnitState::Executing);
+            }
+            let cores = container.resource.vcores;
+            let u2 = unit.clone();
+            let this2 = this.clone();
+            let am2 = am.clone();
+            this.run_work(eng, &unit, &[(container.node, cores)], move |eng| {
+                if !alive.get() {
+                    // This attempt was preempted mid-flight; the restart
+                    // owns the unit now.
+                    return;
+                }
+                am2.release_container(eng, container.id);
+                let pooled = {
+                    let mut inner = this2.inner.borrow_mut();
+                    if inner.cfg.am_reuse && !inner.stopping {
+                        inner.am_pool.push(am2.clone());
+                        true
+                    } else {
+                        false
+                    }
+                };
+                if !pooled {
+                    am2.finish(eng);
+                }
+                this2.complete_unit(eng, u2.clone(), Placement::Yarn { vcores, mem_mb });
+            });
+        });
+    }
+
+    // ---- Spark execution ----
+
+    fn exec_on_spark(&self, engine: &mut Engine, unit: UnitHandle, gate_cores: u32) {
+        let spark = match &self.inner.borrow().access {
+            RuntimeAccess::Spark { cluster } => cluster.clone(),
+            _ => unreachable!("spark placement on non-spark pilot"),
+        };
+        let d = unit.description();
+        // Full stage-DAG jobs run through the simulated Spark app model.
+        if let WorkSpec::SparkJob(spec) = d.work {
+            let cluster = self.inner.borrow().machine.cluster.clone();
+            unit.advance(engine, UnitState::Executing);
+            let this = self.clone();
+            let u2 = unit.clone();
+            rp_spark::run_simulated_app(engine, &cluster, &spark, spec, move |eng, res| {
+                match res {
+                    Ok(_stats) => this.complete_unit(
+                        eng,
+                        u2.clone(),
+                        Placement::Spark { cores: gate_cores },
+                    ),
+                    Err(e) => {
+                        u2.fail(eng, format!("spark job failed: {e}"));
+                        this.release(eng, Placement::Spark { cores: gate_cores });
+                    }
+                }
+            });
+            return;
+        }
+        let (cores, core_seconds) = match d.work {
+            WorkSpec::SparkApp { cores, core_seconds } => (cores, core_seconds),
+            // Plain work on a Spark pilot runs as a trivial one-stage app.
+            WorkSpec::Sleep(dur) => (d.cores.max(1), dur.as_secs_f64() * d.cores.max(1) as f64),
+            _ => (d.cores.max(1), 0.0),
+        };
+        let this = self.clone();
+        let cluster = self.inner.borrow().machine.cluster.clone();
+        let spark_cb = spark.clone();
+        spark.submit_app(engine, cores, move |eng, result| match result {
+            Ok((app_id, grants)) => {
+                unit.rec.borrow_mut().exec_nodes = grants.iter().map(|g| g.node).collect();
+                unit.advance(eng, UnitState::Executing);
+                let dur = cluster.compute_duration(core_seconds / cores.max(1) as f64);
+                let u2 = unit.clone();
+                let spark = spark_cb;
+                eng.schedule_in(dur, move |eng| {
+                    spark.finish_app(eng, app_id);
+                    this.complete_unit(eng, u2.clone(), Placement::Spark { cores: gate_cores });
+                });
+            }
+            Err(e) => {
+                unit.fail(eng, format!("spark submission failed: {e}"));
+                this.release(eng, Placement::Spark { cores: gate_cores });
+            }
+        });
+    }
+
+    // ---- completion ----
+
+    fn complete_unit(&self, engine: &mut Engine, unit: UnitHandle, placement: Placement) {
+        unit.advance(engine, UnitState::StagingOutput);
+        let directives = unit.description().output_staging;
+        let primary = unit.exec_nodes().first().copied();
+        let this = self.clone();
+        self.run_staging(engine, directives, primary, move |eng| {
+            let store = this.inner.borrow().store.clone();
+            let u2 = unit.clone();
+            let this2 = this.clone();
+            store.roundtrip(eng, move |eng| {
+                u2.advance(eng, UnitState::Done);
+                this2.inner.borrow_mut().units_completed += 1;
+                this2.release(eng, placement);
+            });
+        });
+    }
+
+    fn release(&self, engine: &mut Engine, placement: Placement) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.running -= 1;
+            match placement {
+                Placement::Nodes {
+                    nodes,
+                    mem_mb,
+                    cores,
+                } => {
+                    for (n, c) in nodes {
+                        *inner.free_cores.get_mut(&n).expect("node known") += c;
+                        let share = mem_mb * c as u64 / cores.max(1) as u64;
+                        let slot = inner.committed_mem.get_mut(&n).expect("node known");
+                        *slot = slot.saturating_sub(share);
+                    }
+                }
+                Placement::Yarn { vcores, mem_mb } => {
+                    inner.yarn_inflight.vcores -= vcores;
+                    inner.yarn_inflight.mem_mb -= mem_mb;
+                }
+                Placement::Spark { cores } => {
+                    inner.spark_inflight_cores -= cores;
+                }
+            }
+        }
+        self.try_schedule(engine);
+    }
+}
+
+impl AgentInner {
+    /// Find, reserve and pop the first schedulable unit (FIFO with skip).
+    /// Units cancelled while queued are dropped here.
+    fn pop_schedulable(&mut self) -> Option<(UnitHandle, Placement)> {
+        self.queue.retain(|u| !u.state().is_final());
+        for i in 0..self.queue.len() {
+            let d = self.queue[i].description();
+            let placement = match &self.access {
+                RuntimeAccess::Plain => self.place_on_nodes(&d),
+                RuntimeAccess::Yarn { env, .. } => {
+                    let state = env.yarn.cluster_state();
+                    let free_v = state.available.vcores.saturating_sub(self.yarn_inflight.vcores);
+                    let free_m = state.available.mem_mb.saturating_sub(self.yarn_inflight.mem_mb);
+                    // Gate: the unit's container + its AM must fit in what
+                    // is not already promised to in-flight units. MapReduce
+                    // jobs gate coarsely (AM + one container) — the MR AM
+                    // runs its own waves.
+                    let (need_v, need_m) = match &d.work {
+                        WorkSpec::MapReduce(spec) => {
+                            (1 + spec.container.vcores, 1536 + spec.container.mem_mb)
+                        }
+                        _ => (1 + d.cores.max(1), 1536 + d.mem_mb),
+                    };
+                    if need_v <= free_v && need_m <= free_m {
+                        Some(Placement::Yarn {
+                            vcores: need_v,
+                            mem_mb: need_m,
+                        })
+                    } else {
+                        None
+                    }
+                }
+                RuntimeAccess::Spark { cluster } => {
+                    let need = match &d.work {
+                        WorkSpec::SparkApp { cores, .. } => *cores,
+                        WorkSpec::SparkJob(spec) => spec.executor_cores.max(1),
+                        _ => d.cores.max(1),
+                    };
+                    let free = cluster.free_cores().saturating_sub(self.spark_inflight_cores);
+                    (need <= free).then_some(Placement::Spark { cores: need })
+                }
+            };
+            if let Some(p) = placement {
+                // Reserve.
+                match &p {
+                    Placement::Nodes { nodes, mem_mb, cores } => {
+                        for &(n, c) in nodes {
+                            *self.free_cores.get_mut(&n).expect("node known") -= c;
+                            *self.committed_mem.get_mut(&n).expect("node known") +=
+                                *mem_mb * c as u64 / (*cores).max(1) as u64;
+                        }
+                    }
+                    Placement::Yarn { vcores, mem_mb } => {
+                        self.yarn_inflight.vcores += vcores;
+                        self.yarn_inflight.mem_mb += mem_mb;
+                    }
+                    Placement::Spark { cores } => {
+                        self.spark_inflight_cores += cores;
+                    }
+                }
+                let unit = self.queue.remove(i).expect("index valid");
+                return Some((unit, p));
+            }
+        }
+        None
+    }
+
+    /// Continuous scheduler: single-node first-fit for serial units,
+    /// greedy multi-node spread for MPI units.
+    fn place_on_nodes(&self, d: &crate::description::ComputeUnitDescription) -> Option<Placement> {
+        let cores = d.cores.max(1);
+        if !d.mpi {
+            // First node with enough free cores (BTreeMap → deterministic).
+            let node = self
+                .free_cores
+                .iter()
+                .find(|&(_, &free)| free >= cores)
+                .map(|(&n, _)| n)?;
+            return Some(Placement::Nodes {
+                nodes: vec![(node, cores)],
+                mem_mb: d.mem_mb,
+                cores,
+            });
+        }
+        // MPI: take cores greedily across nodes.
+        let mut need = cores;
+        let mut picked = Vec::new();
+        for (&n, &free) in &self.free_cores {
+            if free == 0 {
+                continue;
+            }
+            let take = free.min(need);
+            picked.push((n, take));
+            need -= take;
+            if need == 0 {
+                return Some(Placement::Nodes {
+                    nodes: picked,
+                    mem_mb: d.mem_mb,
+                    cores,
+                });
+            }
+        }
+        None
+    }
+}

@@ -1,0 +1,319 @@
+//! The coordination store — the paper's shared MongoDB instance.
+//!
+//! Unit-Managers queue Compute-Unit documents here (U.2); agents poll for
+//! new documents (U.3) and push state updates back. The store models the
+//! three latencies that matter: document write, agent poll cadence, and
+//! state-update round trips. Poll events are armed only while documents
+//! are pending, so an idle session drains the event queue.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use rp_sim::{Engine, SimDuration, SimTime};
+
+use crate::unit::{PilotId, UnitHandle};
+
+/// Latency model of the store.
+#[derive(Debug, Clone)]
+pub struct CoordinationConfig {
+    /// Unit-Manager → store document write (ms).
+    pub write_ms: f64,
+    /// State-update round trip (agent → store → client visibility) (ms).
+    pub update_ms: f64,
+    /// Agent poll interval (ms). Pickup delay ≈ write + U(0, poll).
+    pub poll_ms: u64,
+}
+
+impl Default for CoordinationConfig {
+    fn default() -> Self {
+        CoordinationConfig {
+            write_ms: 60.0,
+            update_ms: 60.0,
+            poll_ms: 1_000,
+        }
+    }
+}
+
+type BatchFn = Rc<dyn Fn(&mut Engine, Vec<UnitHandle>)>;
+
+struct PilotQueue {
+    pending: Vec<UnitHandle>,
+    consumer: Option<AgentRegistration>,
+}
+
+struct AgentRegistration {
+    on_batch: BatchFn,
+    /// Poll phase anchor: polls land at `start + k·poll`.
+    start: SimTime,
+    poll_armed: bool,
+}
+
+struct StoreInner {
+    config: CoordinationConfig,
+    queues: HashMap<PilotId, PilotQueue>,
+    docs_written: u64,
+    polls: u64,
+}
+
+/// Shared handle to the session's coordination store.
+#[derive(Clone)]
+pub struct CoordinationStore {
+    inner: Rc<RefCell<StoreInner>>,
+}
+
+impl CoordinationStore {
+    pub fn new(config: CoordinationConfig) -> CoordinationStore {
+        CoordinationStore {
+            inner: Rc::new(RefCell::new(StoreInner {
+                config,
+                queues: HashMap::new(),
+                docs_written: 0,
+                polls: 0,
+            })),
+        }
+    }
+
+    pub fn config(&self) -> CoordinationConfig {
+        self.inner.borrow().config.clone()
+    }
+
+    /// Documents written so far (metrics).
+    pub fn docs_written(&self) -> u64 {
+        self.inner.borrow().docs_written
+    }
+
+    /// Poll round trips performed so far (metrics).
+    pub fn polls(&self) -> u64 {
+        self.inner.borrow().polls
+    }
+
+    /// Queue unit documents for a pilot (U.2). The write latency is paid
+    /// before the documents become visible to the agent's polls.
+    pub fn push_units(&self, engine: &mut Engine, pilot: PilotId, units: Vec<UnitHandle>) {
+        if units.is_empty() {
+            return;
+        }
+        let write = SimDuration::from_secs_f64(self.inner.borrow().config.write_ms / 1e3);
+        let this = self.clone();
+        engine.schedule_in(write, move |eng| {
+            {
+                let mut inner = this.inner.borrow_mut();
+                inner.docs_written += units.len() as u64;
+                inner
+                    .queues
+                    .entry(pilot)
+                    .or_insert_with(|| PilotQueue {
+                        pending: Vec::new(),
+                        consumer: None,
+                    })
+                    .pending
+                    .extend(units);
+            }
+            this.arm_poll(eng, pilot);
+        });
+    }
+
+    /// Agent-side registration (on pilot activation): `on_batch` runs at
+    /// each poll that finds documents.
+    pub fn register_agent(
+        &self,
+        engine: &mut Engine,
+        pilot: PilotId,
+        on_batch: impl Fn(&mut Engine, Vec<UnitHandle>) + 'static,
+    ) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            let q = inner.queues.entry(pilot).or_insert_with(|| PilotQueue {
+                pending: Vec::new(),
+                consumer: None,
+            });
+            assert!(q.consumer.is_none(), "agent registered twice for {pilot:?}");
+            q.consumer = Some(AgentRegistration {
+                on_batch: Rc::new(on_batch),
+                start: engine.now(),
+                poll_armed: false,
+            });
+        }
+        self.arm_poll(engine, pilot);
+    }
+
+    /// Agent deregistration (pilot teardown). Pending documents stay queued
+    /// (a Unit-Manager may re-schedule them elsewhere).
+    pub fn deregister_agent(&self, pilot: PilotId) {
+        if let Some(q) = self.inner.borrow_mut().queues.get_mut(&pilot) {
+            q.consumer = None;
+        }
+    }
+
+    /// Drain documents that were never picked up (used on pilot teardown).
+    pub fn take_pending(&self, pilot: PilotId) -> Vec<UnitHandle> {
+        self.inner
+            .borrow_mut()
+            .queues
+            .get_mut(&pilot)
+            .map(|q| std::mem::take(&mut q.pending))
+            .unwrap_or_default()
+    }
+
+    /// Pay the state-update round trip, then run `cb` (client visibility).
+    pub fn roundtrip(&self, engine: &mut Engine, cb: impl FnOnce(&mut Engine) + 'static) {
+        let update = SimDuration::from_secs_f64(self.inner.borrow().config.update_ms / 1e3);
+        engine.schedule_in(update, cb);
+    }
+
+    /// Arm the next poll for `pilot` if documents are pending, a consumer
+    /// exists, and no poll is already armed.
+    fn arm_poll(&self, engine: &mut Engine, pilot: PilotId) {
+        let next_at = {
+            let mut inner = self.inner.borrow_mut();
+            let poll_us = inner.config.poll_ms * 1_000;
+            let q = match inner.queues.get_mut(&pilot) {
+                Some(q) => q,
+                None => return,
+            };
+            if q.pending.is_empty() {
+                return;
+            }
+            let reg = match q.consumer.as_mut() {
+                Some(r) => r,
+                None => return,
+            };
+            if reg.poll_armed {
+                return;
+            }
+            reg.poll_armed = true;
+            let elapsed = engine.now().since(reg.start).0;
+            let k = elapsed / poll_us + 1;
+            reg.start + SimDuration(k * poll_us)
+        };
+        let this = self.clone();
+        engine.schedule_at(next_at, move |eng| {
+            let (batch, cb) = {
+                let mut inner = this.inner.borrow_mut();
+                inner.polls += 1;
+                let q = match inner.queues.get_mut(&pilot) {
+                    Some(q) => q,
+                    None => return,
+                };
+                let reg = match q.consumer.as_mut() {
+                    Some(r) => r,
+                    None => return, // agent went away while poll in flight
+                };
+                reg.poll_armed = false;
+                (std::mem::take(&mut q.pending), reg.on_batch.clone())
+            };
+            if !batch.is_empty() {
+                cb(eng, batch);
+            }
+            // More documents may have arrived while the batch processed.
+            this.arm_poll(eng, pilot);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::description::{ComputeUnitDescription, WorkSpec};
+    use crate::unit::UnitId;
+
+    fn unit(id: u64) -> UnitHandle {
+        UnitHandle::new(
+            UnitId(id),
+            ComputeUnitDescription::new("u", 1, WorkSpec::Sleep(SimDuration::from_secs(1))),
+        )
+    }
+
+    fn store() -> CoordinationStore {
+        CoordinationStore::new(CoordinationConfig::default())
+    }
+
+    #[test]
+    fn units_delivered_after_write_and_poll() {
+        let mut e = Engine::new(1);
+        let s = store();
+        let got: Rc<RefCell<Vec<(SimTime, usize)>>> = Rc::new(RefCell::new(Vec::new()));
+        let g = got.clone();
+        s.register_agent(&mut e, PilotId(0), move |eng, batch| {
+            g.borrow_mut().push((eng.now(), batch.len()));
+        });
+        s.push_units(&mut e, PilotId(0), vec![unit(0), unit(1)]);
+        e.run();
+        let got = got.borrow();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].1, 2);
+        // write 60 ms → first poll boundary at 1.0 s.
+        assert_eq!(got[0].0, SimTime::from_secs_f64(1.0));
+        assert_eq!(s.docs_written(), 2);
+        assert!(s.polls() >= 1);
+    }
+
+    #[test]
+    fn docs_queue_until_agent_registers() {
+        let mut e = Engine::new(1);
+        let s = store();
+        s.push_units(&mut e, PilotId(7), vec![unit(0)]);
+        e.run();
+        let got = Rc::new(RefCell::new(0usize));
+        let g = got.clone();
+        s.register_agent(&mut e, PilotId(7), move |_, batch| {
+            *g.borrow_mut() += batch.len();
+        });
+        e.run();
+        assert_eq!(*got.borrow(), 1);
+    }
+
+    #[test]
+    fn batches_coalesce_within_a_poll() {
+        let mut e = Engine::new(1);
+        let s = store();
+        let batches = Rc::new(RefCell::new(Vec::new()));
+        let b = batches.clone();
+        s.register_agent(&mut e, PilotId(0), move |_, batch| {
+            b.borrow_mut().push(batch.len());
+        });
+        // Three pushes well inside one poll window.
+        for i in 0..3 {
+            s.push_units(&mut e, PilotId(0), vec![unit(i)]);
+        }
+        e.run();
+        assert_eq!(*batches.borrow(), vec![3]);
+    }
+
+    #[test]
+    fn deregistered_agent_receives_nothing() {
+        let mut e = Engine::new(1);
+        let s = store();
+        let got = Rc::new(RefCell::new(0usize));
+        let g = got.clone();
+        s.register_agent(&mut e, PilotId(0), move |_, batch| {
+            *g.borrow_mut() += batch.len();
+        });
+        s.deregister_agent(PilotId(0));
+        s.push_units(&mut e, PilotId(0), vec![unit(0)]);
+        e.run();
+        assert_eq!(*got.borrow(), 0);
+        assert_eq!(s.take_pending(PilotId(0)).len(), 1);
+    }
+
+    #[test]
+    fn roundtrip_pays_update_latency() {
+        let mut e = Engine::new(1);
+        let s = store();
+        let at = Rc::new(RefCell::new(SimTime::ZERO));
+        let a = at.clone();
+        s.roundtrip(&mut e, move |eng| *a.borrow_mut() = eng.now());
+        e.run();
+        assert_eq!(*at.borrow(), SimTime::from_secs_f64(0.06));
+    }
+
+    #[test]
+    fn empty_push_is_noop() {
+        let mut e = Engine::new(1);
+        let s = store();
+        s.push_units(&mut e, PilotId(0), vec![]);
+        e.run();
+        assert_eq!(s.docs_written(), 0);
+    }
+}

@@ -1,0 +1,674 @@
+//! Pilot-Manager and Unit-Manager (client side of Fig. 3).
+//!
+//! The Pilot-Manager owns pilot lifecycles: it turns a
+//! [`PilotDescription`] into a SAGA placeholder job (P.1–P.2) and starts
+//! the agent when the batch system grants nodes. The Unit-Manager owns
+//! workload lifecycles: it schedules Compute-Units across pilots and
+//! queues their documents in the coordination store (U.1–U.2).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use rp_hpc::JobState;
+use rp_sim::{Engine, SimDuration, SimTime};
+
+use crate::agent::Agent;
+use crate::description::{AccessMode, ComputeUnitDescription, PilotDescription};
+use crate::session::{PilotError, Session};
+use crate::states::{Guarded, PilotState};
+use crate::unit::{when_all_done, PilotId, UnitHandle};
+
+/// Pilot lifecycle milestones.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PilotTimestamps {
+    pub submitted: Option<SimTime>,
+    /// Batch job granted nodes; agent bootstrap begins.
+    pub launched: Option<SimTime>,
+    /// Agent (and Mode I framework) ready; accepting units.
+    pub active: Option<SimTime>,
+    pub finished: Option<SimTime>,
+}
+
+impl PilotTimestamps {
+    /// Submission → Active: the Fig. 5 "Pilot startup time".
+    pub fn startup_time(&self) -> Option<SimDuration> {
+        Some(self.active?.since(self.submitted?))
+    }
+
+    /// Batch-grant → Active: agent (+framework) bootstrap only.
+    pub fn agent_startup_time(&self) -> Option<SimDuration> {
+        Some(self.active?.since(self.launched?))
+    }
+}
+
+struct PilotRecord {
+    id: PilotId,
+    descr: PilotDescription,
+    state: Guarded<PilotState>,
+    times: PilotTimestamps,
+    agent: Option<Agent>,
+    saga_job: Option<rp_saga::SagaJob>,
+    assigned_units: u64,
+}
+
+/// Shared handle to a pilot. Cheap to clone.
+#[derive(Clone)]
+pub struct PilotHandle {
+    rec: Rc<RefCell<PilotRecord>>,
+}
+
+impl PilotHandle {
+    pub fn id(&self) -> PilotId {
+        self.rec.borrow().id
+    }
+
+    pub fn state(&self) -> PilotState {
+        self.rec.borrow().state.get()
+    }
+
+    pub fn description(&self) -> PilotDescription {
+        self.rec.borrow().descr.clone()
+    }
+
+    pub fn times(&self) -> PilotTimestamps {
+        self.rec.borrow().times
+    }
+
+    /// The agent, once the pilot is Active.
+    pub fn agent(&self) -> Option<Agent> {
+        self.rec.borrow().agent.clone()
+    }
+
+    pub fn assigned_units(&self) -> u64 {
+        self.rec.borrow().assigned_units
+    }
+
+    fn advance(&self, engine: &mut Engine, next: PilotState) {
+        {
+            let mut rec = self.rec.borrow_mut();
+            rec.state.advance(next);
+            match next {
+                PilotState::PendingLaunch => rec.times.submitted = Some(engine.now()),
+                PilotState::Launching => rec.times.launched = Some(engine.now()),
+                PilotState::Active => rec.times.active = Some(engine.now()),
+                s if s.is_final() => rec.times.finished = Some(engine.now()),
+                _ => {}
+            }
+        }
+        engine.trace.record(
+            engine.now(),
+            "pilot",
+            format!("{:?} -> {next:?}", self.id()),
+        );
+    }
+}
+
+/// Manages the lifecycle of a set of Pilots.
+pub struct PilotManager {
+    session: Session,
+}
+
+impl PilotManager {
+    pub fn new(session: &Session) -> PilotManager {
+        PilotManager {
+            session: session.clone(),
+        }
+    }
+
+    /// Submit a pilot: validates the resource/access pair, then launches
+    /// the placeholder job through SAGA.
+    pub fn submit(
+        &self,
+        engine: &mut Engine,
+        descr: PilotDescription,
+    ) -> Result<PilotHandle, PilotError> {
+        let machine = self.session.machine(engine, &descr.resource)?;
+        if matches!(descr.access, AccessMode::YarnModeII) && machine.dedicated.is_none() {
+            return Err(PilotError::NoDedicatedHadoop(descr.resource.clone()));
+        }
+        let id = self.session.next_pilot_id();
+        let handle = PilotHandle {
+            rec: Rc::new(RefCell::new(PilotRecord {
+                id,
+                descr: descr.clone(),
+                state: Guarded::<PilotState>::new(),
+                times: PilotTimestamps::default(),
+                agent: None,
+                saga_job: None,
+                assigned_units: 0,
+            })),
+        };
+        let scheme = machine.cluster.spec().scheduler.scheme();
+        let url = rp_saga::SagaUrl::parse(&format!(
+            "{scheme}://{}{}",
+            machine.name,
+            descr
+                .queue
+                .as_ref()
+                .map(|q| format!("/{q}"))
+                .unwrap_or_default()
+        ))
+        .map_err(|e| PilotError::Saga(e.to_string()))?;
+        let service = rp_saga::JobService::connect(url, machine.batch.clone())
+            .map_err(|e| PilotError::Saga(e.to_string()))?;
+
+        handle.advance(engine, PilotState::PendingLaunch);
+        let session = self.session.clone();
+        let h_start = handle.clone();
+        let h_end = handle.clone();
+        let access = descr.access.clone();
+        let job = service.submit(
+            engine,
+            rp_saga::JobDescription::new("radical-pilot-agent", descr.nodes, descr.runtime),
+            move |eng, alloc| {
+                h_start.advance(eng, PilotState::Launching);
+                let h2 = h_start.clone();
+                Agent::start(
+                    eng,
+                    id,
+                    machine,
+                    alloc,
+                    access,
+                    session.config(),
+                    session.store(),
+                    move |eng, agent| {
+                        h2.rec.borrow_mut().agent = Some(agent);
+                        h2.advance(eng, PilotState::Active);
+                    },
+                );
+            },
+            move |eng, job_state| {
+                // Batch job ended (walltime, cancellation, completion).
+                let state = h_end.state();
+                if state.is_final() {
+                    return;
+                }
+                if let Some(agent) = h_end.agent() {
+                    agent.stop(eng);
+                }
+                let next = match job_state {
+                    JobState::Cancelled => PilotState::Canceled,
+                    JobState::Completed | JobState::TimedOut => PilotState::Done,
+                    _ => PilotState::Failed,
+                };
+                h_end.advance(eng, next);
+            },
+        );
+        handle.rec.borrow_mut().saga_job = Some(job);
+        Ok(handle)
+    }
+
+    /// Cancel a pilot: tears the agent down and releases the allocation.
+    pub fn cancel(&self, engine: &mut Engine, pilot: &PilotHandle) {
+        if pilot.state().is_final() {
+            return;
+        }
+        if let Some(agent) = pilot.agent() {
+            agent.stop(engine);
+        }
+        // Completing the batch job triggers the on_end path above, which
+        // would mark Done — advance to Canceled first.
+        pilot.advance(engine, PilotState::Canceled);
+        let job = pilot.rec.borrow().saga_job.clone();
+        if let Some(job) = job {
+            job.cancel(engine);
+        }
+    }
+}
+
+/// Unit-Manager scheduling policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UmScheduler {
+    /// Cycle through pilots in registration order.
+    #[default]
+    RoundRobin,
+    /// Pick the pilot with the fewest assigned-but-unfinished units.
+    LoadBalanced,
+    /// Everything to the first pilot.
+    Direct,
+    /// Route each unit to the pilot co-located with the most of its
+    /// Pilot-Data dependency bytes (fewest WAN bytes to pull); ties and
+    /// dependency-free units fall back to LoadBalanced. The paper's
+    /// future-work "improved data-awareness" scheduling.
+    DataAware,
+}
+
+/// Manages Compute-Units and dispatches them to pilots.
+pub struct UnitManager {
+    session: Session,
+    scheduler: UmScheduler,
+    pilots: Vec<PilotHandle>,
+    rr_cursor: std::cell::Cell<usize>,
+}
+
+impl UnitManager {
+    pub fn new(session: &Session, scheduler: UmScheduler) -> UnitManager {
+        UnitManager {
+            session: session.clone(),
+            scheduler,
+            pilots: Vec::new(),
+            rr_cursor: std::cell::Cell::new(0),
+        }
+    }
+
+    pub fn add_pilot(&mut self, pilot: &PilotHandle) {
+        self.pilots.push(pilot.clone());
+    }
+
+    pub fn pilots(&self) -> &[PilotHandle] {
+        &self.pilots
+    }
+
+    /// Submit descriptions; returns live handles (U.1 → U.2).
+    pub fn submit_units(
+        &self,
+        engine: &mut Engine,
+        descrs: Vec<ComputeUnitDescription>,
+    ) -> Vec<UnitHandle> {
+        assert!(
+            !self.pilots.is_empty(),
+            "UnitManager has no pilots — call add_pilot first"
+        );
+        let store = self.session.store();
+        let mut per_pilot: std::collections::BTreeMap<PilotId, Vec<UnitHandle>> =
+            std::collections::BTreeMap::new();
+        let mut handles = Vec::with_capacity(descrs.len());
+        for d in descrs {
+            let unit = UnitHandle::new(self.session.next_unit_id(), d);
+            let pilot = self.pick_pilot_for(&unit);
+            unit.rec.borrow_mut().pilot = Some(pilot.id());
+            pilot.rec.borrow_mut().assigned_units += 1;
+            unit.advance(engine, crate::states::UnitState::UmScheduling);
+            per_pilot.entry(pilot.id()).or_default().push(unit.clone());
+            handles.push(unit);
+        }
+        for (pilot, units) in per_pilot {
+            store.push_units(engine, pilot, units);
+        }
+        handles
+    }
+
+    /// Submit units that must not start before every unit in `deps`
+    /// reached a final state (the paper's "set of dependent CUs", §II).
+    /// The units are created immediately (state `New` until dispatch);
+    /// their documents enter the coordination store once the dependencies
+    /// resolve. If any dependency fails or is cancelled, the dependents
+    /// are cancelled instead of dispatched.
+    pub fn submit_units_after(
+        &self,
+        engine: &mut Engine,
+        descrs: Vec<ComputeUnitDescription>,
+        deps: &[UnitHandle],
+    ) -> Vec<UnitHandle> {
+        assert!(
+            !self.pilots.is_empty(),
+            "UnitManager has no pilots — call add_pilot first"
+        );
+        if deps.is_empty() {
+            return self.submit_units(engine, descrs);
+        }
+        let store = self.session.store();
+        let mut handles = Vec::with_capacity(descrs.len());
+        let mut planned: Vec<(crate::unit::PilotId, UnitHandle)> = Vec::new();
+        for d in descrs {
+            let unit = UnitHandle::new(self.session.next_unit_id(), d);
+            let pilot = self.pick_pilot_for(&unit);
+            unit.rec.borrow_mut().pilot = Some(pilot.id());
+            pilot.rec.borrow_mut().assigned_units += 1;
+            planned.push((pilot.id(), unit.clone()));
+            handles.push(unit);
+        }
+        let deps_vec: Vec<UnitHandle> = deps.to_vec();
+        when_all_done(engine, deps, move |eng| {
+            let all_ok = deps_vec
+                .iter()
+                .all(|d| d.state() == crate::states::UnitState::Done);
+            let mut per_pilot: std::collections::BTreeMap<
+                crate::unit::PilotId,
+                Vec<UnitHandle>,
+            > = std::collections::BTreeMap::new();
+            for (pilot, unit) in planned {
+                if all_ok {
+                    unit.advance(eng, crate::states::UnitState::UmScheduling);
+                    per_pilot.entry(pilot).or_default().push(unit);
+                } else {
+                    unit.fail(eng, "dependency failed or was cancelled");
+                }
+            }
+            for (pilot, units) in per_pilot {
+                store.push_units(eng, pilot, units);
+            }
+        });
+        handles
+    }
+
+    /// Best-effort cancellation: units not yet executing are dropped at
+    /// the agent's next scheduling pass; executing units run to completion
+    /// (matching RADICAL-Pilot's cancellation semantics for in-flight
+    /// tasks). No-op on final units.
+    pub fn cancel_unit(&self, engine: &mut Engine, unit: &UnitHandle) {
+        use crate::states::UnitState;
+        let state = unit.state();
+        if state.is_final() || state == UnitState::Executing || state == UnitState::StagingOutput
+        {
+            return;
+        }
+        unit.advance(engine, UnitState::Canceled);
+    }
+
+    /// Convenience: fire `cb` when all `units` are final.
+    pub fn when_done(
+        &self,
+        engine: &mut Engine,
+        units: &[UnitHandle],
+        cb: impl FnOnce(&mut Engine) + 'static,
+    ) {
+        when_all_done(engine, units, cb);
+    }
+
+    fn pick_pilot_for(&self, unit: &UnitHandle) -> &PilotHandle {
+        if self.scheduler == UmScheduler::DataAware {
+            let deps = unit.description().data_deps;
+            if !deps.is_empty() {
+                return self
+                    .pilots
+                    .iter()
+                    .min_by_key(|p| {
+                        let remote =
+                            crate::data::remote_bytes(&deps, &p.description().resource);
+                        let done = p.agent().map(|a| a.units_completed()).unwrap_or(0);
+                        (remote, p.assigned_units() - done)
+                    })
+                    .expect("pilots nonempty");
+            }
+        }
+        self.pick_pilot()
+    }
+
+    fn pick_pilot(&self) -> &PilotHandle {
+        match self.scheduler {
+            UmScheduler::Direct => &self.pilots[0],
+            UmScheduler::RoundRobin => {
+                let i = self.rr_cursor.get();
+                self.rr_cursor.set((i + 1) % self.pilots.len());
+                &self.pilots[i % self.pilots.len()]
+            }
+            UmScheduler::LoadBalanced | UmScheduler::DataAware => self
+                .pilots
+                .iter()
+                .min_by_key(|p| {
+                    let done = p.agent().map(|a| a.units_completed()).unwrap_or(0);
+                    p.assigned_units() - done
+                })
+                .expect("pilots nonempty"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::description::WorkSpec;
+    use crate::session::SessionConfig;
+    use crate::states::UnitState;
+
+    fn sleep_unit(name: &str, secs: u64) -> ComputeUnitDescription {
+        ComputeUnitDescription::new(name, 1, WorkSpec::Sleep(SimDuration::from_secs(secs)))
+    }
+
+    #[test]
+    fn plain_pilot_runs_units_end_to_end() {
+        let mut e = Engine::new(1);
+        let session = Session::new(SessionConfig::test_profile());
+        let pm = PilotManager::new(&session);
+        let pilot = pm
+            .submit(
+                &mut e,
+                PilotDescription::new("localhost", 2, SimDuration::from_secs(3600)),
+            )
+            .unwrap();
+        let mut um = UnitManager::new(&session, UmScheduler::Direct);
+        um.add_pilot(&pilot);
+        let units = um.submit_units(&mut e, (0..8).map(|i| sleep_unit(&format!("u{i}"), 2)).collect());
+        e.run_until(SimTime::from_secs_f64(120.0));
+        assert_eq!(pilot.state(), PilotState::Active);
+        for u in &units {
+            assert_eq!(u.state(), UnitState::Done, "{:?}", u.id());
+            assert!(u.times().startup_time().is_some());
+        }
+        assert_eq!(pilot.agent().unwrap().units_completed(), 8);
+        pm.cancel(&mut e, &pilot);
+        e.run();
+        assert_eq!(pilot.state(), PilotState::Canceled);
+    }
+
+    #[test]
+    fn pilot_startup_time_is_recorded() {
+        let mut e = Engine::new(2);
+        let session = Session::new(SessionConfig::test_profile());
+        let pm = PilotManager::new(&session);
+        let pilot = pm
+            .submit(
+                &mut e,
+                PilotDescription::new("localhost", 1, SimDuration::from_secs(600)),
+            )
+            .unwrap();
+        e.run_until(SimTime::from_secs_f64(60.0));
+        let t = pilot.times();
+        assert!(t.startup_time().is_some());
+        assert!(t.agent_startup_time().unwrap() <= t.startup_time().unwrap());
+    }
+
+    #[test]
+    fn mode_ii_rejected_without_dedicated_env() {
+        let mut e = Engine::new(1);
+        let session = Session::new(SessionConfig::test_profile());
+        let pm = PilotManager::new(&session);
+        let err = pm
+            .submit(
+                &mut e,
+                PilotDescription::new("xsede.stampede", 1, SimDuration::from_secs(600))
+                    .with_access(AccessMode::YarnModeII),
+            )
+            .err()
+            .unwrap();
+        assert!(matches!(err, PilotError::NoDedicatedHadoop(_)));
+    }
+
+    #[test]
+    fn walltime_expiry_finishes_pilot() {
+        let mut e = Engine::new(3);
+        let session = Session::new(SessionConfig::test_profile());
+        let pm = PilotManager::new(&session);
+        let pilot = pm
+            .submit(
+                &mut e,
+                PilotDescription::new("localhost", 1, SimDuration::from_secs(30)),
+            )
+            .unwrap();
+        e.run();
+        assert_eq!(pilot.state(), PilotState::Done);
+        assert!(pilot.times().finished.is_some());
+    }
+
+    #[test]
+    fn round_robin_spreads_units() {
+        let mut e = Engine::new(4);
+        let session = Session::new(SessionConfig::test_profile());
+        let pm = PilotManager::new(&session);
+        let p1 = pm
+            .submit(&mut e, PilotDescription::new("localhost", 1, SimDuration::from_secs(600)))
+            .unwrap();
+        let p2 = pm
+            .submit(&mut e, PilotDescription::new("localhost", 1, SimDuration::from_secs(600)))
+            .unwrap();
+        let mut um = UnitManager::new(&session, UmScheduler::RoundRobin);
+        um.add_pilot(&p1);
+        um.add_pilot(&p2);
+        let units = um.submit_units(&mut e, (0..6).map(|i| sleep_unit(&format!("u{i}"), 1)).collect());
+        assert_eq!(p1.assigned_units(), 3);
+        assert_eq!(p2.assigned_units(), 3);
+        e.run_until(SimTime::from_secs_f64(120.0));
+        assert!(units.iter().all(|u| u.state() == UnitState::Done));
+    }
+
+    #[test]
+    fn mapreduce_unit_on_plain_pilot_fails() {
+        let mut e = Engine::new(5);
+        let session = Session::new(SessionConfig::test_profile());
+        let pm = PilotManager::new(&session);
+        let pilot = pm
+            .submit(&mut e, PilotDescription::new("localhost", 1, SimDuration::from_secs(600)))
+            .unwrap();
+        let mut um = UnitManager::new(&session, UmScheduler::Direct);
+        um.add_pilot(&pilot);
+        let mr = ComputeUnitDescription::new(
+            "mr",
+            1,
+            WorkSpec::MapReduce(rp_mapreduce::MrJobSpec {
+                name: "job".into(),
+                input_path: "/in".into(),
+                num_reducers: 1,
+                container: rp_yarn::Resource::new(1, 1024),
+                shuffle: rp_mapreduce::ShuffleBackend::LocalDisk,
+                cost: rp_mapreduce::MrCostModel::default(),
+            }),
+        );
+        let units = um.submit_units(&mut e, vec![mr]);
+        e.run_until(SimTime::from_secs_f64(60.0));
+        assert_eq!(units[0].state(), UnitState::Failed);
+        assert!(units[0].failure().unwrap().contains("YARN"));
+    }
+
+    #[test]
+    fn dependent_units_wait_for_dependencies() {
+        let mut e = Engine::new(11);
+        let session = Session::new(SessionConfig::test_profile());
+        let pm = PilotManager::new(&session);
+        let pilot = pm
+            .submit(&mut e, PilotDescription::new("localhost", 2, SimDuration::from_secs(3600)))
+            .unwrap();
+        let mut um = UnitManager::new(&session, UmScheduler::Direct);
+        um.add_pilot(&pilot);
+        // Stage 1 (simulation) → stage 2 (analysis) chain.
+        let stage1 = um.submit_units(&mut e, vec![sleep_unit("sim", 20)]);
+        let stage2 = um.submit_units_after(&mut e, vec![sleep_unit("analysis", 5)], &stage1);
+        assert_eq!(stage2[0].state(), UnitState::New);
+        e.run_until(SimTime::from_secs_f64(500.0));
+        assert_eq!(stage1[0].state(), UnitState::Done);
+        assert_eq!(stage2[0].state(), UnitState::Done);
+        // Analysis started only after the simulation finished.
+        let sim_done = stage1[0].times().done.unwrap();
+        let ana_start = stage2[0].times().exec_start.unwrap();
+        assert!(ana_start > sim_done, "{ana_start} vs {sim_done}");
+    }
+
+    #[test]
+    fn failed_dependency_cancels_dependents() {
+        let mut e = Engine::new(12);
+        let session = Session::new(SessionConfig::test_profile());
+        let pm = PilotManager::new(&session);
+        let pilot = pm
+            .submit(&mut e, PilotDescription::new("localhost", 1, SimDuration::from_secs(3600)))
+            .unwrap();
+        let mut um = UnitManager::new(&session, UmScheduler::Direct);
+        um.add_pilot(&pilot);
+        // A MapReduce unit on a plain pilot fails validation…
+        let doomed = um.submit_units(
+            &mut e,
+            vec![ComputeUnitDescription::new(
+                "mr",
+                1,
+                WorkSpec::MapReduce(rp_mapreduce::MrJobSpec {
+                    name: "j".into(),
+                    input_path: "/in".into(),
+                    num_reducers: 1,
+                    container: rp_yarn::Resource::new(1, 1024),
+                    shuffle: rp_mapreduce::ShuffleBackend::LocalDisk,
+                    cost: rp_mapreduce::MrCostModel::default(),
+                }),
+            )],
+        );
+        // …so its dependent must be cancelled, not dispatched.
+        let dependent = um.submit_units_after(&mut e, vec![sleep_unit("dep", 1)], &doomed);
+        e.run_until(SimTime::from_secs_f64(200.0));
+        assert_eq!(doomed[0].state(), UnitState::Failed);
+        assert_eq!(dependent[0].state(), UnitState::Failed);
+        assert!(dependent[0].failure().unwrap().contains("dependency"));
+    }
+
+    #[test]
+    fn cancel_unit_before_execution() {
+        let mut e = Engine::new(7);
+        let session = Session::new(SessionConfig::test_profile());
+        let pm = PilotManager::new(&session);
+        let pilot = pm
+            .submit(&mut e, PilotDescription::new("localhost", 1, SimDuration::from_secs(600)))
+            .unwrap();
+        let mut um = UnitManager::new(&session, UmScheduler::Direct);
+        um.add_pilot(&pilot);
+        // Fill all 8 cores with a long unit, then queue a victim behind it.
+        let blocker = um.submit_units(
+            &mut e,
+            vec![ComputeUnitDescription::new("blocker", 8, WorkSpec::Sleep(SimDuration::from_secs(100)))],
+        );
+        let victim = um.submit_units(
+            &mut e,
+            vec![ComputeUnitDescription::new("victim", 8, WorkSpec::Sleep(SimDuration::from_secs(100)))],
+        );
+        e.run_until(SimTime::from_secs_f64(20.0));
+        assert_eq!(blocker[0].state(), UnitState::Executing);
+        um.cancel_unit(&mut e, &victim[0]);
+        assert_eq!(victim[0].state(), UnitState::Canceled);
+        // Cancelling an executing unit is a no-op.
+        um.cancel_unit(&mut e, &blocker[0]);
+        assert_eq!(blocker[0].state(), UnitState::Executing);
+        e.run_until(SimTime::from_secs_f64(150.0));
+        assert_eq!(blocker[0].state(), UnitState::Done);
+        assert_eq!(victim[0].state(), UnitState::Canceled, "must not resurrect");
+    }
+
+    #[test]
+    fn agent_heartbeats_while_busy() {
+        let mut e = Engine::new(8);
+        let session = Session::new(SessionConfig::test_profile());
+        let pm = PilotManager::new(&session);
+        let pilot = pm
+            .submit(&mut e, PilotDescription::new("localhost", 1, SimDuration::from_secs(600)))
+            .unwrap();
+        let mut um = UnitManager::new(&session, UmScheduler::Direct);
+        um.add_pilot(&pilot);
+        let units = um.submit_units(
+            &mut e,
+            vec![ComputeUnitDescription::new("long", 1, WorkSpec::Sleep(SimDuration::from_secs(45)))],
+        );
+        e.run_until(SimTime::from_secs_f64(120.0));
+        assert_eq!(units[0].state(), UnitState::Done);
+        let hb = pilot.agent().unwrap().heartbeats();
+        // 45 s of work at a 10 s heartbeat → ~4 beats, none afterwards.
+        assert!((3..=6).contains(&hb), "heartbeats {hb}");
+        let before_idle = hb;
+        e.run_until(SimTime::from_secs_f64(400.0));
+        assert_eq!(pilot.agent().unwrap().heartbeats(), before_idle);
+    }
+
+    #[test]
+    fn cancel_before_launch_cancels_cleanly() {
+        let mut e = Engine::new(6);
+        let session = Session::new(SessionConfig::test_profile());
+        let pm = PilotManager::new(&session);
+        // Fill the machine so the second pilot queues.
+        let _p1 = pm
+            .submit(&mut e, PilotDescription::new("localhost", 4, SimDuration::from_secs(600)))
+            .unwrap();
+        e.run_until(SimTime::from_secs_f64(5.0));
+        let p2 = pm
+            .submit(&mut e, PilotDescription::new("localhost", 4, SimDuration::from_secs(600)))
+            .unwrap();
+        e.run_until(SimTime::from_secs_f64(10.0));
+        assert_eq!(p2.state(), PilotState::PendingLaunch);
+        pm.cancel(&mut e, &p2);
+        e.run_until(SimTime::from_secs_f64(20.0));
+        assert_eq!(p2.state(), PilotState::Canceled);
+    }
+}

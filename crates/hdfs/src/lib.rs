@@ -1,0 +1,13 @@
+//! # rp-hdfs — simulated Hadoop Distributed File System
+//!
+//! NameNode block map, writer-local replica placement, replication-pipeline
+//! writes, locality-aware reads and the block-location API that YARN /
+//! MapReduce use for data-local scheduling. Storage sits on the per-node
+//! local-disk models of [`rp_hpc::Cluster`]; storage policies (SSD /
+//! archive tiers) scale the effective disk bandwidth.
+
+pub mod fs;
+pub mod meta;
+
+pub use fs::{Hdfs, HdfsConfig, HdfsError};
+pub use meta::{split_blocks, BlockMeta, FileMeta, StoragePolicy};

@@ -1,0 +1,107 @@
+//! Property tests of HDFS replication invariants under random files and
+//! datanode failures.
+
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use rp_hdfs::{Hdfs, HdfsConfig, StoragePolicy};
+use rp_hpc::{Cluster, MachineSpec, NodeId};
+use rp_sim::Engine;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// After any single datanode failure: no replica lives on the dead
+    /// node, every block that had ≥2 replicas is back at full replication
+    /// (when a target exists), and exactly the single-replica blocks on
+    /// the dead node are lost.
+    #[test]
+    fn failure_rereplication_invariants(
+        sizes in prop::collection::vec(1u64..2_000_000_000, 1..6),
+        replication in 1u32..4,
+        victim_idx in 0usize..4,
+    ) {
+        let mut e = Engine::new(1);
+        let cluster = Cluster::new(MachineSpec::localhost()); // 4 nodes
+        let nodes: Vec<NodeId> = cluster.node_ids().collect();
+        let n_nodes = nodes.len() as u32;
+        let fs = Hdfs::attach(
+            cluster,
+            nodes.clone(),
+            HdfsConfig { replication, ..HdfsConfig::default() },
+        );
+        for (i, &size) in sizes.iter().enumerate() {
+            fs.create_synthetic(&format!("/f{i}"), size, StoragePolicy::Default)
+                .unwrap();
+        }
+        let victim = nodes[victim_idx];
+        // Blocks whose ONLY replica is on the victim will be lost.
+        let mut expect_lost = Vec::new();
+        for i in 0..sizes.len() {
+            for b in fs.block_locations(&format!("/f{i}")).unwrap() {
+                if b.replicas == vec![victim] {
+                    expect_lost.push(b.id);
+                }
+            }
+        }
+        let lost = Rc::new(RefCell::new(None));
+        let l = lost.clone();
+        fs.fail_datanode(&mut e, victim, move |_, lost_blocks| {
+            *l.borrow_mut() = Some(lost_blocks);
+        });
+        e.run();
+        let mut lost = lost.borrow().clone().expect("callback fired");
+        lost.sort_unstable();
+        expect_lost.sort_unstable();
+        prop_assert_eq!(lost, expect_lost);
+
+        let effective = replication.min(n_nodes);
+        for i in 0..sizes.len() {
+            for b in fs.block_locations(&format!("/f{i}")).unwrap() {
+                prop_assert!(!b.replicas.contains(&victim), "replica on dead node");
+                let mut r = b.replicas.clone();
+                r.sort();
+                r.dedup();
+                prop_assert_eq!(r.len(), b.replicas.len(), "duplicate replicas");
+                if !b.replicas.is_empty() {
+                    // Re-replicated back to min(replication, survivors).
+                    let want = effective.min(n_nodes - 1) as usize;
+                    prop_assert_eq!(b.replicas.len(), want, "block {:?}", b);
+                }
+            }
+        }
+    }
+
+    /// used_bytes equals the sum of replica bytes across the namespace,
+    /// before and after deletes.
+    #[test]
+    fn used_bytes_accounting(sizes in prop::collection::vec(1u64..500_000_000, 1..8)) {
+        let cluster = Cluster::new(MachineSpec::localhost());
+        let nodes: Vec<NodeId> = cluster.node_ids().collect();
+        let fs = Hdfs::attach(cluster, nodes, HdfsConfig::default());
+        let mut expect = 0u64;
+        for (i, &size) in sizes.iter().enumerate() {
+            let meta = fs
+                .create_synthetic(&format!("/f{i}"), size, StoragePolicy::Default)
+                .unwrap();
+            expect += meta
+                .blocks
+                .iter()
+                .map(|b| b.size_bytes * b.replicas.len() as u64)
+                .sum::<u64>();
+        }
+        prop_assert_eq!(fs.used_bytes(), expect);
+        // Delete every other file.
+        for i in (0..sizes.len()).step_by(2) {
+            let meta = fs.file_meta(&format!("/f{i}")).unwrap();
+            expect -= meta
+                .blocks
+                .iter()
+                .map(|b| b.size_bytes * b.replicas.len() as u64)
+                .sum::<u64>();
+            fs.delete(&format!("/f{i}")).unwrap();
+        }
+        prop_assert_eq!(fs.used_bytes(), expect);
+    }
+}

@@ -1,0 +1,240 @@
+//! SAGA file transfer: staging data between the outside world, the shared
+//! parallel filesystem and node-local storage.
+//!
+//! Compute-Unit `input_staging` / `output_staging` directives resolve to
+//! these endpoint pairs; the Pilot agent's Stage-In/Stage-Out workers call
+//! [`transfer`] for each directive.
+
+use rp_hpc::{Cluster, IoKind, NodeId, StorageTarget};
+use rp_sim::{Engine, SimDuration, MB};
+
+/// One end of a transfer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Endpoint {
+    /// Outside the machine (campus storage, web): fixed WAN bandwidth.
+    Remote {
+        bandwidth_mbps: f64,
+    },
+    /// The machine's shared parallel filesystem.
+    Lustre,
+    /// A node's local disk.
+    Local(NodeId),
+}
+
+/// Move `bytes` from `from` to `to`; `done` fires at completion.
+///
+/// Remote legs run at the remote endpoint's bandwidth; machine-internal
+/// legs go through the storage/network models (and therefore contend with
+/// everything else). Remote→Remote is rejected — it never touches this
+/// machine and has no meaning here.
+pub fn transfer(
+    engine: &mut Engine,
+    cluster: &Cluster,
+    from: Endpoint,
+    to: Endpoint,
+    bytes: f64,
+    done: impl FnOnce(&mut Engine) + 'static,
+) {
+    assert!(bytes >= 0.0 && bytes.is_finite());
+    match (from, to) {
+        (Endpoint::Remote { .. }, Endpoint::Remote { .. }) => {
+            panic!("remote→remote transfer does not involve this machine")
+        }
+        // Ingest: WAN leg, then write to the target backend.
+        (Endpoint::Remote { bandwidth_mbps }, to) => {
+            let wan = SimDuration::from_secs_f64(bytes / (bandwidth_mbps * MB));
+            let cluster = cluster.clone();
+            engine.schedule_in(wan, move |eng| {
+                write_local(eng, &cluster, to, bytes, done);
+            });
+        }
+        // Egress: read from the source backend, then the WAN leg.
+        (from, Endpoint::Remote { bandwidth_mbps }) => {
+            let cluster2 = cluster.clone();
+            read_local(engine, cluster, from, bytes, move |eng| {
+                let wan = SimDuration::from_secs_f64(bytes / (bandwidth_mbps * MB));
+                eng.schedule_in(wan, done);
+                let _ = &cluster2;
+            });
+        }
+        // Machine-internal: read source, move over fabric if needed, write.
+        (from, to) => {
+            let cluster2 = cluster.clone();
+            read_local(engine, cluster, from, bytes, move |eng| {
+                let (src_node, dst_node) = (node_of(from), node_of(to));
+                match (src_node, dst_node) {
+                    (Some(a), Some(b)) if a != b => {
+                        let c3 = cluster2.clone();
+                        cluster2.net_transfer(eng, a, b, bytes, move |eng| {
+                            write_local(eng, &c3, to, bytes, done);
+                        });
+                    }
+                    _ => write_local(eng, &cluster2, to, bytes, done),
+                }
+            });
+        }
+    }
+}
+
+/// Direct node-to-node streaming (the paper's §V future work: "data can
+/// be directly streamed between these two environments" instead of
+/// persisting files and re-reading them). Only the fabric is traversed —
+/// no filesystem round trip.
+pub fn stream(
+    engine: &mut Engine,
+    cluster: &Cluster,
+    from_node: NodeId,
+    to_node: NodeId,
+    bytes: f64,
+    done: impl FnOnce(&mut Engine) + 'static,
+) {
+    cluster.net_transfer(engine, from_node, to_node, bytes, done);
+}
+
+fn node_of(e: Endpoint) -> Option<NodeId> {
+    match e {
+        Endpoint::Local(n) => Some(n),
+        _ => None,
+    }
+}
+
+fn read_local(
+    engine: &mut Engine,
+    cluster: &Cluster,
+    from: Endpoint,
+    bytes: f64,
+    done: impl FnOnce(&mut Engine) + 'static,
+) {
+    let target = match from {
+        Endpoint::Lustre => StorageTarget::Lustre,
+        Endpoint::Local(n) => StorageTarget::LocalDisk(n),
+        Endpoint::Remote { .. } => unreachable!("remote handled by caller"),
+    };
+    cluster.storage_io(engine, target, IoKind::Read, bytes, done);
+}
+
+fn write_local(
+    engine: &mut Engine,
+    cluster: &Cluster,
+    to: Endpoint,
+    bytes: f64,
+    done: impl FnOnce(&mut Engine) + 'static,
+) {
+    let target = match to {
+        Endpoint::Lustre => StorageTarget::Lustre,
+        Endpoint::Local(n) => StorageTarget::LocalDisk(n),
+        Endpoint::Remote { .. } => unreachable!("remote handled by caller"),
+    };
+    cluster.storage_io(engine, target, IoKind::Write, bytes, done);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rp_hpc::MachineSpec;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn finish_time(
+        from: Endpoint,
+        to: Endpoint,
+        bytes_mb: f64,
+    ) -> f64 {
+        let mut e = Engine::new(1);
+        let cluster = Cluster::new(MachineSpec::localhost());
+        let t = Rc::new(RefCell::new(0.0));
+        let t2 = t.clone();
+        transfer(&mut e, &cluster, from, to, bytes_mb * MB, move |eng| {
+            *t2.borrow_mut() = eng.now().as_secs_f64();
+        });
+        e.run();
+        let out = *t.borrow();
+        out
+    }
+
+    #[test]
+    fn ingest_pays_wan_plus_write() {
+        // 100 MB over a 10 MB/s WAN (10 s) + Lustre write (~0.2 s).
+        let t = finish_time(Endpoint::Remote { bandwidth_mbps: 10.0 }, Endpoint::Lustre, 100.0);
+        assert!((10.0..11.0).contains(&t), "{t}");
+    }
+
+    #[test]
+    fn egress_pays_read_plus_wan() {
+        let t = finish_time(Endpoint::Lustre, Endpoint::Remote { bandwidth_mbps: 50.0 }, 100.0);
+        assert!((2.0..3.0).contains(&t), "{t}");
+    }
+
+    #[test]
+    fn lustre_to_local_crosses_storage_only() {
+        // 400 MB: Lustre read (0.8 s) + local write (1.0 s) ≈ 1.8 s.
+        let t = finish_time(Endpoint::Lustre, Endpoint::Local(NodeId(1)), 400.0);
+        assert!((1.5..2.3).contains(&t), "{t}");
+    }
+
+    #[test]
+    fn local_to_local_includes_fabric_leg() {
+        let same = finish_time(Endpoint::Local(NodeId(0)), Endpoint::Local(NodeId(0)), 400.0);
+        let cross = finish_time(Endpoint::Local(NodeId(0)), Endpoint::Local(NodeId(1)), 400.0);
+        assert!(cross > same, "cross {cross} vs same {same}");
+    }
+
+    #[test]
+    fn streaming_beats_persist_and_reload() {
+        let cluster = Cluster::new(MachineSpec::localhost());
+        // Persist + reload: local → Lustre, then Lustre → other local.
+        let mut e = Engine::new(1);
+        let t_persist = Rc::new(RefCell::new(0.0));
+        let tp = t_persist.clone();
+        let c2 = cluster.clone();
+        transfer(
+            &mut e,
+            &cluster,
+            Endpoint::Local(NodeId(0)),
+            Endpoint::Lustre,
+            800.0 * MB,
+            move |eng| {
+                let tp = tp.clone();
+                transfer(
+                    eng,
+                    &c2,
+                    Endpoint::Lustre,
+                    Endpoint::Local(NodeId(1)),
+                    800.0 * MB,
+                    move |eng| *tp.borrow_mut() = eng.now().as_secs_f64(),
+                );
+            },
+        );
+        e.run();
+        // Direct stream over the fabric.
+        let mut e = Engine::new(1);
+        let t_stream = Rc::new(RefCell::new(0.0));
+        let ts = t_stream.clone();
+        stream(&mut e, &cluster, NodeId(0), NodeId(1), 800.0 * MB, move |eng| {
+            *ts.borrow_mut() = eng.now().as_secs_f64();
+        });
+        e.run();
+        assert!(
+            *t_stream.borrow() < *t_persist.borrow() / 2.0,
+            "stream {} vs persist {}",
+            t_stream.borrow(),
+            t_persist.borrow()
+        );
+    }
+
+    #[test]
+    fn zero_bytes_complete_fast() {
+        let t = finish_time(Endpoint::Lustre, Endpoint::Local(NodeId(0)), 0.0);
+        assert!(t < 0.01, "{t}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn remote_to_remote_rejected() {
+        finish_time(
+            Endpoint::Remote { bandwidth_mbps: 1.0 },
+            Endpoint::Remote { bandwidth_mbps: 1.0 },
+            1.0,
+        );
+    }
+}

@@ -1,0 +1,19 @@
+//! # rp-saga — standardized access layer (SAGA)
+//!
+//! The interoperability layer RADICAL-Pilot builds on:
+//!
+//! * [`job`] — the SAGA Job API with scheme-validated adaptors
+//!   (`slurm://`, `torque://`/`pbs://`, `sge://`, `fork://`).
+//! * [`filetransfer`] — staging between remote storage, the parallel
+//!   filesystem and node-local disks.
+//! * [`hadoop`] — **SAGA-Hadoop** (paper §III-A): spawn/control Hadoop or
+//!   Spark clusters inside an HPC-scheduler-managed environment via
+//!   framework plugins, without the full Pilot machinery.
+
+pub mod filetransfer;
+pub mod hadoop;
+pub mod job;
+
+pub use filetransfer::{stream, transfer, Endpoint};
+pub use hadoop::{start_cluster, Framework, FrameworkHandle, ManagedCluster};
+pub use job::{JobDescription, JobService, SagaError, SagaJob, SagaUrl};

@@ -1,0 +1,304 @@
+//! The discrete-event engine.
+//!
+//! The engine is a sequential event loop over virtual time. Events are
+//! arbitrary `FnOnce(&mut Engine)` closures; components live in
+//! `Rc<RefCell<_>>` handles captured by those closures. Ties in time are
+//! broken by a monotonically increasing sequence number, so a run is fully
+//! deterministic given the same schedule of events and RNG seed.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::Trace;
+
+/// Identifier of a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+type EventFn = Box<dyn FnOnce(&mut Engine)>;
+
+struct Entry {
+    time: SimTime,
+    seq: u64,
+    f: Option<EventFn>,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// Deterministic discrete-event simulation engine.
+///
+/// Also carries the run-wide seeded RNG and the event trace so that
+/// components only ever need an `&mut Engine` to advance the world.
+pub struct Engine {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Entry>,
+    cancelled: HashSet<u64>,
+    executed: u64,
+    /// Seeded random source shared by all stochastic models in the run.
+    pub rng: SimRng,
+    /// Structured event trace (cheap no-op unless enabled).
+    pub trace: Trace,
+}
+
+impl Engine {
+    /// New engine at t=0 with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            executed: 0,
+            rng: SimRng::new(seed),
+            trace: Trace::disabled(),
+        }
+    }
+
+    /// Engine with tracing enabled (handy in tests and examples).
+    pub fn with_trace(seed: u64) -> Self {
+        let mut e = Engine::new(seed);
+        e.trace = Trace::enabled();
+        e
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events currently pending (including tombstoned ones).
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule an event at an absolute time (must not be in the past).
+    pub fn schedule_at(
+        &mut self,
+        time: SimTime,
+        f: impl FnOnce(&mut Engine) + 'static,
+    ) -> EventId {
+        assert!(
+            time >= self.now,
+            "cannot schedule into the past: {time} < {}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Entry {
+            time,
+            seq,
+            f: Some(Box::new(f)),
+        });
+        EventId(seq)
+    }
+
+    /// Schedule an event after a relative delay.
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        f: impl FnOnce(&mut Engine) + 'static,
+    ) -> EventId {
+        self.schedule_at(self.now + delay, f)
+    }
+
+    /// Schedule at the current instant (runs after all already-queued events
+    /// for this instant — FIFO within a timestamp).
+    pub fn schedule_now(&mut self, f: impl FnOnce(&mut Engine) + 'static) -> EventId {
+        self.schedule_at(self.now, f)
+    }
+
+    /// Cancel a previously scheduled event. Cancelling an event that already
+    /// ran (or was already cancelled) is a no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id.0);
+    }
+
+    /// Execute the next event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        while let Some(mut entry) = self.queue.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            debug_assert!(entry.time >= self.now, "event queue went backwards");
+            self.now = entry.time;
+            self.executed += 1;
+            let f = entry.f.take().expect("event closure taken twice");
+            f(self);
+            return true;
+        }
+        false
+    }
+
+    /// Run until no events remain; returns the final virtual time.
+    pub fn run(&mut self) -> SimTime {
+        while self.step() {}
+        self.now
+    }
+
+    /// Run events with `time <= until`, then advance the clock to `until`.
+    pub fn run_until(&mut self, until: SimTime) {
+        loop {
+            let next = loop {
+                match self.queue.peek() {
+                    Some(e) if self.cancelled.contains(&e.seq) => {
+                        let e = self.queue.pop().unwrap();
+                        self.cancelled.remove(&e.seq);
+                    }
+                    Some(e) => break Some(e.time),
+                    None => break None,
+                }
+            };
+            match next {
+                Some(t) if t <= until => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        if until > self.now {
+            self.now = until;
+        }
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("executed", &self.executed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut e = Engine::new(1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for (t, tag) in [(3u64, 'c'), (1, 'a'), (2, 'b')] {
+            let log = log.clone();
+            e.schedule_at(SimTime(t), move |_| log.borrow_mut().push(tag));
+        }
+        e.run();
+        assert_eq!(*log.borrow(), vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn ties_break_by_schedule_order() {
+        let mut e = Engine::new(1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for tag in 0..5 {
+            let log = log.clone();
+            e.schedule_at(SimTime(10), move |_| log.borrow_mut().push(tag));
+        }
+        e.run();
+        assert_eq!(*log.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn nested_scheduling_advances_clock() {
+        let mut e = Engine::new(1);
+        let hits = Rc::new(RefCell::new(Vec::new()));
+        let h = hits.clone();
+        e.schedule_in(SimDuration::from_secs(1), move |eng| {
+            h.borrow_mut().push(eng.now());
+            let h2 = h.clone();
+            eng.schedule_in(SimDuration::from_secs(2), move |eng| {
+                h2.borrow_mut().push(eng.now());
+            });
+        });
+        let end = e.run();
+        assert_eq!(
+            *hits.borrow(),
+            vec![SimTime::from_secs_f64(1.0), SimTime::from_secs_f64(3.0)]
+        );
+        assert_eq!(end, SimTime::from_secs_f64(3.0));
+    }
+
+    #[test]
+    fn cancelled_events_do_not_fire() {
+        let mut e = Engine::new(1);
+        let hit = Rc::new(RefCell::new(false));
+        let h = hit.clone();
+        let id = e.schedule_in(SimDuration::from_secs(1), move |_| {
+            *h.borrow_mut() = true;
+        });
+        e.cancel(id);
+        e.run();
+        assert!(!*hit.borrow());
+        assert_eq!(e.events_executed(), 0);
+    }
+
+    #[test]
+    fn run_until_stops_at_boundary() {
+        let mut e = Engine::new(1);
+        let count = Rc::new(RefCell::new(0));
+        for t in 1..=10u64 {
+            let c = count.clone();
+            e.schedule_at(SimTime::from_secs_f64(t as f64), move |_| {
+                *c.borrow_mut() += 1;
+            });
+        }
+        e.run_until(SimTime::from_secs_f64(5.0));
+        assert_eq!(*count.borrow(), 5);
+        assert_eq!(e.now(), SimTime::from_secs_f64(5.0));
+        e.run();
+        assert_eq!(*count.borrow(), 10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn scheduling_into_past_panics() {
+        let mut e = Engine::new(1);
+        e.schedule_at(SimTime::from_secs_f64(5.0), |_| {});
+        e.run();
+        e.schedule_at(SimTime::from_secs_f64(1.0), |_| {});
+    }
+
+    #[test]
+    fn schedule_now_is_fifo_at_instant() {
+        let mut e = Engine::new(1);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let l1 = log.clone();
+        let l0 = log.clone();
+        e.schedule_now(move |eng| {
+            l0.borrow_mut().push(0);
+            let l = l1.clone();
+            eng.schedule_now(move |_| l.borrow_mut().push(2));
+        });
+        let l = log.clone();
+        e.schedule_now(move |_| l.borrow_mut().push(1));
+        e.run();
+        assert_eq!(*log.borrow(), vec![0, 1, 2]);
+    }
+}

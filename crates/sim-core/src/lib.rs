@@ -1,0 +1,45 @@
+//! # rp-sim — deterministic discrete-event simulation core
+//!
+//! The substrate every other crate in this workspace builds on:
+//!
+//! * [`engine::Engine`] — a sequential event loop over virtual time.
+//!   Events are `FnOnce(&mut Engine)` closures; ties are broken by schedule
+//!   order, so a run is bit-reproducible given the same seed.
+//! * [`time::SimTime`] / [`time::SimDuration`] — integer-microsecond
+//!   virtual time.
+//! * [`link::FairLink`] — a max–min fair-shared bandwidth resource used to
+//!   model Lustre, local disks, NICs and the cluster fabric.
+//! * [`tokens::Tokens`] — a FIFO counted resource for cores/slots/memory.
+//! * [`rng::SimRng`] — seeded randomness with the handful of distributions
+//!   latency models need.
+//! * [`trace::Trace`], [`metrics`], [`stats`] — observability for tests,
+//!   examples and the experiment harness.
+//!
+//! Components live in `Rc<RefCell<_>>` handles captured by event closures;
+//! the simulator core is intentionally single-threaded (determinism), while
+//! the *native* execution engines elsewhere in the workspace use real thread
+//! pools.
+
+pub mod engine;
+pub mod link;
+pub mod metrics;
+pub mod par;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod tokens;
+pub mod trace;
+
+pub use engine::{Engine, EventId};
+pub use link::{FairLink, FlowId};
+pub use metrics::{Counter, Series};
+pub use rng::SimRng;
+pub use stats::Summary;
+pub use time::{SimDuration, SimTime};
+pub use tokens::Tokens;
+pub use trace::{Trace, TraceEvent};
+
+/// Convenience: megabytes → bytes (storage models are specified in MB/s).
+pub const MB: f64 = 1024.0 * 1024.0;
+/// Convenience: gigabytes → bytes.
+pub const GB: f64 = 1024.0 * MB;

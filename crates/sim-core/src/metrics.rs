@@ -1,0 +1,101 @@
+//! Lightweight metrics: counters and time-stamped series.
+//!
+//! Experiment harnesses read these after a run; they are intentionally
+//! simple (no registry, no atomics — the simulator core is single-threaded).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::stats::Summary;
+use crate::time::SimTime;
+
+/// A shared monotonic counter.
+#[derive(Clone, Default)]
+pub struct Counter {
+    value: Rc<RefCell<u64>>,
+}
+
+impl Counter {
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    pub fn add(&self, n: u64) {
+        *self.value.borrow_mut() += n;
+    }
+
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    pub fn get(&self) -> u64 {
+        *self.value.borrow()
+    }
+}
+
+/// A shared time-stamped series of float observations.
+#[derive(Clone, Default)]
+pub struct Series {
+    points: Rc<RefCell<Vec<(SimTime, f64)>>>,
+}
+
+impl Series {
+    pub fn new() -> Self {
+        Series::default()
+    }
+
+    pub fn record(&self, time: SimTime, value: f64) {
+        self.points.borrow_mut().push((time, value));
+    }
+
+    pub fn len(&self) -> usize {
+        self.points.borrow().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.points.borrow().is_empty()
+    }
+
+    pub fn values(&self) -> Vec<f64> {
+        self.points.borrow().iter().map(|&(_, v)| v).collect()
+    }
+
+    pub fn points(&self) -> Vec<(SimTime, f64)> {
+        self.points.borrow().clone()
+    }
+
+    pub fn last(&self) -> Option<(SimTime, f64)> {
+        self.points.borrow().last().copied()
+    }
+
+    /// Summary statistics of the recorded values.
+    pub fn summary(&self) -> Summary {
+        Summary::of(&self.values())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_and_shares() {
+        let c = Counter::new();
+        let c2 = c.clone();
+        c.incr();
+        c2.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn series_records_in_order() {
+        let s = Series::new();
+        s.record(SimTime(1), 10.0);
+        s.record(SimTime(2), 20.0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.values(), vec![10.0, 20.0]);
+        assert_eq!(s.last(), Some((SimTime(2), 20.0)));
+        let sum = s.summary();
+        assert_eq!(sum.mean, 15.0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Tiny data-parallel helpers over crossbeam scoped threads.
+//!
+//! The RDD engine executes partitions with these; they are also reused by
+//! the analytics kernels. Work is pulled from a shared index counter so
+//! uneven partitions balance dynamically.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads to use for `n` items.
+pub fn default_threads(n: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
+    hw.min(n).max(1)
+}
+
+/// Apply `f` to every index in `0..n` on `threads` workers; results are
+/// returned in index order.
+pub fn parallel_map_indexed<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    assert!(threads >= 1);
+    if n == 0 {
+        return Vec::new();
+    }
+    if threads == 1 || n == 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    crossbeam::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(i);
+                *results[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("poisoned").expect("missing result"))
+        .collect()
+}
+
+/// Parallel map over a slice (by reference), preserving order.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    parallel_map_indexed(items.len(), threads, |i| f(&items[i]))
+}
+
+/// Split `items` into `parts` contiguous chunks of near-equal size.
+/// Produces exactly `parts` chunks (possibly empty when items < parts).
+pub fn split_even<T>(items: Vec<T>, parts: usize) -> Vec<Vec<T>> {
+    assert!(parts >= 1);
+    let n = items.len();
+    let base = n / parts;
+    let rem = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut it = items.into_iter();
+    for p in 0..parts {
+        let take = base + usize::from(p < rem);
+        out.push(it.by_ref().take(take).collect());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let ys = parallel_map(&xs, 8, |&x| x * 2);
+        assert_eq!(ys, xs.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn indexed_map_handles_empty_and_one() {
+        assert!(parallel_map_indexed::<u32, _>(0, 4, |_| 1).is_empty());
+        assert_eq!(parallel_map_indexed(1, 4, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn uneven_work_balances() {
+        // Heavier work at low indices; all must still complete correctly.
+        let ys = parallel_map_indexed(64, 4, |i| {
+            let spin = if i < 4 { 200_000 } else { 10 };
+            let mut acc = 0u64;
+            for k in 0..spin {
+                acc = acc.wrapping_add(k ^ i as u64);
+            }
+            (i, acc).0
+        });
+        assert_eq!(ys, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_even_distributes_remainder() {
+        let parts = split_even((0..10).collect::<Vec<_>>(), 4);
+        assert_eq!(parts.iter().map(Vec::len).collect::<Vec<_>>(), vec![3, 3, 2, 2]);
+        let flat: Vec<_> = parts.into_iter().flatten().collect();
+        assert_eq!(flat, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_even_more_parts_than_items() {
+        let parts = split_even(vec![1, 2], 5);
+        assert_eq!(parts.len(), 5);
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), 2);
+    }
+
+    #[test]
+    fn default_threads_bounded_by_items() {
+        assert_eq!(default_threads(1), 1);
+        assert!(default_threads(1024) >= 1);
+    }
+}

@@ -1,0 +1,159 @@
+//! Seeded randomness for stochastic latency/overhead models.
+//!
+//! Wraps a `rand` PRNG and adds the few distributions the simulator needs
+//! (normal via Box–Muller, lognormal, truncated variants) so that we do not
+//! pull in `rand_distr`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic random source used by every stochastic model in a run.
+pub struct SimRng {
+    inner: StdRng,
+    /// Cached second value from Box–Muller.
+    spare_normal: Option<f64>,
+}
+
+impl SimRng {
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+            spare_normal: None,
+        }
+    }
+
+    /// Derive an independent child RNG (for splitting streams between
+    /// components without coupling their consumption order).
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::new(self.inner.gen())
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi, "uniform: lo {lo} > hi {hi}");
+        if lo == hi {
+            return lo;
+        }
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform integer in `[lo, hi]` inclusive.
+    pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// Pick an index in `[0, n)`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index: empty range");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Bernoulli trial.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.inner.gen_bool(p.clamp(0.0, 1.0))
+    }
+
+    /// Standard normal via Box–Muller.
+    pub fn standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        // Draw u1 in (0,1] to keep ln() finite.
+        let u1: f64 = 1.0 - self.inner.gen::<f64>();
+        let u2: f64 = self.inner.gen();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare_normal = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal with the given mean/std.
+    pub fn normal(&mut self, mean: f64, std: f64) -> f64 {
+        mean + std * self.standard_normal()
+    }
+
+    /// Normal truncated below at `min` (used for latencies: never negative).
+    pub fn normal_min(&mut self, mean: f64, std: f64, min: f64) -> f64 {
+        self.normal(mean, std).max(min)
+    }
+
+    /// Lognormal parameterised by the *underlying* normal's mu/sigma.
+    pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// Exponential with the given mean.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        let u: f64 = 1.0 - self.inner.gen::<f64>();
+        -mean * u.ln()
+    }
+
+    /// Access to the raw `rand::Rng` for anything else.
+    pub fn raw(&mut self) -> &mut StdRng {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..32).filter(|_| a.uniform(0.0, 1.0) == b.uniform(0.0, 1.0)).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn normal_has_roughly_right_moments() {
+        let mut r = SimRng::new(7);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.normal(10.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.25, "var {var}");
+    }
+
+    #[test]
+    fn normal_min_truncates() {
+        let mut r = SimRng::new(3);
+        for _ in 0..1000 {
+            assert!(r.normal_min(0.0, 5.0, 0.25) >= 0.25);
+        }
+    }
+
+    #[test]
+    fn exponential_is_positive_with_right_mean() {
+        let mut r = SimRng::new(9);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.exponential(3.0)).collect();
+        assert!(xs.iter().all(|&x| x >= 0.0));
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.12, "mean {mean}");
+    }
+
+    #[test]
+    fn fork_decouples_streams() {
+        let mut a = SimRng::new(5);
+        let mut fork1 = a.fork();
+        let x = fork1.uniform(0.0, 1.0);
+        // Consuming from the fork must not affect the parent's stream
+        // relative to a parent that never forked-and-consumed.
+        let mut b = SimRng::new(5);
+        let _fork2 = b.fork();
+        assert_eq!(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+        let _ = x;
+    }
+}

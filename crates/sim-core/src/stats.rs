@@ -1,0 +1,117 @@
+//! Small statistics helpers used by benches and experiment harnesses.
+
+/// Summary statistics over a sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    pub n: usize,
+    pub mean: f64,
+    pub std: f64,
+    pub min: f64,
+    pub max: f64,
+    pub median: f64,
+}
+
+impl Summary {
+    /// Compute summary statistics. Panics on an empty sample.
+    pub fn of(samples: &[f64]) -> Summary {
+        assert!(!samples.is_empty(), "Summary::of: empty sample");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+        Summary {
+            n,
+            mean,
+            std: var.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            median: percentile_sorted(&sorted, 50.0),
+        }
+    }
+
+    /// Relative standard deviation (coefficient of variation).
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.std / self.mean
+        }
+    }
+}
+
+/// Percentile (0..=100) of an already-sorted slice, linear interpolation.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    assert!((0.0..=100.0).contains(&p));
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Percentile of an unsorted slice.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    percentile_sorted(&sorted, p)
+}
+
+/// Speedup series relative to the first element (the paper reports speedup
+/// against the smallest task count).
+pub fn speedups(times: &[f64]) -> Vec<f64> {
+    assert!(!times.is_empty());
+    let base = times[0];
+    times.iter().map(|t| base / t).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.n, 5);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.median, 3.0);
+        assert!((s.std - (2.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_single_sample() {
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.median, 7.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&xs, 0.0), 10.0);
+        assert_eq!(percentile(&xs, 100.0), 40.0);
+        assert!((percentile(&xs, 50.0) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_series() {
+        let s = speedups(&[100.0, 50.0, 25.0]);
+        assert_eq!(s, vec![1.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_summary_panics() {
+        let _ = Summary::of(&[]);
+    }
+}

@@ -1,0 +1,218 @@
+//! Counted resource with FIFO waiters (virtual-time semaphore).
+//!
+//! Used for anything slot-shaped: CPU cores on a node, YARN vcores/memory,
+//! concurrent-transfer limits. Grants are FIFO to keep runs deterministic
+//! and starvation-free (a large request at the head blocks later small ones;
+//! schedulers that want backfilling implement it above this primitive).
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use crate::engine::Engine;
+
+type GrantFn = Box<dyn FnOnce(&mut Engine)>;
+
+struct Inner {
+    capacity: u64,
+    available: u64,
+    waiters: VecDeque<(u64, GrantFn)>,
+}
+
+/// A shared counted resource. Cheap to clone (shared handle).
+#[derive(Clone)]
+pub struct Tokens {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl Tokens {
+    pub fn new(capacity: u64) -> Self {
+        Tokens {
+            inner: Rc::new(RefCell::new(Inner {
+                capacity,
+                available: capacity,
+                waiters: VecDeque::new(),
+            })),
+        }
+    }
+
+    pub fn capacity(&self) -> u64 {
+        self.inner.borrow().capacity
+    }
+
+    pub fn available(&self) -> u64 {
+        self.inner.borrow().available
+    }
+
+    pub fn waiting(&self) -> usize {
+        self.inner.borrow().waiters.len()
+    }
+
+    /// Request `n` tokens; `granted` fires (as a fresh event at the grant
+    /// instant) once they are held. Panics if `n` exceeds capacity — such a
+    /// request could never be satisfied.
+    pub fn acquire(&self, engine: &mut Engine, n: u64, granted: impl FnOnce(&mut Engine) + 'static) {
+        let mut inner = self.inner.borrow_mut();
+        assert!(
+            n <= inner.capacity,
+            "acquire({n}) exceeds capacity {}",
+            inner.capacity
+        );
+        if inner.waiters.is_empty() && inner.available >= n {
+            inner.available -= n;
+            drop(inner);
+            engine.schedule_now(granted);
+        } else {
+            inner.waiters.push_back((n, Box::new(granted)));
+        }
+    }
+
+    /// Try to take `n` tokens immediately; returns whether it succeeded.
+    /// Does not queue.
+    pub fn try_acquire(&self, n: u64) -> bool {
+        let mut inner = self.inner.borrow_mut();
+        if inner.waiters.is_empty() && inner.available >= n {
+            inner.available -= n;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Return `n` tokens and hand them to waiting requests in FIFO order.
+    pub fn release(&self, engine: &mut Engine, n: u64) {
+        let mut grants: Vec<GrantFn> = Vec::new();
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.available += n;
+            assert!(
+                inner.available <= inner.capacity,
+                "release overflow: {} > capacity {}",
+                inner.available,
+                inner.capacity
+            );
+            while inner
+                .waiters
+                .front()
+                .is_some_and(|w| w.0 <= inner.available)
+            {
+                let (need, cb) = inner.waiters.pop_front().unwrap();
+                inner.available -= need;
+                grants.push(cb);
+            }
+        }
+        for g in grants {
+            engine.schedule_now(g);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{SimDuration, SimTime};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn immediate_grant_when_available() {
+        let mut e = Engine::new(1);
+        let t = Tokens::new(4);
+        let got = Rc::new(RefCell::new(false));
+        let g = got.clone();
+        t.acquire(&mut e, 3, move |_| *g.borrow_mut() = true);
+        e.run();
+        assert!(*got.borrow());
+        assert_eq!(t.available(), 1);
+    }
+
+    #[test]
+    fn queued_grant_fires_on_release() {
+        let mut e = Engine::new(1);
+        let t = Tokens::new(2);
+        let order = Rc::new(RefCell::new(Vec::new()));
+
+        let o = order.clone();
+        t.acquire(&mut e, 2, move |_| o.borrow_mut().push((0, SimTime::ZERO)));
+        let o = order.clone();
+        t.acquire(&mut e, 1, move |eng| o.borrow_mut().push((1, eng.now())));
+
+        let t2 = t.clone();
+        e.schedule_in(SimDuration::from_secs(5), move |eng| {
+            t2.release(eng, 2);
+        });
+        e.run();
+        let order = order.borrow();
+        assert_eq!(order.len(), 2);
+        assert_eq!(order[1].0, 1);
+        assert_eq!(order[1].1, SimTime::from_secs_f64(5.0));
+    }
+
+    #[test]
+    fn fifo_ordering_holds() {
+        let mut e = Engine::new(1);
+        let t = Tokens::new(1);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        // First grabs the token; 2nd (big... here all 1) and 3rd queue.
+        for tag in 0..3 {
+            let o = order.clone();
+            let tc = t.clone();
+            t.acquire(&mut e, 1, move |eng| {
+                o.borrow_mut().push(tag);
+                let tc = tc.clone();
+                eng.schedule_in(SimDuration::from_secs(1), move |eng| tc.release(eng, 1));
+            });
+        }
+        e.run();
+        assert_eq!(*order.borrow(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn large_request_blocks_later_small_ones() {
+        let mut e = Engine::new(1);
+        let t = Tokens::new(4);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let o = order.clone();
+        t.acquire(&mut e, 3, move |_| o.borrow_mut().push("a"));
+        let o = order.clone();
+        t.acquire(&mut e, 4, move |_| o.borrow_mut().push("big"));
+        let o = order.clone();
+        // 1 token is free, but FIFO means "small" must wait behind "big".
+        t.acquire(&mut e, 1, move |_| o.borrow_mut().push("small"));
+        e.run();
+        assert_eq!(*order.borrow(), vec!["a"]);
+        t.release(&mut e, 3);
+        e.run();
+        assert_eq!(*order.borrow(), vec!["a", "big"]);
+        t.release(&mut e, 4);
+        e.run();
+        assert_eq!(*order.borrow(), vec!["a", "big", "small"]);
+    }
+
+    #[test]
+    fn try_acquire_never_queues() {
+        let mut e = Engine::new(1);
+        let t = Tokens::new(2);
+        assert!(t.try_acquire(2));
+        assert!(!t.try_acquire(1));
+        assert_eq!(t.waiting(), 0);
+        t.release(&mut e, 2);
+        assert!(t.try_acquire(1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn over_release_panics() {
+        let mut e = Engine::new(1);
+        let t = Tokens::new(2);
+        t.release(&mut e, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn impossible_request_panics() {
+        let mut e = Engine::new(1);
+        let t = Tokens::new(2);
+        t.acquire(&mut e, 3, |_| {});
+    }
+}

@@ -1,0 +1,160 @@
+//! Structured event trace.
+//!
+//! Components record `(time, category, message)` triples; tests and examples
+//! use the trace to assert on and display causal timelines. When disabled
+//! (the default) recording is a no-op.
+
+use crate::time::SimTime;
+
+/// One recorded trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    pub time: SimTime,
+    pub category: &'static str,
+    pub message: String,
+}
+
+/// Append-only trace log.
+#[derive(Debug, Default)]
+pub struct Trace {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    pub fn disabled() -> Self {
+        Trace {
+            enabled: false,
+            events: Vec::new(),
+        }
+    }
+
+    pub fn enabled() -> Self {
+        Trace {
+            enabled: true,
+            events: Vec::new(),
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record an event (no-op when disabled).
+    pub fn record(&mut self, time: SimTime, category: &'static str, message: impl Into<String>) {
+        if self.enabled {
+            self.events.push(TraceEvent {
+                time,
+                category,
+                message: message.into(),
+            });
+        }
+    }
+
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events in a given category.
+    pub fn in_category<'a>(&'a self, category: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
+        self.events.iter().filter(move |e| e.category == category)
+    }
+
+    /// First event whose message contains `needle`.
+    pub fn find(&self, needle: &str) -> Option<&TraceEvent> {
+        self.events.iter().find(|e| e.message.contains(needle))
+    }
+
+    /// Export as Chrome tracing JSON (`chrome://tracing` / Perfetto):
+    /// one instant event per record, grouped by category as thread names.
+    pub fn to_chrome_json(&self) -> String {
+        let mut cats: Vec<&'static str> = self.events.iter().map(|e| e.category).collect();
+        cats.sort_unstable();
+        cats.dedup();
+        let tid = |c: &str| cats.iter().position(|&x| x == c).unwrap_or(0) + 1;
+        let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+        let mut out = String::from("[");
+        for (i, c) in cats.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\"args\":{{\"name\":\"{}\"}}}}",
+                tid(c),
+                escape(c)
+            ));
+        }
+        for e in &self.events {
+            out.push_str(&format!(
+                ",{{\"name\":\"{}\",\"ph\":\"i\",\"ts\":{},\"pid\":1,\"tid\":{},\"s\":\"t\"}}",
+                escape(&e.message),
+                e.time.0,
+                tid(e.category)
+            ));
+        }
+        out.push(']');
+        out
+    }
+
+    /// Render the trace as an aligned timeline (for examples / debugging).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&format!(
+                "{:>12} [{:<10}] {}\n",
+                format!("{}", e.time),
+                e.category,
+                e.message
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        t.record(SimTime(5), "x", "hello");
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn enabled_trace_records_and_filters() {
+        let mut t = Trace::enabled();
+        t.record(SimTime(1), "pilot", "launch");
+        t.record(SimTime(2), "yarn", "rm up");
+        t.record(SimTime(3), "pilot", "active");
+        assert_eq!(t.events().len(), 3);
+        assert_eq!(t.in_category("pilot").count(), 2);
+        assert_eq!(t.find("rm up").unwrap().time, SimTime(2));
+        assert!(t.find("nope").is_none());
+    }
+
+    #[test]
+    fn chrome_json_is_well_formed() {
+        let mut t = Trace::enabled();
+        t.record(SimTime(1_000), "pilot", r#"launch "x""#);
+        t.record(SimTime(2_000), "yarn", "rm up");
+        let j = t.to_chrome_json();
+        assert!(j.starts_with('[') && j.ends_with(']'));
+        // Metadata rows for both categories + two instant events.
+        assert_eq!(j.matches("thread_name").count(), 2);
+        assert_eq!(j.matches("\"ph\":\"i\"").count(), 2);
+        // Quotes in messages are escaped.
+        assert!(j.contains("launch \\\"x\\\""));
+    }
+
+    #[test]
+    fn render_is_one_line_per_event() {
+        let mut t = Trace::enabled();
+        t.record(SimTime::from_secs_f64(1.0), "a", "m1");
+        t.record(SimTime::from_secs_f64(2.0), "b", "m2");
+        let s = t.render();
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains("m1") && s.contains("m2"));
+    }
+}

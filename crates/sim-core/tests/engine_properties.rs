@@ -1,0 +1,151 @@
+//! Property tests of the simulation core: event-ordering/cancellation
+//! invariants, fair-link capacity/cap laws, and token accounting.
+
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use rp_sim::{Engine, FairLink, SimDuration, SimTime, Tokens};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Cancelled events never fire; everything else fires exactly once.
+    #[test]
+    fn cancellation_is_exact(
+        times in prop::collection::vec(0u64..1_000_000, 1..100),
+        cancel_mask in prop::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let n = times.len().min(cancel_mask.len());
+        let mut e = Engine::new(1);
+        let fired = Rc::new(RefCell::new(vec![false; n]));
+        let mut ids = Vec::new();
+        for (i, &t) in times[..n].iter().enumerate() {
+            let fired = fired.clone();
+            ids.push(e.schedule_at(SimTime(t), move |_| {
+                fired.borrow_mut()[i] = true;
+            }));
+        }
+        for (&id, &c) in ids.iter().zip(&cancel_mask[..n]) {
+            if c {
+                e.cancel(id);
+            }
+        }
+        e.run();
+        for (i, (&f, &c)) in fired.borrow().iter().zip(&cancel_mask[..n]).enumerate() {
+            prop_assert_eq!(f, !c, "event {}", i);
+        }
+    }
+
+    /// A per-flow cap bounds each flow's completion from below by
+    /// bytes/cap, and a capped flow never beats an uncapped one of the
+    /// same size started at the same time.
+    #[test]
+    fn per_flow_caps_are_respected(
+        bytes in 1e3f64..1e7,
+        cap in 10.0f64..1e5,
+        capacity in 1e5f64..1e8,
+    ) {
+        let mut e = Engine::new(1);
+        let link = FairLink::new("p", capacity);
+        let t_capped = Rc::new(RefCell::new(0.0));
+        let t_free = Rc::new(RefCell::new(0.0));
+        let tc = t_capped.clone();
+        let tf = t_free.clone();
+        link.transfer(&mut e, bytes, cap, move |eng| {
+            *tc.borrow_mut() = eng.now().as_secs_f64();
+        });
+        link.transfer(&mut e, bytes, f64::INFINITY, move |eng| {
+            *tf.borrow_mut() = eng.now().as_secs_f64();
+        });
+        e.run();
+        let capped = *t_capped.borrow();
+        let free = *t_free.borrow();
+        prop_assert!(capped + 1e-6 >= bytes / cap.min(capacity), "capped too fast: {}", capped);
+        prop_assert!(free <= capped + 1e-6, "uncapped {} slower than capped {}", free, capped);
+    }
+
+    /// Makespan of N equal concurrent flows equals N·bytes/capacity when
+    /// uncapped (perfect fair sharing wastes nothing).
+    #[test]
+    fn fair_sharing_wastes_no_bandwidth(
+        n in 1usize..32,
+        bytes in 1e4f64..1e6,
+        capacity in 1e4f64..1e7,
+    ) {
+        let mut e = Engine::new(1);
+        let link = FairLink::new("p", capacity);
+        for _ in 0..n {
+            link.transfer(&mut e, bytes, f64::INFINITY, |_| {});
+        }
+        let end = e.run().as_secs_f64();
+        let ideal = n as f64 * bytes / capacity;
+        prop_assert!((end - ideal).abs() < ideal * 1e-3 + 1e-5, "end {} ideal {}", end, ideal);
+    }
+
+    /// Tokens: grants never exceed capacity at any instant, even under
+    /// random hold durations.
+    #[test]
+    fn token_grants_never_exceed_capacity(
+        requests in prop::collection::vec((1u64..6, 1u64..50), 1..40),
+    ) {
+        let mut e = Engine::new(1);
+        let cap = 6u64;
+        let t = Tokens::new(cap);
+        let outstanding = Rc::new(RefCell::new(0u64));
+        let peak = Rc::new(RefCell::new(0u64));
+        for (n, hold_ms) in requests {
+            let t2 = t.clone();
+            let outstanding = outstanding.clone();
+            let peak = peak.clone();
+            t.acquire(&mut e, n, move |eng| {
+                {
+                    let mut o = outstanding.borrow_mut();
+                    *o += n;
+                    let mut p = peak.borrow_mut();
+                    *p = (*p).max(*o);
+                }
+                let t3 = t2.clone();
+                let outstanding = outstanding.clone();
+                eng.schedule_in(SimDuration::from_millis(hold_ms), move |eng| {
+                    *outstanding.borrow_mut() -= n;
+                    t3.release(eng, n);
+                });
+            });
+        }
+        e.run();
+        prop_assert!(*peak.borrow() <= cap, "peak {} > {}", peak.borrow(), cap);
+        prop_assert_eq!(*outstanding.borrow(), 0);
+        prop_assert_eq!(t.available(), cap);
+    }
+
+    /// run_until never executes events beyond the horizon, and a later
+    /// run() picks up exactly the rest.
+    #[test]
+    fn run_until_partitions_execution(
+        times in prop::collection::vec(0u64..1_000_000, 1..80),
+        horizon in 0u64..1_000_000,
+    ) {
+        let mut e = Engine::new(1);
+        let early = Rc::new(RefCell::new(0usize));
+        let late = Rc::new(RefCell::new(0usize));
+        for &t in &times {
+            let early = early.clone();
+            let late = late.clone();
+            let h = horizon;
+            e.schedule_at(SimTime(t), move |eng| {
+                if eng.now() <= SimTime(h) {
+                    *early.borrow_mut() += 1;
+                } else {
+                    *late.borrow_mut() += 1;
+                }
+            });
+        }
+        e.run_until(SimTime(horizon));
+        let expected_early = times.iter().filter(|&&t| t <= horizon).count();
+        prop_assert_eq!(*early.borrow(), expected_early);
+        prop_assert_eq!(*late.borrow(), 0);
+        e.run();
+        prop_assert_eq!(*early.borrow() + *late.borrow(), times.len());
+    }
+}

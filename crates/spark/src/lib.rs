@@ -1,0 +1,23 @@
+//! # rp-spark — Spark standalone for the Pilot integration
+//!
+//! Two halves, matching how the paper uses Spark:
+//!
+//! * [`deploy`] — the *simulated* standalone deployment the RADICAL-Pilot
+//!   LRM drives (Master/Worker daemon starts, executor-core scheduling,
+//!   `stop-all.sh` teardown). Its latencies feed the Fig. 5 startup study.
+//! * [`rdd`] — a *native* mini-RDD engine (map / filter / flat_map /
+//!   reduce_by_key / cache / collect) that executes for real on crossbeam
+//!   threads; the analytics examples run on it.
+
+pub mod deploy;
+pub mod on_yarn;
+pub mod rdd;
+pub mod simapp;
+
+/// Data-parallel execution helpers (shared workspace utility).
+pub use rp_sim::par as pool;
+
+pub use deploy::{ExecutorGrant, SparkAppId, SparkCluster, SparkConfig, SparkError};
+pub use on_yarn::{submit_spark_on_yarn, SparkOnYarnApp};
+pub use simapp::{run_simulated_app, SparkJobSpec, SparkJobStats, SparkStage};
+pub use rdd::{Rdd, SparkContext};

@@ -1,0 +1,506 @@
+//! A native mini-RDD engine.
+//!
+//! This is the genuinely-executing analytics core of the Spark integration:
+//! typed, lazily-evaluated resilient distributed datasets with narrow
+//! transformations (`map`, `filter`, `flat_map`, `map_partitions`), one wide
+//! transformation (`reduce_by_key`, which materialises a hash shuffle) and
+//! actions (`collect`, `count`, `reduce`, `fold`). Partitions evaluate in
+//! parallel on crossbeam threads; `cache()` memoises partition results the
+//! way Spark's storage layer retains RDDs in executor memory.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use rp_sim::par::{default_threads, parallel_map_indexed, split_even};
+
+/// Partition evaluator: the lineage graph behind an [`Rdd`].
+trait RddNode<T>: Send + Sync {
+    fn num_partitions(&self) -> usize;
+    fn compute(&self, part: usize) -> Vec<T>;
+}
+
+/// A typed, lazy, partitioned dataset.
+#[derive(Clone)]
+pub struct Rdd<T> {
+    node: Arc<dyn RddNode<T>>,
+}
+
+/// Entry point, mirroring `SparkContext`.
+#[derive(Clone)]
+pub struct SparkContext {
+    default_parallelism: usize,
+}
+
+impl SparkContext {
+    pub fn new(default_parallelism: usize) -> Self {
+        assert!(default_parallelism >= 1);
+        SparkContext {
+            default_parallelism,
+        }
+    }
+
+    pub fn default_parallelism(&self) -> usize {
+        self.default_parallelism
+    }
+
+    /// Distribute a local collection into `partitions` slices.
+    pub fn parallelize<T: Clone + Send + Sync + 'static>(
+        &self,
+        data: Vec<T>,
+        partitions: usize,
+    ) -> Rdd<T> {
+        assert!(partitions >= 1);
+        let parts: Vec<Arc<Vec<T>>> = split_even(data, partitions)
+            .into_iter()
+            .map(Arc::new)
+            .collect();
+        Rdd {
+            node: Arc::new(Parallelize { parts }),
+        }
+    }
+
+    /// `parallelize` with the context's default parallelism.
+    pub fn parallelize_default<T: Clone + Send + Sync + 'static>(&self, data: Vec<T>) -> Rdd<T> {
+        self.parallelize(data, self.default_parallelism)
+    }
+}
+
+struct Parallelize<T> {
+    parts: Vec<Arc<Vec<T>>>,
+}
+
+impl<T: Clone + Send + Sync> RddNode<T> for Parallelize<T> {
+    fn num_partitions(&self) -> usize {
+        self.parts.len()
+    }
+    fn compute(&self, part: usize) -> Vec<T> {
+        self.parts[part].as_ref().clone()
+    }
+}
+
+struct MapPartitions<T, U> {
+    parent: Arc<dyn RddNode<T>>,
+    f: Arc<dyn Fn(Vec<T>) -> Vec<U> + Send + Sync>,
+}
+
+impl<T: Send + Sync, U: Send + Sync> RddNode<U> for MapPartitions<T, U> {
+    fn num_partitions(&self) -> usize {
+        self.parent.num_partitions()
+    }
+    fn compute(&self, part: usize) -> Vec<U> {
+        (self.f)(self.parent.compute(part))
+    }
+}
+
+/// Wide dependency: hash-partition parent output by key, then merge
+/// per-bucket. The shuffle (all parent partitions) materialises once, on
+/// first access, like Spark's shuffle files.
+struct ShuffleReduce<K, V> {
+    parent: Arc<dyn RddNode<(K, V)>>,
+    reducer: Arc<dyn Fn(V, V) -> V + Send + Sync>,
+    num_out: usize,
+    buckets: OnceLock<Vec<Vec<(K, V)>>>,
+}
+
+fn bucket_of<K: Hash>(key: &K, buckets: usize) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() % buckets as u64) as usize
+}
+
+impl<K, V> ShuffleReduce<K, V>
+where
+    K: Clone + Eq + Hash + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    fn materialise(&self) -> &Vec<Vec<(K, V)>> {
+        self.buckets.get_or_init(|| {
+            let n_in = self.parent.num_partitions();
+            let threads = default_threads(n_in);
+            // Map side: compute each parent partition and pre-aggregate
+            // (combiner) into per-bucket maps.
+            let per_part: Vec<Vec<HashMap<K, V>>> = parallel_map_indexed(n_in, threads, |p| {
+                let mut maps: Vec<HashMap<K, V>> = (0..self.num_out).map(|_| HashMap::new()).collect();
+                for (k, v) in self.parent.compute(p) {
+                    let b = bucket_of(&k, self.num_out);
+                    match maps[b].remove(&k) {
+                        Some(prev) => {
+                            let merged = (self.reducer)(prev, v);
+                            maps[b].insert(k, merged);
+                        }
+                        None => {
+                            maps[b].insert(k, v);
+                        }
+                    }
+                }
+                maps
+            });
+            // Reduce side: merge the map-side combiner outputs per bucket.
+            let mut out: Vec<Vec<(K, V)>> = Vec::with_capacity(self.num_out);
+            for b in 0..self.num_out {
+                let mut merged: HashMap<K, V> = HashMap::new();
+                for part in &per_part {
+                    for (k, v) in &part[b] {
+                        match merged.remove(k) {
+                            Some(prev) => {
+                                let m = (self.reducer)(prev, v.clone());
+                                merged.insert(k.clone(), m);
+                            }
+                            None => {
+                                merged.insert(k.clone(), v.clone());
+                            }
+                        }
+                    }
+                }
+                out.push(merged.into_iter().collect());
+            }
+            out
+        })
+    }
+}
+
+impl<K, V> RddNode<(K, V)> for ShuffleReduce<K, V>
+where
+    K: Clone + Eq + Hash + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    fn num_partitions(&self) -> usize {
+        self.num_out
+    }
+    fn compute(&self, part: usize) -> Vec<(K, V)> {
+        self.materialise()[part].clone()
+    }
+}
+
+/// Memoising layer: partition results computed once, retained in memory.
+struct CacheNode<T> {
+    parent: Arc<dyn RddNode<T>>,
+    slots: Vec<Mutex<Option<Arc<Vec<T>>>>>,
+}
+
+impl<T: Clone + Send + Sync> RddNode<T> for CacheNode<T> {
+    fn num_partitions(&self) -> usize {
+        self.parent.num_partitions()
+    }
+    fn compute(&self, part: usize) -> Vec<T> {
+        let mut slot = self.slots[part].lock().expect("cache poisoned");
+        if let Some(v) = slot.as_ref() {
+            return v.as_ref().clone();
+        }
+        let v = Arc::new(self.parent.compute(part));
+        *slot = Some(v.clone());
+        v.as_ref().clone()
+    }
+}
+
+struct UnionNode<T> {
+    parents: Vec<Arc<dyn RddNode<T>>>,
+}
+
+impl<T: Send + Sync> RddNode<T> for UnionNode<T> {
+    fn num_partitions(&self) -> usize {
+        self.parents.iter().map(|p| p.num_partitions()).sum()
+    }
+    fn compute(&self, mut part: usize) -> Vec<T> {
+        for p in &self.parents {
+            if part < p.num_partitions() {
+                return p.compute(part);
+            }
+            part -= p.num_partitions();
+        }
+        panic!("partition index out of range");
+    }
+}
+
+impl<T: Clone + Send + Sync + 'static> Rdd<T> {
+    pub fn num_partitions(&self) -> usize {
+        self.node.num_partitions()
+    }
+
+    /// Narrow transformation over whole partitions.
+    pub fn map_partitions<U: Clone + Send + Sync + 'static>(
+        &self,
+        f: impl Fn(Vec<T>) -> Vec<U> + Send + Sync + 'static,
+    ) -> Rdd<U> {
+        Rdd {
+            node: Arc::new(MapPartitions {
+                parent: self.node.clone(),
+                f: Arc::new(f),
+            }),
+        }
+    }
+
+    pub fn map<U: Clone + Send + Sync + 'static>(
+        &self,
+        f: impl Fn(T) -> U + Send + Sync + 'static,
+    ) -> Rdd<U> {
+        self.map_partitions(move |part| part.into_iter().map(&f).collect())
+    }
+
+    pub fn filter(&self, f: impl Fn(&T) -> bool + Send + Sync + 'static) -> Rdd<T> {
+        self.map_partitions(move |part| part.into_iter().filter(|x| f(x)).collect())
+    }
+
+    pub fn flat_map<U: Clone + Send + Sync + 'static, I: IntoIterator<Item = U>>(
+        &self,
+        f: impl Fn(T) -> I + Send + Sync + 'static,
+    ) -> Rdd<U> {
+        self.map_partitions(move |part| part.into_iter().flat_map(&f).collect())
+    }
+
+    /// Concatenate two RDDs (partitions of `self` first).
+    pub fn union(&self, other: &Rdd<T>) -> Rdd<T> {
+        Rdd {
+            node: Arc::new(UnionNode {
+                parents: vec![self.node.clone(), other.node.clone()],
+            }),
+        }
+    }
+
+    /// Memoise partition results (Spark `.cache()`).
+    pub fn cache(&self) -> Rdd<T> {
+        let n = self.node.num_partitions();
+        Rdd {
+            node: Arc::new(CacheNode {
+                parent: self.node.clone(),
+                slots: (0..n).map(|_| Mutex::new(None)).collect(),
+            }),
+        }
+    }
+
+    /// Action: evaluate all partitions in parallel and concatenate.
+    pub fn collect(&self) -> Vec<T> {
+        let n = self.node.num_partitions();
+        let node = self.node.clone();
+        parallel_map_indexed(n, default_threads(n), move |p| node.compute(p))
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+
+    pub fn count(&self) -> usize {
+        let n = self.node.num_partitions();
+        let node = self.node.clone();
+        parallel_map_indexed(n, default_threads(n), move |p| node.compute(p).len())
+            .into_iter()
+            .sum()
+    }
+
+    /// Action: associative reduction across all elements. Returns `None`
+    /// for an empty RDD.
+    pub fn reduce(&self, f: impl Fn(T, T) -> T + Send + Sync) -> Option<T> {
+        let n = self.node.num_partitions();
+        let node = self.node.clone();
+        let partials: Vec<Option<T>> = parallel_map_indexed(n, default_threads(n), |p| {
+            node.compute(p).into_iter().reduce(&f)
+        });
+        partials.into_iter().flatten().reduce(&f)
+    }
+
+    /// Action: fold with a per-partition zero (like Spark's `fold`, the
+    /// zero must be neutral).
+    pub fn fold<A: Clone + Send + Sync>(
+        &self,
+        zero: A,
+        f: impl Fn(A, T) -> A + Send + Sync,
+        combine: impl Fn(A, A) -> A,
+    ) -> A {
+        let n = self.node.num_partitions();
+        let node = self.node.clone();
+        let zero2 = zero.clone();
+        let partials: Vec<A> = parallel_map_indexed(n, default_threads(n), move |p| {
+            node.compute(p).into_iter().fold(zero2.clone(), &f)
+        });
+        partials.into_iter().fold(zero, combine)
+    }
+}
+
+impl<K, V> Rdd<(K, V)>
+where
+    K: Clone + Eq + Hash + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    /// Wide transformation: merge values per key with `f` across the whole
+    /// dataset, producing `num_out` hash partitions.
+    pub fn reduce_by_key_with_partitions(
+        &self,
+        num_out: usize,
+        f: impl Fn(V, V) -> V + Send + Sync + 'static,
+    ) -> Rdd<(K, V)> {
+        assert!(num_out >= 1);
+        Rdd {
+            node: Arc::new(ShuffleReduce {
+                parent: self.node.clone(),
+                reducer: Arc::new(f),
+                num_out,
+                buckets: OnceLock::new(),
+            }),
+        }
+    }
+
+    pub fn reduce_by_key(&self, f: impl Fn(V, V) -> V + Send + Sync + 'static) -> Rdd<(K, V)> {
+        self.reduce_by_key_with_partitions(self.node.num_partitions(), f)
+    }
+
+    /// Action: collect into a `HashMap` (keys must be unique post-reduce).
+    pub fn collect_as_map(&self) -> HashMap<K, V> {
+        self.collect().into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn ctx() -> SparkContext {
+        SparkContext::new(4)
+    }
+
+    #[test]
+    fn map_filter_collect_matches_iterators() {
+        let sc = ctx();
+        let rdd = sc.parallelize((0..100i64).collect(), 7);
+        let got = rdd.map(|x| x * 3).filter(|x| x % 2 == 0).collect();
+        let want: Vec<i64> = (0..100).map(|x| x * 3).filter(|x| x % 2 == 0).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn flat_map_expands() {
+        let sc = ctx();
+        let rdd = sc.parallelize(vec!["a b", "c", "d e f"], 2);
+        let words = rdd
+            .flat_map(|s| s.split(' ').map(str::to_owned).collect::<Vec<_>>())
+            .collect();
+        assert_eq!(words, vec!["a", "b", "c", "d", "e", "f"]);
+    }
+
+    #[test]
+    fn count_and_reduce() {
+        let sc = ctx();
+        let rdd = sc.parallelize((1..=100u64).collect(), 9);
+        assert_eq!(rdd.count(), 100);
+        assert_eq!(rdd.reduce(|a, b| a + b), Some(5050));
+    }
+
+    #[test]
+    fn reduce_empty_is_none() {
+        let sc = ctx();
+        let rdd = sc.parallelize(Vec::<u32>::new(), 3);
+        assert_eq!(rdd.reduce(|a, b| a + b), None);
+        assert_eq!(rdd.count(), 0);
+    }
+
+    #[test]
+    fn fold_sums() {
+        let sc = ctx();
+        let rdd = sc.parallelize((1..=10i64).collect(), 3);
+        let s = rdd.fold(0i64, |acc, x| acc + x, |a, b| a + b);
+        assert_eq!(s, 55);
+    }
+
+    #[test]
+    fn word_count_via_reduce_by_key() {
+        let sc = ctx();
+        let text = vec!["a b a", "b a", "c"];
+        let counts = sc
+            .parallelize(text, 2)
+            .flat_map(|l| l.split(' ').map(str::to_owned).collect::<Vec<_>>())
+            .map(|w| (w, 1u64))
+            .reduce_by_key(|a, b| a + b)
+            .collect_as_map();
+        assert_eq!(counts["a"], 3);
+        assert_eq!(counts["b"], 2);
+        assert_eq!(counts["c"], 1);
+    }
+
+    #[test]
+    fn reduce_by_key_partition_count() {
+        let sc = ctx();
+        let rdd = sc
+            .parallelize((0..1000u64).map(|i| (i % 10, 1u64)).collect(), 8)
+            .reduce_by_key_with_partitions(3, |a, b| a + b);
+        assert_eq!(rdd.num_partitions(), 3);
+        let m = rdd.collect_as_map();
+        assert_eq!(m.len(), 10);
+        assert!(m.values().all(|&v| v == 100));
+    }
+
+    #[test]
+    fn union_concatenates() {
+        let sc = ctx();
+        let a = sc.parallelize(vec![1, 2], 2);
+        let b = sc.parallelize(vec![3, 4, 5], 2);
+        let u = a.union(&b);
+        assert_eq!(u.num_partitions(), 4);
+        assert_eq!(u.collect(), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn cache_computes_each_partition_once() {
+        static CALLS: AtomicUsize = AtomicUsize::new(0);
+        let sc = ctx();
+        let rdd = sc
+            .parallelize((0..40u64).collect(), 4)
+            .map(|x| {
+                CALLS.fetch_add(1, Ordering::Relaxed);
+                x * 2
+            })
+            .cache();
+        let a = rdd.collect();
+        let calls_after_first = CALLS.load(Ordering::Relaxed);
+        let b = rdd.collect();
+        let calls_after_second = CALLS.load(Ordering::Relaxed);
+        assert_eq!(a, b);
+        assert_eq!(calls_after_first, 40);
+        assert_eq!(calls_after_second, 40, "cache must prevent recompute");
+    }
+
+    #[test]
+    fn lineage_recomputes_without_cache() {
+        static CALLS: AtomicUsize = AtomicUsize::new(0);
+        let sc = ctx();
+        let rdd = sc.parallelize((0..10u64).collect(), 2).map(|x| {
+            CALLS.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        rdd.collect();
+        rdd.collect();
+        assert_eq!(CALLS.load(Ordering::Relaxed), 20);
+    }
+
+    #[test]
+    fn iterative_kmeans_like_loop_converges() {
+        // Tiny end-to-end sanity: mean of clustered points via RDD ops.
+        let sc = ctx();
+        let points: Vec<(f64, f64)> = (0..200)
+            .map(|i| {
+                if i % 2 == 0 {
+                    (0.0 + (i as f64 % 5.0) * 0.01, 0.0)
+                } else {
+                    (10.0 + (i as f64 % 5.0) * 0.01, 10.0)
+                }
+            })
+            .collect();
+        let rdd = sc.parallelize(points, 8).cache();
+        let mut centroids = vec![(1.0, 1.0), (9.0, 9.0)];
+        for _ in 0..5 {
+            let c = centroids.clone();
+            let sums = rdd
+                .map(move |p| {
+                    let d0 = (p.0 - c[0].0).powi(2) + (p.1 - c[0].1).powi(2);
+                    let d1 = (p.0 - c[1].0).powi(2) + (p.1 - c[1].1).powi(2);
+                    let k = usize::from(d1 < d0);
+                    (k, (p.0, p.1, 1u64))
+                })
+                .reduce_by_key(|a, b| (a.0 + b.0, a.1 + b.1, a.2 + b.2))
+                .collect_as_map();
+            for (k, (sx, sy, n)) in sums {
+                centroids[k] = (sx / n as f64, sy / n as f64);
+            }
+        }
+        assert!(centroids[0].0 < 1.0 && centroids[1].0 > 9.0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests of YARN resource accounting under random app workloads.
+
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use rp_hpc::{Cluster, MachineSpec, NodeId};
+use rp_sim::{Engine, SimDuration};
+use rp_yarn::{ResourceRequest, YarnCluster, YarnConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any mix of apps/containers/hold-times: per-node free never exceeds
+    /// total, everything completes, and the cluster returns to fully free.
+    #[test]
+    fn vcores_and_memory_always_balance(
+        apps in prop::collection::vec(
+            (1u32..4, 1u64..4, 1u64..20), // (containers, vcores each, hold seconds)
+            1..12,
+        ),
+    ) {
+        let mut e = Engine::new(1);
+        let cluster = Cluster::new(MachineSpec::localhost());
+        let nodes: Vec<NodeId> = cluster.node_ids().collect();
+        let yarn = YarnCluster::start(&mut e, &cluster, &nodes, YarnConfig::test_profile());
+        let finished = Rc::new(RefCell::new(0usize));
+        let n_apps = apps.len();
+        for (i, (containers, vcores, hold)) in apps.into_iter().enumerate() {
+            let f = finished.clone();
+            yarn.submit_app(
+                &mut e,
+                format!("a{i}"),
+                ResourceRequest::new(1, 1024),
+                move |eng, am| {
+                    let held = Rc::new(RefCell::new(Vec::new()));
+                    for _ in 0..containers {
+                        let am2 = am.clone();
+                        let held = held.clone();
+                        let f = f.clone();
+                        am.request_container(
+                            eng,
+                            ResourceRequest::new(vcores as u32, 1024),
+                            move |eng, c| {
+                                held.borrow_mut().push(c.id);
+                                if held.borrow().len() == containers as usize {
+                                    let am3 = am2.clone();
+                                    let held2 = held.clone();
+                                    let f = f.clone();
+                                    eng.schedule_in(
+                                        SimDuration::from_secs(hold),
+                                        move |eng| {
+                                            for id in held2.borrow().iter() {
+                                                am3.release_container(eng, *id);
+                                            }
+                                            am3.finish(eng);
+                                            *f.borrow_mut() += 1;
+                                        },
+                                    );
+                                }
+                            },
+                        );
+                    }
+                },
+            );
+        }
+        // Drive with a step bound: must drain without eternal ticks.
+        let mut steps = 0u64;
+        while e.step() {
+            steps += 1;
+            prop_assert!(steps < 3_000_000, "engine never drained");
+            let s = yarn.cluster_state();
+            prop_assert!(s.available.vcores <= s.total.vcores);
+            prop_assert!(s.available.mem_mb <= s.total.mem_mb);
+            for (_, total, free) in &s.per_node {
+                prop_assert!(free.vcores <= total.vcores);
+                prop_assert!(free.mem_mb <= total.mem_mb);
+            }
+        }
+        prop_assert_eq!(*finished.borrow(), n_apps);
+        let s = yarn.cluster_state();
+        prop_assert_eq!(s.available.vcores, s.total.vcores);
+        prop_assert_eq!(s.available.mem_mb, s.total.mem_mb);
+        prop_assert_eq!(s.containers_running, 0);
+    }
+
+    /// Random preemptions mid-flight never corrupt accounting.
+    #[test]
+    fn preemption_preserves_accounting(
+        preempt_batches in prop::collection::vec(1usize..4, 1..5),
+    ) {
+        let mut e = Engine::new(2);
+        let cluster = Cluster::new(MachineSpec::localhost());
+        let nodes: Vec<NodeId> = cluster.node_ids().collect();
+        let yarn = YarnCluster::start(&mut e, &cluster, &nodes, YarnConfig::test_profile());
+        // One long-lived app holding several preemptible containers that
+        // always re-request on loss.
+        yarn.submit_app(&mut e, "resilient", ResourceRequest::new(1, 1024), {
+            let yarn2 = yarn.clone();
+            move |eng, am| {
+                fn hold(
+                    eng: &mut Engine,
+                    am: rp_yarn::AmHandle,
+                    yarn: YarnCluster,
+                ) {
+                    let am2 = am.clone();
+                    let yarn2 = yarn.clone();
+                    am.request_container_preemptible(
+                        eng,
+                        ResourceRequest::new(1, 1024),
+                        move |eng, _lost| {
+                            // Re-request on preemption.
+                            hold(eng, am2.clone(), yarn2.clone());
+                        },
+                        |_, _| {},
+                    );
+                }
+                for _ in 0..6 {
+                    hold(eng, am.clone(), yarn2.clone());
+                }
+            }
+        });
+        e.run_until(rp_sim::SimTime::from_secs_f64(5.0));
+        for n in preempt_batches {
+            yarn.preempt(&mut e, n);
+            let now = e.now();
+            e.run_until(rp_sim::SimTime(now.0 + 2_000_000));
+            let s = yarn.cluster_state();
+            prop_assert!(s.available.vcores <= s.total.vcores);
+        }
+        // Tear down; accounting must return to clean.
+        let s = yarn.cluster_state();
+        let used = s.total.vcores - s.available.vcores;
+        prop_assert!(used >= 1, "AM still alive");
+    }
+}

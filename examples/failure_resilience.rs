@@ -1,0 +1,112 @@
+//! Failure resilience across the stack: an HDFS DataNode re-replication,
+//! a YARN NodeManager crash with the unit restarting on a surviving node,
+//! and a batch-job hardware failure surfacing as a failed pilot.
+//!
+//! ```text
+//! cargo run --example failure_resilience
+//! ```
+
+use hadoop_hpc::hdfs::StoragePolicy;
+use hadoop_hpc::pilot::*;
+use hadoop_hpc::sim::{Engine, SimDuration, SimTime};
+
+fn main() {
+    let mut engine = Engine::with_trace(31);
+    let session = Session::new(SessionConfig::default());
+    let pm = PilotManager::new(&session);
+
+    // ---- Mode I pilot with HDFS on 4 nodes ----
+    let pilot = pm
+        .submit(
+            &mut engine,
+            PilotDescription::new("xsede.stampede", 4, SimDuration::from_secs(4 * 3600))
+                .with_access(AccessMode::YarnModeI { with_hdfs: true }),
+        )
+        .expect("pilot");
+    while pilot.state() != PilotState::Active {
+        assert!(engine.step());
+    }
+    let env = pilot.agent().unwrap().hadoop_env().unwrap();
+    let hdfs = env.hdfs.clone().unwrap();
+    println!("pilot active at {} on 4 nodes", engine.now());
+
+    // ---- 1. DataNode failure → automatic re-replication ----
+    hdfs.create_synthetic("/data/traj", 512 * 1024 * 1024, StoragePolicy::Default)
+        .unwrap();
+    let victim_dn = hdfs.datanodes()[3];
+    hdfs.fail_datanode(&mut engine, victim_dn, move |eng, lost| {
+        println!(
+            "datanode {victim_dn} failed at {}; re-replication done, {} blocks lost",
+            eng.now(),
+            lost.len()
+        );
+    });
+    engine.run_until(SimTime::from_secs_f64(engine.now().as_secs_f64() + 120.0));
+    let fully_replicated = hdfs
+        .block_locations("/data/traj")
+        .unwrap()
+        .iter()
+        .all(|b| b.replicas.len() == 3 && !b.replicas.contains(&victim_dn));
+    println!("all blocks back at replication 3: {fully_replicated}");
+
+    // ---- 2. NodeManager crash mid-unit → preemption restart ----
+    let mut um = UnitManager::new(&session, UmScheduler::Direct);
+    um.add_pilot(&pilot);
+    let units = um.submit_units(
+        &mut engine,
+        vec![ComputeUnitDescription::new(
+            "long-task",
+            1,
+            WorkSpec::Sleep(SimDuration::from_secs(120)),
+        )],
+    );
+    while units[0].state() != UnitState::Executing {
+        assert!(engine.step());
+    }
+    let exec_node = units[0].exec_nodes()[0];
+    println!(
+        "unit executing on {exec_node} at {} — failing that NodeManager…",
+        engine.now()
+    );
+    let lost = env.yarn.fail_node(&mut engine, exec_node);
+    println!("{} container(s) lost; agent re-requests elsewhere", lost.len());
+    while !units[0].state().is_final() {
+        assert!(engine.step());
+    }
+    println!(
+        "unit finished as {:?} on {:?} at {}",
+        units[0].state(),
+        units[0].exec_nodes(),
+        engine.now()
+    );
+    assert_eq!(units[0].state(), UnitState::Done);
+    assert_ne!(units[0].exec_nodes()[0], exec_node);
+
+    // ---- 3. Batch-level hardware failure → pilot Failed ----
+    let doomed = pm
+        .submit(
+            &mut engine,
+            PilotDescription::new("xsede.stampede", 2, SimDuration::from_secs(3600)),
+        )
+        .unwrap();
+    while doomed.state() != PilotState::Active {
+        assert!(engine.step());
+    }
+    let machine = session.machine(&mut engine, "xsede.stampede").unwrap();
+    // Fail the underlying batch job the way a node fault would.
+    let job_id = hadoop_hpc::hpc::JobId(1); // the second placeholder job
+    machine.batch.fail_job(&mut engine, job_id);
+    engine.run_until(SimTime::from_secs_f64(engine.now().as_secs_f64() + 10.0));
+    println!("\nsecond pilot after injected batch failure: {:?}", doomed.state());
+    assert_eq!(doomed.state(), PilotState::Failed);
+
+    pm.cancel(&mut engine, &pilot);
+    engine.run();
+    println!("\n-- failure-related trace lines --");
+    for e in engine.trace.events() {
+        if e.message.contains("fail") || e.message.contains("preempt") || e.message.contains("re-request")
+        {
+            println!("{:>10} [{:<6}] {}", format!("{}", e.time), e.category, e.message);
+        }
+    }
+}

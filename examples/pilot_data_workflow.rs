@@ -1,0 +1,136 @@
+//! Pilot-Data + data-aware scheduling across two machines: ingest a
+//! dataset onto Wrangler's storage, register reference data on Stampede,
+//! then let the DataAware Unit-Manager route analysis units to the pilot
+//! co-located with their bytes — remote dependencies are pulled over the
+//! inter-site network automatically.
+//!
+//! ```text
+//! cargo run --example pilot_data_workflow
+//! ```
+
+use hadoop_hpc::pilot::*;
+use hadoop_hpc::sim::{Engine, SimDuration};
+
+fn main() {
+    let mut engine = Engine::with_trace(77);
+    let session = Session::new(SessionConfig::default());
+
+    // ---- storage leases on both machines ----
+    let dp_wrangler = DataPilot::submit(
+        &mut engine,
+        &session,
+        DataPilotDescription {
+            resource: "xsede.wrangler".into(),
+            capacity_bytes: 1 << 40,
+            backend: DataPilotBackend::Lustre,
+        },
+    )
+    .expect("lease wrangler storage");
+    let dp_stampede = DataPilot::submit(
+        &mut engine,
+        &session,
+        DataPilotDescription {
+            resource: "xsede.stampede".into(),
+            capacity_bytes: 1 << 40,
+            backend: DataPilotBackend::Lustre,
+        },
+    )
+    .expect("lease stampede storage");
+
+    // ---- register data units ----
+    // 20 GB of trajectories ingested from campus storage onto Wrangler.
+    let trajectories = dp_wrangler
+        .submit_data_unit(
+            &mut engine,
+            DataUnitDescription::new("trajectories")
+                .with_file("gen0.dcd", 10_000_000_000)
+                .with_file("gen1.dcd", 10_000_000_000)
+                .from_remote(200.0),
+            |eng, du| {
+                println!("{:?} ingested at {}", du, eng.now());
+            },
+        )
+        .expect("register trajectories");
+    // Small force-field reference data already on Stampede.
+    let forcefield = dp_stampede
+        .submit_data_unit(
+            &mut engine,
+            DataUnitDescription::new("forcefield").with_file("ff.xml", 5_000_000),
+            |_, _| {},
+        )
+        .expect("register forcefield");
+    engine.run();
+
+    // ---- compute pilots on both machines ----
+    let pm = PilotManager::new(&session);
+    let p_stampede = pm
+        .submit(
+            &mut engine,
+            PilotDescription::new("xsede.stampede", 2, SimDuration::from_secs(4 * 3600)),
+        )
+        .unwrap();
+    let p_wrangler = pm
+        .submit(
+            &mut engine,
+            PilotDescription::new("xsede.wrangler", 2, SimDuration::from_secs(4 * 3600)),
+        )
+        .unwrap();
+    let mut um = UnitManager::new(&session, UmScheduler::DataAware);
+    um.add_pilot(&p_stampede);
+    um.add_pilot(&p_wrangler);
+
+    // ---- analysis units follow their data ----
+    let units = um.submit_units(
+        &mut engine,
+        (0..6)
+            .map(|i| {
+                ComputeUnitDescription::new(
+                    format!("analysis-{i}"),
+                    8,
+                    WorkSpec::Compute {
+                        core_seconds: 1_200.0,
+                        read_mb: 2_000.0,
+                        write_mb: 100.0,
+                        io: UnitIoTarget::Lustre,
+                    },
+                )
+                .with_data(trajectories.clone())
+                .with_data(forcefield.clone())
+            })
+            .collect(),
+    );
+    for u in &units {
+        println!(
+            "{} scheduled onto pilot {:?} ({} B would be remote elsewhere)",
+            u.name(),
+            u.pilot().unwrap(),
+            remote_bytes(&u.description().data_deps, "xsede.stampede"),
+        );
+    }
+    while units.iter().any(|u| !u.state().is_final()) {
+        assert!(engine.step());
+    }
+    println!("\nall analyses done at {}", engine.now());
+    for u in units.iter().take(2) {
+        let t = u.times();
+        println!(
+            "{}: startup {} · exec {} on {:?}",
+            u.name(),
+            t.startup_time().unwrap(),
+            t.execution_time().unwrap(),
+            u.exec_nodes()
+        );
+    }
+    assert!(
+        units.iter().all(|u| u.pilot() == Some(p_wrangler.id())),
+        "DataAware scheduling must follow the 20 GB, not the 5 MB"
+    );
+    pm.cancel(&mut engine, &p_stampede);
+    pm.cancel(&mut engine, &p_wrangler);
+    engine.run();
+
+    println!("\n-- pilot-data trace --");
+    for e in engine.trace.in_category("pilot-data") {
+        println!("{:>10} {}", format!("{}", e.time), e.message);
+    }
+}

@@ -1,0 +1,114 @@
+//! SAGA-Hadoop (paper §III-A, Fig. 2): spawn a YARN cluster inside an
+//! HPC allocation with the light-weight tool (no Pilot machinery), submit
+//! an application, watch its status, stop the cluster — then the same
+//! with the Spark framework plugin.
+//!
+//! ```text
+//! cargo run --example saga_hadoop
+//! ```
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use hadoop_hpc::hpc::{BatchSystem, Cluster, MachineSpec};
+use hadoop_hpc::saga::{start_cluster, Framework, FrameworkHandle, JobService, SagaUrl};
+use hadoop_hpc::sim::{Engine, SimDuration};
+use hadoop_hpc::spark::SparkConfig;
+use hadoop_hpc::yarn::{ResourceRequest, YarnConfig};
+
+fn main() {
+    let mut engine = Engine::with_trace(7);
+    let batch = BatchSystem::new(Cluster::new(MachineSpec::stampede()));
+    let service = JobService::connect(SagaUrl::parse("slurm://stampede/normal").unwrap(), batch)
+        .expect("adaptor matches machine");
+
+    // ---- 1. Start a YARN cluster on 3 nodes ----
+    let cluster_slot = Rc::new(RefCell::new(None));
+    let slot = cluster_slot.clone();
+    start_cluster(
+        &mut engine,
+        &service,
+        Framework::Yarn {
+            config: YarnConfig::default(),
+            with_hdfs: true,
+        },
+        3,
+        SimDuration::from_secs(3600),
+        move |_, mc| *slot.borrow_mut() = Some(mc),
+    );
+    while cluster_slot.borrow().is_none() {
+        assert!(engine.step());
+    }
+    let mc = cluster_slot.borrow_mut().take().unwrap();
+    println!(
+        "YARN cluster up on {} nodes after {} (incl. batch queue + bootstrap)",
+        mc.allocation.nodes.len(),
+        mc.startup_time
+    );
+
+    // ---- 2./3. Submit an application and poll its state ----
+    if let FrameworkHandle::Yarn(env) = &mc.framework {
+        let state = env.yarn.cluster_state();
+        println!(
+            "cluster state: {} vcores / {} MB available, {} apps running",
+            state.available.vcores, state.available.mem_mb, state.apps_running
+        );
+        let done = Rc::new(RefCell::new(false));
+        let d = done.clone();
+        env.yarn.submit_app(
+            &mut engine,
+            "wordcount",
+            ResourceRequest::new(1, 1536),
+            move |eng, am| {
+                let am2 = am.clone();
+                am.request_container(eng, ResourceRequest::new(4, 4096), move |eng, c| {
+                    // "run" the app for 30 s of virtual time.
+                    let am3 = am2.clone();
+                    let d = d.clone();
+                    eng.schedule_in(SimDuration::from_secs(30), move |eng| {
+                        am3.release_container(eng, c.id);
+                        am3.finish(eng);
+                        *d.borrow_mut() = true;
+                    });
+                });
+            },
+        );
+        while !*done.borrow() {
+            assert!(engine.step());
+        }
+        println!("application finished at {}", engine.now());
+    }
+
+    // ---- 4. Stop the cluster ----
+    mc.stop(&mut engine);
+    engine.run();
+    println!("YARN cluster stopped; batch job {:?}\n", mc.job_state());
+
+    // ---- Same lifecycle with the Spark plugin ----
+    let spark_slot = Rc::new(RefCell::new(None));
+    let slot = spark_slot.clone();
+    start_cluster(
+        &mut engine,
+        &service,
+        Framework::Spark {
+            config: SparkConfig::default(),
+        },
+        2,
+        SimDuration::from_secs(3600),
+        move |_, mc| *slot.borrow_mut() = Some(mc),
+    );
+    while spark_slot.borrow().is_none() {
+        assert!(engine.step());
+    }
+    let mc = spark_slot.borrow_mut().take().unwrap();
+    if let FrameworkHandle::Spark(spark) = &mc.framework {
+        println!(
+            "Spark standalone cluster up after {} ({} executor cores)",
+            mc.startup_time,
+            spark.total_cores()
+        );
+    }
+    mc.stop(&mut engine);
+    engine.run();
+    println!("Spark cluster stopped; batch job {:?}", mc.job_state());
+}

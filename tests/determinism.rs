@@ -1,0 +1,98 @@
+//! Bit-reproducibility of full-stack runs: the headline guarantee of the
+//! deterministic simulation core.
+
+use hadoop_hpc::analytics::{
+    fig6_session_config, run_rp_kmeans, run_rp_yarn_kmeans, KMeansCalibration, SCENARIOS,
+};
+use hadoop_hpc::pilot::*;
+use hadoop_hpc::sim::{Engine, SimDuration, SimTime};
+
+/// A full mixed workload; returns every unit's (startup, done) pair.
+fn mixed_run(seed: u64) -> Vec<(SimTime, SimTime)> {
+    let mut e = Engine::new(seed);
+    let session = Session::new(SessionConfig::test_profile());
+    let pm = PilotManager::new(&session);
+    let pilot = pm
+        .submit(
+            &mut e,
+            PilotDescription::new("xsede.stampede", 2, SimDuration::from_secs(7200))
+                .with_access(AccessMode::YarnModeI { with_hdfs: true }),
+        )
+        .unwrap();
+    let mut um = UnitManager::new(&session, UmScheduler::Direct);
+    um.add_pilot(&pilot);
+    let units = um.submit_units(
+        &mut e,
+        (0..12)
+            .map(|i| {
+                ComputeUnitDescription::new(
+                    format!("u{i}"),
+                    1 + (i % 4),
+                    WorkSpec::Compute {
+                        core_seconds: 30.0 + i as f64,
+                        read_mb: 5.0 * i as f64,
+                        write_mb: 2.0 * i as f64,
+                        io: if i % 2 == 0 {
+                            UnitIoTarget::Lustre
+                        } else {
+                            UnitIoTarget::LocalDisk
+                        },
+                    },
+                )
+            })
+            .collect(),
+    );
+    while units.iter().any(|u| !u.state().is_final()) {
+        assert!(e.step());
+    }
+    units
+        .iter()
+        .map(|u| {
+            let t = u.times();
+            (t.exec_start.unwrap(), t.done.unwrap())
+        })
+        .collect()
+}
+
+#[test]
+fn same_seed_same_timeline() {
+    assert_eq!(mixed_run(42), mixed_run(42));
+}
+
+#[test]
+fn different_seeds_different_timelines() {
+    assert_ne!(mixed_run(42), mixed_run(43));
+}
+
+#[test]
+fn fig6_runners_are_deterministic() {
+    let cal = KMeansCalibration {
+        core_s_per_pair: 2.4e-6, // shrunk for test speed
+        ..KMeansCalibration::default()
+    };
+    let rp = |seed: u64| {
+        let mut e = Engine::new(seed);
+        let session = Session::new(fig6_session_config());
+        run_rp_kmeans(&mut e, &session, "xsede.stampede", 16, SCENARIOS[1], &cal)
+            .time_to_completion
+    };
+    assert_eq!(rp(7).to_bits(), rp(7).to_bits());
+    let yarn = |seed: u64| {
+        let mut e = Engine::new(seed);
+        let session = Session::new(fig6_session_config());
+        run_rp_yarn_kmeans(&mut e, &session, "xsede.wrangler", 16, SCENARIOS[1], &cal)
+            .time_to_completion
+    };
+    assert_eq!(yarn(9).to_bits(), yarn(9).to_bits());
+}
+
+#[test]
+fn native_analytics_are_seed_deterministic() {
+    use hadoop_hpc::analytics::{gaussian_blobs, lloyd};
+    let a = lloyd(&gaussian_blobs(10_000, 6, 2.0, 5), 6, 4);
+    let b = lloyd(&gaussian_blobs(10_000, 6, 2.0, 5), 6, 4);
+    // Thread scheduling must not change the result (order-independent
+    // merge of partial sums).
+    assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+    assert_eq!(a.centroids, b.centroids);
+}

@@ -1,0 +1,150 @@
+//! Pilot-Data integration: data-aware unit placement across machines and
+//! WAN staging of non-co-located dependencies.
+
+use hadoop_hpc::pilot::*;
+use hadoop_hpc::sim::{Engine, SimDuration};
+
+fn drive(engine: &mut Engine, units: &[UnitHandle]) {
+    while units.iter().any(|u| !u.state().is_final()) {
+        assert!(engine.step(), "engine drained early");
+    }
+}
+
+#[test]
+fn data_aware_scheduler_follows_the_bytes() {
+    let mut e = Engine::new(1);
+    let session = Session::new(SessionConfig::test_profile());
+
+    // Data pilots on both machines; the big dataset lives on Wrangler.
+    let dp_s = DataPilot::submit(
+        &mut e,
+        &session,
+        DataPilotDescription {
+            resource: "xsede.stampede".into(),
+            capacity_bytes: 1 << 40,
+            backend: DataPilotBackend::Lustre,
+        },
+    )
+    .unwrap();
+    let dp_w = DataPilot::submit(
+        &mut e,
+        &session,
+        DataPilotDescription {
+            resource: "xsede.wrangler".into(),
+            capacity_bytes: 1 << 40,
+            backend: DataPilotBackend::Lustre,
+        },
+    )
+    .unwrap();
+    let small = dp_s
+        .submit_data_unit(
+            &mut e,
+            DataUnitDescription::new("params").with_file("cfg", 1_000_000),
+            |_, _| {},
+        )
+        .unwrap();
+    let big = dp_w
+        .submit_data_unit(
+            &mut e,
+            DataUnitDescription::new("trajectory").with_file("traj.dcd", 5_000_000_000),
+            |_, _| {},
+        )
+        .unwrap();
+    e.run();
+    assert_eq!(big.state(), DataUnitState::Ready);
+
+    // Compute pilots on both machines.
+    let pm = PilotManager::new(&session);
+    let p_s = pm
+        .submit(&mut e, PilotDescription::new("xsede.stampede", 1, SimDuration::from_secs(7200)))
+        .unwrap();
+    let p_w = pm
+        .submit(&mut e, PilotDescription::new("xsede.wrangler", 1, SimDuration::from_secs(7200)))
+        .unwrap();
+    let mut um = UnitManager::new(&session, UmScheduler::DataAware);
+    um.add_pilot(&p_s);
+    um.add_pilot(&p_w);
+
+    // A unit depending on both datasets must follow the 5 GB, not the 1 MB.
+    let units = um.submit_units(
+        &mut e,
+        vec![ComputeUnitDescription::new(
+            "analysis",
+            1,
+            WorkSpec::Sleep(SimDuration::from_secs(5)),
+        )
+        .with_data(small.clone())
+        .with_data(big.clone())],
+    );
+    assert_eq!(units[0].pilot(), Some(p_w.id()), "unit must follow the bytes");
+    drive(&mut e, &units);
+    assert_eq!(units[0].state(), UnitState::Done);
+
+    // Dependency-free units fall back to load balancing (either pilot).
+    let free = um.submit_units(
+        &mut e,
+        vec![ComputeUnitDescription::new(
+            "free",
+            1,
+            WorkSpec::Sleep(SimDuration::from_secs(1)),
+        )],
+    );
+    assert!(free[0].pilot().is_some());
+    drive(&mut e, &free);
+}
+
+#[test]
+fn remote_dependency_pays_wan_staging() {
+    let run = |co_located: bool| {
+        let mut e = Engine::new(2);
+        let session = Session::new(SessionConfig::test_profile());
+        let dp = DataPilot::submit(
+            &mut e,
+            &session,
+            DataPilotDescription {
+                resource: if co_located {
+                    "xsede.stampede".into()
+                } else {
+                    "xsede.wrangler".into()
+                },
+                capacity_bytes: 1 << 40,
+                backend: DataPilotBackend::Lustre,
+            },
+        )
+        .unwrap();
+        let du = dp
+            .submit_data_unit(
+                &mut e,
+                // 2 GB: ~20 s over the 100 MB/s inter-site link.
+                DataUnitDescription::new("d").with_file("x", 2_000_000_000),
+                |_, _| {},
+            )
+            .unwrap();
+        e.run();
+        let pm = PilotManager::new(&session);
+        // Pilot always on Stampede; only the data location varies.
+        let pilot = pm
+            .submit(&mut e, PilotDescription::new("xsede.stampede", 1, SimDuration::from_secs(7200)))
+            .unwrap();
+        let mut um = UnitManager::new(&session, UmScheduler::Direct);
+        um.add_pilot(&pilot);
+        let units = um.submit_units(
+            &mut e,
+            vec![ComputeUnitDescription::new(
+                "u",
+                1,
+                WorkSpec::Sleep(SimDuration::from_secs(1)),
+            )
+            .with_data(du)],
+        );
+        drive(&mut e, &units);
+        assert_eq!(units[0].state(), UnitState::Done);
+        units[0].times().total_time().unwrap().as_secs_f64()
+    };
+    let local = run(true);
+    let remote = run(false);
+    assert!(
+        remote > local + 15.0,
+        "remote dep must add ~20 s of WAN staging: local {local}, remote {remote}"
+    );
+}

@@ -1,0 +1,246 @@
+//! Property-based tests (proptest) of core invariants across the stack.
+
+use proptest::prelude::*;
+
+use hadoop_hpc::hdfs::split_blocks;
+use hadoop_hpc::mapreduce::{partition_of, run_local, Emitter};
+use hadoop_hpc::sim::{Engine, FairLink, SimDuration, SimTime};
+use hadoop_hpc::spark::SparkContext;
+
+// ---- fair-share bandwidth model ----
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every flow completes, bytes are conserved, and the link never
+    /// finishes earlier than physically possible (total/capacity).
+    #[test]
+    fn fairlink_conserves_bytes_and_respects_capacity(
+        sizes in prop::collection::vec(1.0f64..5e6, 1..24),
+        capacity in 1e3f64..1e8,
+        starts in prop::collection::vec(0u64..5_000_000, 1..24),
+    ) {
+        let n = sizes.len().min(starts.len());
+        let sizes = &sizes[..n];
+        let starts = &starts[..n];
+        let mut e = Engine::new(1);
+        let link = FairLink::new("p", capacity);
+        let done = std::rc::Rc::new(std::cell::RefCell::new(0usize));
+        for (&bytes, &start) in sizes.iter().zip(starts) {
+            let link = link.clone();
+            let done = done.clone();
+            e.schedule_at(SimTime(start), move |eng| {
+                let done = done.clone();
+                link.transfer(eng, bytes, f64::INFINITY, move |_| {
+                    *done.borrow_mut() += 1;
+                });
+            });
+        }
+        let end = e.run();
+        prop_assert_eq!(*done.borrow(), n);
+        let total: f64 = sizes.iter().sum();
+        prop_assert!((link.total_bytes() - total).abs() < total * 1e-6 + 1.0);
+        // Lower bound: last start + remaining work at full capacity can't
+        // beat total/capacity from t=0.
+        let min_end = total / capacity;
+        prop_assert!(end.as_secs_f64() + 1e-6 >= min_end.min(end.as_secs_f64() + 1.0) - 1e-6);
+        // Busy time never exceeds the makespan.
+        prop_assert!(link.busy_time().as_secs_f64() <= end.as_secs_f64() + 1e-9);
+    }
+
+    /// The engine executes events in non-decreasing time order regardless
+    /// of insertion order.
+    #[test]
+    fn engine_event_order_is_monotone(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut e = Engine::new(1);
+        let seen = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        for &t in &times {
+            let seen = seen.clone();
+            e.schedule_at(SimTime(t), move |eng| seen.borrow_mut().push(eng.now()));
+        }
+        e.run();
+        let seen = seen.borrow();
+        prop_assert_eq!(seen.len(), times.len());
+        for w in seen.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+    }
+
+    // ---- HDFS block math ----
+
+    #[test]
+    fn split_blocks_partitions_exactly(size in 0u64..1u64<<40, block in 1u64..1u64<<30) {
+        let blocks = split_blocks(size, block);
+        prop_assert_eq!(blocks.iter().sum::<u64>(), size);
+        prop_assert!(blocks.iter().all(|&b| b <= block));
+        // Only the last block may be partial.
+        for &b in &blocks[..blocks.len().saturating_sub(1)] {
+            prop_assert_eq!(b, block);
+        }
+    }
+
+    // ---- MapReduce ----
+
+    #[test]
+    fn partitioner_in_range(keys in prop::collection::vec(any::<i64>(), 1..100), parts in 1usize..32) {
+        for k in &keys {
+            prop_assert!(partition_of(k, parts) < parts);
+        }
+    }
+
+    /// Native MapReduce word count == sequential HashMap reference, for
+    /// arbitrary inputs, split counts and reducer counts.
+    #[test]
+    fn mapreduce_matches_sequential_reference(
+        words in prop::collection::vec("[a-d]{1,3}", 0..200),
+        splits in 1usize..8,
+        reducers in 1usize..6,
+    ) {
+        // Reference.
+        let mut expect = std::collections::HashMap::<String, u64>::new();
+        for w in &words {
+            *expect.entry(w.clone()).or_default() += 1;
+        }
+        // MapReduce over arbitrary split boundaries.
+        let chunk = words.len().div_ceil(splits).max(1);
+        let split_input: Vec<Vec<(u64, String)>> = words
+            .chunks(chunk)
+            .map(|c| c.iter().cloned().enumerate().map(|(i, w)| (i as u64, w)).collect())
+            .collect();
+        let out = run_local(
+            split_input,
+            &|_k: u64, w: String, e: &mut Emitter<String, u64>| e.emit(w, 1),
+            None,
+            &|k: String, vs: Vec<u64>, out: &mut Vec<(String, u64)>| {
+                out.push((k, vs.into_iter().sum()))
+            },
+            reducers,
+        );
+        let got: std::collections::HashMap<String, u64> = out.into_iter().flatten().collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    // ---- RDD engine ----
+
+    /// map/filter on the RDD engine ≡ the same pipeline on iterators.
+    #[test]
+    fn rdd_matches_iterator_semantics(
+        xs in prop::collection::vec(any::<i32>(), 0..500),
+        parts in 1usize..9,
+    ) {
+        let sc = SparkContext::new(parts);
+        let got = sc
+            .parallelize(xs.clone(), parts)
+            .map(|x| x.wrapping_mul(3))
+            .filter(|x| x % 2 == 0)
+            .collect();
+        let want: Vec<i32> = xs.iter().map(|x| x.wrapping_mul(3)).filter(|x| x % 2 == 0).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// reduce_by_key sums match a HashMap fold for arbitrary pairs.
+    #[test]
+    fn rdd_reduce_by_key_matches_reference(
+        pairs in prop::collection::vec((0u8..16, 1u64..100), 0..300),
+        parts in 1usize..6,
+    ) {
+        let sc = SparkContext::new(parts);
+        let got = sc
+            .parallelize(pairs.clone(), parts)
+            .reduce_by_key(|a, b| a + b)
+            .collect_as_map();
+        let mut want = std::collections::HashMap::<u8, u64>::new();
+        for (k, v) in &pairs {
+            *want.entry(*k).or_default() += v;
+        }
+        prop_assert_eq!(got, want);
+    }
+
+    // ---- K-Means ----
+
+    /// Lloyd cost is monotonically non-increasing in the iteration count.
+    #[test]
+    fn kmeans_cost_monotone(seed in 0u64..50, k in 1usize..6) {
+        let pts = hadoop_hpc::analytics::gaussian_blobs(600, k.max(2), 3.0, seed);
+        let mut last = f64::INFINITY;
+        for iters in 1..5u32 {
+            let r = hadoop_hpc::analytics::lloyd(&pts, k, iters);
+            prop_assert!(r.cost <= last + 1e-6, "iters {}: {} > {}", iters, r.cost, last);
+            last = r.cost;
+        }
+    }
+
+    // ---- counted resources ----
+
+    /// Tokens never go negative or above capacity under arbitrary
+    /// acquire/release interleavings driven through the engine.
+    #[test]
+    fn tokens_stay_in_bounds(ops in prop::collection::vec((1u64..5, 1u64..100), 1..50)) {
+        use hadoop_hpc::sim::Tokens;
+        let mut e = Engine::new(1);
+        let t = Tokens::new(8);
+        for (n, delay) in ops {
+            let t2 = t.clone();
+            let n = n.min(8);
+            t.acquire(&mut e, n, move |eng| {
+                let t3 = t2.clone();
+                eng.schedule_in(SimDuration::from_millis(delay), move |eng| {
+                    t3.release(eng, n);
+                });
+            });
+        }
+        e.run();
+        prop_assert_eq!(t.available(), 8);
+        prop_assert_eq!(t.waiting(), 0);
+    }
+}
+
+// ---- batch scheduler: no oversubscription under random job streams ----
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn batch_never_oversubscribes(jobs in prop::collection::vec((1u32..5, 5u64..200, 0u64..100), 1..30)) {
+        use hadoop_hpc::hpc::{BatchSystem, Cluster, JobRequest, MachineSpec};
+        let mut spec = MachineSpec::localhost();
+        spec.submit_latency_s = (0.0, 0.0);
+        let total_nodes = spec.nodes as i64;
+        let batch = BatchSystem::new(Cluster::new(spec));
+        let mut e = Engine::new(1);
+        let in_use = std::rc::Rc::new(std::cell::RefCell::new(0i64));
+        let peak = std::rc::Rc::new(std::cell::RefCell::new(0i64));
+        for (nodes, wall, submit_at) in jobs {
+            let b = batch.clone();
+            let in_use2 = in_use.clone();
+            let peak2 = peak.clone();
+            e.schedule_at(SimTime::from_secs_f64(submit_at as f64), move |eng| {
+                let in_use3 = in_use2.clone();
+                let in_use4 = in_use2.clone();
+                let peak3 = peak2.clone();
+                b.submit_with_end(
+                    eng,
+                    JobRequest {
+                        name: "j".into(),
+                        nodes,
+                        walltime: SimDuration::from_secs(wall),
+                    },
+                    move |_, alloc| {
+                        let mut u = in_use3.borrow_mut();
+                        *u += alloc.nodes.len() as i64;
+                        let mut p = peak3.borrow_mut();
+                        *p = (*p).max(*u);
+                    },
+                    move |_, _| {
+                        // Approximation: all our jobs end via walltime and
+                        // held their full allocation until then.
+                        *in_use4.borrow_mut() -= nodes as i64;
+                    },
+                );
+            });
+        }
+        e.run();
+        prop_assert!(*peak.borrow() <= total_nodes, "peak {} > {}", peak.borrow(), total_nodes);
+        prop_assert_eq!(*in_use.borrow(), 0);
+    }
+}
