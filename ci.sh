@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Local CI: release build, full test suite, lints, and a fixed-seed
+# fault-matrix smoke run (3 seeds x 3 intensities through the
+# fault_injection example). Everything runs offline.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test (workspace)"
+cargo test --workspace -q
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> fault-matrix smoke (3 seeds x 3 intensities)"
+for seed in 1 2 3; do
+    for intensity in 2 6 12; do
+        echo "--- seed=$seed intensity=$intensity"
+        cargo run --release -q --example fault_injection "$seed" "$intensity" \
+            | tail -n +2 | head -n 3
+    done
+done
+
+echo "==> OK"

@@ -1,7 +1,6 @@
 //! Seeded synthetic datasets for the analytics workloads.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rp_sim::SimRng;
 
 /// A point in 3-D space (the paper's K-Means operates on 3-D points).
 pub type Point3 = [f64; 3];
@@ -10,13 +9,13 @@ pub type Point3 = [f64; 3];
 /// Deterministic for a given seed.
 pub fn gaussian_blobs(n: usize, k: usize, spread: f64, seed: u64) -> Vec<Point3> {
     assert!(k >= 1 && n >= 1);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SimRng::new(seed);
     let centers: Vec<Point3> = (0..k)
         .map(|_| {
             [
-                rng.gen_range(-100.0..100.0),
-                rng.gen_range(-100.0..100.0),
-                rng.gen_range(-100.0..100.0),
+                rng.uniform(-100.0, 100.0),
+                rng.uniform(-100.0, 100.0),
+                rng.uniform(-100.0, 100.0),
             ]
         })
         .collect();
@@ -44,13 +43,13 @@ pub struct Frame {
 /// the property trajectory analyses depend on).
 pub fn md_trajectory(atoms: usize, frames: usize, step: f64, seed: u64) -> Vec<Frame> {
     assert!(atoms >= 1 && frames >= 1);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SimRng::new(seed);
     let mut current: Vec<Point3> = (0..atoms)
         .map(|_| {
             [
-                rng.gen_range(-10.0..10.0),
-                rng.gen_range(-10.0..10.0),
-                rng.gen_range(-10.0..10.0),
+                rng.uniform(-10.0, 10.0),
+                rng.uniform(-10.0, 10.0),
+                rng.uniform(-10.0, 10.0),
             ]
         })
         .collect();
@@ -90,14 +89,14 @@ impl Graph {
 /// Erdős–Rényi-style random graph with ~`avg_degree` mean degree.
 pub fn random_graph(nodes: usize, avg_degree: f64, seed: u64) -> Graph {
     assert!(nodes >= 2);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SimRng::new(seed);
     let p = (avg_degree / (nodes as f64 - 1.0)).clamp(0.0, 1.0);
     let mut adj = vec![Vec::new(); nodes];
     // Sample edges u<v with probability p via geometric skipping.
     for u in 0..nodes as u32 {
         let mut v = u + 1;
         while (v as usize) < nodes {
-            if rng.gen_bool(p) {
+            if rng.chance(p) {
                 adj[u as usize].push(v);
                 adj[v as usize].push(u);
             }
@@ -120,11 +119,8 @@ pub fn complete_graph(n: usize) -> Graph {
     Graph { adj }
 }
 
-fn normal(rng: &mut StdRng) -> f64 {
-    // Box–Muller (matches rp-sim's approach; avoids rand_distr).
-    let u1: f64 = 1.0 - rng.gen::<f64>();
-    let u2: f64 = rng.gen();
-    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+fn normal(rng: &mut SimRng) -> f64 {
+    rng.standard_normal()
 }
 
 #[cfg(test)]

@@ -1,7 +1,7 @@
 //! K-Means: the paper's benchmark workload, in four shapes.
 //!
 //! This module holds the *native* parallel Lloyd kernel (real compute,
-//! crossbeam threads) plus MapReduce and RDD formulations; the simulated
+//! scoped threads) plus MapReduce and RDD formulations; the simulated
 //! pilot-orchestrated variants used for Fig. 6 live in
 //! [`crate::scenarios`].
 

@@ -10,13 +10,13 @@
 //! Launch Method, and completion flows back through the coordination
 //! store.
 
-use std::cell::RefCell;
-use std::collections::{BTreeMap, VecDeque};
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::rc::Rc;
 
 use rp_hpc::{Allocation, IoKind, NodeId, StorageTarget};
 use rp_saga::filetransfer::{transfer, Endpoint};
-use rp_sim::{Engine, SimDuration};
+use rp_sim::{Engine, FaultKind, SimDuration};
 use rp_spark::SparkCluster;
 use rp_yarn::{
     bootstrap_mode_i, connect_mode_ii, AmHandle, HadoopEnv, Resource, ResourceRequest,
@@ -40,6 +40,7 @@ pub(crate) enum RuntimeAccess {
 }
 
 /// Where a scheduled unit runs.
+#[derive(Clone)]
 enum Placement {
     /// Plain execution on agent-managed core slots: (node, cores) pairs,
     /// plus the unit's memory demand for pressure accounting.
@@ -52,6 +53,19 @@ enum Placement {
     Yarn { vcores: u32, mem_mb: u64 },
     /// Through the pilot's Spark cluster (cores reserved).
     Spark { cores: u32 },
+}
+
+/// Continuation of a staging phase: `ok == false` means an injected
+/// staging error exhausted the unit's retry budget.
+type StagingDone = Box<dyn FnOnce(&mut Engine, bool)>;
+
+/// A unit the agent currently owns resources for (staging, spawner queue
+/// or executing). The `alive` flag lets the recovery path invalidate an
+/// attempt's pending continuations without being able to cancel them.
+struct ActiveRun {
+    unit: UnitHandle,
+    placement: Placement,
+    alive: Rc<Cell<bool>>,
 }
 
 struct AgentInner {
@@ -71,10 +85,24 @@ struct AgentInner {
     spark_inflight_cores: u32,
     queue: VecDeque<UnitHandle>,
     /// Units staged and waiting for the (serial) Task Spawner.
-    spawn_queue: VecDeque<(UnitHandle, Placement)>,
+    spawn_queue: VecDeque<(UnitHandle, Placement, Rc<Cell<bool>>)>,
     spawner_busy: bool,
     running: usize,
     stopping: bool,
+    /// Nodes lost to injected crashes. Removed from the slot maps so the
+    /// scheduler never places new work there; `release` tolerates them.
+    dead_nodes: BTreeSet<NodeId>,
+    /// Compute-slowdown factors per node (>1 ⇒ slower), from injected
+    /// `NodeSlowdown` faults; applied to Compute work at launch time.
+    slowdown: BTreeMap<NodeId, f64>,
+    /// Pending injected staging errors: each one fails the next staging
+    /// directive once.
+    staging_faults: u32,
+    /// Live attempts owning agent resources, keyed by unit id. The
+    /// Heartbeat Monitor scans these for runs stranded on dead nodes.
+    active: BTreeMap<u64, ActiveRun>,
+    /// Set once any fault hit this pilot (crash detected, work requeued).
+    degraded: bool,
     /// Idle RADICAL-Pilot Application Masters kept for reuse (§III-C
     /// future-work optimization, enabled by `SessionConfig::am_reuse`).
     am_pool: Vec<AmHandle>,
@@ -143,6 +171,11 @@ impl Agent {
                     spawner_busy: false,
                     running: 0,
                     stopping: false,
+                    dead_nodes: BTreeSet::new(),
+                    slowdown: BTreeMap::new(),
+                    staging_faults: 0,
+                    active: BTreeMap::new(),
+                    degraded: false,
                     am_pool: Vec::new(),
                     framework_bootstrap,
                     units_completed: 0,
@@ -254,10 +287,24 @@ impl Agent {
             };
             eng.trace
                 .record(eng.now(), "agent", format!("{pilot:?} heartbeat"));
+            // The Heartbeat Monitor doubles as the failure detector: any
+            // run stranded on a dead node is requeued (or failed) now.
+            this.detect_dead_runs(eng);
             if still_busy {
                 this.ensure_heartbeat(eng);
             }
         });
+    }
+
+    /// Whether any injected fault hit this pilot (a crash was detected, a
+    /// container was killed, or work had to be requeued).
+    pub fn is_degraded(&self) -> bool {
+        self.inner.borrow().degraded
+    }
+
+    /// Nodes of the allocation lost to injected crashes.
+    pub fn dead_nodes(&self) -> Vec<NodeId> {
+        self.inner.borrow().dead_nodes.iter().copied().collect()
     }
 
     pub fn queued_units(&self) -> usize {
@@ -381,7 +428,20 @@ impl Agent {
     }
 
     fn begin_unit(&self, engine: &mut Engine, unit: UnitHandle, placement: Placement) {
-        self.inner.borrow_mut().running += 1;
+        let alive = Rc::new(Cell::new(true));
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.running += 1;
+            inner.active.insert(
+                unit.id().0,
+                ActiveRun {
+                    unit: unit.clone(),
+                    placement: placement.clone(),
+                    alive: alive.clone(),
+                },
+            );
+        }
+        unit.rec.borrow_mut().attempts += 1;
         unit.advance(engine, UnitState::StagingInput);
         let descr = unit.description();
         let mut directives = descr.input_staging;
@@ -414,9 +474,30 @@ impl Agent {
             _ => None,
         };
         let this = self.clone();
-        self.run_staging(engine, directives, primary, move |eng| {
-            this.enqueue_spawn(eng, unit, placement);
-        });
+        let u2 = unit.clone();
+        let alive2 = alive.clone();
+        self.run_staging(
+            engine,
+            directives,
+            primary,
+            unit,
+            Box::new(move |eng, ok| {
+                if !alive2.get() {
+                    // Killed while staging; the recovery path owns the unit.
+                    return;
+                }
+                if !ok {
+                    this.fail_and_release(eng, u2, placement, "input staging failed after retries");
+                    return;
+                }
+                if this.placement_lost(&placement) {
+                    // Node died under us mid-staging; the Heartbeat Monitor
+                    // will requeue this attempt.
+                    return;
+                }
+                this.enqueue_spawn(eng, u2, placement, alive2);
+            }),
+        );
     }
 
     /// The Task Spawner is a single serial worker (as in RADICAL-Pilot's
@@ -424,11 +505,17 @@ impl Agent {
     /// work itself runs concurrently. With many concurrent units this
     /// serialization is a first-order scaling cost of the plain pilot —
     /// one of the effects behind Fig. 6.
-    fn enqueue_spawn(&self, engine: &mut Engine, unit: UnitHandle, placement: Placement) {
+    fn enqueue_spawn(
+        &self,
+        engine: &mut Engine,
+        unit: UnitHandle,
+        placement: Placement,
+        alive: Rc<Cell<bool>>,
+    ) {
         self.inner
             .borrow_mut()
             .spawn_queue
-            .push_back((unit, placement));
+            .push_back((unit, placement, alive));
         self.drain_spawner(engine);
     }
 
@@ -438,28 +525,66 @@ impl Agent {
             if inner.spawner_busy {
                 return;
             }
-            match inner.spawn_queue.pop_front() {
-                Some(x) => {
-                    inner.spawner_busy = true;
-                    x
+            loop {
+                match inner.spawn_queue.pop_front() {
+                    // Attempts killed while queued are dropped unlaunched.
+                    Some((_, _, ref alive)) if !alive.get() => continue,
+                    Some(x) => {
+                        inner.spawner_busy = true;
+                        break x;
+                    }
+                    None => return,
                 }
-                None => return,
             }
         };
-        let (unit, placement) = next;
-        self.launch_unit(engine, unit, placement);
+        let (unit, placement, alive) = next;
+        self.launch_unit(engine, unit, placement, alive);
     }
 
-    /// Run staging directives sequentially.
+    /// Run staging directives sequentially. `done(engine, false)` fires if
+    /// an injected staging error exhausted the unit's retry budget;
+    /// otherwise each faulted directive is retried after capped
+    /// exponential backoff.
     fn run_staging(
         &self,
         engine: &mut Engine,
         mut directives: Vec<StagingDirective>,
         exec_node: Option<NodeId>,
-        done: impl FnOnce(&mut Engine) + 'static,
+        unit: UnitHandle,
+        done: StagingDone,
     ) {
         if directives.is_empty() {
-            engine.schedule_now(done);
+            engine.schedule_now(move |eng| done(eng, true));
+            return;
+        }
+        let faulted = {
+            let mut inner = self.inner.borrow_mut();
+            if inner.staging_faults > 0 {
+                inner.staging_faults -= 1;
+                inner.degraded = true;
+                true
+            } else {
+                false
+            }
+        };
+        if faulted {
+            let retry = unit.description().retry;
+            let attempts = unit.attempts();
+            engine.trace.record(
+                engine.now(),
+                "agent",
+                format!("{:?} staging directive faulted (attempt {attempts})", unit.id()),
+            );
+            if attempts >= retry.max_attempts {
+                engine.schedule_now(move |eng| done(eng, false));
+                return;
+            }
+            unit.rec.borrow_mut().attempts += 1;
+            let backoff = retry.backoff(attempts + 1);
+            let this = self.clone();
+            engine.schedule_in(backoff, move |eng| {
+                this.run_staging(eng, directives, exec_node, unit, done);
+            });
             return;
         }
         let d = directives.remove(0);
@@ -468,7 +593,7 @@ impl Agent {
         let to = self.resolve_endpoint(d.to, exec_node);
         let this = self.clone();
         transfer(engine, &cluster, from, to, d.bytes, move |eng| {
-            this.run_staging(eng, directives, exec_node, done);
+            this.run_staging(eng, directives, exec_node, unit, done);
         });
     }
 
@@ -489,7 +614,13 @@ impl Agent {
     }
 
     /// Task Spawner: pay exec-prep + launch overhead, then run the work.
-    fn launch_unit(&self, engine: &mut Engine, unit: UnitHandle, placement: Placement) {
+    fn launch_unit(
+        &self,
+        engine: &mut Engine,
+        unit: UnitHandle,
+        placement: Placement,
+        alive: Rc<Cell<bool>>,
+    ) {
         let (prep, method) = {
             let inner = self.inner.borrow();
             let (m, s) = inner.cfg.exec_prep_s;
@@ -518,8 +649,18 @@ impl Agent {
             // this unit's work executes.
             this.inner.borrow_mut().spawner_busy = false;
             this.drain_spawner(eng);
+            if !alive.get() {
+                // Killed during launch prep; the recovery path owns it.
+                return;
+            }
             match placement {
-                p @ Placement::Nodes { .. } => this.exec_on_nodes(eng, unit, p),
+                p @ Placement::Nodes { .. } => {
+                    if this.placement_lost(&p) {
+                        // Node crashed under us; the heartbeat requeues.
+                        return;
+                    }
+                    this.exec_on_nodes(eng, unit, p, alive)
+                }
                 Placement::Yarn { vcores, mem_mb } => {
                     this.exec_on_yarn(eng, unit, vcores, mem_mb)
                 }
@@ -530,7 +671,13 @@ impl Agent {
 
     // ---- plain execution ----
 
-    fn exec_on_nodes(&self, engine: &mut Engine, unit: UnitHandle, placement: Placement) {
+    fn exec_on_nodes(
+        &self,
+        engine: &mut Engine,
+        unit: UnitHandle,
+        placement: Placement,
+        alive: Rc<Cell<bool>>,
+    ) {
         let nodes = match &placement {
             Placement::Nodes { nodes, .. } => nodes.clone(),
             _ => unreachable!("exec_on_nodes requires node placement"),
@@ -540,6 +687,11 @@ impl Agent {
         let this = self.clone();
         let u2 = unit.clone();
         self.run_work(engine, &unit, &nodes, move |eng| {
+            if !alive.get() {
+                // Node crashed mid-run and the attempt was requeued; this
+                // stale completion must not double-finish the unit.
+                return;
+            }
             this.complete_unit(eng, u2, placement);
         });
     }
@@ -563,12 +715,14 @@ impl Agent {
         // Framework-placed containers may land outside the agent's own
         // allocation (Mode II dedicated nodes): those are not tracked by
         // the plain scheduler, so they carry no committed memory.
+        // Injected NodeSlowdown faults multiply in on top of pressure.
         let pressure = nodes
             .iter()
             .map(|&(n, _)| {
                 let committed = inner.committed_mem.get(&n).copied().unwrap_or(0) as f64;
                 let cap = cluster.spec().mem_per_node_mb as f64;
-                (committed / cap).max(1.0)
+                let slow = inner.slowdown.get(&n).copied().unwrap_or(1.0);
+                (committed / cap).max(1.0) * slow
             })
             .fold(1.0f64, f64::max);
         drop(inner);
@@ -719,16 +873,36 @@ impl Agent {
             let unit = unit.clone();
             move |eng: &mut Engine, container: rp_yarn::Container| {
                 alive_preempt.set(false);
+                let policy = unit.description().retry;
+                let attempts = unit.attempts();
+                if attempts >= policy.max_attempts {
+                    am.finish(eng);
+                    this.fail_and_release(
+                        eng,
+                        unit.clone(),
+                        Placement::Yarn { vcores, mem_mb },
+                        "container killed: no attempts left",
+                    );
+                    return;
+                }
+                unit.rec.borrow_mut().attempts += 1;
                 eng.trace.record(
                     eng.now(),
                     "agent",
                     format!(
-                        "{:?} lost {:?} to preemption; re-requesting",
+                        "{:?} lost {:?} to preemption; re-requesting (attempt {})",
                         unit.id(),
-                        container.id
+                        container.id,
+                        attempts + 1
                     ),
                 );
-                this.yarn_task_container(eng, am.clone(), req.clone(), unit.clone(), vcores, mem_mb);
+                let this2 = this.clone();
+                let am2 = am.clone();
+                let req2 = req.clone();
+                let u2 = unit.clone();
+                eng.schedule_in(policy.backoff(attempts + 1), move |eng| {
+                    this2.yarn_task_container(eng, am2, req2, u2, vcores, mem_mb);
+                });
             }
         };
         am.request_container_preemptible(engine, req, retry, move |eng, container| {
@@ -788,8 +962,12 @@ impl Agent {
                         Placement::Spark { cores: gate_cores },
                     ),
                     Err(e) => {
-                        u2.fail(eng, format!("spark job failed: {e}"));
-                        this.release(eng, Placement::Spark { cores: gate_cores });
+                        this.fail_and_release(
+                            eng,
+                            u2.clone(),
+                            Placement::Spark { cores: gate_cores },
+                            &format!("spark job failed: {e}"),
+                        );
                     }
                 }
             });
@@ -817,8 +995,12 @@ impl Agent {
                 });
             }
             Err(e) => {
-                unit.fail(eng, format!("spark submission failed: {e}"));
-                this.release(eng, Placement::Spark { cores: gate_cores });
+                this.fail_and_release(
+                    eng,
+                    unit.clone(),
+                    Placement::Spark { cores: gate_cores },
+                    &format!("spark submission failed: {e}"),
+                );
             }
         });
     }
@@ -826,20 +1008,33 @@ impl Agent {
     // ---- completion ----
 
     fn complete_unit(&self, engine: &mut Engine, unit: UnitHandle, placement: Placement) {
+        // The attempt survived execution; it no longer needs crash recovery.
+        self.inner.borrow_mut().active.remove(&unit.id().0);
         unit.advance(engine, UnitState::StagingOutput);
         let directives = unit.description().output_staging;
         let primary = unit.exec_nodes().first().copied();
         let this = self.clone();
-        self.run_staging(engine, directives, primary, move |eng| {
-            let store = this.inner.borrow().store.clone();
-            let u2 = unit.clone();
-            let this2 = this.clone();
-            store.roundtrip(eng, move |eng| {
-                u2.advance(eng, UnitState::Done);
-                this2.inner.borrow_mut().units_completed += 1;
-                this2.release(eng, placement);
-            });
-        });
+        let u2 = unit.clone();
+        self.run_staging(
+            engine,
+            directives,
+            primary,
+            unit,
+            Box::new(move |eng, ok| {
+                if !ok {
+                    u2.fail(eng, "output staging failed after retries");
+                    this.release(eng, placement);
+                    return;
+                }
+                let store = this.inner.borrow().store.clone();
+                let this2 = this.clone();
+                store.roundtrip(eng, move |eng| {
+                    u2.advance(eng, UnitState::Done);
+                    this2.inner.borrow_mut().units_completed += 1;
+                    this2.release(eng, placement);
+                });
+            }),
+        );
     }
 
     fn release(&self, engine: &mut Engine, placement: Placement) {
@@ -853,10 +1048,18 @@ impl Agent {
                     cores,
                 } => {
                     for (n, c) in nodes {
-                        *inner.free_cores.get_mut(&n).expect("node known") += c;
+                        // Crashed nodes were dropped from the slot maps;
+                        // their share of the placement is simply gone.
+                        if inner.dead_nodes.contains(&n) {
+                            continue;
+                        }
+                        if let Some(free) = inner.free_cores.get_mut(&n) {
+                            *free += c;
+                        }
                         let share = mem_mb * c as u64 / cores.max(1) as u64;
-                        let slot = inner.committed_mem.get_mut(&n).expect("node known");
-                        *slot = slot.saturating_sub(share);
+                        if let Some(slot) = inner.committed_mem.get_mut(&n) {
+                            *slot = slot.saturating_sub(share);
+                        }
                     }
                 }
                 Placement::Yarn { vcores, mem_mb } => {
@@ -869,6 +1072,243 @@ impl Agent {
             }
         }
         self.try_schedule(engine);
+    }
+
+    /// Drop an attempt's recovery record, fail the unit and free its slots.
+    fn fail_and_release(
+        &self,
+        engine: &mut Engine,
+        unit: UnitHandle,
+        placement: Placement,
+        reason: &str,
+    ) {
+        self.inner.borrow_mut().active.remove(&unit.id().0);
+        if !unit.state().is_final() {
+            unit.fail(engine, reason);
+        }
+        self.release(engine, placement);
+    }
+
+    /// Whether a plain placement references a node that has since crashed.
+    fn placement_lost(&self, placement: &Placement) -> bool {
+        let inner = self.inner.borrow();
+        match placement {
+            Placement::Nodes { nodes, .. } => {
+                nodes.iter().any(|(n, _)| inner.dead_nodes.contains(n))
+            }
+            _ => false,
+        }
+    }
+
+    // ---- fault injection & recovery ----
+
+    /// Map a fault plan's logical node index onto a real allocation node.
+    fn map_node(&self, idx: usize) -> Option<NodeId> {
+        let inner = self.inner.borrow();
+        if inner.alloc.nodes.is_empty() {
+            return None;
+        }
+        Some(inner.alloc.nodes[idx % inner.alloc.nodes.len()])
+    }
+
+    /// Entry point for the fault injector: apply one fault to this pilot.
+    pub fn apply_fault(&self, engine: &mut Engine, kind: &FaultKind) {
+        match kind {
+            FaultKind::NodeCrash { node } => {
+                if let Some(victim) = self.map_node(*node) {
+                    self.inject_node_crash(engine, victim);
+                }
+            }
+            FaultKind::NodeSlowdown {
+                node,
+                factor,
+                duration,
+            } => {
+                if let Some(victim) = self.map_node(*node) {
+                    {
+                        let mut inner = self.inner.borrow_mut();
+                        inner.slowdown.insert(victim, factor.max(1.0));
+                        inner.degraded = true;
+                    }
+                    engine.trace.record(
+                        engine.now(),
+                        "agent",
+                        format!("{victim:?} slowed {factor:.2}x for {duration}"),
+                    );
+                    let this = self.clone();
+                    engine.schedule_in(*duration, move |eng| {
+                        this.inner.borrow_mut().slowdown.remove(&victim);
+                        eng.trace
+                            .record(eng.now(), "agent", format!("{victim:?} speed restored"));
+                    });
+                }
+            }
+            FaultKind::ContainerKill { count } => {
+                self.inject_container_kill(engine, *count);
+            }
+            FaultKind::LinkDegrade { factor, duration } => {
+                let cluster = self.inner.borrow().machine.cluster.clone();
+                let link = cluster.lustre_link().clone();
+                let orig = link.capacity();
+                link.set_capacity(engine, (orig * factor).max(1.0));
+                self.inner.borrow_mut().degraded = true;
+                engine.trace.record(
+                    engine.now(),
+                    "agent",
+                    format!("lustre link degraded to {factor:.2}x for {duration}"),
+                );
+                engine.schedule_in(*duration, move |eng| {
+                    link.set_capacity(eng, orig);
+                    eng.trace
+                        .record(eng.now(), "agent", "lustre link capacity restored");
+                });
+            }
+            FaultKind::StagingError => {
+                self.inner.borrow_mut().staging_faults += 1;
+            }
+        }
+    }
+
+    /// Permanently lose a node: drop its slots, propagate to YARN/HDFS if
+    /// this pilot bootstrapped them (Mode I), and let the Heartbeat
+    /// Monitor requeue stranded work.
+    fn inject_node_crash(&self, engine: &mut Engine, victim: NodeId) {
+        let access = {
+            let mut inner = self.inner.borrow_mut();
+            if !inner.dead_nodes.insert(victim) {
+                return; // already dead
+            }
+            inner.free_cores.remove(&victim);
+            inner.committed_mem.remove(&victim);
+            inner.degraded = true;
+            inner.access.clone()
+        };
+        engine
+            .trace
+            .record(engine.now(), "agent", format!("{victim:?} crashed"));
+        if let RuntimeAccess::Yarn { env, mode_i: true } = &access {
+            // Mode I frameworks live on our allocation: the NodeManager
+            // (and DataNode) on the victim die with it.
+            env.yarn.fail_node(engine, victim);
+            if let Some(hdfs) = &env.hdfs {
+                if hdfs.datanodes().len() > 1 && hdfs.datanodes().contains(&victim) {
+                    hdfs.fail_datanode(engine, victim, |_, _| {});
+                }
+            }
+        }
+        self.ensure_heartbeat(engine);
+    }
+
+    /// Kill up to `count` running executions (preemption-style).
+    fn inject_container_kill(&self, engine: &mut Engine, count: usize) {
+        let is_yarn = {
+            let inner = self.inner.borrow();
+            matches!(inner.access, RuntimeAccess::Yarn { .. })
+        };
+        if is_yarn {
+            let env = match &self.inner.borrow().access {
+                RuntimeAccess::Yarn { env, .. } => env.clone(),
+                _ => unreachable!(),
+            };
+            let killed = env.yarn.preempt(engine, count);
+            if !killed.is_empty() {
+                self.inner.borrow_mut().degraded = true;
+            }
+            return;
+        }
+        // Plain pilot: kill running node-placed attempts, lowest id first
+        // (deterministic order).
+        let victims: Vec<u64> = {
+            let inner = self.inner.borrow();
+            inner
+                .active
+                .iter()
+                .filter(|(_, run)| {
+                    matches!(run.placement, Placement::Nodes { .. })
+                        && run.unit.state() == UnitState::Executing
+                })
+                .map(|(&id, _)| id)
+                .take(count)
+                .collect()
+        };
+        for id in victims {
+            self.kill_run(engine, id, "container killed");
+        }
+    }
+
+    /// Heartbeat-driven failure detector: requeue every active run whose
+    /// placement touches a dead node.
+    fn detect_dead_runs(&self, engine: &mut Engine) {
+        let stranded: Vec<u64> = {
+            let inner = self.inner.borrow();
+            if inner.dead_nodes.is_empty() {
+                return;
+            }
+            inner
+                .active
+                .iter()
+                .filter(|(_, run)| match &run.placement {
+                    Placement::Nodes { nodes, .. } => {
+                        nodes.iter().any(|(n, _)| inner.dead_nodes.contains(n))
+                    }
+                    _ => false,
+                })
+                .map(|(&id, _)| id)
+                .collect()
+        };
+        for id in stranded {
+            self.kill_run(engine, id, "node crashed");
+        }
+    }
+
+    /// Kill one active attempt: invalidate its continuations, free its
+    /// slots and either requeue it (after capped exponential backoff) or
+    /// fail it terminally once the retry budget is spent.
+    fn kill_run(&self, engine: &mut Engine, unit_id: u64, reason: &str) {
+        let run = {
+            let mut inner = self.inner.borrow_mut();
+            match inner.active.remove(&unit_id) {
+                Some(r) => r,
+                None => return,
+            }
+        };
+        run.alive.set(false);
+        self.inner.borrow_mut().degraded = true;
+        let unit = run.unit;
+        engine.trace.record(
+            engine.now(),
+            "agent",
+            format!("{:?} lost ({reason}); attempt {}", unit.id(), unit.attempts()),
+        );
+        self.release(engine, run.placement);
+        if unit.state().is_final() {
+            return;
+        }
+        let retry = unit.description().retry;
+        let attempts = unit.attempts();
+        if attempts >= retry.max_attempts {
+            unit.fail(
+                engine,
+                format!("{reason}: no attempts left ({attempts}/{})", retry.max_attempts),
+            );
+            return;
+        }
+        unit.advance(engine, UnitState::AgentScheduling);
+        let backoff = retry.backoff(attempts + 1);
+        let this = self.clone();
+        engine.schedule_in(backoff, move |eng| {
+            {
+                let mut inner = this.inner.borrow_mut();
+                if inner.stopping {
+                    drop(inner);
+                    unit.advance(eng, UnitState::Canceled);
+                    return;
+                }
+                inner.queue.push_back(unit);
+            }
+            this.try_schedule(eng);
+            this.ensure_heartbeat(eng);
+        });
     }
 }
 

@@ -130,6 +130,46 @@ impl std::fmt::Debug for WorkSpec {
     }
 }
 
+/// How many times a unit is re-run after a failure (node crash, container
+/// kill, staging error), and how long to wait between attempts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts including the first. 1 ⇒ fail on the first fault.
+    pub max_attempts: u32,
+    /// Delay before the first retry; doubles every further attempt.
+    pub backoff_base: SimDuration,
+    /// Upper bound on the exponential backoff.
+    pub backoff_cap: SimDuration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            backoff_base: SimDuration::from_secs(1),
+            backoff_cap: SimDuration::from_secs(60),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries at all: the first fault is terminal.
+    pub fn never() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Backoff before attempt number `attempt` (2 = first retry):
+    /// `base · 2^(attempt-2)`, capped.
+    pub fn backoff(&self, attempt: u32) -> SimDuration {
+        let shift = attempt.saturating_sub(2).min(32);
+        let raw = self.backoff_base.0.saturating_mul(1u64 << shift);
+        SimDuration(raw.min(self.backoff_cap.0))
+    }
+}
+
 /// Description of a Compute-Unit.
 #[derive(Debug, Clone)]
 pub struct ComputeUnitDescription {
@@ -149,6 +189,9 @@ pub struct ComputeUnitDescription {
     pub work: WorkSpec,
     pub input_staging: Vec<StagingDirective>,
     pub output_staging: Vec<StagingDirective>,
+    /// Failure-recovery policy applied by the agent when the unit's node
+    /// crashes, its container is killed, or a staging transfer faults.
+    pub retry: RetryPolicy,
 }
 
 impl ComputeUnitDescription {
@@ -162,7 +205,13 @@ impl ComputeUnitDescription {
             work,
             input_staging: Vec::new(),
             output_staging: Vec::new(),
+            retry: RetryPolicy::default(),
         }
+    }
+
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     pub fn with_memory(mut self, mem_mb: u64) -> Self {
@@ -228,6 +277,21 @@ mod tests {
         assert_eq!(pd.access, AccessMode::Plain);
         let pd = pd.with_access(AccessMode::YarnModeI { with_hdfs: true });
         assert!(matches!(pd.access, AccessMode::YarnModeI { .. }));
+    }
+
+    #[test]
+    fn retry_backoff_is_capped_exponential() {
+        let p = RetryPolicy {
+            max_attempts: 6,
+            backoff_base: SimDuration::from_secs(2),
+            backoff_cap: SimDuration::from_secs(10),
+        };
+        assert_eq!(p.backoff(2), SimDuration::from_secs(2));
+        assert_eq!(p.backoff(3), SimDuration::from_secs(4));
+        assert_eq!(p.backoff(4), SimDuration::from_secs(8));
+        assert_eq!(p.backoff(5), SimDuration::from_secs(10)); // capped
+        assert_eq!(p.backoff(6), SimDuration::from_secs(10));
+        assert_eq!(RetryPolicy::never().max_attempts, 1);
     }
 
     #[test]

@@ -1,0 +1,31 @@
+//! Bridge between the sim-core fault injector and the Pilot layer.
+//!
+//! [`install_faults`] wires a [`FaultPlan`] to a pilot: every scheduled
+//! fault is dispatched to the pilot's agent (once it is Active), which
+//! owns the recovery paths — dead-node detection via the Heartbeat
+//! Monitor, retry with capped exponential backoff, YARN/HDFS failure
+//! propagation for Mode I pilots.
+
+use rp_sim::{Engine, FaultInjector, FaultPlan};
+
+use crate::manager::PilotHandle;
+
+/// Install `plan` against `pilot` and return the injector (for fault
+/// counting or registering extra handlers). Faults that fire before the
+/// pilot's agent is up are dropped — a fault plan normally targets the
+/// workload phase, not bootstrap.
+pub fn install_faults(
+    engine: &mut Engine,
+    plan: &FaultPlan,
+    pilot: &PilotHandle,
+) -> FaultInjector {
+    let injector = FaultInjector::new();
+    let pilot = pilot.clone();
+    injector.on_fault(move |eng, kind| {
+        if let Some(agent) = pilot.agent() {
+            agent.apply_fault(eng, kind);
+        }
+    });
+    injector.install(engine, plan);
+    injector
+}

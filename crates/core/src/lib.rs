@@ -42,6 +42,7 @@ pub mod agent;
 pub mod coordination;
 pub mod data;
 pub mod description;
+pub mod fault;
 pub mod launch;
 pub mod manager;
 pub mod session;
@@ -55,9 +56,10 @@ pub use data::{
     DataUnitDescription, DataUnitId, DataUnitState, LogicalFile,
 };
 pub use description::{
-    AccessMode, ComputeUnitDescription, PilotDescription, StageEndpoint, StagingDirective,
-    UnitIoTarget, WorkSpec,
+    AccessMode, ComputeUnitDescription, PilotDescription, RetryPolicy, StageEndpoint,
+    StagingDirective, UnitIoTarget, WorkSpec,
 };
+pub use fault::install_faults;
 pub use launch::LaunchMethod;
 pub use manager::{PilotHandle, PilotManager, PilotTimestamps, UmScheduler, UnitManager};
 pub use session::{MachineHandle, PilotError, Session, SessionConfig};

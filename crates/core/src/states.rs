@@ -71,6 +71,10 @@ impl UnitState {
             (StagingInput, Executing) => true,
             (Executing, StagingOutput) => true,
             (StagingOutput, Done) => true,
+            // Failure-recovery retries: a unit whose node died mid-flight or
+            // whose staging transfer faulted goes back to the agent queue.
+            (StagingInput, AgentScheduling) => true,
+            (Executing, AgentScheduling) => true,
             (s, Canceled) | (s, Failed) => !s.is_final(),
             _ => false,
         }
@@ -183,6 +187,14 @@ mod tests {
             assert!(s.can_transition_to(PilotState::Canceled), "{s:?}");
         }
         assert!(!PilotState::Done.can_transition_to(PilotState::Canceled));
+    }
+
+    #[test]
+    fn retry_paths_are_legal() {
+        assert!(UnitState::Executing.can_transition_to(UnitState::AgentScheduling));
+        assert!(UnitState::StagingInput.can_transition_to(UnitState::AgentScheduling));
+        assert!(!UnitState::StagingOutput.can_transition_to(UnitState::AgentScheduling));
+        assert!(!UnitState::Done.can_transition_to(UnitState::AgentScheduling));
     }
 
     #[test]

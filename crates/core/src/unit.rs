@@ -57,6 +57,9 @@ pub(crate) struct UnitRecord {
     pub failure: Option<String>,
     /// Stats of the MapReduce job, for `WorkSpec::MapReduce` units.
     pub mr_stats: Option<rp_mapreduce::MrJobStats>,
+    /// Execution attempts started so far (1 on first launch; incremented
+    /// on every fault-triggered retry).
+    pub attempts: u32,
     waiters: Vec<DoneFn>,
 }
 
@@ -78,6 +81,7 @@ impl UnitHandle {
                 exec_nodes: Vec::new(),
                 failure: None,
                 mr_stats: None,
+                attempts: 0,
                 waiters: Vec::new(),
             })),
         }
@@ -116,6 +120,12 @@ impl UnitHandle {
     /// MapReduce job statistics (for `WorkSpec::MapReduce` units).
     pub fn mr_stats(&self) -> Option<rp_mapreduce::MrJobStats> {
         self.rec.borrow().mr_stats.clone()
+    }
+
+    /// Execution attempts started so far (>1 ⇒ the unit was retried after
+    /// an injected fault).
+    pub fn attempts(&self) -> u32 {
+        self.rec.borrow().attempts
     }
 
     pub fn description(&self) -> ComputeUnitDescription {

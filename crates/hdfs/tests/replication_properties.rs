@@ -1,27 +1,26 @@
-//! Property tests of HDFS replication invariants under random files and
-//! datanode failures.
+//! Property-style tests of HDFS replication invariants under random files
+//! and datanode failures, generated deterministically from `SimRng` seeds.
 
-use proptest::prelude::*;
 use std::cell::RefCell;
 use std::rc::Rc;
 
 use rp_hdfs::{Hdfs, HdfsConfig, StoragePolicy};
 use rp_hpc::{Cluster, MachineSpec, NodeId};
-use rp_sim::Engine;
+use rp_sim::{Engine, SimRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// After any single datanode failure: no replica lives on the dead
-    /// node, every block that had ≥2 replicas is back at full replication
-    /// (when a target exists), and exactly the single-replica blocks on
-    /// the dead node are lost.
-    #[test]
-    fn failure_rereplication_invariants(
-        sizes in prop::collection::vec(1u64..2_000_000_000, 1..6),
-        replication in 1u32..4,
-        victim_idx in 0usize..4,
-    ) {
+/// After any single datanode failure: no replica lives on the dead node,
+/// every block that had ≥2 replicas is back at full replication (when a
+/// target exists), and exactly the single-replica blocks on the dead node
+/// are lost.
+#[test]
+fn failure_rereplication_invariants() {
+    let mut rng = SimRng::new(0x2E91);
+    for case in 0..48 {
+        let n_files = rng.uniform_u64(1, 5) as usize;
+        let sizes: Vec<u64> =
+            (0..n_files).map(|_| rng.uniform_u64(1, 2_000_000_000)).collect();
+        let replication = rng.uniform_u64(1, 3) as u32;
+        let victim_idx = rng.uniform_u64(0, 3) as usize;
         let mut e = Engine::new(1);
         let cluster = Cluster::new(MachineSpec::localhost()); // 4 nodes
         let nodes: Vec<NodeId> = cluster.node_ids().collect();
@@ -54,29 +53,34 @@ proptest! {
         let mut lost = lost.borrow().clone().expect("callback fired");
         lost.sort_unstable();
         expect_lost.sort_unstable();
-        prop_assert_eq!(lost, expect_lost);
+        assert_eq!(lost, expect_lost, "case {case}");
 
         let effective = replication.min(n_nodes);
         for i in 0..sizes.len() {
             for b in fs.block_locations(&format!("/f{i}")).unwrap() {
-                prop_assert!(!b.replicas.contains(&victim), "replica on dead node");
+                assert!(!b.replicas.contains(&victim), "case {case}: replica on dead node");
                 let mut r = b.replicas.clone();
                 r.sort();
                 r.dedup();
-                prop_assert_eq!(r.len(), b.replicas.len(), "duplicate replicas");
+                assert_eq!(r.len(), b.replicas.len(), "case {case}: duplicate replicas");
                 if !b.replicas.is_empty() {
                     // Re-replicated back to min(replication, survivors).
                     let want = effective.min(n_nodes - 1) as usize;
-                    prop_assert_eq!(b.replicas.len(), want, "block {:?}", b);
+                    assert_eq!(b.replicas.len(), want, "case {case}: block {b:?}");
                 }
             }
         }
     }
+}
 
-    /// used_bytes equals the sum of replica bytes across the namespace,
-    /// before and after deletes.
-    #[test]
-    fn used_bytes_accounting(sizes in prop::collection::vec(1u64..500_000_000, 1..8)) {
+/// used_bytes equals the sum of replica bytes across the namespace, before
+/// and after deletes.
+#[test]
+fn used_bytes_accounting() {
+    let mut rng = SimRng::new(0x05EDB);
+    for case in 0..48 {
+        let n_files = rng.uniform_u64(1, 7) as usize;
+        let sizes: Vec<u64> = (0..n_files).map(|_| rng.uniform_u64(1, 500_000_000)).collect();
         let cluster = Cluster::new(MachineSpec::localhost());
         let nodes: Vec<NodeId> = cluster.node_ids().collect();
         let fs = Hdfs::attach(cluster, nodes, HdfsConfig::default());
@@ -91,7 +95,7 @@ proptest! {
                 .map(|b| b.size_bytes * b.replicas.len() as u64)
                 .sum::<u64>();
         }
-        prop_assert_eq!(fs.used_bytes(), expect);
+        assert_eq!(fs.used_bytes(), expect, "case {case}");
         // Delete every other file.
         for i in (0..sizes.len()).step_by(2) {
             let meta = fs.file_meta(&format!("/f{i}")).unwrap();
@@ -102,6 +106,6 @@ proptest! {
                 .sum::<u64>();
             fs.delete(&format!("/f{i}")).unwrap();
         }
-        prop_assert_eq!(fs.used_bytes(), expect);
+        assert_eq!(fs.used_bytes(), expect, "case {case}");
     }
 }

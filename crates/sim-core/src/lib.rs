@@ -12,6 +12,9 @@
 //! * [`tokens::Tokens`] — a FIFO counted resource for cores/slots/memory.
 //! * [`rng::SimRng`] — seeded randomness with the handful of distributions
 //!   latency models need.
+//! * [`fault::FaultPlan`] / [`fault::FaultInjector`] — deterministic fault
+//!   schedules (crashes, slowdowns, kills, link degradation, staging
+//!   errors) driven through the engine.
 //! * [`trace::Trace`], [`metrics`], [`stats`] — observability for tests,
 //!   examples and the experiment harness.
 //!
@@ -21,6 +24,7 @@
 //! pools.
 
 pub mod engine;
+pub mod fault;
 pub mod link;
 pub mod metrics;
 pub mod par;
@@ -31,6 +35,7 @@ pub mod tokens;
 pub mod trace;
 
 pub use engine::{Engine, EventId};
+pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan};
 pub use link::{FairLink, FlowId};
 pub use metrics::{Counter, Series};
 pub use rng::SimRng;

@@ -144,6 +144,21 @@ impl FairLink {
         self.fire_finished_and_reschedule(engine);
     }
 
+    /// Change the aggregate capacity mid-flight (fault injection: link
+    /// degradation and recovery). Progress under the old rates is applied
+    /// first, then rates and the next completion event are recomputed.
+    pub fn set_capacity(&self, engine: &mut Engine, capacity_bytes_per_sec: f64) {
+        assert!(capacity_bytes_per_sec > 0.0, "link capacity must be positive");
+        let now = engine.now();
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.advance(now);
+            inner.capacity = capacity_bytes_per_sec;
+            inner.recompute_rates();
+        }
+        self.fire_finished_and_reschedule(engine);
+    }
+
     /// Time a transfer of `bytes` would take on an otherwise-idle link.
     pub fn ideal_duration(&self, bytes: f64, per_flow_cap: f64) -> SimDuration {
         let rate = self.inner.borrow().capacity.min(per_flow_cap);
@@ -426,6 +441,26 @@ mod tests {
         });
         e.run();
         assert!((link.busy_time().as_secs_f64() - 7.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn set_capacity_degrades_and_restores_mid_flight() {
+        let mut e = Engine::new(1);
+        let link = FairLink::new("disk", 100.0);
+        let (log, mk) = done_log();
+        link.transfer(&mut e, 1000.0, f64::INFINITY, mk(0));
+        let l2 = link.clone();
+        e.schedule_in(SimDuration::from_secs(2), move |eng| {
+            l2.set_capacity(eng, 25.0); // 200 B done, 800 left at 25 B/s
+        });
+        let l3 = link.clone();
+        e.schedule_in(SimDuration::from_secs(10), move |eng| {
+            l3.set_capacity(eng, 100.0); // 600 left at 100 B/s → t = 16
+        });
+        e.run();
+        let log = log.borrow();
+        assert!((log[0].1.as_secs_f64() - 16.0).abs() < 0.01, "{}", log[0].1);
+        assert!((link.capacity() - 100.0).abs() < 1e-9);
     }
 
     #[test]

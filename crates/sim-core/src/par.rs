@@ -1,4 +1,4 @@
-//! Tiny data-parallel helpers over crossbeam scoped threads.
+//! Tiny data-parallel helpers over std scoped threads.
 //!
 //! The RDD engine executes partitions with these; they are also reused by
 //! the analytics kernels. Work is pulled from a shared index counter so
@@ -31,9 +31,10 @@ where
     }
     let next = AtomicUsize::new(0);
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    crossbeam::scope(|scope| {
+    // std::thread::scope joins all workers and propagates panics.
+    std::thread::scope(|scope| {
         for _ in 0..threads.min(n) {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
@@ -42,8 +43,7 @@ where
                 *results[i].lock().expect("result slot poisoned") = Some(r);
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
     results
         .into_iter()
         .map(|m| m.into_inner().expect("poisoned").expect("missing result"))

@@ -1,23 +1,36 @@
 //! Seeded randomness for stochastic latency/overhead models.
 //!
-//! Wraps a `rand` PRNG and adds the few distributions the simulator needs
-//! (normal via Box–Muller, lognormal, truncated variants) so that we do not
-//! pull in `rand_distr`.
+//! Self-contained PRNG (SplitMix64-seeded xoshiro256++) plus the few
+//! distributions the simulator needs (normal via Box–Muller, lognormal,
+//! truncated variants), so the workspace builds with no external crates.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+/// SplitMix64: used to expand a 64-bit seed into the xoshiro state (the
+/// construction recommended by the xoshiro authors).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// Deterministic random source used by every stochastic model in a run.
 pub struct SimRng {
-    inner: StdRng,
+    s: [u64; 4],
     /// Cached second value from Box–Muller.
     spare_normal: Option<f64>,
 }
 
 impl SimRng {
     pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
             spare_normal: None,
         }
     }
@@ -25,7 +38,28 @@ impl SimRng {
     /// Derive an independent child RNG (for splitting streams between
     /// components without coupling their consumption order).
     pub fn fork(&mut self) -> SimRng {
-        SimRng::new(self.inner.gen())
+        SimRng::new(self.next_u64())
+    }
+
+    /// Next raw 64-bit value (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform f64 in `[0, 1)` with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform in `[lo, hi)`.
@@ -34,23 +68,33 @@ impl SimRng {
         if lo == hi {
             return lo;
         }
-        self.inner.gen_range(lo..hi)
+        lo + (hi - lo) * self.next_f64()
     }
 
     /// Uniform integer in `[lo, hi]` inclusive.
     pub fn uniform_u64(&mut self, lo: u64, hi: u64) -> u64 {
-        self.inner.gen_range(lo..=hi)
+        assert!(lo <= hi, "uniform_u64: lo {lo} > hi {hi}");
+        let span = (hi - lo).wrapping_add(1);
+        if span == 0 {
+            // Full u64 range.
+            return self.next_u64();
+        }
+        lo + self.next_u64() % span
     }
 
     /// Pick an index in `[0, n)`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index: empty range");
-        self.inner.gen_range(0..n)
+        (self.next_u64() % n as u64) as usize
     }
 
     /// Bernoulli trial.
     pub fn chance(&mut self, p: f64) -> bool {
-        self.inner.gen_bool(p.clamp(0.0, 1.0))
+        let p = p.clamp(0.0, 1.0);
+        if p >= 1.0 {
+            return true;
+        }
+        self.next_f64() < p
     }
 
     /// Standard normal via Box–Muller.
@@ -59,8 +103,8 @@ impl SimRng {
             return z;
         }
         // Draw u1 in (0,1] to keep ln() finite.
-        let u1: f64 = 1.0 - self.inner.gen::<f64>();
-        let u2: f64 = self.inner.gen();
+        let u1: f64 = 1.0 - self.next_f64();
+        let u2: f64 = self.next_f64();
         let r = (-2.0 * u1.ln()).sqrt();
         let theta = 2.0 * std::f64::consts::PI * u2;
         self.spare_normal = Some(r * theta.sin());
@@ -84,13 +128,8 @@ impl SimRng {
 
     /// Exponential with the given mean.
     pub fn exponential(&mut self, mean: f64) -> f64 {
-        let u: f64 = 1.0 - self.inner.gen::<f64>();
+        let u: f64 = 1.0 - self.next_f64();
         -mean * u.ln()
-    }
-
-    /// Access to the raw `rand::Rng` for anything else.
-    pub fn raw(&mut self) -> &mut StdRng {
-        &mut self.inner
     }
 }
 
@@ -113,6 +152,27 @@ mod tests {
         let mut b = SimRng::new(2);
         let same = (0..32).filter(|_| a.uniform(0.0, 1.0) == b.uniform(0.0, 1.0)).count();
         assert!(same < 4);
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut r = SimRng::new(11);
+        for _ in 0..10_000 {
+            let x = r.uniform(2.0, 3.0);
+            assert!((2.0..3.0).contains(&x), "{x}");
+            let k = r.uniform_u64(5, 9);
+            assert!((5..=9).contains(&k), "{k}");
+            assert!(r.index(7) < 7);
+        }
+    }
+
+    #[test]
+    fn chance_extremes_are_exact() {
+        let mut r = SimRng::new(13);
+        for _ in 0..1000 {
+            assert!(r.chance(1.0));
+            assert!(!r.chance(0.0));
+        }
     }
 
     #[test]

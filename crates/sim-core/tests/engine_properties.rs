@@ -1,51 +1,51 @@
-//! Property tests of the simulation core: event-ordering/cancellation
-//! invariants, fair-link capacity/cap laws, and token accounting.
+//! Property-style tests of the simulation core: event-ordering/cancellation
+//! invariants, fair-link capacity/cap laws, and token accounting. Cases are
+//! generated deterministically from fixed `SimRng` seeds.
 
-use proptest::prelude::*;
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use rp_sim::{Engine, FairLink, SimDuration, SimTime, Tokens};
+use rp_sim::{Engine, FairLink, SimDuration, SimRng, SimTime, Tokens};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Cancelled events never fire; everything else fires exactly once.
-    #[test]
-    fn cancellation_is_exact(
-        times in prop::collection::vec(0u64..1_000_000, 1..100),
-        cancel_mask in prop::collection::vec(any::<bool>(), 1..100),
-    ) {
-        let n = times.len().min(cancel_mask.len());
+/// Cancelled events never fire; everything else fires exactly once.
+#[test]
+fn cancellation_is_exact() {
+    let mut rng = SimRng::new(0xCA9CE1);
+    for case in 0..64 {
+        let n = rng.uniform_u64(1, 99) as usize;
+        let times: Vec<u64> = (0..n).map(|_| rng.uniform_u64(0, 1_000_000)).collect();
+        let cancel_mask: Vec<bool> = (0..n).map(|_| rng.chance(0.5)).collect();
         let mut e = Engine::new(1);
         let fired = Rc::new(RefCell::new(vec![false; n]));
         let mut ids = Vec::new();
-        for (i, &t) in times[..n].iter().enumerate() {
+        for (i, &t) in times.iter().enumerate() {
             let fired = fired.clone();
             ids.push(e.schedule_at(SimTime(t), move |_| {
                 fired.borrow_mut()[i] = true;
             }));
         }
-        for (&id, &c) in ids.iter().zip(&cancel_mask[..n]) {
+        for (&id, &c) in ids.iter().zip(&cancel_mask) {
             if c {
                 e.cancel(id);
             }
         }
         e.run();
-        for (i, (&f, &c)) in fired.borrow().iter().zip(&cancel_mask[..n]).enumerate() {
-            prop_assert_eq!(f, !c, "event {}", i);
+        for (i, (&f, &c)) in fired.borrow().iter().zip(&cancel_mask).enumerate() {
+            assert_eq!(f, !c, "case {case} event {i}");
         }
     }
+}
 
-    /// A per-flow cap bounds each flow's completion from below by
-    /// bytes/cap, and a capped flow never beats an uncapped one of the
-    /// same size started at the same time.
-    #[test]
-    fn per_flow_caps_are_respected(
-        bytes in 1e3f64..1e7,
-        cap in 10.0f64..1e5,
-        capacity in 1e5f64..1e8,
-    ) {
+/// A per-flow cap bounds each flow's completion from below by bytes/cap,
+/// and a capped flow never beats an uncapped one of the same size started
+/// at the same time.
+#[test]
+fn per_flow_caps_are_respected() {
+    let mut rng = SimRng::new(0xF10CA9);
+    for case in 0..64 {
+        let bytes = rng.uniform(1e3, 1e7);
+        let cap = rng.uniform(10.0, 1e5);
+        let capacity = rng.uniform(1e5, 1e8);
         let mut e = Engine::new(1);
         let link = FairLink::new("p", capacity);
         let t_capped = Rc::new(RefCell::new(0.0));
@@ -61,18 +61,26 @@ proptest! {
         e.run();
         let capped = *t_capped.borrow();
         let free = *t_free.borrow();
-        prop_assert!(capped + 1e-6 >= bytes / cap.min(capacity), "capped too fast: {}", capped);
-        prop_assert!(free <= capped + 1e-6, "uncapped {} slower than capped {}", free, capped);
+        assert!(
+            capped + 1e-6 >= bytes / cap.min(capacity),
+            "case {case}: capped too fast: {capped}"
+        );
+        assert!(
+            free <= capped + 1e-6,
+            "case {case}: uncapped {free} slower than capped {capped}"
+        );
     }
+}
 
-    /// Makespan of N equal concurrent flows equals N·bytes/capacity when
-    /// uncapped (perfect fair sharing wastes nothing).
-    #[test]
-    fn fair_sharing_wastes_no_bandwidth(
-        n in 1usize..32,
-        bytes in 1e4f64..1e6,
-        capacity in 1e4f64..1e7,
-    ) {
+/// Makespan of N equal concurrent flows equals N·bytes/capacity when
+/// uncapped (perfect fair sharing wastes nothing).
+#[test]
+fn fair_sharing_wastes_no_bandwidth() {
+    let mut rng = SimRng::new(0x5A1212);
+    for case in 0..64 {
+        let n = rng.uniform_u64(1, 31) as usize;
+        let bytes = rng.uniform(1e4, 1e6);
+        let capacity = rng.uniform(1e4, 1e7);
         let mut e = Engine::new(1);
         let link = FairLink::new("p", capacity);
         for _ in 0..n {
@@ -80,15 +88,23 @@ proptest! {
         }
         let end = e.run().as_secs_f64();
         let ideal = n as f64 * bytes / capacity;
-        prop_assert!((end - ideal).abs() < ideal * 1e-3 + 1e-5, "end {} ideal {}", end, ideal);
+        assert!(
+            (end - ideal).abs() < ideal * 1e-3 + 1e-5,
+            "case {case}: end {end} ideal {ideal}"
+        );
     }
+}
 
-    /// Tokens: grants never exceed capacity at any instant, even under
-    /// random hold durations.
-    #[test]
-    fn token_grants_never_exceed_capacity(
-        requests in prop::collection::vec((1u64..6, 1u64..50), 1..40),
-    ) {
+/// Tokens: grants never exceed capacity at any instant, even under random
+/// hold durations.
+#[test]
+fn token_grants_never_exceed_capacity() {
+    let mut rng = SimRng::new(0x70CE25);
+    for case in 0..64 {
+        let n_req = rng.uniform_u64(1, 39) as usize;
+        let requests: Vec<(u64, u64)> = (0..n_req)
+            .map(|_| (rng.uniform_u64(1, 5), rng.uniform_u64(1, 49)))
+            .collect();
         let mut e = Engine::new(1);
         let cap = 6u64;
         let t = Tokens::new(cap);
@@ -114,18 +130,21 @@ proptest! {
             });
         }
         e.run();
-        prop_assert!(*peak.borrow() <= cap, "peak {} > {}", peak.borrow(), cap);
-        prop_assert_eq!(*outstanding.borrow(), 0);
-        prop_assert_eq!(t.available(), cap);
+        assert!(*peak.borrow() <= cap, "case {case}: peak {} > {cap}", peak.borrow());
+        assert_eq!(*outstanding.borrow(), 0, "case {case}");
+        assert_eq!(t.available(), cap, "case {case}");
     }
+}
 
-    /// run_until never executes events beyond the horizon, and a later
-    /// run() picks up exactly the rest.
-    #[test]
-    fn run_until_partitions_execution(
-        times in prop::collection::vec(0u64..1_000_000, 1..80),
-        horizon in 0u64..1_000_000,
-    ) {
+/// run_until never executes events beyond the horizon, and a later run()
+/// picks up exactly the rest.
+#[test]
+fn run_until_partitions_execution() {
+    let mut rng = SimRng::new(0x9A2717);
+    for case in 0..64 {
+        let n = rng.uniform_u64(1, 79) as usize;
+        let times: Vec<u64> = (0..n).map(|_| rng.uniform_u64(0, 1_000_000)).collect();
+        let horizon = rng.uniform_u64(0, 1_000_000);
         let mut e = Engine::new(1);
         let early = Rc::new(RefCell::new(0usize));
         let late = Rc::new(RefCell::new(0usize));
@@ -143,9 +162,9 @@ proptest! {
         }
         e.run_until(SimTime(horizon));
         let expected_early = times.iter().filter(|&&t| t <= horizon).count();
-        prop_assert_eq!(*early.borrow(), expected_early);
-        prop_assert_eq!(*late.borrow(), 0);
+        assert_eq!(*early.borrow(), expected_early, "case {case}");
+        assert_eq!(*late.borrow(), 0, "case {case}");
         e.run();
-        prop_assert_eq!(*early.borrow() + *late.borrow(), times.len());
+        assert_eq!(*early.borrow() + *late.borrow(), times.len(), "case {case}");
     }
 }

@@ -6,7 +6,7 @@
 //!   LRM drives (Master/Worker daemon starts, executor-core scheduling,
 //!   `stop-all.sh` teardown). Its latencies feed the Fig. 5 startup study.
 //! * [`rdd`] — a *native* mini-RDD engine (map / filter / flat_map /
-//!   reduce_by_key / cache / collect) that executes for real on crossbeam
+//!   reduce_by_key / cache / collect) that executes for real on scoped
 //!   threads; the analytics examples run on it.
 
 pub mod deploy;

@@ -5,7 +5,7 @@
 //! transformations (`map`, `filter`, `flat_map`, `map_partitions`), one wide
 //! transformation (`reduce_by_key`, which materialises a hash shuffle) and
 //! actions (`collect`, `count`, `reduce`, `fold`). Partitions evaluate in
-//! parallel on crossbeam threads; `cache()` memoises partition results the
+//! parallel on scoped threads; `cache()` memoises partition results the
 //! way Spark's storage layer retains RDDs in executor memory.
 
 use std::collections::HashMap;

@@ -1,31 +1,34 @@
-//! Property tests of YARN resource accounting under random app workloads.
+//! Property-style tests of YARN resource accounting under random app
+//! workloads, generated deterministically from fixed `SimRng` seeds.
 
-use proptest::prelude::*;
 use std::cell::RefCell;
 use std::rc::Rc;
 
 use rp_hpc::{Cluster, MachineSpec, NodeId};
-use rp_sim::{Engine, SimDuration};
+use rp_sim::{Engine, SimDuration, SimRng};
 use rp_yarn::{ResourceRequest, YarnCluster, YarnConfig};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Any mix of apps/containers/hold-times: per-node free never exceeds
-    /// total, everything completes, and the cluster returns to fully free.
-    #[test]
-    fn vcores_and_memory_always_balance(
-        apps in prop::collection::vec(
-            (1u32..4, 1u64..4, 1u64..20), // (containers, vcores each, hold seconds)
-            1..12,
-        ),
-    ) {
+/// Any mix of apps/containers/hold-times: per-node free never exceeds
+/// total, everything completes, and the cluster returns to fully free.
+#[test]
+fn vcores_and_memory_always_balance() {
+    let mut rng = SimRng::new(0xBA1A9CE);
+    for case in 0..32 {
+        let n_apps = rng.uniform_u64(1, 11) as usize;
+        let apps: Vec<(u32, u64, u64)> = (0..n_apps)
+            .map(|_| {
+                (
+                    rng.uniform_u64(1, 3) as u32, // containers
+                    rng.uniform_u64(1, 3),        // vcores each
+                    rng.uniform_u64(1, 19),       // hold seconds
+                )
+            })
+            .collect();
         let mut e = Engine::new(1);
         let cluster = Cluster::new(MachineSpec::localhost());
         let nodes: Vec<NodeId> = cluster.node_ids().collect();
         let yarn = YarnCluster::start(&mut e, &cluster, &nodes, YarnConfig::test_profile());
         let finished = Rc::new(RefCell::new(0usize));
-        let n_apps = apps.len();
         for (i, (containers, vcores, hold)) in apps.into_iter().enumerate() {
             let f = finished.clone();
             yarn.submit_app(
@@ -68,27 +71,31 @@ proptest! {
         let mut steps = 0u64;
         while e.step() {
             steps += 1;
-            prop_assert!(steps < 3_000_000, "engine never drained");
+            assert!(steps < 3_000_000, "case {case}: engine never drained");
             let s = yarn.cluster_state();
-            prop_assert!(s.available.vcores <= s.total.vcores);
-            prop_assert!(s.available.mem_mb <= s.total.mem_mb);
+            assert!(s.available.vcores <= s.total.vcores, "case {case}");
+            assert!(s.available.mem_mb <= s.total.mem_mb, "case {case}");
             for (_, total, free) in &s.per_node {
-                prop_assert!(free.vcores <= total.vcores);
-                prop_assert!(free.mem_mb <= total.mem_mb);
+                assert!(free.vcores <= total.vcores, "case {case}");
+                assert!(free.mem_mb <= total.mem_mb, "case {case}");
             }
         }
-        prop_assert_eq!(*finished.borrow(), n_apps);
+        assert_eq!(*finished.borrow(), n_apps, "case {case}");
         let s = yarn.cluster_state();
-        prop_assert_eq!(s.available.vcores, s.total.vcores);
-        prop_assert_eq!(s.available.mem_mb, s.total.mem_mb);
-        prop_assert_eq!(s.containers_running, 0);
+        assert_eq!(s.available.vcores, s.total.vcores, "case {case}");
+        assert_eq!(s.available.mem_mb, s.total.mem_mb, "case {case}");
+        assert_eq!(s.containers_running, 0, "case {case}");
     }
+}
 
-    /// Random preemptions mid-flight never corrupt accounting.
-    #[test]
-    fn preemption_preserves_accounting(
-        preempt_batches in prop::collection::vec(1usize..4, 1..5),
-    ) {
+/// Random preemptions mid-flight never corrupt accounting.
+#[test]
+fn preemption_preserves_accounting() {
+    let mut rng = SimRng::new(0x92EE397);
+    for case in 0..32 {
+        let n_batches = rng.uniform_u64(1, 4) as usize;
+        let preempt_batches: Vec<usize> =
+            (0..n_batches).map(|_| rng.uniform_u64(1, 3) as usize).collect();
         let mut e = Engine::new(2);
         let cluster = Cluster::new(MachineSpec::localhost());
         let nodes: Vec<NodeId> = cluster.node_ids().collect();
@@ -98,11 +105,7 @@ proptest! {
         yarn.submit_app(&mut e, "resilient", ResourceRequest::new(1, 1024), {
             let yarn2 = yarn.clone();
             move |eng, am| {
-                fn hold(
-                    eng: &mut Engine,
-                    am: rp_yarn::AmHandle,
-                    yarn: YarnCluster,
-                ) {
+                fn hold(eng: &mut Engine, am: rp_yarn::AmHandle, yarn: YarnCluster) {
                     let am2 = am.clone();
                     let yarn2 = yarn.clone();
                     am.request_container_preemptible(
@@ -126,11 +129,11 @@ proptest! {
             let now = e.now();
             e.run_until(rp_sim::SimTime(now.0 + 2_000_000));
             let s = yarn.cluster_state();
-            prop_assert!(s.available.vcores <= s.total.vcores);
+            assert!(s.available.vcores <= s.total.vcores, "case {case}");
         }
         // Tear down; accounting must return to clean.
         let s = yarn.cluster_state();
         let used = s.total.vcores - s.available.vcores;
-        prop_assert!(used >= 1, "AM still alive");
+        assert!(used >= 1, "case {case}: AM still alive");
     }
 }

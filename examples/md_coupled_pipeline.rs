@@ -4,7 +4,7 @@
 //! A pilot runs a set of (simulated-time) molecular-dynamics "simulation"
 //! Compute-Units; as each generation completes, the example performs
 //! *real* trajectory analytics — RMSD series, position moments and PCA —
-//! natively on crossbeam threads (`WorkSpec::Native`), then uses the
+//! natively on scoped threads (`WorkSpec::Native`), then uses the
 //! analysis to decide the next generation's parameters, exactly the
 //! simulate → analyse → steer loop the paper targets.
 //!

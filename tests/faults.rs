@@ -1,0 +1,278 @@
+//! Deterministic fault-schedule harness (the failure-model counterpart of
+//! `determinism.rs`): injected faults are part of the simulation, so runs
+//! with faults are exactly as reproducible as runs without, recovery keeps
+//! under-budget workloads at 100% completion, and the cost of failures
+//! shows up as a monotone makespan penalty.
+
+use hadoop_hpc::pilot::*;
+use hadoop_hpc::sim::{
+    Engine, FaultEvent, FaultKind, FaultPlan, SimDuration, SimTime, TraceEvent,
+};
+
+/// A plain 4-node pilot running `n` one-core sleep units of `sleep_s`,
+/// with `plan` installed. Returns the unit handles, the pilot and the
+/// full trace.
+fn sleep_run(
+    seed: u64,
+    n: usize,
+    sleep_s: u64,
+    plan: Option<&FaultPlan>,
+) -> (Vec<UnitHandle>, PilotHandle, Vec<TraceEvent>) {
+    let mut e = Engine::with_trace(seed);
+    let session = Session::new(SessionConfig::test_profile());
+    let pm = PilotManager::new(&session);
+    let pilot = pm
+        .submit(
+            &mut e,
+            PilotDescription::new("xsede.stampede", 4, SimDuration::from_secs(14_400)),
+        )
+        .unwrap();
+    if let Some(plan) = plan {
+        install_faults(&mut e, plan, &pilot);
+    }
+    let mut um = UnitManager::new(&session, UmScheduler::Direct);
+    um.add_pilot(&pilot);
+    let units = um.submit_units(
+        &mut e,
+        (0..n)
+            .map(|i| {
+                ComputeUnitDescription::new(
+                    format!("u{i}"),
+                    1,
+                    WorkSpec::Sleep(SimDuration::from_secs(sleep_s)),
+                )
+            })
+            .collect(),
+    );
+    while units.iter().any(|u| !u.state().is_final()) {
+        assert!(e.step(), "simulation stalled with live units");
+    }
+    e.run();
+    (units, pilot, e.trace.events().to_vec())
+}
+
+fn makespan(units: &[UnitHandle]) -> SimTime {
+    units
+        .iter()
+        .map(|u| u.times().done.expect("unit finished"))
+        .max()
+        .unwrap()
+}
+
+/// A plan of `k` node crashes at fixed times, hitting distinct nodes.
+fn crash_plan(k: usize) -> FaultPlan {
+    FaultPlan {
+        events: (0..k)
+            .map(|i| FaultEvent {
+                at: SimTime::from_secs_f64(150.0 + 160.0 * i as f64),
+                kind: FaultKind::NodeCrash { node: i },
+            })
+            .collect(),
+    }
+}
+
+#[test]
+fn under_budget_plan_completes_every_unit() {
+    // One fault of every kind, well inside the default 4-attempt budget.
+    let plan = FaultPlan {
+        events: vec![
+            FaultEvent {
+                at: SimTime::from_secs_f64(90.0),
+                kind: FaultKind::StagingError,
+            },
+            FaultEvent {
+                at: SimTime::from_secs_f64(100.0),
+                kind: FaultKind::NodeSlowdown {
+                    node: 1,
+                    factor: 2.0,
+                    duration: SimDuration::from_secs(120),
+                },
+            },
+            FaultEvent {
+                at: SimTime::from_secs_f64(120.0),
+                kind: FaultKind::LinkDegrade {
+                    factor: 0.3,
+                    duration: SimDuration::from_secs(60),
+                },
+            },
+            FaultEvent {
+                at: SimTime::from_secs_f64(200.0),
+                kind: FaultKind::NodeCrash { node: 0 },
+            },
+            FaultEvent {
+                at: SimTime::from_secs_f64(250.0),
+                kind: FaultKind::ContainerKill { count: 2 },
+            },
+        ],
+    };
+    let (units, pilot, trace) = sleep_run(11, 10, 300, Some(&plan));
+    for u in &units {
+        assert_eq!(u.state(), UnitState::Done, "{:?}: {:?}", u.id(), u.failure());
+    }
+    let agent = pilot.agent().expect("pilot active");
+    assert!(agent.is_degraded(), "faults must mark the pilot degraded");
+    assert_eq!(agent.dead_nodes().len(), 1);
+    // The crash (and the kills) forced retries.
+    assert!(
+        units.iter().any(|u| u.attempts() > 1),
+        "at least one unit should have been retried"
+    );
+    assert_eq!(
+        trace.iter().filter(|ev| ev.category == "fault").count(),
+        plan.len()
+    );
+}
+
+#[test]
+fn same_seed_same_fault_trace() {
+    let plan = FaultPlan::generate(7, SimDuration::from_secs(1200), 4, 6);
+    let (ua, _, ta) = sleep_run(42, 8, 200, Some(&plan));
+    let (ub, _, tb) = sleep_run(42, 8, 200, Some(&plan));
+    assert_eq!(ta, tb, "same seed + same plan must be bit-identical");
+    for (a, b) in ua.iter().zip(&ub) {
+        assert_eq!(a.state(), b.state());
+        assert_eq!(a.attempts(), b.attempts());
+    }
+    // A different fault seed perturbs the run.
+    let other = FaultPlan::generate(8, SimDuration::from_secs(1200), 4, 6);
+    assert_ne!(plan, other);
+}
+
+#[test]
+fn makespan_is_monotone_in_crash_count() {
+    let spans: Vec<SimTime> = (0..=3)
+        .map(|k| {
+            let (units, _, _) = sleep_run(5, 12, 400, Some(&crash_plan(k)));
+            assert!(
+                units.iter().all(|u| u.state() == UnitState::Done),
+                "k={k}: all units should survive {k} crashes on 4 nodes"
+            );
+            makespan(&units)
+        })
+        .collect();
+    for (k, w) in spans.windows(2).enumerate() {
+        assert!(
+            w[0] <= w[1],
+            "makespan must not shrink with more crashes: k={k} {:?} -> {:?}",
+            w[0],
+            w[1]
+        );
+    }
+    // The crashes must actually cost something.
+    assert!(spans[3] > spans[0]);
+}
+
+#[test]
+fn zero_fault_plan_is_bit_identical_to_baseline() {
+    let (ua, _, ta) = sleep_run(9, 8, 120, None);
+    let (ub, _, tb) = sleep_run(9, 8, 120, Some(&FaultPlan::none()));
+    assert_eq!(ta, tb, "installing an empty plan must not perturb the run");
+    assert_eq!(makespan(&ua), makespan(&ub));
+}
+
+#[test]
+fn unit_fails_terminally_once_retry_budget_is_spent() {
+    // Crash the node under the unit, with a policy that forbids retries.
+    let mut e = Engine::new(3);
+    let session = Session::new(SessionConfig::test_profile());
+    let pm = PilotManager::new(&session);
+    let pilot = pm
+        .submit(
+            &mut e,
+            PilotDescription::new("xsede.stampede", 2, SimDuration::from_secs(7200)),
+        )
+        .unwrap();
+    let plan = FaultPlan {
+        events: vec![FaultEvent {
+            at: SimTime::from_secs_f64(150.0),
+            kind: FaultKind::NodeCrash { node: 0 },
+        }],
+    };
+    install_faults(&mut e, &plan, &pilot);
+    let mut um = UnitManager::new(&session, UmScheduler::Direct);
+    um.add_pilot(&pilot);
+    let units = um.submit_units(
+        &mut e,
+        vec![
+            ComputeUnitDescription::new("fragile", 1, WorkSpec::Sleep(SimDuration::from_secs(600)))
+                .with_retry(RetryPolicy::never()),
+        ],
+    );
+    while units.iter().any(|u| !u.state().is_final()) {
+        assert!(e.step());
+    }
+    assert_eq!(units[0].state(), UnitState::Failed);
+    assert_eq!(units[0].attempts(), 1);
+    assert!(units[0].failure().unwrap().contains("no attempts left"));
+}
+
+#[test]
+fn yarn_pilot_survives_container_kills() {
+    let mut e = Engine::new(17);
+    let session = Session::new(SessionConfig::test_profile());
+    let pm = PilotManager::new(&session);
+    let pilot = pm
+        .submit(
+            &mut e,
+            PilotDescription::new("xsede.stampede", 3, SimDuration::from_secs(14_400))
+                .with_access(AccessMode::YarnModeI { with_hdfs: false }),
+        )
+        .unwrap();
+    let plan = FaultPlan {
+        events: vec![
+            FaultEvent {
+                at: SimTime::from_secs_f64(150.0),
+                kind: FaultKind::ContainerKill { count: 2 },
+            },
+            FaultEvent {
+                at: SimTime::from_secs_f64(200.0),
+                kind: FaultKind::ContainerKill { count: 1 },
+            },
+        ],
+    };
+    install_faults(&mut e, &plan, &pilot);
+    let mut um = UnitManager::new(&session, UmScheduler::Direct);
+    um.add_pilot(&pilot);
+    let units = um.submit_units(
+        &mut e,
+        (0..6)
+            .map(|i| {
+                ComputeUnitDescription::new(
+                    format!("y{i}"),
+                    2,
+                    WorkSpec::Sleep(SimDuration::from_secs(300)),
+                )
+            })
+            .collect(),
+    );
+    while units.iter().any(|u| !u.state().is_final()) {
+        assert!(e.step());
+    }
+    for u in &units {
+        assert_eq!(u.state(), UnitState::Done, "{:?}: {:?}", u.id(), u.failure());
+    }
+    let agent = pilot.agent().unwrap();
+    assert!(agent.is_degraded());
+    assert!(units.iter().any(|u| u.attempts() > 1));
+}
+
+/// 3 seeds × 3 intensities: every run must terminate with every unit in a
+/// final state (the smoke matrix `ci.sh` exercises).
+#[test]
+fn fault_matrix_always_terminates() {
+    for seed in [1u64, 2, 3] {
+        for intensity in [2usize, 6, 12] {
+            let plan =
+                FaultPlan::generate(seed, SimDuration::from_secs(1800), 4, intensity);
+            let (units, _, _) = sleep_run(seed, 8, 150, Some(&plan));
+            for u in &units {
+                assert!(
+                    u.state().is_final(),
+                    "seed={seed} intensity={intensity}: {:?} stuck in {:?}",
+                    u.id(),
+                    u.state()
+                );
+            }
+        }
+    }
+}

@@ -29,14 +29,14 @@ fn fig5_pilot_startup_shape() {
         let b = pilot.agent().unwrap().framework_bootstrap_time().as_secs_f64();
         (s, b)
     };
-    let (rp, _) = startup("xsede.stampede", AccessMode::Plain, 1);
+    let (rp, _) = startup("xsede.stampede", AccessMode::Plain, 2);
     let (mode1, boot1) = startup(
         "xsede.stampede",
         AccessMode::YarnModeI { with_hdfs: true },
-        1,
+        2,
     );
-    let (mode2_w, _) = startup("xsede.wrangler", AccessMode::YarnModeII, 1);
-    let (rp_w, _) = startup("xsede.wrangler", AccessMode::Plain, 1);
+    let (mode2_w, _) = startup("xsede.wrangler", AccessMode::YarnModeII, 2);
+    let (rp_w, _) = startup("xsede.wrangler", AccessMode::Plain, 2);
 
     assert!((45.0..95.0).contains(&boot1), "Mode I bootstrap {boot1}");
     assert!(mode1 > rp + 40.0, "Mode I {mode1} vs plain {rp}");

@@ -1,32 +1,28 @@
-//! Property-based tests (proptest) of core invariants across the stack.
-
-use proptest::prelude::*;
+//! Property-style tests of core invariants across the stack, driven by
+//! deterministic seeded case generation (no external proptest dependency:
+//! each test loops over `SimRng`-generated cases with fixed seeds).
 
 use hadoop_hpc::hdfs::split_blocks;
 use hadoop_hpc::mapreduce::{partition_of, run_local, Emitter};
-use hadoop_hpc::sim::{Engine, FairLink, SimDuration, SimTime};
+use hadoop_hpc::sim::{Engine, FairLink, SimDuration, SimRng, SimTime};
 use hadoop_hpc::spark::SparkContext;
 
 // ---- fair-share bandwidth model ----
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every flow completes, bytes are conserved, and the link never
-    /// finishes earlier than physically possible (total/capacity).
-    #[test]
-    fn fairlink_conserves_bytes_and_respects_capacity(
-        sizes in prop::collection::vec(1.0f64..5e6, 1..24),
-        capacity in 1e3f64..1e8,
-        starts in prop::collection::vec(0u64..5_000_000, 1..24),
-    ) {
-        let n = sizes.len().min(starts.len());
-        let sizes = &sizes[..n];
-        let starts = &starts[..n];
+/// Every flow completes, bytes are conserved, and the link never finishes
+/// earlier than physically possible (total/capacity).
+#[test]
+fn fairlink_conserves_bytes_and_respects_capacity() {
+    let mut rng = SimRng::new(0xFA17);
+    for case in 0..64 {
+        let n = rng.uniform_u64(1, 23) as usize;
+        let sizes: Vec<f64> = (0..n).map(|_| rng.uniform(1.0, 5e6)).collect();
+        let starts: Vec<u64> = (0..n).map(|_| rng.uniform_u64(0, 5_000_000)).collect();
+        let capacity = rng.uniform(1e3, 1e8);
         let mut e = Engine::new(1);
         let link = FairLink::new("p", capacity);
         let done = std::rc::Rc::new(std::cell::RefCell::new(0usize));
-        for (&bytes, &start) in sizes.iter().zip(starts) {
+        for (&bytes, &start) in sizes.iter().zip(&starts) {
             let link = link.clone();
             let done = done.clone();
             e.schedule_at(SimTime(start), move |eng| {
@@ -37,21 +33,29 @@ proptest! {
             });
         }
         let end = e.run();
-        prop_assert_eq!(*done.borrow(), n);
+        assert_eq!(*done.borrow(), n, "case {case}");
         let total: f64 = sizes.iter().sum();
-        prop_assert!((link.total_bytes() - total).abs() < total * 1e-6 + 1.0);
-        // Lower bound: last start + remaining work at full capacity can't
-        // beat total/capacity from t=0.
+        assert!((link.total_bytes() - total).abs() < total * 1e-6 + 1.0, "case {case}");
+        // Lower bound: remaining work at full capacity can't beat
+        // total/capacity from t=0.
         let min_end = total / capacity;
-        prop_assert!(end.as_secs_f64() + 1e-6 >= min_end.min(end.as_secs_f64() + 1.0) - 1e-6);
+        assert!(
+            end.as_secs_f64() + 1e-6 >= min_end.min(end.as_secs_f64() + 1.0) - 1e-6,
+            "case {case}"
+        );
         // Busy time never exceeds the makespan.
-        prop_assert!(link.busy_time().as_secs_f64() <= end.as_secs_f64() + 1e-9);
+        assert!(link.busy_time().as_secs_f64() <= end.as_secs_f64() + 1e-9, "case {case}");
     }
+}
 
-    /// The engine executes events in non-decreasing time order regardless
-    /// of insertion order.
-    #[test]
-    fn engine_event_order_is_monotone(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+/// The engine executes events in non-decreasing time order regardless of
+/// insertion order.
+#[test]
+fn engine_event_order_is_monotone() {
+    let mut rng = SimRng::new(0x02D32);
+    for case in 0..64 {
+        let n = rng.uniform_u64(1, 199) as usize;
+        let times: Vec<u64> = (0..n).map(|_| rng.uniform_u64(0, 1_000_000)).collect();
         let mut e = Engine::new(1);
         let seen = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
         for &t in &times {
@@ -60,42 +64,60 @@ proptest! {
         }
         e.run();
         let seen = seen.borrow();
-        prop_assert_eq!(seen.len(), times.len());
+        assert_eq!(seen.len(), times.len(), "case {case}");
         for w in seen.windows(2) {
-            prop_assert!(w[0] <= w[1]);
+            assert!(w[0] <= w[1], "case {case}");
         }
     }
+}
 
-    // ---- HDFS block math ----
+// ---- HDFS block math ----
 
-    #[test]
-    fn split_blocks_partitions_exactly(size in 0u64..1u64<<40, block in 1u64..1u64<<30) {
+#[test]
+fn split_blocks_partitions_exactly() {
+    let mut rng = SimRng::new(0xB10C);
+    for case in 0..256 {
+        let size = rng.uniform_u64(0, 1u64 << 40);
+        let block = rng.uniform_u64(1, 1u64 << 30);
         let blocks = split_blocks(size, block);
-        prop_assert_eq!(blocks.iter().sum::<u64>(), size);
-        prop_assert!(blocks.iter().all(|&b| b <= block));
+        assert_eq!(blocks.iter().sum::<u64>(), size, "case {case}");
+        assert!(blocks.iter().all(|&b| b <= block), "case {case}");
         // Only the last block may be partial.
         for &b in &blocks[..blocks.len().saturating_sub(1)] {
-            prop_assert_eq!(b, block);
+            assert_eq!(b, block, "case {case}");
         }
     }
+}
 
-    // ---- MapReduce ----
+// ---- MapReduce ----
 
-    #[test]
-    fn partitioner_in_range(keys in prop::collection::vec(any::<i64>(), 1..100), parts in 1usize..32) {
-        for k in &keys {
-            prop_assert!(partition_of(k, parts) < parts);
-        }
+#[test]
+fn partitioner_in_range() {
+    let mut rng = SimRng::new(0x9A27);
+    for _ in 0..128 {
+        let k = rng.next_u64() as i64;
+        let parts = rng.uniform_u64(1, 31) as usize;
+        assert!(partition_of(&k, parts) < parts);
     }
+}
 
-    /// Native MapReduce word count == sequential HashMap reference, for
-    /// arbitrary inputs, split counts and reducer counts.
-    #[test]
-    fn mapreduce_matches_sequential_reference(
-        words in prop::collection::vec("[a-d]{1,3}", 0..200),
-        splits in 1usize..8,
-        reducers in 1usize..6,
-    ) {
+/// Native MapReduce word count == sequential HashMap reference, for
+/// arbitrary inputs, split counts and reducer counts.
+#[test]
+fn mapreduce_matches_sequential_reference() {
+    let mut rng = SimRng::new(0x3A9C0);
+    for case in 0..48 {
+        let n_words = rng.uniform_u64(0, 199) as usize;
+        let words: Vec<String> = (0..n_words)
+            .map(|_| {
+                let len = rng.uniform_u64(1, 3) as usize;
+                (0..len)
+                    .map(|_| char::from(b'a' + rng.uniform_u64(0, 3) as u8))
+                    .collect()
+            })
+            .collect();
+        let splits = rng.uniform_u64(1, 7) as usize;
+        let reducers = rng.uniform_u64(1, 5) as usize;
         // Reference.
         let mut expect = std::collections::HashMap::<String, u64>::new();
         for w in &words {
@@ -117,17 +139,20 @@ proptest! {
             reducers,
         );
         let got: std::collections::HashMap<String, u64> = out.into_iter().flatten().collect();
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect, "case {case}");
     }
+}
 
-    // ---- RDD engine ----
+// ---- RDD engine ----
 
-    /// map/filter on the RDD engine ≡ the same pipeline on iterators.
-    #[test]
-    fn rdd_matches_iterator_semantics(
-        xs in prop::collection::vec(any::<i32>(), 0..500),
-        parts in 1usize..9,
-    ) {
+/// map/filter on the RDD engine ≡ the same pipeline on iterators.
+#[test]
+fn rdd_matches_iterator_semantics() {
+    let mut rng = SimRng::new(0x12DD);
+    for case in 0..32 {
+        let n = rng.uniform_u64(0, 499) as usize;
+        let xs: Vec<i32> = (0..n).map(|_| rng.next_u64() as i32).collect();
+        let parts = rng.uniform_u64(1, 8) as usize;
         let sc = SparkContext::new(parts);
         let got = sc
             .parallelize(xs.clone(), parts)
@@ -135,15 +160,20 @@ proptest! {
             .filter(|x| x % 2 == 0)
             .collect();
         let want: Vec<i32> = xs.iter().map(|x| x.wrapping_mul(3)).filter(|x| x % 2 == 0).collect();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want, "case {case}");
     }
+}
 
-    /// reduce_by_key sums match a HashMap fold for arbitrary pairs.
-    #[test]
-    fn rdd_reduce_by_key_matches_reference(
-        pairs in prop::collection::vec((0u8..16, 1u64..100), 0..300),
-        parts in 1usize..6,
-    ) {
+/// reduce_by_key sums match a HashMap fold for arbitrary pairs.
+#[test]
+fn rdd_reduce_by_key_matches_reference() {
+    let mut rng = SimRng::new(0x12DD + 1);
+    for case in 0..32 {
+        let n = rng.uniform_u64(0, 299) as usize;
+        let pairs: Vec<(u8, u64)> = (0..n)
+            .map(|_| (rng.uniform_u64(0, 15) as u8, rng.uniform_u64(1, 99)))
+            .collect();
+        let parts = rng.uniform_u64(1, 5) as usize;
         let sc = SparkContext::new(parts);
         let got = sc
             .parallelize(pairs.clone(), parts)
@@ -153,35 +183,43 @@ proptest! {
         for (k, v) in &pairs {
             *want.entry(*k).or_default() += v;
         }
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want, "case {case}");
     }
+}
 
-    // ---- K-Means ----
+// ---- K-Means ----
 
-    /// Lloyd cost is monotonically non-increasing in the iteration count.
-    #[test]
-    fn kmeans_cost_monotone(seed in 0u64..50, k in 1usize..6) {
-        let pts = hadoop_hpc::analytics::gaussian_blobs(600, k.max(2), 3.0, seed);
+/// Lloyd cost is monotonically non-increasing in the iteration count.
+#[test]
+fn kmeans_cost_monotone() {
+    for seed in 0..12u64 {
+        let k = 2 + (seed as usize % 4);
+        let pts = hadoop_hpc::analytics::gaussian_blobs(600, k, 3.0, seed);
         let mut last = f64::INFINITY;
         for iters in 1..5u32 {
             let r = hadoop_hpc::analytics::lloyd(&pts, k, iters);
-            prop_assert!(r.cost <= last + 1e-6, "iters {}: {} > {}", iters, r.cost, last);
+            assert!(r.cost <= last + 1e-6, "iters {}: {} > {}", iters, r.cost, last);
             last = r.cost;
         }
     }
+}
 
-    // ---- counted resources ----
+// ---- counted resources ----
 
-    /// Tokens never go negative or above capacity under arbitrary
-    /// acquire/release interleavings driven through the engine.
-    #[test]
-    fn tokens_stay_in_bounds(ops in prop::collection::vec((1u64..5, 1u64..100), 1..50)) {
-        use hadoop_hpc::sim::Tokens;
+/// Tokens never go negative or above capacity under arbitrary
+/// acquire/release interleavings driven through the engine.
+#[test]
+fn tokens_stay_in_bounds() {
+    use hadoop_hpc::sim::Tokens;
+    let mut rng = SimRng::new(0x70CE);
+    for case in 0..64 {
+        let n_ops = rng.uniform_u64(1, 49) as usize;
         let mut e = Engine::new(1);
         let t = Tokens::new(8);
-        for (n, delay) in ops {
+        for _ in 0..n_ops {
+            let n = rng.uniform_u64(1, 4).min(8);
+            let delay = rng.uniform_u64(1, 99);
             let t2 = t.clone();
-            let n = n.min(8);
             t.acquire(&mut e, n, move |eng| {
                 let t3 = t2.clone();
                 eng.schedule_in(SimDuration::from_millis(delay), move |eng| {
@@ -190,19 +228,28 @@ proptest! {
             });
         }
         e.run();
-        prop_assert_eq!(t.available(), 8);
-        prop_assert_eq!(t.waiting(), 0);
+        assert_eq!(t.available(), 8, "case {case}");
+        assert_eq!(t.waiting(), 0, "case {case}");
     }
 }
 
 // ---- batch scheduler: no oversubscription under random job streams ----
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn batch_never_oversubscribes(jobs in prop::collection::vec((1u32..5, 5u64..200, 0u64..100), 1..30)) {
-        use hadoop_hpc::hpc::{BatchSystem, Cluster, JobRequest, MachineSpec};
+#[test]
+fn batch_never_oversubscribes() {
+    use hadoop_hpc::hpc::{BatchSystem, Cluster, JobRequest, MachineSpec};
+    let mut rng = SimRng::new(0xBA7C);
+    for case in 0..32 {
+        let n_jobs = rng.uniform_u64(1, 29) as usize;
+        let jobs: Vec<(u32, u64, u64)> = (0..n_jobs)
+            .map(|_| {
+                (
+                    rng.uniform_u64(1, 4) as u32,
+                    rng.uniform_u64(5, 199),
+                    rng.uniform_u64(0, 99),
+                )
+            })
+            .collect();
         let mut spec = MachineSpec::localhost();
         spec.submit_latency_s = (0.0, 0.0);
         let total_nodes = spec.nodes as i64;
@@ -240,7 +287,7 @@ proptest! {
             });
         }
         e.run();
-        prop_assert!(*peak.borrow() <= total_nodes, "peak {} > {}", peak.borrow(), total_nodes);
-        prop_assert_eq!(*in_use.borrow(), 0);
+        assert!(*peak.borrow() <= total_nodes, "case {case}: peak {} > {total_nodes}", peak.borrow());
+        assert_eq!(*in_use.borrow(), 0, "case {case}");
     }
 }
