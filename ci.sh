@@ -14,6 +14,11 @@ cargo test --workspace -q
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> traced quickstart + Perfetto artifact validation"
+TRACE_OUT="${TRACE_OUT:-target/quickstart_trace.json}"
+cargo run --release -q --example quickstart -- --trace-out "$TRACE_OUT" > /dev/null
+cargo run --release -q -p rp-bench --bin trace_validate -- "$TRACE_OUT"
+
 echo "==> fault-matrix smoke (3 seeds x 3 intensities)"
 for seed in 1 2 3; do
     for intensity in 2 6 12; do

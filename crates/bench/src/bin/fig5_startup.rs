@@ -2,6 +2,10 @@
 //! RADICAL-Pilot, RP-YARN Mode I (Hadoop on HPC) and RP-YARN Mode II
 //! (dedicated Hadoop environment, Wrangler only).
 //!
+//! All numbers come from the span-based phase profiler: each run is traced,
+//! the pilot's `pilot.run` span tree is profiled, and the table columns are
+//! phase sums — there are no bespoke timers in this harness.
+//!
 //! Paper observations to reproduce:
 //! * Mode I adds 50–85 s of YARN download/config/daemon startup.
 //! * Mode II startup is comparable to the plain RADICAL-Pilot startup.
@@ -10,8 +14,9 @@
 //! cargo run -p rp-bench --release --bin fig5_startup
 //! ```
 
-use rp_bench::{mean_std, measure_pilot_startup, repeat, ShapeChecks, Table, Variant};
+use rp_bench::{mean_std, profile_pilot_startup, repeat, ShapeChecks, Table, Variant};
 use rp_pilot::SessionConfig;
+use rp_sim::{mean_breakdown, Phase, PhaseBreakdown, RunReport};
 
 const REPS: u64 = 8;
 
@@ -27,6 +32,7 @@ fn main() {
     ]);
 
     let mut results = std::collections::BTreeMap::new();
+    let mut report = RunReport::new("Fig. 5 phase breakdown (profiler, mean over reps, seconds)");
     let cases: Vec<(&str, Variant)> = vec![
         ("xsede.stampede", Variant::Rp),
         ("xsede.stampede", Variant::RpYarnModeI),
@@ -36,11 +42,12 @@ fn main() {
     ];
     for (machine, variant) in cases {
         let boot = std::cell::RefCell::new(Vec::new());
+        let phases = std::cell::RefCell::new(Vec::<PhaseBreakdown>::new());
         let s = repeat(REPS, |seed| {
-            let (startup, fw) =
-                measure_pilot_startup(machine, variant, 1, seed, SessionConfig::default());
-            boot.borrow_mut().push(fw);
-            startup
+            let p = profile_pilot_startup(machine, variant, 1, seed, SessionConfig::default());
+            boot.borrow_mut().push(p.framework_bootstrap_s);
+            phases.borrow_mut().push(p.phases);
+            p.startup_s
         });
         let boots = boot.into_inner();
         let boot_mean = boots.iter().sum::<f64>() / boots.len() as f64;
@@ -52,9 +59,15 @@ fn main() {
             format!("{:7.1}", s.min),
             format!("{:7.1}", s.max),
         ]);
+        report.push(
+            format!("{machine} {}", variant.label()),
+            mean_breakdown(&phases.into_inner()),
+        );
         results.insert((machine, variant.label()), (s.mean, boot_mean));
     }
     table.print();
+    println!();
+    print!("{}", report.render_table());
 
     let checks = ShapeChecks::new();
     let rp_s = results[&("xsede.stampede", "RADICAL-Pilot")].0;
@@ -77,6 +90,22 @@ fn main() {
     checks.check(
         format!("Mode II ≈ plain RP on Wrangler ({mode2_w:.0}s vs {rp_w:.0}s)"),
         (mode2_w - rp_w).abs() < 10.0,
+    );
+    // Profiler invariants: the Mode I YARN+HDFS phases are exactly the
+    // framework bootstrap the table reports, and Mode II charges its
+    // connect handshake to yarn_startup without an hdfs_startup phase.
+    let yarn_hdfs = |label: &str| {
+        report
+            .rows()
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, b)| b.sum_secs(&[Phase::YarnStartup, Phase::HdfsStartup]))
+            .unwrap()
+    };
+    let phase_boot_s = yarn_hdfs("xsede.stampede RP-YARN (Mode I)");
+    checks.check(
+        format!("profiler YARN+HDFS phases match framework bootstrap ({phase_boot_s:.0}s vs {boot_s:.0}s)"),
+        (phase_boot_s - boot_s).abs() < 1.0,
     );
     std::process::exit(if checks.report() { 0 } else { 1 });
 }

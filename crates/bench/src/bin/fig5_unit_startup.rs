@@ -6,12 +6,17 @@
 //! container launches), so CU startup is an order of magnitude above the
 //! plain fork path — a bottleneck for short-running jobs.
 //!
+//! All numbers come from the span-based phase profiler over each unit's
+//! `unit.run` span tree; the phase table below decomposes the startup into
+//! the two allocation stages the paper describes.
+//!
 //! ```text
 //! cargo run -p rp-bench --release --bin fig5_unit_startup
 //! ```
 
-use rp_bench::{mean_std, measure_unit_startup, repeat, ShapeChecks, Table, Variant};
+use rp_bench::{mean_std, profile_unit_startup, repeat, ShapeChecks, Table, Variant};
 use rp_pilot::SessionConfig;
+use rp_sim::{mean_breakdown, Phase, PhaseBreakdown, RunReport};
 
 const REPS: u64 = 8;
 
@@ -19,9 +24,15 @@ fn main() {
     println!("== Fig. 5 (inset): Compute-Unit startup time on Stampede ==\n");
     let mut table = Table::new(vec!["variant", "unit startup (s)", "min", "max"]);
     let mut means = Vec::new();
+    let mut report =
+        RunReport::new("Fig. 5 inset phase breakdown (profiler, mean over reps, seconds)");
+    let mut alloc_means = Vec::new();
     for variant in [Variant::Rp, Variant::RpYarnModeI] {
+        let phases = std::cell::RefCell::new(Vec::<PhaseBreakdown>::new());
         let s = repeat(REPS, |seed| {
-            measure_unit_startup("xsede.stampede", variant, seed, SessionConfig::default())
+            let p = profile_unit_startup("xsede.stampede", variant, seed, SessionConfig::default());
+            phases.borrow_mut().push(p.phases);
+            p.startup_s
         });
         table.row(vec![
             variant.label().to_string(),
@@ -29,9 +40,14 @@ fn main() {
             format!("{:6.1}", s.min),
             format!("{:6.1}", s.max),
         ]);
+        let mean = mean_breakdown(&phases.into_inner());
+        alloc_means.push(mean.sum_secs(&[Phase::AmAllocation, Phase::ContainerAllocation]));
+        report.push(variant.label(), mean);
         means.push(s.mean);
     }
     table.print();
+    println!();
+    print!("{}", report.render_table());
 
     let checks = ShapeChecks::new();
     let (rp, yarn) = (means[0], means[1]);
@@ -46,6 +62,13 @@ fn main() {
     checks.check(
         format!("YARN CU startup ≫ plain ({:.1}×)", yarn / rp),
         yarn / rp > 4.0,
+    );
+    checks.check(
+        format!(
+            "two-stage allocation dominates the YARN CU startup ({:.1}s of {yarn:.1}s)",
+            alloc_means[1]
+        ),
+        alloc_means[1] > (yarn - rp) * 0.5 && alloc_means[0] < 1.0,
     );
     std::process::exit(if checks.report() { 0 } else { 1 });
 }

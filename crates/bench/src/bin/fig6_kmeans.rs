@@ -15,8 +15,9 @@ use rp_analytics::{
     fig6_session_config, run_rp_kmeans, run_rp_yarn_kmeans, KMeansCalibration, SCENARIOS,
 };
 use rp_bench::{ShapeChecks, Table};
+use rp_hpc::MachineSpec;
 use rp_pilot::Session;
-use rp_sim::Engine;
+use rp_sim::{aggregate_roots, pilot_utilization, Engine, RunReport};
 
 fn main() {
     // Wall time is dominated by event count, not the cost constants, so
@@ -90,6 +91,43 @@ fn main() {
             table.print();
         }
     }
+
+    // Profiler view of one representative cell (1M-points scenario, 32
+    // tasks): aggregate unit.run phase breakdown per machine × system,
+    // plus each pilot's core utilization over its active window. Traced
+    // runs are bit-identical to the untraced sweep above.
+    let mut report = RunReport::new(
+        "Fig. 6 unit phase breakdown (1M pts, 32 tasks, aggregated over units, seconds)",
+    );
+    println!();
+    for machine in &machines {
+        let scenario = SCENARIOS[2];
+        let seed = 10_000 + 32u64;
+        let spec = MachineSpec::by_name(machine).expect("machine spec");
+        let cores = rp_analytics::nodes_for_tasks(32) * spec.cores_per_node;
+        let mut e = Engine::with_trace(seed);
+        let session = Session::new(fig6_session_config());
+        run_rp_kmeans(&mut e, &session, machine, 32, scenario, &cal);
+        report.push(
+            format!("{machine} RADICAL-Pilot"),
+            aggregate_roots(&e.trace, "unit.run"),
+        );
+        let util: Vec<String> = e
+            .trace
+            .roots_named("pilot.run")
+            .map(|s| format!("{:.0}%", 100.0 * pilot_utilization(&e.trace, s.id, cores)))
+            .collect();
+        println!("{machine} RADICAL-Pilot pilot utilization: {}", util.join(", "));
+        let mut e = Engine::with_trace(seed + 1);
+        let session = Session::new(fig6_session_config());
+        run_rp_yarn_kmeans(&mut e, &session, machine, 32, scenario, &cal);
+        report.push(
+            format!("{machine} RP-YARN"),
+            aggregate_roots(&e.trace, "unit.run"),
+        );
+    }
+    println!();
+    print!("{}", report.render_table());
 
     if let Some(path) = csv_path {
         let mut csv = String::from("machine,scenario_points,scenario_clusters,tasks,nodes,rp_s,rp_yarn_s\n");

@@ -9,7 +9,7 @@ use rp_pilot::{
     AccessMode, ComputeUnitDescription, PilotDescription, PilotManager, PilotState, Session,
     SessionConfig, UmScheduler, UnitManager, UnitState, WorkSpec,
 };
-use rp_sim::{Engine, SimDuration, Summary};
+use rp_sim::{profile_span, Engine, Phase, PhaseBreakdown, SimDuration, Summary};
 
 /// Aligned plain-text table.
 pub struct Table {
@@ -97,16 +97,28 @@ impl Variant {
     }
 }
 
-/// Measure pilot startup (submission → Active) for one variant/seed.
-/// Returns (startup_s, framework_bootstrap_s).
-pub fn measure_pilot_startup(
+/// One profiled pilot-startup run. All values are derived from the span
+/// stream by the phase profiler — no bespoke timers.
+pub struct StartupProfile {
+    /// Submission → Active (end of the `pilot.bootstrap` span relative to
+    /// the `pilot.run` root begin): the Fig. 5 "Pilot startup time".
+    pub startup_s: f64,
+    /// YARN + HDFS daemon startup (the `yarn_startup`/`hdfs_startup`
+    /// phases; 0 for plain pilots).
+    pub framework_bootstrap_s: f64,
+    /// Full phase breakdown of the pilot's lifecycle span.
+    pub phases: PhaseBreakdown,
+}
+
+/// Run one pilot to Active under tracing and profile its lifecycle span.
+pub fn profile_pilot_startup(
     resource: &str,
     variant: Variant,
     nodes: u32,
     seed: u64,
     config: SessionConfig,
-) -> (f64, f64) {
-    let mut e = Engine::new(seed);
+) -> StartupProfile {
+    let mut e = Engine::with_trace(seed);
     let session = Session::new(config);
     let pm = PilotManager::new(&session);
     let pilot = pm
@@ -119,25 +131,58 @@ pub fn measure_pilot_startup(
     while pilot.state() != PilotState::Active {
         assert!(e.step(), "engine drained before pilot became active");
     }
-    let startup = pilot.times().startup_time().unwrap().as_secs_f64();
-    let boot = pilot
-        .agent()
-        .map(|a| a.framework_bootstrap_time().as_secs_f64())
-        .unwrap_or(0.0);
     pm.cancel(&mut e, &pilot);
     e.run();
-    (startup, boot)
+    let root = pilot.root_span();
+    let root_begin = e.trace.span(root).expect("pilot.run span").begin;
+    let phases = profile_span(&e.trace, root);
+    let startup_s = e
+        .trace
+        .spans()
+        .iter()
+        .find(|s| s.parent == Some(root) && s.name == "pilot.bootstrap")
+        .and_then(|s| s.end)
+        .map(|t| t.since(root_begin).as_secs_f64())
+        .expect("pilot.bootstrap span");
+    StartupProfile {
+        startup_s,
+        framework_bootstrap_s: phases.sum_secs(&[Phase::YarnStartup, Phase::HdfsStartup]),
+        phases,
+    }
 }
 
-/// Measure Compute-Unit startup (submission → Executing) on an already
-/// active pilot of the given variant.
-pub fn measure_unit_startup(
+/// Measure pilot startup (submission → Active) for one variant/seed.
+/// Returns (startup_s, framework_bootstrap_s). Profiler-derived; see
+/// [`profile_pilot_startup`] for the full breakdown.
+pub fn measure_pilot_startup(
+    resource: &str,
+    variant: Variant,
+    nodes: u32,
+    seed: u64,
+    config: SessionConfig,
+) -> (f64, f64) {
+    let p = profile_pilot_startup(resource, variant, nodes, seed, config);
+    (p.startup_s, p.framework_bootstrap_s)
+}
+
+/// One profiled Compute-Unit run (submission → Done) on a fresh pilot.
+pub struct UnitProfile {
+    /// Submission → Executing (begin of the `unit.exec` span relative to
+    /// the `unit.run` root): the Fig. 5 inset "CU startup time".
+    pub startup_s: f64,
+    /// Full phase breakdown of the unit's lifecycle span.
+    pub phases: PhaseBreakdown,
+}
+
+/// Run one probe unit to completion under tracing and profile its
+/// lifecycle span.
+pub fn profile_unit_startup(
     resource: &str,
     variant: Variant,
     seed: u64,
     config: SessionConfig,
-) -> f64 {
-    let mut e = Engine::new(seed);
+) -> UnitProfile {
+    let mut e = Engine::with_trace(seed);
     let session = Session::new(config);
     let pm = PilotManager::new(&session);
     let pilot = pm
@@ -164,10 +209,30 @@ pub fn measure_unit_startup(
         assert!(e.step(), "engine drained before unit finished");
     }
     assert_eq!(units[0].state(), UnitState::Done, "{:?}", units[0].failure());
-    let t = units[0].times().startup_time().unwrap().as_secs_f64();
     pm.cancel(&mut e, &pilot);
     e.run();
-    t
+    let root = units[0].root_span();
+    let root_begin = e.trace.span(root).expect("unit.run span").begin;
+    let phases = profile_span(&e.trace, root);
+    let startup_s = e
+        .trace
+        .spans()
+        .iter()
+        .find(|s| s.parent == Some(root) && s.name == "unit.exec")
+        .map(|s| s.begin.since(root_begin).as_secs_f64())
+        .expect("unit.exec span");
+    UnitProfile { startup_s, phases }
+}
+
+/// Measure Compute-Unit startup (submission → Executing) on an already
+/// active pilot of the given variant. Profiler-derived.
+pub fn measure_unit_startup(
+    resource: &str,
+    variant: Variant,
+    seed: u64,
+    config: SessionConfig,
+) -> f64 {
+    profile_unit_startup(resource, variant, seed, config).startup_s
 }
 
 /// Run a closure over `reps` seeds and summarise.

@@ -16,10 +16,10 @@ use std::rc::Rc;
 
 use rp_hpc::{Allocation, IoKind, NodeId, StorageTarget};
 use rp_saga::filetransfer::{transfer, Endpoint};
-use rp_sim::{Engine, FaultKind, SimDuration};
+use rp_sim::{Engine, FaultKind, SimDuration, SpanId};
 use rp_spark::SparkCluster;
 use rp_yarn::{
-    bootstrap_mode_i, connect_mode_ii, AmHandle, HadoopEnv, Resource, ResourceRequest,
+    bootstrap_mode_i_in_span, connect_mode_ii, AmHandle, HadoopEnv, Resource, ResourceRequest,
 };
 
 use crate::coordination::CoordinationStore;
@@ -128,6 +128,7 @@ impl Agent {
         machine: MachineHandle,
         alloc: Allocation,
         access: AccessMode,
+        bootstrap_span: SpanId,
         cfg: SessionConfig,
         store: CoordinationStore,
         on_active: impl FnOnce(&mut Engine, Agent) + 'static,
@@ -197,12 +198,13 @@ impl Agent {
             match access {
                 AccessMode::Plain => finish(eng, RuntimeAccess::Plain, SimDuration::ZERO),
                 AccessMode::YarnModeI { with_hdfs } => {
-                    bootstrap_mode_i(
+                    bootstrap_mode_i_in_span(
                         eng,
                         cluster_outer,
                         nodes_outer,
                         yarn_cfg,
                         with_hdfs,
+                        bootstrap_span,
                         move |eng, env| {
                             let boot = eng.now().since(t0);
                             finish(eng, RuntimeAccess::Yarn { env, mode_i: true }, boot);
@@ -211,7 +213,12 @@ impl Agent {
                 }
                 AccessMode::YarnModeII => {
                     let env = dedicated.expect("manager validated dedicated env exists");
+                    let span =
+                        eng.trace
+                            .span_begin(eng.now(), "yarn", "yarn.startup", bootstrap_span);
+                    eng.trace.span_attr(span, "mode", "II");
                     connect_mode_ii(eng, env, &yarn_cfg, move |eng, env| {
+                        eng.trace.span_end(eng.now(), span);
                         let boot = eng.now().since(t0);
                         finish(eng, RuntimeAccess::Yarn { env, mode_i: false }, boot);
                     });
@@ -285,6 +292,7 @@ impl Agent {
                 inner.heartbeats += 1;
                 (inner.pilot, inner.running > 0 || !inner.queue.is_empty())
             };
+            eng.metrics.incr("agent.heartbeats");
             eng.trace
                 .record(eng.now(), "agent", format!("{pilot:?} heartbeat"));
             // The Heartbeat Monitor doubles as the failure detector: any
@@ -453,6 +461,7 @@ impl Agent {
         };
         let remote = crate::data::remote_bytes(&descr.data_deps, &resource);
         if remote > 0 {
+            engine.metrics.add("agent.wan_pull_bytes", remote);
             engine.trace.record(
                 engine.now(),
                 "agent",
@@ -490,6 +499,10 @@ impl Agent {
                     this.fail_and_release(eng, u2, placement, "input staging failed after retries");
                     return;
                 }
+                // Staging is over even though the unit stays StagingInput
+                // until its slot is granted: close the stage_in span so the
+                // allocation wait is not charged to staging.
+                u2.end_open_span(eng);
                 if this.placement_lost(&placement) {
                     // Node died under us mid-staging; the Heartbeat Monitor
                     // will requeue this attempt.
@@ -579,6 +592,7 @@ impl Agent {
                 engine.schedule_now(move |eng| done(eng, false));
                 return;
             }
+            engine.metrics.incr("agent.staging_retries");
             unit.rec.borrow_mut().attempts += 1;
             let backoff = retry.backoff(attempts + 1);
             let this = self.clone();
@@ -638,6 +652,7 @@ impl Agent {
             }
             (SimDuration::from_secs_f64(prep), method)
         };
+        engine.metrics.incr("agent.spawner_launches");
         engine.trace.record(
             engine.now(),
             "agent",
@@ -686,7 +701,7 @@ impl Agent {
         unit.advance(engine, UnitState::Executing);
         let this = self.clone();
         let u2 = unit.clone();
-        self.run_work(engine, &unit, &nodes, move |eng| {
+        self.run_work(engine, &unit, &nodes, &alive.clone(), move |eng| {
             if !alive.get() {
                 // Node crashed mid-run and the attempt was requeued; this
                 // stale completion must not double-finish the unit.
@@ -696,12 +711,16 @@ impl Agent {
         });
     }
 
-    /// Execute a WorkSpec on agent-managed slots.
+    /// Execute a WorkSpec on agent-managed slots. `alive` is the attempt's
+    /// kill flag: a stale completion for a killed attempt must leave the
+    /// compute span abandoned (open) instead of ending it after the unit
+    /// has already been requeued and its exec span closed.
     fn run_work(
         &self,
         engine: &mut Engine,
         unit: &UnitHandle,
         nodes: &[(NodeId, u32)],
+        alive: &Rc<Cell<bool>>,
         done: impl FnOnce(&mut Engine) + 'static,
     ) {
         let d = unit.description();
@@ -725,7 +744,24 @@ impl Agent {
                 (committed / cap).max(1.0) * slow
             })
             .fold(1.0f64, f64::max);
+        let pilot_id = inner.pilot;
         drop(inner);
+
+        // Compute span under the unit's exec span; the profiler's
+        // utilization pass keys on the pilot/cores attributes. Attempts
+        // killed mid-run abandon the span open, which excludes it.
+        let span = engine
+            .trace
+            .span_begin(engine.now(), "unit", "unit.compute", unit.open_span());
+        engine.trace.span_attr(span, "pilot", pilot_id.0.to_string());
+        engine.trace.span_attr(span, "cores", total_cores.to_string());
+        let alive = alive.clone();
+        let done = move |eng: &mut Engine| {
+            if alive.get() {
+                eng.trace.span_end(eng.now(), span);
+            }
+            done(eng);
+        };
 
         match d.work {
             WorkSpec::Sleep(dur) => {
@@ -803,10 +839,18 @@ impl Agent {
                 .hdfs
                 .clone()
                 .expect("MapReduce pilot requires HDFS (use with_hdfs: true)");
-            rp_mapreduce::run_on_yarn(engine, &cluster, &env.yarn, &hdfs, spec, move |eng, stats| {
-                u2.rec.borrow_mut().mr_stats = Some(stats);
-                this.complete_unit(eng, u2.clone(), Placement::Yarn { vcores, mem_mb });
-            });
+            rp_mapreduce::run_on_yarn_in_span(
+                engine,
+                &cluster,
+                &env.yarn,
+                &hdfs,
+                spec,
+                unit.open_span(),
+                move |eng, stats| {
+                    u2.rec.borrow_mut().mr_stats = Some(stats);
+                    this.complete_unit(eng, u2.clone(), Placement::Yarn { vcores, mem_mb });
+                },
+            );
             return;
         }
 
@@ -827,6 +871,7 @@ impl Agent {
         };
         match reuse_am {
             Some(am) => {
+                engine.metrics.incr("agent.am_reused");
                 engine.trace.record(
                     engine.now(),
                     "agent",
@@ -837,11 +882,21 @@ impl Agent {
             None => {
                 let name = format!("rp-yarn-app-{:?}", unit.id());
                 let this2 = this.clone();
+                // The two-stage CU startup of the Fig. 5 inset: first the
+                // AM, then (below) the task container. The unit is still
+                // StagingInput here, so the span hangs off the unit root.
+                let span = engine.trace.span_begin(
+                    engine.now(),
+                    "yarn",
+                    "yarn.am_allocation",
+                    unit.root_span(),
+                );
                 env.yarn.submit_app(
                     engine,
                     name,
                     ResourceRequest::new(1, 1536),
                     move |eng, am| {
+                        eng.trace.span_end(eng.now(), span);
                         this2.yarn_task_container(eng, am, req, unit, vcores, mem_mb);
                     },
                 );
@@ -886,6 +941,7 @@ impl Agent {
                     return;
                 }
                 unit.rec.borrow_mut().attempts += 1;
+                eng.metrics.incr("agent.preemption_restarts");
                 eng.trace.record(
                     eng.now(),
                     "agent",
@@ -905,7 +961,17 @@ impl Agent {
                 });
             }
         };
+        // Second stage of the Fig. 5 inset decomposition. Parented to the
+        // unit root: the stage_in span is already closed, and a preemption
+        // restart opens a fresh allocation span per attempt.
+        let alloc_span = engine.trace.span_begin(
+            engine.now(),
+            "yarn",
+            "yarn.container_allocation",
+            unit.root_span(),
+        );
         am.request_container_preemptible(engine, req, retry, move |eng, container| {
+            eng.trace.span_end(eng.now(), alloc_span);
             let am = am_for_cb;
             unit.rec.borrow_mut().exec_nodes = vec![container.node];
             // On a preemption restart the unit is already Executing.
@@ -916,7 +982,7 @@ impl Agent {
             let u2 = unit.clone();
             let this2 = this.clone();
             let am2 = am.clone();
-            this.run_work(eng, &unit, &[(container.node, cores)], move |eng| {
+            this.run_work(eng, &unit, &[(container.node, cores)], &alive.clone(), move |eng| {
                 if !alive.get() {
                     // This attempt was preempted mid-flight; the restart
                     // owns the unit now.
@@ -981,15 +1047,22 @@ impl Agent {
         };
         let this = self.clone();
         let cluster = self.inner.borrow().machine.cluster.clone();
+        let pilot_id = self.inner.borrow().pilot;
         let spark_cb = spark.clone();
         spark.submit_app(engine, cores, move |eng, result| match result {
             Ok((app_id, grants)) => {
                 unit.rec.borrow_mut().exec_nodes = grants.iter().map(|g| g.node).collect();
                 unit.advance(eng, UnitState::Executing);
+                let span =
+                    eng.trace
+                        .span_begin(eng.now(), "unit", "unit.compute", unit.open_span());
+                eng.trace.span_attr(span, "pilot", pilot_id.0.to_string());
+                eng.trace.span_attr(span, "cores", cores.to_string());
                 let dur = cluster.compute_duration(core_seconds / cores.max(1) as f64);
                 let u2 = unit.clone();
                 let spark = spark_cb;
                 eng.schedule_in(dur, move |eng| {
+                    eng.trace.span_end(eng.now(), span);
                     spark.finish_app(eng, app_id);
                     this.complete_unit(eng, u2.clone(), Placement::Spark { cores: gate_cores });
                 });
@@ -1026,10 +1099,14 @@ impl Agent {
                     this.release(eng, placement);
                     return;
                 }
+                // Output staging is done; the remaining coordination
+                // roundtrip is overhead, not staging.
+                u2.end_open_span(eng);
                 let store = this.inner.borrow().store.clone();
                 let this2 = this.clone();
                 store.roundtrip(eng, move |eng| {
                     u2.advance(eng, UnitState::Done);
+                    eng.metrics.incr("agent.units_completed");
                     this2.inner.borrow_mut().units_completed += 1;
                     this2.release(eng, placement);
                 });
@@ -1275,6 +1352,7 @@ impl Agent {
         run.alive.set(false);
         self.inner.borrow_mut().degraded = true;
         let unit = run.unit;
+        engine.metrics.incr("agent.attempts_killed");
         engine.trace.record(
             engine.now(),
             "agent",

@@ -100,6 +100,7 @@ impl CoordinationStore {
             {
                 let mut inner = this.inner.borrow_mut();
                 inner.docs_written += units.len() as u64;
+                eng.metrics.add("coordination.docs_written", units.len() as u64);
                 inner
                     .queues
                     .entry(pilot)
@@ -192,6 +193,7 @@ impl CoordinationStore {
             let (batch, cb) = {
                 let mut inner = this.inner.borrow_mut();
                 inner.polls += 1;
+                eng.metrics.incr("coordination.polls");
                 let q = match inner.queues.get_mut(&pilot) {
                     Some(q) => q,
                     None => return,

@@ -10,7 +10,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use rp_hpc::JobState;
-use rp_sim::{Engine, SimDuration, SimTime};
+use rp_sim::{Engine, SimDuration, SimTime, SpanId};
 
 use crate::agent::Agent;
 use crate::description::{AccessMode, ComputeUnitDescription, PilotDescription};
@@ -49,6 +49,10 @@ struct PilotRecord {
     agent: Option<Agent>,
     saga_job: Option<rp_saga::SagaJob>,
     assigned_units: u64,
+    /// Root lifecycle span ("pilot.run") and the currently open child
+    /// phase span — both `NONE` when tracing is disabled.
+    span_root: SpanId,
+    span_open: SpanId,
 }
 
 /// Shared handle to a pilot. Cheap to clone.
@@ -83,18 +87,59 @@ impl PilotHandle {
         self.rec.borrow().assigned_units
     }
 
+    /// Root lifecycle span ("pilot.run"), for the phase profiler.
+    pub fn root_span(&self) -> SpanId {
+        self.rec.borrow().span_root
+    }
+
+    /// Currently open phase span (e.g. "pilot.bootstrap" while Launching);
+    /// framework startup spans nest under it.
+    pub(crate) fn open_span(&self) -> SpanId {
+        self.rec.borrow().span_open
+    }
+
     fn advance(&self, engine: &mut Engine, next: PilotState) {
         {
             let mut rec = self.rec.borrow_mut();
             rec.state.advance(next);
+            let now = engine.now();
             match next {
-                PilotState::PendingLaunch => rec.times.submitted = Some(engine.now()),
-                PilotState::Launching => rec.times.launched = Some(engine.now()),
-                PilotState::Active => rec.times.active = Some(engine.now()),
-                s if s.is_final() => rec.times.finished = Some(engine.now()),
+                PilotState::PendingLaunch => {
+                    rec.times.submitted = Some(now);
+                    let root = engine.trace.span_begin(now, "pilot", "pilot.run", SpanId::NONE);
+                    engine.trace.span_attr(root, "pilot", rec.id.0.to_string());
+                    engine.trace.span_attr(root, "resource", rec.descr.resource.clone());
+                    engine.trace.span_attr(root, "nodes", rec.descr.nodes.to_string());
+                    rec.span_root = root;
+                    rec.span_open =
+                        engine.trace.span_begin(now, "pilot", "pilot.queue_wait", root);
+                }
+                PilotState::Launching => {
+                    rec.times.launched = Some(now);
+                    engine.trace.span_end(now, rec.span_open);
+                    rec.span_open =
+                        engine
+                            .trace
+                            .span_begin(now, "pilot", "pilot.bootstrap", rec.span_root);
+                }
+                PilotState::Active => {
+                    rec.times.active = Some(now);
+                    engine.trace.span_end(now, rec.span_open);
+                    rec.span_open = SpanId::NONE;
+                }
+                s if s.is_final() => {
+                    rec.times.finished = Some(now);
+                    engine.trace.span_end(now, rec.span_open);
+                    rec.span_open = SpanId::NONE;
+                    engine.trace.span_end(now, rec.span_root);
+                }
                 _ => {}
             }
         }
+        engine.metrics.incr_labeled(
+            "pilot.transitions",
+            &[("state", &format!("{next:?}"))],
+        );
         engine.trace.record(
             engine.now(),
             "pilot",
@@ -136,6 +181,8 @@ impl PilotManager {
                 agent: None,
                 saga_job: None,
                 assigned_units: 0,
+                span_root: SpanId::NONE,
+                span_open: SpanId::NONE,
             })),
         };
         let scheme = machine.cluster.spec().scheduler.scheme();
@@ -169,6 +216,7 @@ impl PilotManager {
                     machine,
                     alloc,
                     access,
+                    h_start.open_span(),
                     session.config(),
                     session.store(),
                     move |eng, agent| {

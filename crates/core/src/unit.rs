@@ -4,7 +4,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use rp_hpc::NodeId;
-use rp_sim::{Engine, SimDuration, SimTime};
+use rp_sim::{Engine, SimDuration, SimTime, SpanId};
 
 use crate::description::ComputeUnitDescription;
 use crate::states::{Guarded, UnitState};
@@ -60,6 +60,10 @@ pub(crate) struct UnitRecord {
     /// Execution attempts started so far (1 on first launch; incremented
     /// on every fault-triggered retry).
     pub attempts: u32,
+    /// Root lifecycle span ("unit.run") and the currently open phase span
+    /// — both `NONE` when tracing is disabled.
+    pub span_root: SpanId,
+    pub span_open: SpanId,
     waiters: Vec<DoneFn>,
 }
 
@@ -82,6 +86,8 @@ impl UnitHandle {
                 failure: None,
                 mr_stats: None,
                 attempts: 0,
+                span_root: SpanId::NONE,
+                span_open: SpanId::NONE,
                 waiters: Vec::new(),
             })),
         }
@@ -132,6 +138,27 @@ impl UnitHandle {
         self.rec.borrow().descr.clone()
     }
 
+    /// Root lifecycle span ("unit.run"), for the phase profiler.
+    pub fn root_span(&self) -> SpanId {
+        self.rec.borrow().span_root
+    }
+
+    /// Currently open phase span (e.g. "unit.exec" while Executing).
+    pub(crate) fn open_span(&self) -> SpanId {
+        self.rec.borrow().span_open
+    }
+
+    /// Close the open phase span early (e.g. when input staging finishes
+    /// before the execution slot is granted — the gap shows up as
+    /// allocation or overhead, not staging).
+    pub(crate) fn end_open_span(&self, engine: &mut Engine) {
+        let open = {
+            let mut rec = self.rec.borrow_mut();
+            std::mem::replace(&mut rec.span_open, SpanId::NONE)
+        };
+        engine.trace.span_end(engine.now(), open);
+    }
+
     /// Register a callback for when the unit reaches a final state (fires
     /// immediately if already final).
     pub fn on_done(&self, engine: &mut Engine, cb: impl FnOnce(&mut Engine) + 'static) {
@@ -148,16 +175,61 @@ impl UnitHandle {
         let waiters = {
             let mut rec = self.rec.borrow_mut();
             rec.state.advance(next);
+            let now = engine.now();
+            // Span lifecycle: the root "unit.run" span covers submission to
+            // final state; exactly one phase child is open at a time, and a
+            // requeue (→ AgentScheduling) starts a fresh "unit.scheduling"
+            // span, so retried attempts show up as sequential phases.
             match next {
-                UnitState::UmScheduling => rec.times.submitted = Some(engine.now()),
-                UnitState::AgentScheduling => rec.times.agent_pickup = Some(engine.now()),
-                UnitState::Executing => rec.times.exec_start = Some(engine.now()),
-                UnitState::StagingOutput => rec.times.exec_end = Some(engine.now()),
+                UnitState::UmScheduling => {
+                    rec.times.submitted = Some(now);
+                    let root = engine.trace.span_begin(now, "unit", "unit.run", SpanId::NONE);
+                    engine.trace.span_attr(root, "unit", rec.id.0.to_string());
+                    engine.trace.span_attr(root, "name", rec.descr.name.clone());
+                    rec.span_root = root;
+                    rec.span_open =
+                        engine.trace.span_begin(now, "unit", "unit.scheduling", root);
+                }
+                UnitState::AgentScheduling => {
+                    rec.times.agent_pickup = Some(now);
+                    engine.trace.span_end(now, rec.span_open);
+                    rec.span_open =
+                        engine
+                            .trace
+                            .span_begin(now, "unit", "unit.scheduling", rec.span_root);
+                }
+                UnitState::StagingInput => {
+                    engine.trace.span_end(now, rec.span_open);
+                    rec.span_open =
+                        engine
+                            .trace
+                            .span_begin(now, "unit", "unit.stage_in", rec.span_root);
+                }
+                UnitState::Executing => {
+                    rec.times.exec_start = Some(now);
+                    engine.trace.span_end(now, rec.span_open);
+                    rec.span_open =
+                        engine.trace.span_begin(now, "unit", "unit.exec", rec.span_root);
+                }
+                UnitState::StagingOutput => {
+                    rec.times.exec_end = Some(now);
+                    engine.trace.span_end(now, rec.span_open);
+                    rec.span_open =
+                        engine
+                            .trace
+                            .span_begin(now, "unit", "unit.stage_out", rec.span_root);
+                }
                 UnitState::Done | UnitState::Canceled | UnitState::Failed => {
-                    rec.times.done = Some(engine.now());
+                    rec.times.done = Some(now);
                     if rec.times.exec_end.is_none() {
                         rec.times.exec_end = rec.times.done;
                     }
+                    engine.trace.span_end(now, rec.span_open);
+                    rec.span_open = SpanId::NONE;
+                    if next == UnitState::Failed {
+                        engine.trace.span_attr(rec.span_root, "failed", "true");
+                    }
+                    engine.trace.span_end(now, rec.span_root);
                 }
                 _ => {}
             }
@@ -167,6 +239,9 @@ impl UnitHandle {
                 Vec::new()
             }
         };
+        engine
+            .metrics
+            .incr_labeled("unit.transitions", &[("state", &format!("{next:?}"))]);
         engine.trace.record(
             engine.now(),
             "unit",

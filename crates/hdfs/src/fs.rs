@@ -310,6 +310,10 @@ impl Hdfs {
         let block = meta.blocks[idx].clone();
         let factor = meta.policy.bandwidth_factor();
         let n = block.replicas.len();
+        engine.metrics.incr("hdfs.blocks_written");
+        engine
+            .metrics
+            .add("hdfs.replica_bytes_written", block.size_bytes * n as u64);
         let remaining = Rc::new(RefCell::new(n));
         let done = Rc::new(RefCell::new(Some(done)));
         for &replica in &block.replicas {
@@ -419,6 +423,11 @@ impl Hdfs {
                 lost.len()
             ),
         );
+        engine.metrics.incr("hdfs.datanode_failures");
+        engine
+            .metrics
+            .add("hdfs.blocks_rereplicated", plan.len() as u64);
+        engine.metrics.add("hdfs.blocks_lost", lost.len() as u64);
         if plan.is_empty() {
             engine.schedule_now(move |eng| done(eng, lost));
             return;

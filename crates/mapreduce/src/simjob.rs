@@ -13,7 +13,7 @@ use std::rc::Rc;
 
 use rp_hdfs::Hdfs;
 use rp_hpc::{Cluster, IoKind, IoPattern, NodeId, StorageTarget};
-use rp_sim::{Engine, SimDuration, SimTime, MB};
+use rp_sim::{Engine, SimDuration, SimTime, SpanId, MB};
 use rp_yarn::{Resource, ResourceRequest, YarnCluster};
 
 /// Where map outputs spill and reducers fetch from.
@@ -117,6 +117,26 @@ struct JobState {
     map_outputs: Vec<(NodeId, f64)>,
     input_bytes: f64,
     output_bytes: f64,
+    /// Span parent for the job's phase spans (NONE when untraced).
+    span_parent: SpanId,
+    /// The currently open phase span (am alloc → map → shuffle → reduce).
+    span_open: SpanId,
+}
+
+/// Close the open phase span and open the next one under the job's parent.
+fn advance_phase_span(
+    engine: &mut Engine,
+    state: &Rc<RefCell<JobState>>,
+    category: &'static str,
+    name: &str,
+) {
+    let (open, parent) = {
+        let st = state.borrow();
+        (st.span_open, st.span_parent)
+    };
+    engine.trace.span_end(engine.now(), open);
+    let next = engine.trace.span_begin(engine.now(), category, name, parent);
+    state.borrow_mut().span_open = next;
 }
 
 /// Run `spec` on a YARN cluster against `hdfs`. `done` receives the stats.
@@ -131,6 +151,22 @@ pub fn run_on_yarn(
     spec: MrJobSpec,
     done: impl FnOnce(&mut Engine, MrJobStats) + 'static,
 ) {
+    run_on_yarn_in_span(engine, cluster, yarn, hdfs, spec, SpanId::NONE, done);
+}
+
+/// [`run_on_yarn`] with the job's phases recorded as spans under `parent`:
+/// `yarn.am_allocation` (submit → AM running), then `mr.map`, `mr.shuffle`
+/// and `mr.reduce` back to back. With tracing disabled this is
+/// byte-identical to `run_on_yarn`.
+pub fn run_on_yarn_in_span(
+    engine: &mut Engine,
+    cluster: &Cluster,
+    yarn: &YarnCluster,
+    hdfs: &Hdfs,
+    spec: MrJobSpec,
+    parent: SpanId,
+    done: impl FnOnce(&mut Engine, MrJobStats) + 'static,
+) {
     let blocks = hdfs
         .block_locations(&spec.input_path)
         .unwrap_or_else(|e| panic!("MR input missing: {e}"));
@@ -142,6 +178,9 @@ pub fn run_on_yarn(
         );
     }
     let n_maps = blocks.len();
+    let am_span = engine
+        .trace
+        .span_begin(engine.now(), "yarn", "yarn.am_allocation", parent);
     let state = Rc::new(RefCell::new(JobState {
         t_submit: engine.now(),
         t_am: engine.now(),
@@ -153,6 +192,8 @@ pub fn run_on_yarn(
         map_outputs: Vec::new(),
         input_bytes: blocks.iter().map(|b| b.size_bytes as f64).sum(),
         output_bytes: 0.0,
+        span_parent: parent,
+        span_open: am_span,
     }));
     let done: DoneSlot = Rc::new(RefCell::new(Some(Box::new(done) as _)));
 
@@ -162,12 +203,14 @@ pub fn run_on_yarn(
     let state2 = state.clone();
     let spec2 = spec.clone();
     let yarn2 = yarn.clone();
+    engine.metrics.incr("mr.jobs_submitted");
     yarn.submit_app(
         engine,
         spec.name.clone(),
         ResourceRequest::new(1, 1536),
         move |eng, am| {
             state2.borrow_mut().t_am = eng.now();
+            advance_phase_span(eng, &state2, "mr", "mr.map");
             // Request one container per map task, preferring the block's
             // first replica (data locality, relaxed by delay scheduling).
             for block in blocks {
@@ -247,6 +290,8 @@ fn run_map_task(
             let cluster4 = cluster3.clone();
             let after_spill = move |eng: &mut Engine| {
                 am.release_container(eng, container.id);
+                eng.metrics.incr("mr.map_tasks");
+                eng.metrics.add("mr.shuffle_bytes", out_bytes as u64);
                 let maps_done = {
                     let mut st = state3.borrow_mut();
                     st.map_outputs.push((node, out_bytes));
@@ -255,6 +300,7 @@ fn run_map_task(
                 };
                 if maps_done {
                     state3.borrow_mut().t_maps_done = eng.now();
+                    advance_phase_span(eng, &state3, "mr", "mr.shuffle");
                     start_reduce_phase(eng, cluster4, yarn, am, spec3, state3, done);
                 }
             };
@@ -361,14 +407,20 @@ fn run_reduce_task(
                 if !all_fetched {
                     return;
                 }
-                {
+                let shuffle_done = {
                     let mut st = state2.borrow_mut();
                     // Last fetch across *all* reducers wins; per-reducer
                     // compute starts from its own last fetch regardless.
                     st.fetches_remaining = st.fetches_remaining.saturating_sub(fetches);
                     if st.fetches_remaining == 0 {
                         st.t_shuffle_done = eng.now();
+                        true
+                    } else {
+                        false
                     }
+                };
+                if shuffle_done {
+                    advance_phase_span(eng, &state2, "mr", "mr.reduce");
                 }
                 // Reduce compute (sort/merge + user reduce).
                 let base = spec2.cost.reduce_fixed_s
@@ -394,6 +446,9 @@ fn run_reduce_task(
                         };
                         if finished {
                             am2.finish(eng);
+                            eng.metrics.incr("mr.jobs_finished");
+                            let open = state2.borrow().span_open;
+                            eng.trace.span_end(eng.now(), open);
                             let stats = {
                                 let st = state2.borrow();
                                 MrJobStats {

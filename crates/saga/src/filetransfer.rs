@@ -36,6 +36,8 @@ pub fn transfer(
     done: impl FnOnce(&mut Engine) + 'static,
 ) {
     assert!(bytes >= 0.0 && bytes.is_finite());
+    engine.metrics.incr("saga.transfers");
+    engine.metrics.add("saga.transfer_bytes", bytes as u64);
     match (from, to) {
         (Endpoint::Remote { .. }, Endpoint::Remote { .. }) => {
             panic!("remote→remote transfer does not involve this machine")

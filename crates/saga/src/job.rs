@@ -169,6 +169,10 @@ impl JobService {
             "saga",
             format!("submitted '{}' ({} nodes) via {}", jd.executable, jd.nodes, self.url),
         );
+        engine.metrics.incr_labeled(
+            "saga.jobs_submitted",
+            &[("scheme", &self.url.scheme)],
+        );
         SagaJob {
             id,
             batch: self.batch.clone(),

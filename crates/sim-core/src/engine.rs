@@ -9,6 +9,7 @@
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
 
+use crate::metrics::MetricsRegistry;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::Trace;
@@ -57,6 +58,8 @@ pub struct Engine {
     pub rng: SimRng,
     /// Structured event trace (cheap no-op unless enabled).
     pub trace: Trace,
+    /// Run-wide metrics registry (cheap no-op unless enabled).
+    pub metrics: MetricsRegistry,
 }
 
 impl Engine {
@@ -70,13 +73,17 @@ impl Engine {
             executed: 0,
             rng: SimRng::new(seed),
             trace: Trace::disabled(),
+            metrics: MetricsRegistry::disabled(),
         }
     }
 
-    /// Engine with tracing enabled (handy in tests and examples).
+    /// Engine with observability (trace + metrics) enabled — handy in
+    /// tests, examples and the experiment harness. Instrumentation is pure
+    /// recording, so a run behaves identically either way.
     pub fn with_trace(seed: u64) -> Self {
         let mut e = Engine::new(seed);
         e.trace = Trace::enabled();
+        e.metrics = MetricsRegistry::enabled();
         e
     }
 

@@ -15,8 +15,12 @@
 //! * [`fault::FaultPlan`] / [`fault::FaultInjector`] — deterministic fault
 //!   schedules (crashes, slowdowns, kills, link degradation, staging
 //!   errors) driven through the engine.
-//! * [`trace::Trace`], [`metrics`], [`stats`] — observability for tests,
-//!   examples and the experiment harness.
+//! * [`trace::Trace`] (instant events + duration spans), the
+//!   [`metrics::MetricsRegistry`], the [`profile`] phase profiler and
+//!   [`report::RunReport`] — the observability layer used by tests,
+//!   examples and the experiment harness. Disabled observability costs
+//!   nothing: recording is a pure no-op, so runs are bit-identical with
+//!   it on or off.
 //!
 //! Components live in `Rc<RefCell<_>>` handles captured by event closures;
 //! the simulator core is intentionally single-threaded (determinism), while
@@ -28,6 +32,8 @@ pub mod fault;
 pub mod link;
 pub mod metrics;
 pub mod par;
+pub mod profile;
+pub mod report;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -37,12 +43,17 @@ pub mod trace;
 pub use engine::{Engine, EventId};
 pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan};
 pub use link::{FairLink, FlowId};
-pub use metrics::{Counter, Series};
+pub use metrics::{metric_key, MetricsRegistry, MetricsSnapshot};
+pub use profile::{
+    aggregate_roots, mean_breakdown, pilot_utilization, profile_roots, profile_span, Phase,
+    PhaseBreakdown,
+};
+pub use report::RunReport;
 pub use rng::SimRng;
 pub use stats::Summary;
 pub use time::{SimDuration, SimTime};
 pub use tokens::Tokens;
-pub use trace::{Trace, TraceEvent};
+pub use trace::{validate_chrome_json, ChromeTraceStats, Span, SpanId, Trace, TraceEvent};
 
 /// Convenience: megabytes → bytes (storage models are specified in MB/s).
 pub const MB: f64 = 1024.0 * 1024.0;

@@ -1,0 +1,177 @@
+//! Uniform run reports: labelled phase breakdowns rendered as an aligned
+//! table, CSV, or JSON. Benches and examples all emit their Fig. 5 /
+//! Fig. 6 style decompositions through this one type.
+
+use crate::profile::{Phase, PhaseBreakdown};
+use crate::trace::escape_json;
+
+/// A set of labelled [`PhaseBreakdown`] rows (one per experiment case).
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    pub title: String,
+    rows: Vec<(String, PhaseBreakdown)>,
+}
+
+impl RunReport {
+    pub fn new(title: impl Into<String>) -> Self {
+        RunReport {
+            title: title.into(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, label: impl Into<String>, breakdown: PhaseBreakdown) {
+        self.rows.push((label.into(), breakdown));
+    }
+
+    pub fn rows(&self) -> &[(String, PhaseBreakdown)] {
+        &self.rows
+    }
+
+    /// Phases that are non-zero in at least one row (the table and CSV
+    /// only carry these columns).
+    fn active_phases(&self) -> Vec<Phase> {
+        Phase::ALL
+            .iter()
+            .copied()
+            .filter(|&p| self.rows.iter().any(|(_, b)| b.get(p).0 > 0))
+            .collect()
+    }
+
+    /// Aligned text table, durations in seconds.
+    pub fn render_table(&self) -> String {
+        let phases = self.active_phases();
+        let mut header: Vec<String> = vec!["case".into()];
+        header.extend(phases.iter().map(|p| p.label().to_string()));
+        header.push("total".into());
+        let mut body: Vec<Vec<String>> = Vec::new();
+        for (label, b) in &self.rows {
+            let mut row = vec![label.clone()];
+            row.extend(phases.iter().map(|&p| format!("{:.1}", b.secs(p))));
+            row.push(format!("{:.1}", b.total_secs()));
+            body.push(row);
+        }
+        let cols = header.len();
+        let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+        for row in &body {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let render_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i == 0 {
+                    line.push_str(&format!("{cell:<width$}", width = widths[0]));
+                } else {
+                    line.push_str(&format!("  {cell:>width$}", width = widths[i]));
+                }
+            }
+            line.push('\n');
+            line
+        };
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&format!("{}\n", self.title));
+        }
+        out.push_str(&render_row(&header));
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &body {
+            out.push_str(&render_row(row));
+        }
+        out
+    }
+
+    /// CSV export (seconds, 6 decimal places).
+    pub fn to_csv(&self) -> String {
+        let phases = self.active_phases();
+        let mut out = String::from("case");
+        for p in &phases {
+            out.push_str(&format!(",{}", p.label()));
+        }
+        out.push_str(",total\n");
+        for (label, b) in &self.rows {
+            let quoted = if label.contains(',') || label.contains('"') {
+                format!("\"{}\"", label.replace('"', "\"\""))
+            } else {
+                label.clone()
+            };
+            out.push_str(&quoted);
+            for &p in &phases {
+                out.push_str(&format!(",{:.6}", b.secs(p)));
+            }
+            out.push_str(&format!(",{:.6}\n", b.total_secs()));
+        }
+        out
+    }
+
+    /// JSON export: every phase (including zeros) per row, in seconds.
+    pub fn to_json(&self) -> String {
+        let mut out = format!("{{\"title\":\"{}\",\"rows\":[", escape_json(&self.title));
+        for (i, (label, b)) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"case\":\"{}\"", escape_json(label)));
+            for p in Phase::ALL {
+                out.push_str(&format!(",\"{}\":{:.6}", p.label(), b.secs(p)));
+            }
+            out.push_str(&format!(",\"total\":{:.6}}}", b.total_secs()));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+    use crate::trace::{SpanId, Trace};
+
+    fn breakdown() -> PhaseBreakdown {
+        let mut tr = Trace::enabled();
+        let root = tr.span_begin(SimTime(0), "pilot", "pilot.run", SpanId::NONE);
+        let q = tr.span_begin(SimTime(0), "pilot", "pilot.queue_wait", root);
+        tr.span_end(SimTime(10_000_000), q);
+        tr.span_end(SimTime(25_000_000), root);
+        crate::profile::profile_span(&tr, root)
+    }
+
+    #[test]
+    fn table_has_header_rule_and_rows() {
+        let mut r = RunReport::new("fig5");
+        r.push("stampede/mode-i", breakdown());
+        r.push("comet/mode-ii", breakdown());
+        let t = r.render_table();
+        assert!(t.starts_with("fig5\n"));
+        assert!(t.contains("queue_wait") && t.contains("overhead") && t.contains("total"));
+        // Zero-everywhere phases are dropped from the table.
+        assert!(!t.contains("shuffle"));
+        assert_eq!(t.lines().count(), 5); // title + header + rule + 2 rows
+        assert!(t.contains("stampede/mode-i"));
+    }
+
+    #[test]
+    fn csv_and_json_are_consistent() {
+        let mut r = RunReport::new("x");
+        r.push("a,b", breakdown());
+        let csv = r.to_csv();
+        assert!(csv.starts_with("case,queue_wait,overhead,total\n"));
+        assert!(csv.contains("\"a,b\",10.000000,15.000000,25.000000"));
+        let json = r.to_json();
+        assert!(json.contains("\"case\":\"a,b\""));
+        assert!(json.contains("\"queue_wait\":10.000000"));
+        assert!(json.contains("\"shuffle\":0.000000")); // JSON keeps zeros
+        assert!(json.contains("\"total\":25.000000"));
+    }
+
+    #[test]
+    fn empty_report_renders() {
+        let r = RunReport::new("");
+        let t = r.render_table();
+        assert!(t.contains("case"));
+        assert_eq!(r.to_csv(), "case,total\n");
+    }
+}

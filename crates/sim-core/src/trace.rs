@@ -1,8 +1,12 @@
-//! Structured event trace.
+//! Structured event trace: instant events and duration spans.
 //!
-//! Components record `(time, category, message)` triples; tests and examples
-//! use the trace to assert on and display causal timelines. When disabled
-//! (the default) recording is a no-op.
+//! Components record instant `(time, category, message)` triples and
+//! begin/end **spans** — intervals with stable ids, parent links and
+//! key/value attributes. Tests and examples use the trace to assert on and
+//! display causal timelines; the phase profiler ([`crate::profile`]) walks
+//! the span tree to attribute wall-clock to the paper's phases. When
+//! disabled (the default) every recording call is a no-op, so an
+//! uninstrumented run stays bit-identical to an instrumented one.
 
 use crate::time::SimTime;
 
@@ -14,25 +18,59 @@ pub struct TraceEvent {
     pub message: String,
 }
 
+/// Identifier of a span. Ids are assigned sequentially from 1 in begin
+/// order; `SpanId::NONE` (0) is the sentinel returned when tracing is
+/// disabled — every span operation on it is a no-op, so call sites never
+/// need to branch on whether observability is on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    pub const NONE: SpanId = SpanId(0);
+
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// A begin/end interval in virtual time. `end` is `None` while the span is
+/// open (and stays `None` forever for spans abandoned by a fault-killed
+/// attempt — exports and the profiler only consider completed spans).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    pub id: SpanId,
+    pub parent: Option<SpanId>,
+    pub category: &'static str,
+    pub name: String,
+    pub begin: SimTime,
+    pub end: Option<SimTime>,
+    pub attrs: Vec<(String, String)>,
+}
+
+impl Span {
+    /// Duration, if the span is complete.
+    pub fn duration(&self) -> Option<crate::time::SimDuration> {
+        Some(self.end?.since(self.begin))
+    }
+}
+
 /// Append-only trace log.
 #[derive(Debug, Default)]
 pub struct Trace {
     enabled: bool,
     events: Vec<TraceEvent>,
+    spans: Vec<Span>,
 }
 
 impl Trace {
     pub fn disabled() -> Self {
-        Trace {
-            enabled: false,
-            events: Vec::new(),
-        }
+        Trace::default()
     }
 
     pub fn enabled() -> Self {
         Trace {
             enabled: true,
-            events: Vec::new(),
+            ..Trace::default()
         }
     }
 
@@ -40,7 +78,7 @@ impl Trace {
         self.enabled
     }
 
-    /// Record an event (no-op when disabled).
+    /// Record an instant event (no-op when disabled).
     pub fn record(&mut self, time: SimTime, category: &'static str, message: impl Into<String>) {
         if self.enabled {
             self.events.push(TraceEvent {
@@ -51,8 +89,73 @@ impl Trace {
         }
     }
 
+    /// Open a span. Returns `SpanId::NONE` when disabled; pass
+    /// `SpanId::NONE` as `parent` for a root span.
+    pub fn span_begin(
+        &mut self,
+        time: SimTime,
+        category: &'static str,
+        name: impl Into<String>,
+        parent: SpanId,
+    ) -> SpanId {
+        if !self.enabled {
+            return SpanId::NONE;
+        }
+        let id = SpanId(self.spans.len() as u64 + 1);
+        self.spans.push(Span {
+            id,
+            parent: if parent.is_none() { None } else { Some(parent) },
+            category,
+            name: name.into(),
+            begin: time,
+            end: None,
+            attrs: Vec::new(),
+        });
+        id
+    }
+
+    /// Attach a key/value attribute to an open span (no-op on `NONE`).
+    pub fn span_attr(&mut self, id: SpanId, key: impl Into<String>, value: impl Into<String>) {
+        if id.is_none() {
+            return;
+        }
+        let span = &mut self.spans[id.0 as usize - 1];
+        span.attrs.push((key.into(), value.into()));
+    }
+
+    /// Close a span (no-op on `NONE` or if already closed).
+    pub fn span_end(&mut self, time: SimTime, id: SpanId) {
+        if id.is_none() {
+            return;
+        }
+        let span = &mut self.spans[id.0 as usize - 1];
+        if span.end.is_none() {
+            debug_assert!(time >= span.begin, "span ends before it begins");
+            span.end = Some(time);
+        }
+    }
+
     pub fn events(&self) -> &[TraceEvent] {
         &self.events
+    }
+
+    /// All spans, in begin order (open spans included).
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    pub fn span(&self, id: SpanId) -> Option<&Span> {
+        if id.is_none() {
+            return None;
+        }
+        self.spans.get(id.0 as usize - 1)
+    }
+
+    /// Completed root spans (no parent) with the given name, in id order.
+    pub fn roots_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Span> {
+        self.spans
+            .iter()
+            .filter(move |s| s.parent.is_none() && s.name == name && s.end.is_some())
     }
 
     /// Events in a given category.
@@ -66,13 +169,19 @@ impl Trace {
     }
 
     /// Export as Chrome tracing JSON (`chrome://tracing` / Perfetto):
-    /// one instant event per record, grouped by category as thread names.
+    /// instant events as `"ph":"i"`, completed spans as async-nestable
+    /// `"ph":"b"`/`"ph":"e"` pairs keyed by span id (no per-thread stack
+    /// discipline required), grouped by category as thread names.
     pub fn to_chrome_json(&self) -> String {
-        let mut cats: Vec<&'static str> = self.events.iter().map(|e| e.category).collect();
+        let mut cats: Vec<&'static str> = self
+            .events
+            .iter()
+            .map(|e| e.category)
+            .chain(self.spans.iter().map(|s| s.category))
+            .collect();
         cats.sort_unstable();
         cats.dedup();
         let tid = |c: &str| cats.iter().position(|&x| x == c).unwrap_or(0) + 1;
-        let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
         let mut out = String::from("[");
         for (i, c) in cats.iter().enumerate() {
             if i > 0 {
@@ -81,15 +190,45 @@ impl Trace {
             out.push_str(&format!(
                 "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\"args\":{{\"name\":\"{}\"}}}}",
                 tid(c),
-                escape(c)
+                escape_json(c)
             ));
         }
         for e in &self.events {
             out.push_str(&format!(
                 ",{{\"name\":\"{}\",\"ph\":\"i\",\"ts\":{},\"pid\":1,\"tid\":{},\"s\":\"t\"}}",
-                escape(&e.message),
+                escape_json(&e.message),
                 e.time.0,
                 tid(e.category)
+            ));
+        }
+        for s in &self.spans {
+            let Some(end) = s.end else { continue };
+            let mut args = String::new();
+            if let Some(p) = s.parent {
+                args.push_str(&format!("\"parent\":\"0x{:x}\"", p.0));
+            }
+            for (k, v) in &s.attrs {
+                if !args.is_empty() {
+                    args.push(',');
+                }
+                args.push_str(&format!("\"{}\":\"{}\"", escape_json(k), escape_json(v)));
+            }
+            out.push_str(&format!(
+                ",{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"b\",\"ts\":{},\"pid\":1,\"tid\":{},\"id\":\"0x{:x}\",\"args\":{{{}}}}}",
+                escape_json(&s.name),
+                escape_json(s.category),
+                s.begin.0,
+                tid(s.category),
+                s.id.0,
+                args
+            ));
+            out.push_str(&format!(
+                ",{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"e\",\"ts\":{},\"pid\":1,\"tid\":{},\"id\":\"0x{:x}\"}}",
+                escape_json(&s.name),
+                escape_json(s.category),
+                end.0,
+                tid(s.category),
+                s.id.0
             ));
         }
         out.push(']');
@@ -109,6 +248,327 @@ impl Trace {
         }
         out
     }
+
+    /// Render the span list, one line per span (for goldens / debugging).
+    pub fn render_spans(&self) -> String {
+        let mut out = String::new();
+        for s in &self.spans {
+            let end = match s.end {
+                Some(t) => format!("{}", t.0),
+                None => "open".into(),
+            };
+            let parent = match s.parent {
+                Some(p) => format!("{}", p.0),
+                None => "-".into(),
+            };
+            out.push_str(&format!(
+                "#{} parent={} [{}] {} {}..{}\n",
+                s.id.0, parent, s.category, s.name, s.begin.0, end
+            ));
+        }
+        out
+    }
+}
+
+/// JSON string escaping covering quotes, backslashes and all control
+/// characters (newlines and tabs in messages used to produce invalid JSON).
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Summary of a validated Chrome trace (see [`validate_chrome_json`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChromeTraceStats {
+    pub objects: usize,
+    pub instants: usize,
+    pub begins: usize,
+    pub ends: usize,
+}
+
+/// Validate a Chrome tracing JSON document: it must parse as a JSON array
+/// of objects, and every async `"ph":"b"` must have a matching `"ph":"e"`
+/// with the same id (balanced, never closing an unopened id). Used by CI
+/// on the artifact the quickstart example emits.
+pub fn validate_chrome_json(s: &str) -> Result<ChromeTraceStats, String> {
+    let value = json::parse(s)?;
+    let json::Value::Array(items) = value else {
+        return Err("top-level JSON value is not an array".into());
+    };
+    let mut stats = ChromeTraceStats {
+        objects: items.len(),
+        instants: 0,
+        begins: 0,
+        ends: 0,
+    };
+    let mut open: std::collections::BTreeMap<String, i64> = std::collections::BTreeMap::new();
+    for (i, item) in items.iter().enumerate() {
+        let json::Value::Object(fields) = item else {
+            return Err(format!("array element {i} is not an object"));
+        };
+        let get = |key: &str| -> Option<&json::Value> {
+            fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+        };
+        let Some(json::Value::String(ph)) = get("ph") else {
+            return Err(format!("array element {i} has no \"ph\" field"));
+        };
+        match ph.as_str() {
+            "i" => stats.instants += 1,
+            "b" | "e" => {
+                let Some(json::Value::String(id)) = get("id") else {
+                    return Err(format!("async event {i} has no \"id\" field"));
+                };
+                let n = open.entry(id.clone()).or_insert(0);
+                if ph == "b" {
+                    stats.begins += 1;
+                    *n += 1;
+                } else {
+                    stats.ends += 1;
+                    *n -= 1;
+                    if *n < 0 {
+                        return Err(format!("\"e\" for id {id} without a matching \"b\""));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    if let Some((id, n)) = open.iter().find(|(_, &n)| n != 0) {
+        return Err(format!("id {id} has {n} unclosed \"b\" event(s)"));
+    }
+    Ok(stats)
+}
+
+/// A minimal JSON parser — just enough to validate trace exports offline.
+mod json {
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        Number(f64),
+        String(String),
+        Array(Vec<Value>),
+        Object(Vec<(String, Value)>),
+    }
+
+    pub fn parse(s: &str) -> Result<Value, String> {
+        let mut p = Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.pos += 1;
+            }
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), String> {
+            if self.peek() == Some(b) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(format!(
+                    "expected '{}' at byte {}, found {:?}",
+                    b as char,
+                    self.pos,
+                    self.peek().map(|c| c as char)
+                ))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            match self.peek() {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => Ok(Value::String(self.string()?)),
+                Some(b't') => self.literal("true", Value::Bool(true)),
+                Some(b'f') => self.literal("false", Value::Bool(false)),
+                Some(b'n') => self.literal("null", Value::Null),
+                Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+                other => Err(format!(
+                    "unexpected {:?} at byte {}",
+                    other.map(|c| c as char),
+                    self.pos
+                )),
+            }
+        }
+
+        fn literal(&mut self, word: &str, v: Value) -> Result<Value, String> {
+            if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+                self.pos += word.len();
+                Ok(v)
+            } else {
+                Err(format!("invalid literal at byte {}", self.pos))
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, String> {
+            let start = self.pos;
+            if self.peek() == Some(b'-') {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+            {
+                self.pos += 1;
+            }
+            std::str::from_utf8(&self.bytes[start..self.pos])
+                .ok()
+                .and_then(|t| t.parse::<f64>().ok())
+                .map(Value::Number)
+                .ok_or_else(|| format!("invalid number at byte {start}"))
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut out = Vec::new();
+            loop {
+                match self.peek() {
+                    None => return Err("unterminated string".into()),
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return String::from_utf8(out).map_err(|_| "invalid UTF-8".into());
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        match self.peek() {
+                            Some(c @ (b'"' | b'\\' | b'/')) => {
+                                out.push(c);
+                                self.pos += 1;
+                            }
+                            Some(b'n') => {
+                                out.push(b'\n');
+                                self.pos += 1;
+                            }
+                            Some(b't') => {
+                                out.push(b'\t');
+                                self.pos += 1;
+                            }
+                            Some(b'r') => {
+                                out.push(b'\r');
+                                self.pos += 1;
+                            }
+                            Some(b'b') => {
+                                out.push(0x08);
+                                self.pos += 1;
+                            }
+                            Some(b'f') => {
+                                out.push(0x0c);
+                                self.pos += 1;
+                            }
+                            Some(b'u') => {
+                                self.pos += 1;
+                                if self.pos + 4 > self.bytes.len() {
+                                    return Err("truncated \\u escape".into());
+                                }
+                                let hex =
+                                    std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                        .map_err(|_| "invalid \\u escape".to_string())?;
+                                let code = u32::from_str_radix(hex, 16)
+                                    .map_err(|_| "invalid \\u escape".to_string())?;
+                                // Surrogate pairs are not needed for our traces.
+                                let c = char::from_u32(code)
+                                    .ok_or_else(|| "invalid \\u codepoint".to_string())?;
+                                let mut buf = [0u8; 4];
+                                out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                                self.pos += 4;
+                            }
+                            other => {
+                                return Err(format!("bad escape {:?}", other.map(|c| c as char)))
+                            }
+                        }
+                    }
+                    Some(c) if c < 0x20 => {
+                        return Err(format!("raw control character 0x{c:02x} in string"));
+                    }
+                    Some(c) => {
+                        out.push(c);
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, String> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                self.skip_ws();
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+                }
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, String> {
+            self.expect(b'{')?;
+            let mut fields = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Object(fields));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                self.skip_ws();
+                let value = self.value()?;
+                fields.push((key, value));
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Value::Object(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -119,7 +579,12 @@ mod tests {
     fn disabled_trace_records_nothing() {
         let mut t = Trace::disabled();
         t.record(SimTime(5), "x", "hello");
+        let id = t.span_begin(SimTime(5), "x", "s", SpanId::NONE);
+        assert!(id.is_none());
+        t.span_attr(id, "k", "v");
+        t.span_end(SimTime(9), id);
         assert!(t.events().is_empty());
+        assert!(t.spans().is_empty());
     }
 
     #[test]
@@ -135,6 +600,32 @@ mod tests {
     }
 
     #[test]
+    fn spans_nest_and_complete() {
+        let mut t = Trace::enabled();
+        let root = t.span_begin(SimTime(0), "pilot", "pilot.run", SpanId::NONE);
+        let child = t.span_begin(SimTime(10), "pilot", "pilot.bootstrap", root);
+        t.span_attr(child, "mode", "I");
+        t.span_end(SimTime(50), child);
+        t.span_end(SimTime(90), root);
+        assert_eq!(root, SpanId(1));
+        assert_eq!(child, SpanId(2));
+        let c = t.span(child).unwrap();
+        assert_eq!(c.parent, Some(root));
+        assert_eq!(c.duration().unwrap().0, 40);
+        assert_eq!(c.attrs, vec![("mode".to_string(), "I".to_string())]);
+        assert_eq!(t.roots_named("pilot.run").count(), 1);
+    }
+
+    #[test]
+    fn span_end_is_idempotent() {
+        let mut t = Trace::enabled();
+        let s = t.span_begin(SimTime(1), "x", "s", SpanId::NONE);
+        t.span_end(SimTime(5), s);
+        t.span_end(SimTime(9), s);
+        assert_eq!(t.span(s).unwrap().end, Some(SimTime(5)));
+    }
+
+    #[test]
     fn chrome_json_is_well_formed() {
         let mut t = Trace::enabled();
         t.record(SimTime(1_000), "pilot", r#"launch "x""#);
@@ -146,6 +637,52 @@ mod tests {
         assert_eq!(j.matches("\"ph\":\"i\"").count(), 2);
         // Quotes in messages are escaped.
         assert!(j.contains("launch \\\"x\\\""));
+        validate_chrome_json(&j).unwrap();
+    }
+
+    #[test]
+    fn chrome_json_escapes_control_characters() {
+        let mut t = Trace::enabled();
+        t.record(SimTime(1), "x", "line1\nline2\tcol\rret\u{1}bell");
+        let j = t.to_chrome_json();
+        assert!(j.contains("line1\\nline2\\tcol\\rret\\u0001bell"));
+        assert!(!j.contains('\n'));
+        validate_chrome_json(&j).unwrap();
+    }
+
+    #[test]
+    fn chrome_json_emits_balanced_span_pairs() {
+        let mut t = Trace::enabled();
+        let root = t.span_begin(SimTime(0), "unit", "unit.run", SpanId::NONE);
+        let child = t.span_begin(SimTime(5), "unit", "unit.stage_in", root);
+        t.span_attr(child, "bytes", "1024");
+        t.span_end(SimTime(9), child);
+        t.span_end(SimTime(20), root);
+        let open = t.span_begin(SimTime(21), "unit", "abandoned", SpanId::NONE);
+        assert!(!open.is_none());
+        let j = t.to_chrome_json();
+        let stats = validate_chrome_json(&j).unwrap();
+        // Only completed spans are exported; the open one is skipped.
+        assert_eq!(stats.begins, 2);
+        assert_eq!(stats.ends, 2);
+        assert!(j.contains("\"bytes\":\"1024\""));
+        assert!(j.contains("\"parent\":\"0x1\""));
+    }
+
+    #[test]
+    fn validator_rejects_broken_documents() {
+        assert!(validate_chrome_json("[").is_err());
+        assert!(validate_chrome_json("{}").is_err());
+        assert!(validate_chrome_json("[1]").is_err());
+        // Unbalanced: a "b" with no matching "e".
+        let unbalanced =
+            r#"[{"name":"s","cat":"c","ph":"b","ts":1,"pid":1,"tid":1,"id":"0x1","args":{}}]"#;
+        assert!(validate_chrome_json(unbalanced).is_err());
+        // "e" before any "b" for that id.
+        let inverted = r#"[{"name":"s","cat":"c","ph":"e","ts":1,"pid":1,"tid":1,"id":"0x1"}]"#;
+        assert!(validate_chrome_json(inverted).is_err());
+        // Raw newline inside a string is invalid JSON.
+        assert!(validate_chrome_json("[{\"ph\":\"i\",\"name\":\"a\nb\"}]").is_err());
     }
 
     #[test]
@@ -156,5 +693,17 @@ mod tests {
         let s = t.render();
         assert_eq!(s.lines().count(), 2);
         assert!(s.contains("m1") && s.contains("m2"));
+    }
+
+    #[test]
+    fn render_spans_shows_open_and_closed() {
+        let mut t = Trace::enabled();
+        let a = t.span_begin(SimTime(1), "x", "a", SpanId::NONE);
+        t.span_begin(SimTime(2), "x", "b", a);
+        t.span_end(SimTime(7), a);
+        let s = t.render_spans();
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains("1..7"));
+        assert!(s.contains("open"));
     }
 }

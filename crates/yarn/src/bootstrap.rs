@@ -10,7 +10,7 @@
 
 use rp_hdfs::{Hdfs, HdfsConfig};
 use rp_hpc::{Cluster, NodeId};
-use rp_sim::{Engine, SimDuration};
+use rp_sim::{Engine, SimDuration, SpanId};
 
 use crate::config::YarnConfig;
 use crate::rm::YarnCluster;
@@ -34,8 +34,41 @@ pub fn bootstrap_mode_i(
     with_hdfs: bool,
     on_ready: impl FnOnce(&mut Engine, HadoopEnv) + 'static,
 ) {
+    bootstrap_mode_i_in_span(
+        engine,
+        cluster,
+        nodes,
+        config,
+        with_hdfs,
+        SpanId::NONE,
+        on_ready,
+    );
+}
+
+/// [`bootstrap_mode_i`] with the startup recorded as a `yarn.startup` span
+/// (child of `parent`); the overlapped HDFS deploy gets its own nested
+/// `hdfs.startup` span. With tracing disabled (or `parent == NONE` on an
+/// untraced engine) this is byte-identical to `bootstrap_mode_i`.
+pub fn bootstrap_mode_i_in_span(
+    engine: &mut Engine,
+    cluster: Cluster,
+    nodes: Vec<NodeId>,
+    config: YarnConfig,
+    with_hdfs: bool,
+    parent: SpanId,
+    on_ready: impl FnOnce(&mut Engine, HadoopEnv) + 'static,
+) {
     assert!(!nodes.is_empty());
     let t0 = engine.now();
+    let yarn_span = engine
+        .trace
+        .span_begin(t0, "yarn", "yarn.startup", parent);
+    engine
+        .trace
+        .span_attr(yarn_span, "mode", "I");
+    engine
+        .trace
+        .span_attr(yarn_span, "nodes", nodes.len().to_string());
 
     // Stage 1: fetch the distribution (skipped when a shared install or
     // staged tarball exists).
@@ -90,6 +123,7 @@ pub fn bootstrap_mode_i(
                 "yarn",
                 format!("mode-I ready after {}", env.bootstrap_time),
             );
+            eng.trace.span_end(eng.now(), yarn_span);
             on_ready(eng, env);
         };
         if with_hdfs {
@@ -98,7 +132,11 @@ pub fn bootstrap_mode_i(
             // the residual YARN daemon time, i.e. max(YARN, HDFS) overall.
             let hdfs_cfg = HdfsConfig::default();
             let daemons2 = daemons;
+            let hdfs_span = eng
+                .trace
+                .span_begin(eng.now(), "hdfs", "hdfs.startup", yarn_span);
             Hdfs::deploy(eng, cluster2, nodes2, hdfs_cfg, move |eng, hdfs| {
+                eng.trace.span_end(eng.now(), hdfs_span);
                 // Residual: YARN daemons may outlast HDFS's.
                 let residual = daemons2.saturating_sub(SimDuration::from_secs_f64(
                     hdfs_deploy_estimate(),

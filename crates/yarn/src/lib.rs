@@ -14,7 +14,9 @@ pub mod bootstrap;
 pub mod config;
 pub mod rm;
 
-pub use bootstrap::{bootstrap_mode_i, connect_mode_ii, dedicated_cluster, HadoopEnv};
+pub use bootstrap::{
+    bootstrap_mode_i, bootstrap_mode_i_in_span, connect_mode_ii, dedicated_cluster, HadoopEnv,
+};
 pub use config::{ContainerRuntime, SchedulerPolicy, YarnConfig};
 pub use rm::{
     AmHandle, AppId, AppReport, AppState, ClusterState, Container, ContainerId, Resource,

@@ -249,6 +249,7 @@ impl YarnCluster {
         engine
             .trace
             .record(engine.now(), "yarn", format!("submit {name} as {id:?}"));
+        engine.metrics.incr("yarn.apps_submitted");
         let this = self.clone();
         let resource = am_request.resource;
         let rounded = this.round_up(resource);
@@ -370,6 +371,7 @@ impl YarnCluster {
                 "yarn",
                 format!("preempted {:?} of {:?}", container.id, container.app),
             );
+            engine.metrics.incr("yarn.preemptions");
             if let Some(h) = handler {
                 h(engine, container.clone());
             }
@@ -415,6 +417,10 @@ impl YarnCluster {
                 dead_apps.len()
             ),
         );
+        engine.metrics.incr("yarn.node_failures");
+        engine
+            .metrics
+            .add("yarn.containers_lost", lost_tasks.len() as u64);
         let mut notified = Vec::new();
         for c in lost_tasks {
             let handler = {
@@ -551,6 +557,10 @@ impl YarnCluster {
                 if is_am { "AM" } else { "task" }
             ),
         );
+        engine.metrics.incr_labeled(
+            "yarn.containers_allocated",
+            &[("kind", if is_am { "am" } else { "task" })],
+        );
         let this = self.clone();
         engine.schedule_in(delay, move |eng| {
             // The app may have been killed while the container launched.
@@ -605,6 +615,10 @@ impl YarnCluster {
         engine
             .trace
             .record(engine.now(), "yarn", format!("{id:?} -> {state:?}"));
+        engine.metrics.incr_labeled(
+            "yarn.apps_finished",
+            &[("state", &format!("{state:?}").to_lowercase())],
+        );
         self.ensure_tick(engine);
     }
 }

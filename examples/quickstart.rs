@@ -1,12 +1,18 @@
 //! Quickstart: submit a Pilot to a (simulated) machine, run a bag of
-//! Compute-Units through it, and print the causal timeline.
+//! Compute-Units through it, and print the causal timeline plus a
+//! profiler-derived phase report.
 //!
 //! ```text
-//! cargo run --example quickstart
+//! cargo run --example quickstart [-- --trace-out PATH]
 //! ```
+//!
+//! `--trace-out PATH` additionally writes the run's span stream as a
+//! Chrome/Perfetto trace (open it at <https://ui.perfetto.dev>).
 
 use hadoop_hpc::pilot::*;
-use hadoop_hpc::sim::{Engine, SimDuration};
+use hadoop_hpc::sim::{
+    aggregate_roots, pilot_utilization, profile_span, Engine, RunReport, SimDuration,
+};
 
 fn main() {
     // Everything is driven by a deterministic discrete-event engine; the
@@ -77,5 +83,34 @@ fn main() {
     println!("\n-- trace (first 20 events) --");
     for e in engine.trace.events().iter().take(20) {
         println!("{:>10} [{:<6}] {}", format!("{}", e.time), e.category, e.message);
+    }
+
+    // Phase profile: pilot lifecycle + the workload's units, attributed
+    // from the span tree by the virtual-time profiler.
+    let mut report = RunReport::new("phase breakdown (seconds)");
+    report.push("pilot.run", profile_span(&engine.trace, pilot.root_span()));
+    report.push("units (aggregate)", aggregate_roots(&engine.trace, "unit.run"));
+    println!("\n{}", report.render_table());
+    let cores = 2 * 16; // 2 Stampede nodes
+    let util: Vec<String> = engine
+        .trace
+        .roots_named("pilot.run")
+        .map(|s| format!("{:.0}%", 100.0 * pilot_utilization(&engine.trace, s.id, cores)))
+        .collect();
+    println!("pilot core utilization over active window: {}", util.join(", "));
+
+    // Optional Perfetto artifact.
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(path) = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .and_then(|i| args.get(i + 1))
+    {
+        std::fs::write(path, engine.trace.to_chrome_json()).expect("write trace");
+        println!(
+            "wrote {} spans + {} instants to {path}",
+            engine.trace.spans().iter().filter(|s| s.end.is_some()).count(),
+            engine.trace.events().len()
+        );
     }
 }

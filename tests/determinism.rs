@@ -9,7 +9,19 @@ use hadoop_hpc::sim::{Engine, SimDuration, SimTime};
 
 /// A full mixed workload; returns every unit's (startup, done) pair.
 fn mixed_run(seed: u64) -> Vec<(SimTime, SimTime)> {
-    let mut e = Engine::new(seed);
+    mixed_run_with(seed, false).1
+}
+
+/// Same workload with the engine handed back, optionally traced — so the
+/// observability guarantees (bit-identical spans/metrics per seed, zero
+/// behavioural cost when disabled) can be checked against the exact runs
+/// the timeline tests use.
+fn mixed_run_with(seed: u64, traced: bool) -> (Engine, Vec<(SimTime, SimTime)>) {
+    let mut e = if traced {
+        Engine::with_trace(seed)
+    } else {
+        Engine::new(seed)
+    };
     let session = Session::new(SessionConfig::test_profile());
     let pm = PilotManager::new(&session);
     let pilot = pm
@@ -45,13 +57,14 @@ fn mixed_run(seed: u64) -> Vec<(SimTime, SimTime)> {
     while units.iter().any(|u| !u.state().is_final()) {
         assert!(e.step());
     }
-    units
+    let timeline = units
         .iter()
         .map(|u| {
             let t = u.times();
             (t.exec_start.unwrap(), t.done.unwrap())
         })
-        .collect()
+        .collect();
+    (e, timeline)
 }
 
 #[test]
@@ -62,6 +75,41 @@ fn same_seed_same_timeline() {
 #[test]
 fn different_seeds_different_timelines() {
     assert_ne!(mixed_run(42), mixed_run(43));
+}
+
+/// Observability is part of the deterministic state: two traced runs with
+/// the same seed must produce bit-identical span streams and metrics
+/// snapshots, not just identical unit timelines.
+#[test]
+fn same_seed_same_spans_and_metrics() {
+    let (e1, t1) = mixed_run_with(42, true);
+    let (e2, t2) = mixed_run_with(42, true);
+    assert_eq!(t1, t2);
+    assert_eq!(e1.trace.spans(), e2.trace.spans());
+    assert_eq!(e1.trace.render_spans(), e2.trace.render_spans());
+    assert_eq!(e1.metrics.snapshot(), e2.metrics.snapshot());
+    // ... and the run actually fed both subsystems.
+    assert!(!e1.trace.spans().is_empty());
+    let counters = e1.metrics.snapshot().counters;
+    assert!(
+        counters.iter().any(|(k, _)| k == "agent.units_completed"),
+        "metrics registry must be populated: {counters:?}"
+    );
+}
+
+/// Tracing is pure recording: enabling it draws no RNG samples and
+/// schedules no events, so a traced run's outcome is bit-identical to the
+/// untraced run — observability costs nothing when disabled *and* changes
+/// nothing when enabled.
+#[test]
+fn tracing_does_not_perturb_the_timeline() {
+    let (off_engine, off) = mixed_run_with(42, false);
+    let (on_engine, on) = mixed_run_with(42, true);
+    assert_eq!(off, on, "enabling tracing must not move a single event");
+    // The disabled engine recorded nothing; the traced one recorded spans.
+    assert!(off_engine.trace.spans().is_empty());
+    assert!(off_engine.metrics.snapshot().counters.is_empty());
+    assert!(!on_engine.trace.spans().is_empty());
 }
 
 #[test]
