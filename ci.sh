@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
-# Local CI: release build, full test suite, lints, and a fixed-seed
-# fault-matrix smoke run (3 seeds x 3 intensities through the
-# fault_injection example). Everything runs offline.
+# Local CI: formatting, release build, full test suite, lints, trace
+# artifact validation, the benchmark suite + regression gate against the
+# checked-in BENCH_*.json baselines, and a machine-checkable fixed-seed
+# fault-matrix smoke run. Everything runs offline.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
 
 echo "==> cargo build --release"
 cargo build --release
@@ -19,12 +23,41 @@ TRACE_OUT="${TRACE_OUT:-target/quickstart_trace.json}"
 cargo run --release -q --example quickstart -- --trace-out "$TRACE_OUT" > /dev/null
 cargo run --release -q -p rp-bench --bin trace_validate -- "$TRACE_OUT"
 
-echo "==> fault-matrix smoke (3 seeds x 3 intensities)"
+echo "==> bench suite (quick) + regression gate"
+BENCH_OUT="${BENCH_OUT:-target/bench}"
+cargo run --release -q -p rp-bench --bin bench_suite -- --quick --out-dir "$BENCH_OUT"
+baselines_present=true
+for s in fig5_startup fig5_unit_startup fig6_kmeans fault_matrix; do
+    [ -f "BENCH_$s.json" ] || baselines_present=false
+done
+if $baselines_present; then
+    cargo run --release -q -p rp-bench --bin bench_compare -- \
+        --baseline . --candidate "$BENCH_OUT"
+else
+    echo "    (no checked-in baselines; seeding BENCH_*.json from this run"
+    echo "     — run 'bench_suite --out-dir .' without --quick for real host stats)"
+    cp "$BENCH_OUT"/BENCH_*.json .
+fi
+
+echo "==> fault-matrix smoke (3 seeds x 3 intensities, JSON-checked)"
 for seed in 1 2 3; do
     for intensity in 2 6 12; do
-        echo "--- seed=$seed intensity=$intensity"
-        cargo run --release -q --example fault_injection "$seed" "$intensity" \
-            | tail -n +2 | head -n 3
+        cargo run --release -q --example fault_injection "$seed" "$intensity" --json \
+            | python3 -c '
+import json, sys
+d = json.loads(sys.stdin.read())
+assert d["injected"] == d["planned"], (d["injected"], d["planned"])
+assert d["done"] + d["failed"] == d["units"], d
+# Every unit survives moderate fault schedules; heavy ones may exhaust
+# the retry budget but must never lose more than the budget allows.
+if d["intensity"] <= 6:
+    assert d["failed"] == 0, d
+assert all(u["attempts"] <= 4 for u in d["unit_states"]), d
+assert d["makespan_s"] > 0, d
+print("--- seed=%d intensity=%d: %d/%d done, %d retried, %d faults, makespan %.0fs"
+      % (d["seed"], d["intensity"], d["done"], d["units"],
+         d["retried"], d["injected"], d["makespan_s"]))
+'
     done
 done
 

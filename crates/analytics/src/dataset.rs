@@ -150,9 +150,7 @@ mod tests {
         a.positions
             .iter()
             .zip(&b.positions)
-            .map(|(p, q)| {
-                (p[0] - q[0]).powi(2) + (p[1] - q[1]).powi(2) + (p[2] - q[2]).powi(2)
-            })
+            .map(|(p, q)| (p[0] - q[0]).powi(2) + (p[1] - q[1]).powi(2) + (p[2] - q[2]).powi(2))
             .sum::<f64>()
             .sqrt()
     }

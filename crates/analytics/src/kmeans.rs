@@ -52,7 +52,9 @@ pub fn init_centroids(points: &[Point3], k: usize) -> Vec<Point3> {
 pub fn lloyd(points: &[Point3], k: usize, iterations: u32) -> KMeansResult {
     let mut centroids = init_centroids(points, k);
     let threads = default_threads(points.len() / 4096 + 1);
-    let chunks: Vec<&[Point3]> = points.chunks(points.len().div_ceil(threads).max(1)).collect();
+    let chunks: Vec<&[Point3]> = points
+        .chunks(points.len().div_ceil(threads).max(1))
+        .collect();
     for _ in 0..iterations {
         // Assignment + partial sums per chunk, in parallel.
         let partials: Vec<(Vec<[f64; 4]>,)> = parallel_map(&chunks, threads, |chunk| {
@@ -93,7 +95,9 @@ pub fn lloyd(points: &[Point3], k: usize, iterations: u32) -> KMeansResult {
 /// Within-cluster sum of squares (parallel).
 pub fn cost_of(points: &[Point3], centroids: &[Point3]) -> f64 {
     let threads = default_threads(points.len() / 4096 + 1);
-    let chunks: Vec<&[Point3]> = points.chunks(points.len().div_ceil(threads).max(1)).collect();
+    let chunks: Vec<&[Point3]> = points
+        .chunks(points.len().div_ceil(threads).max(1))
+        .collect();
     parallel_map(&chunks, threads, |chunk| {
         chunk
             .iter()
@@ -149,7 +153,12 @@ pub fn kmeans_mapreduce(
     let mut centroids = init_centroids(points, k);
     for _ in 0..iterations {
         let splits: Vec<Vec<(u64, Point3)>> = split_even(
-            points.iter().copied().enumerate().map(|(i, p)| (i as u64, p)).collect(),
+            points
+                .iter()
+                .copied()
+                .enumerate()
+                .map(|(i, p)| (i as u64, p))
+                .collect(),
             map_tasks,
         );
         let mapper = KMeansMapper {
@@ -171,7 +180,12 @@ pub fn kmeans_mapreduce(
 // ---- Spark RDD formulation ----
 
 /// K-Means on the mini-RDD engine (cached input, `reduce_by_key` shuffle).
-pub fn kmeans_rdd(points: Vec<Point3>, k: usize, iterations: u32, partitions: usize) -> KMeansResult {
+pub fn kmeans_rdd(
+    points: Vec<Point3>,
+    k: usize,
+    iterations: u32,
+    partitions: usize,
+) -> KMeansResult {
     let sc = SparkContext::new(partitions);
     let rdd = sc.parallelize(points.clone(), partitions).cache();
     let mut centroids = init_centroids(&points, k);
@@ -271,11 +285,7 @@ mod tests {
         let mut last = f64::INFINITY;
         for it in 1..=5 {
             let r = lloyd(&pts, 6, it);
-            assert!(
-                r.cost <= last + 1e-9,
-                "iteration {it}: {} > {last}",
-                r.cost
-            );
+            assert!(r.cost <= last + 1e-9, "iteration {it}: {} > {last}", r.cost);
             last = r.cost;
         }
     }

@@ -21,8 +21,7 @@ pub use dataset::{gaussian_blobs, md_trajectory, random_graph, Frame, Graph, Poi
 pub use kmeans::{kmeans_mapreduce, kmeans_rdd, lloyd, lloyd_sequential, KMeansResult};
 pub use scenarios::{
     fig6_session_config, nodes_for_tasks, run_rp_kmeans, run_rp_spark_kmeans, run_rp_yarn_kmeans,
-    KMeansCalibration,
-    KMeansRunStats, KMeansScenario, SCENARIOS,
+    KMeansCalibration, KMeansRunStats, KMeansScenario, SCENARIOS,
 };
 pub use trajectory::{leaflet_finder, moments, pca, rmsd, rmsd_series, Moments, Pca};
 pub use workloads::{grep, inverted_index, rmsd_histogram_mapreduce, word_count};

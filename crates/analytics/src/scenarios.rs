@@ -22,7 +22,6 @@
 //!   disks**; runtime *includes* the YARN cluster download/startup, as in
 //!   the paper.
 
-
 use rp_hdfs::StoragePolicy;
 use rp_mapreduce::{MrCostModel, MrJobSpec, ShuffleBackend};
 use rp_pilot::{
@@ -344,8 +343,7 @@ pub fn run_rp_spark_kmeans(
     let t0 = pilot.times().launched.expect("launched");
 
     // Map-side combine: shuffle is per-executor partial sums, ∝ clusters.
-    let shuffle_mb =
-        (scenario.clusters as f64 * tasks as f64 * 32.0) / MB;
+    let shuffle_mb = (scenario.clusters as f64 * tasks as f64 * 32.0) / MB;
     let stages = (0..cal.iterations)
         .map(|i| rp_spark::SparkStage {
             name: format!("iter{i}"),
@@ -395,9 +393,7 @@ fn run_while(engine: &mut Engine, cond: impl Fn(&Engine) -> bool) {
 
 /// Drive the engine until all units are final.
 fn wait_done(engine: &mut Engine, units: &[UnitHandle]) {
-    run_while(engine, |_| {
-        units.iter().any(|u| !u.state().is_final())
-    });
+    run_while(engine, |_| units.iter().any(|u| !u.state().is_final()));
     for u in units {
         assert_eq!(
             u.state(),
@@ -455,8 +451,7 @@ mod tests {
         let cal = quick_cal();
         let mut e = Engine::new(7);
         let session = fig6_session();
-        let stats =
-            run_rp_yarn_kmeans(&mut e, &session, "xsede.stampede", 8, scenario, &cal);
+        let stats = run_rp_yarn_kmeans(&mut e, &session, "xsede.stampede", 8, scenario, &cal);
         assert!(stats.bootstrap_s > 40.0, "bootstrap {}", stats.bootstrap_s);
         assert!(stats.time_to_completion > stats.bootstrap_s);
     }
@@ -511,7 +506,11 @@ mod tests {
         let mut e = Engine::new(71);
         let session = fig6_session();
         let spark = run_rp_spark_kmeans(&mut e, &session, "xsede.wrangler", 32, scenario, &cal);
-        assert!(spark.bootstrap_s > 10.0, "spark bootstrap {}", spark.bootstrap_s);
+        assert!(
+            spark.bootstrap_s > 10.0,
+            "spark bootstrap {}",
+            spark.bootstrap_s
+        );
         assert!(spark.time_to_completion > spark.bootstrap_s);
         // The cached-RDD Spark path beats RP-YARN (which re-reads input and
         // pays MR AM + container overheads every iteration).

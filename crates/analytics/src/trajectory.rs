@@ -17,9 +17,7 @@ pub fn rmsd(a: &Frame, b: &Frame) -> f64 {
         .positions
         .iter()
         .zip(&b.positions)
-        .map(|(p, q)| {
-            (p[0] - q[0]).powi(2) + (p[1] - q[1]).powi(2) + (p[2] - q[2]).powi(2)
-        })
+        .map(|(p, q)| (p[0] - q[0]).powi(2) + (p[1] - q[1]).powi(2) + (p[2] - q[2]).powi(2))
         .sum();
     (ss / n).sqrt()
 }
@@ -27,7 +25,9 @@ pub fn rmsd(a: &Frame, b: &Frame) -> f64 {
 /// RMSD of every frame against a reference frame, in parallel.
 pub fn rmsd_series(trajectory: &[Frame], reference: usize) -> Vec<f64> {
     let r = &trajectory[reference];
-    parallel_map(trajectory, default_threads(trajectory.len()), |f| rmsd(f, r))
+    parallel_map(trajectory, default_threads(trajectory.len()), |f| {
+        rmsd(f, r)
+    })
 }
 
 /// Per-dimension moments of all atom positions across the trajectory.
@@ -166,8 +166,7 @@ fn power_iteration(m: &[[f64; 3]; 3], iters: u32, tol: f64, seed: u64) -> (f64, 
         let next = [w[0] / norm, w[1] / norm, w[2] / norm];
         let delta = (next[0] - v[0]).abs() + (next[1] - v[1]).abs() + (next[2] - v[2]).abs();
         // Also handle sign flips (eigenvector defined up to sign).
-        let delta_neg =
-            (next[0] + v[0]).abs() + (next[1] + v[1]).abs() + (next[2] + v[2]).abs();
+        let delta_neg = (next[0] + v[0]).abs() + (next[1] + v[1]).abs() + (next[2] + v[2]).abs();
         v = next;
         lambda = norm;
         if delta.min(delta_neg) < tol {
@@ -226,8 +225,7 @@ pub fn leaflet_finder(frame: &Frame, cutoff: f64) -> Vec<Vec<usize>> {
             }
         }
     }
-    let mut groups: std::collections::HashMap<usize, Vec<usize>> =
-        std::collections::HashMap::new();
+    let mut groups: std::collections::HashMap<usize, Vec<usize>> = std::collections::HashMap::new();
     for i in 0..n {
         groups.entry(uf.find(i)).or_default().push(i);
     }
@@ -348,8 +346,7 @@ mod tests {
         assert_eq!(leaflets[0].len(), 100);
         assert_eq!(leaflets[1].len(), 100);
         // No atom in both; indices partition 0..200.
-        let all: std::collections::BTreeSet<usize> =
-            leaflets.iter().flatten().copied().collect();
+        let all: std::collections::BTreeSet<usize> = leaflets.iter().flatten().copied().collect();
         assert_eq!(all.len(), 200);
     }
 

@@ -44,14 +44,23 @@ impl Reducer<String, u64, (String, u64)> for CountSum {
 /// partitions, using the native runner (with map-side combining).
 pub fn word_count(lines: Vec<String>, splits: usize, reducers: usize) -> Vec<(String, u64)> {
     let input: Vec<Vec<(u64, String)>> = split_even(
-        lines.into_iter().enumerate().map(|(i, l)| (i as u64, l)).collect(),
+        lines
+            .into_iter()
+            .enumerate()
+            .map(|(i, l)| (i as u64, l))
+            .collect(),
         splits,
     );
-    let mut out: Vec<(String, u64)> =
-        run_local(input, &WordCountMapper, Some(&CountSum), &CountSum, reducers)
-            .into_iter()
-            .flatten()
-            .collect();
+    let mut out: Vec<(String, u64)> = run_local(
+        input,
+        &WordCountMapper,
+        Some(&CountSum),
+        &CountSum,
+        reducers,
+    )
+    .into_iter()
+    .flatten()
+    .collect();
     out.sort();
     out
 }
@@ -74,7 +83,11 @@ impl Mapper<u64, String, u64, String> for GrepMapper {
 /// Distributed grep: matching `(line_no, line)` pairs in line order.
 pub fn grep(lines: Vec<String>, pattern: &str, splits: usize) -> Vec<(u64, String)> {
     let input: Vec<Vec<(u64, String)>> = split_even(
-        lines.into_iter().enumerate().map(|(i, l)| (i as u64, l)).collect(),
+        lines
+            .into_iter()
+            .enumerate()
+            .map(|(i, l)| (i as u64, l))
+            .collect(),
         splits,
     );
     let mapper = GrepMapper {
@@ -110,7 +123,10 @@ impl Mapper<u64, String, String, u64> for IndexMapper {
 /// Build an inverted index: term → sorted unique document ids.
 pub fn inverted_index(docs: Vec<String>, splits: usize) -> Vec<(String, Vec<u64>)> {
     let input: Vec<Vec<(u64, String)>> = split_even(
-        docs.into_iter().enumerate().map(|(i, d)| (i as u64, d)).collect(),
+        docs.into_iter()
+            .enumerate()
+            .map(|(i, d)| (i as u64, d))
+            .collect(),
         splits,
     );
     let reducer = |term: String, mut docs: Vec<u64>, out: &mut Vec<(String, Vec<u64>)>| {

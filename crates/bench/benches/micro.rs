@@ -31,7 +31,12 @@ fn bench(name: &str, mut f: impl FnMut()) {
     times.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let median = times[SAMPLES / 2];
     let (lo, hi) = (times[0], times[SAMPLES - 1]);
-    println!("{name:<36} {:>10.3} ms  (min {:.3} / max {:.3})", median * 1e3, lo * 1e3, hi * 1e3);
+    println!(
+        "{name:<36} {:>10.3} ms  (min {:.3} / max {:.3})",
+        median * 1e3,
+        lo * 1e3,
+        hi * 1e3
+    );
 }
 
 fn bench_engine() {

@@ -51,7 +51,12 @@ fn run(reuse: bool, seed: u64) -> (f64, f64) {
         while !units[0].state().is_final() {
             assert!(e.step());
         }
-        assert_eq!(units[0].state(), UnitState::Done, "{:?}", units[0].failure());
+        assert_eq!(
+            units[0].state(),
+            UnitState::Done,
+            "{:?}",
+            units[0].failure()
+        );
         startups.push(units[0].times().startup_time().unwrap().as_secs_f64());
     }
     pm.cancel(&mut e, &pilot);

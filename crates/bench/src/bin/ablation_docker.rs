@@ -62,7 +62,11 @@ fn run(runtime: ContainerRuntime, seed: u64) -> (f64, f64) {
 fn main() {
     println!("== Ablation D: Docker container runtime on YARN ==");
     println!("   (5 sequential CUs, Mode I pilot, Stampede, 1 node)\n");
-    let mut table = Table::new(vec!["runtime", "first CU startup (s)", "fifth CU startup (s)"]);
+    let mut table = Table::new(vec![
+        "runtime",
+        "first CU startup (s)",
+        "fifth CU startup (s)",
+    ]);
     let (proc_first, proc_warm) = run(ContainerRuntime::Process, 42);
     let docker = ContainerRuntime::Docker {
         image_pull_s: (45.0, 5.0), // RP wrapper image over the campus mirror
@@ -87,9 +91,7 @@ fn main() {
         dock_first > proc_first + 30.0,
     );
     checks.check(
-        format!(
-            "warm Docker units only pay start overhead ({dock_warm:.1}s vs {proc_warm:.1}s)"
-        ),
+        format!("warm Docker units only pay start overhead ({dock_warm:.1}s vs {proc_warm:.1}s)"),
         (dock_warm - proc_warm) < 8.0,
     );
     std::process::exit(if checks.report() { 0 } else { 1 });

@@ -90,8 +90,7 @@ fn main() {
             spans[0],
             spans[spans.len() - 1]
         ),
-        spans.windows(2).all(|w| w[0] <= w[1] + 0.5)
-            && spans[spans.len() - 1] > spans[0] + 5.0,
+        spans.windows(2).all(|w| w[0] <= w[1] + 0.5) && spans[spans.len() - 1] > spans[0] + 5.0,
     );
     std::process::exit(if checks.report() { 0 } else { 1 });
 }

@@ -30,13 +30,19 @@ fn standalone(seed: u64) -> f64 {
     let nodes: Vec<NodeId> = cluster.node_ids().take(3).collect();
     let done = Rc::new(RefCell::new(0.0));
     let d = done.clone();
-    SparkCluster::bootstrap(&mut e, &cluster, nodes, SparkConfig::default(), move |eng, sc, _| {
-        let d = d.clone();
-        sc.submit_app(eng, EXECUTORS * CORES_PER_EXECUTOR, move |eng, res| {
-            res.expect("cores available");
-            *d.borrow_mut() = eng.now().as_secs_f64();
-        });
-    });
+    SparkCluster::bootstrap(
+        &mut e,
+        &cluster,
+        nodes,
+        SparkConfig::default(),
+        move |eng, sc, _| {
+            let d = d.clone();
+            sc.submit_app(eng, EXECUTORS * CORES_PER_EXECUTOR, move |eng, res| {
+                res.expect("cores available");
+                *d.borrow_mut() = eng.now().as_secs_f64();
+            });
+        },
+    );
     e.run();
     let out = *done.borrow();
     out
@@ -48,21 +54,28 @@ fn on_yarn(seed: u64) -> f64 {
     let nodes: Vec<NodeId> = cluster.node_ids().take(3).collect();
     let done = Rc::new(RefCell::new(0.0));
     let d = done.clone();
-    bootstrap_mode_i(&mut e, cluster, nodes, YarnConfig::default(), false, move |eng, env| {
-        let d = d.clone();
-        submit_spark_on_yarn(
-            eng,
-            &env.yarn,
-            "spark-pi",
-            EXECUTORS,
-            CORES_PER_EXECUTOR,
-            4096,
-            move |eng, app| {
-                *d.borrow_mut() = eng.now().as_secs_f64();
-                app.finish(eng);
-            },
-        );
-    });
+    bootstrap_mode_i(
+        &mut e,
+        cluster,
+        nodes,
+        YarnConfig::default(),
+        false,
+        move |eng, env| {
+            let d = d.clone();
+            submit_spark_on_yarn(
+                eng,
+                &env.yarn,
+                "spark-pi",
+                EXECUTORS,
+                CORES_PER_EXECUTOR,
+                4096,
+                move |eng, app| {
+                    *d.borrow_mut() = eng.now().as_secs_f64();
+                    app.finish(eng);
+                },
+            );
+        },
+    );
     e.run();
     let out = *done.borrow();
     out
@@ -73,7 +86,10 @@ fn main() {
     let mut table = Table::new(vec!["deployment", "allocation → app ready (s)"]);
     let sa = repeat(8, standalone);
     let oy = repeat(8, on_yarn);
-    table.row(vec!["standalone (paper's choice)".to_string(), mean_std(&sa)]);
+    table.row(vec![
+        "standalone (paper's choice)".to_string(),
+        mean_std(&sa),
+    ]);
     table.row(vec!["on YARN".to_string(), mean_std(&oy)]);
     table.print();
     println!(

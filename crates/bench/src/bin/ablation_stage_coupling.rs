@@ -25,12 +25,26 @@ fn persist_lustre(bytes: f64) -> f64 {
     let t = Rc::new(RefCell::new(0.0));
     let t2 = t.clone();
     let c2 = cluster.clone();
-    transfer(&mut e, &cluster, Endpoint::Local(NodeId(0)), Endpoint::Lustre, bytes, move |eng| {
-        let t2 = t2.clone();
-        transfer(eng, &c2, Endpoint::Lustre, Endpoint::Local(NodeId(1)), bytes, move |eng| {
-            *t2.borrow_mut() = eng.now().as_secs_f64();
-        });
-    });
+    transfer(
+        &mut e,
+        &cluster,
+        Endpoint::Local(NodeId(0)),
+        Endpoint::Lustre,
+        bytes,
+        move |eng| {
+            let t2 = t2.clone();
+            transfer(
+                eng,
+                &c2,
+                Endpoint::Lustre,
+                Endpoint::Local(NodeId(1)),
+                bytes,
+                move |eng| {
+                    *t2.borrow_mut() = eng.now().as_secs_f64();
+                },
+            );
+        },
+    );
     e.run();
     let out = *t.borrow();
     out

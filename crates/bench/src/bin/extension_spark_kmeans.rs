@@ -11,8 +11,8 @@
 //! ```
 
 use rp_analytics::{
-    fig6_session_config, run_rp_kmeans, run_rp_spark_kmeans, run_rp_yarn_kmeans,
-    KMeansCalibration, SCENARIOS,
+    fig6_session_config, run_rp_kmeans, run_rp_spark_kmeans, run_rp_yarn_kmeans, KMeansCalibration,
+    SCENARIOS,
 };
 use rp_bench::{ShapeChecks, Table};
 use rp_pilot::Session;
@@ -22,7 +22,10 @@ fn main() {
     let cal = KMeansCalibration::default();
     let scenario = SCENARIOS[2]; // 1M points / 50 clusters
     println!("== Extension: K-Means on RP vs RP-YARN vs RP-Spark ==");
-    println!("   ({}, 2 iterations, Wrangler; bootstraps included)\n", scenario.label);
+    println!(
+        "   ({}, 2 iterations, Wrangler; bootstraps included)\n",
+        scenario.label
+    );
 
     let mut table = Table::new(vec![
         "tasks",

@@ -83,8 +83,11 @@ fn main() {
         (45.0..95.0).contains(&boot_s) && (45.0..95.0).contains(&boot_w),
     );
     checks.check(
-        format!("Mode I startup exceeds plain RP on both machines (+{:.0}s / +{:.0}s)",
-            yarn_s - rp_s, yarn_w - rp_w),
+        format!(
+            "Mode I startup exceeds plain RP on both machines (+{:.0}s / +{:.0}s)",
+            yarn_s - rp_s,
+            yarn_w - rp_w
+        ),
         yarn_s > rp_s + 40.0 && yarn_w > rp_w + 40.0,
     );
     checks.check(

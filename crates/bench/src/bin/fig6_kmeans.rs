@@ -63,9 +63,8 @@ fn main() {
                     let seed = 10_000 + rep * 7919 + tasks as u64;
                     let mut e = Engine::new(seed);
                     let session = Session::new(fig6_session_config());
-                    rp_sum +=
-                        run_rp_kmeans(&mut e, &session, machine, tasks, *scenario, &cal)
-                            .time_to_completion;
+                    rp_sum += run_rp_kmeans(&mut e, &session, machine, tasks, *scenario, &cal)
+                        .time_to_completion;
                     let mut e = Engine::new(seed + 1);
                     let session = Session::new(fig6_session_config());
                     yarn_sum +=
@@ -117,7 +116,10 @@ fn main() {
             .roots_named("pilot.run")
             .map(|s| format!("{:.0}%", 100.0 * pilot_utilization(&e.trace, s.id, cores)))
             .collect();
-        println!("{machine} RADICAL-Pilot pilot utilization: {}", util.join(", "));
+        println!(
+            "{machine} RADICAL-Pilot pilot utilization: {}",
+            util.join(", ")
+        );
         let mut e = Engine::with_trace(seed + 1);
         let session = Session::new(fig6_session_config());
         run_rp_yarn_kmeans(&mut e, &session, machine, 32, scenario, &cal);
@@ -130,7 +132,8 @@ fn main() {
     print!("{}", report.render_table());
 
     if let Some(path) = csv_path {
-        let mut csv = String::from("machine,scenario_points,scenario_clusters,tasks,nodes,rp_s,rp_yarn_s\n");
+        let mut csv =
+            String::from("machine,scenario_points,scenario_clusters,tasks,nodes,rp_s,rp_yarn_s\n");
         for (&(mi, si, tasks), &(rp, yarn)) in &results {
             csv.push_str(&format!(
                 "{},{},{},{},{},{rp:.1},{yarn:.1}\n",
@@ -225,7 +228,10 @@ fn main() {
     checks.check(
         format!(
             "Stampede YARN speedup declines with points ({:.2} → {:.2}); Wrangler {:.2} → {:.2}",
-            sp(0, 0), sp(0, 2), sp(1, 0), sp(1, 2)
+            sp(0, 0),
+            sp(0, 2),
+            sp(1, 0),
+            sp(1, 2)
         ),
         stampede_decline,
     );

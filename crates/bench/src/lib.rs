@@ -2,6 +2,8 @@
 //! measurement runners and a plain-text table formatter that prints the
 //! same rows/series the paper's figures report.
 
+pub mod harness;
+
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -208,7 +210,12 @@ pub fn profile_unit_startup(
     while !units[0].state().is_final() {
         assert!(e.step(), "engine drained before unit finished");
     }
-    assert_eq!(units[0].state(), UnitState::Done, "{:?}", units[0].failure());
+    assert_eq!(
+        units[0].state(),
+        UnitState::Done,
+        "{:?}",
+        units[0].failure()
+    );
     pm.cancel(&mut e, &pilot);
     e.run();
     let root = units[0].root_span();

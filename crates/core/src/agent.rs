@@ -23,9 +23,7 @@ use rp_yarn::{
 };
 
 use crate::coordination::CoordinationStore;
-use crate::description::{
-    AccessMode, StageEndpoint, StagingDirective, UnitIoTarget, WorkSpec,
-};
+use crate::description::{AccessMode, StageEndpoint, StagingDirective, UnitIoTarget, WorkSpec};
 use crate::launch::{self, LaunchMethod};
 use crate::session::{MachineHandle, SessionConfig};
 use crate::states::UnitState;
@@ -146,52 +144,51 @@ impl Agent {
         let yarn_cfg = cfg.yarn.clone();
         let spark_cfg = cfg.spark.clone();
         let dedicated = machine.dedicated.clone();
-        let finish = move |eng: &mut Engine,
-                           access: RuntimeAccess,
-                           framework_bootstrap: SimDuration| {
-            let free_cores = alloc
-                .nodes
-                .iter()
-                .map(|&n| (n, machine.cluster.spec().cores_per_node))
-                .collect();
-            let committed_mem = alloc.nodes.iter().map(|&n| (n, 0u64)).collect();
-            let agent = Agent {
-                inner: Rc::new(RefCell::new(AgentInner {
-                    pilot,
-                    machine,
-                    alloc,
-                    access,
-                    cfg,
-                    store: store.clone(),
-                    free_cores,
-                    committed_mem,
-                    yarn_inflight: Resource::new(0, 0),
-                    spark_inflight_cores: 0,
-                    queue: VecDeque::new(),
-                    spawn_queue: VecDeque::new(),
-                    spawner_busy: false,
-                    running: 0,
-                    stopping: false,
-                    dead_nodes: BTreeSet::new(),
-                    slowdown: BTreeMap::new(),
-                    staging_faults: 0,
-                    active: BTreeMap::new(),
-                    degraded: false,
-                    am_pool: Vec::new(),
-                    framework_bootstrap,
-                    units_completed: 0,
-                    heartbeats: 0,
-                    heartbeat_armed: false,
-                })),
+        let finish =
+            move |eng: &mut Engine, access: RuntimeAccess, framework_bootstrap: SimDuration| {
+                let free_cores = alloc
+                    .nodes
+                    .iter()
+                    .map(|&n| (n, machine.cluster.spec().cores_per_node))
+                    .collect();
+                let committed_mem = alloc.nodes.iter().map(|&n| (n, 0u64)).collect();
+                let agent = Agent {
+                    inner: Rc::new(RefCell::new(AgentInner {
+                        pilot,
+                        machine,
+                        alloc,
+                        access,
+                        cfg,
+                        store: store.clone(),
+                        free_cores,
+                        committed_mem,
+                        yarn_inflight: Resource::new(0, 0),
+                        spark_inflight_cores: 0,
+                        queue: VecDeque::new(),
+                        spawn_queue: VecDeque::new(),
+                        spawner_busy: false,
+                        running: 0,
+                        stopping: false,
+                        dead_nodes: BTreeSet::new(),
+                        slowdown: BTreeMap::new(),
+                        staging_faults: 0,
+                        active: BTreeMap::new(),
+                        degraded: false,
+                        am_pool: Vec::new(),
+                        framework_bootstrap,
+                        units_completed: 0,
+                        heartbeats: 0,
+                        heartbeat_armed: false,
+                    })),
+                };
+                let a2 = agent.clone();
+                store.register_agent(eng, pilot, move |eng, batch| {
+                    a2.receive_units(eng, batch);
+                });
+                eng.trace
+                    .record(eng.now(), "agent", format!("{pilot:?} active"));
+                on_active(eng, agent);
             };
-            let a2 = agent.clone();
-            store.register_agent(eng, pilot, move |eng, batch| {
-                a2.receive_units(eng, batch);
-            });
-            eng.trace
-                .record(eng.now(), "agent", format!("{pilot:?} active"));
-            on_active(eng, agent);
-        };
 
         engine.schedule_in(agent_boot, move |eng| {
             let t0 = eng.now();
@@ -359,8 +356,14 @@ impl Agent {
     // ---- unit intake & scheduling ----
 
     fn receive_units(&self, engine: &mut Engine, batch: Vec<UnitHandle>) {
+        let pilot = self.inner.borrow().pilot;
         for unit in batch {
             unit.advance(engine, UnitState::AgentScheduling);
+            // Ties the unit's root span to its pilot so the critical-path
+            // analyzer can adopt it as a causal child of `pilot.run`.
+            engine
+                .trace
+                .span_attr(unit.root_span(), "pilot", pilot.0.to_string());
             if let Err(reason) = self.validate(&unit) {
                 unit.fail(engine, reason);
                 continue;
@@ -387,9 +390,7 @@ impl Agent {
                 return Err("Spark unit requires a Spark pilot".into())
             }
             (WorkSpec::SparkJob(_), RuntimeAccess::Spark { .. }) => {}
-            (WorkSpec::SparkJob(_), _) => {
-                return Err("Spark job requires a Spark pilot".into())
-            }
+            (WorkSpec::SparkJob(_), _) => return Err("Spark job requires a Spark pilot".into()),
             _ => {}
         }
         let total_cores = inner.alloc.nodes.len() as u32 * spec.cores_per_node;
@@ -586,7 +587,10 @@ impl Agent {
             engine.trace.record(
                 engine.now(),
                 "agent",
-                format!("{:?} staging directive faulted (attempt {attempts})", unit.id()),
+                format!(
+                    "{:?} staging directive faulted (attempt {attempts})",
+                    unit.id()
+                ),
             );
             if attempts >= retry.max_attempts {
                 engine.schedule_now(move |eng| done(eng, false));
@@ -676,9 +680,7 @@ impl Agent {
                     }
                     this.exec_on_nodes(eng, unit, p, alive)
                 }
-                Placement::Yarn { vcores, mem_mb } => {
-                    this.exec_on_yarn(eng, unit, vcores, mem_mb)
-                }
+                Placement::Yarn { vcores, mem_mb } => this.exec_on_yarn(eng, unit, vcores, mem_mb),
                 Placement::Spark { cores } => this.exec_on_spark(eng, unit, cores),
             }
         });
@@ -753,8 +755,12 @@ impl Agent {
         let span = engine
             .trace
             .span_begin(engine.now(), "unit", "unit.compute", unit.open_span());
-        engine.trace.span_attr(span, "pilot", pilot_id.0.to_string());
-        engine.trace.span_attr(span, "cores", total_cores.to_string());
+        engine
+            .trace
+            .span_attr(span, "pilot", pilot_id.0.to_string());
+        engine
+            .trace
+            .span_attr(span, "cores", total_cores.to_string());
         let alive = alive.clone();
         let done = move |eng: &mut Engine| {
             if alive.get() {
@@ -982,27 +988,33 @@ impl Agent {
             let u2 = unit.clone();
             let this2 = this.clone();
             let am2 = am.clone();
-            this.run_work(eng, &unit, &[(container.node, cores)], &alive.clone(), move |eng| {
-                if !alive.get() {
-                    // This attempt was preempted mid-flight; the restart
-                    // owns the unit now.
-                    return;
-                }
-                am2.release_container(eng, container.id);
-                let pooled = {
-                    let mut inner = this2.inner.borrow_mut();
-                    if inner.cfg.am_reuse && !inner.stopping {
-                        inner.am_pool.push(am2.clone());
-                        true
-                    } else {
-                        false
+            this.run_work(
+                eng,
+                &unit,
+                &[(container.node, cores)],
+                &alive.clone(),
+                move |eng| {
+                    if !alive.get() {
+                        // This attempt was preempted mid-flight; the restart
+                        // owns the unit now.
+                        return;
                     }
-                };
-                if !pooled {
-                    am2.finish(eng);
-                }
-                this2.complete_unit(eng, u2.clone(), Placement::Yarn { vcores, mem_mb });
-            });
+                    am2.release_container(eng, container.id);
+                    let pooled = {
+                        let mut inner = this2.inner.borrow_mut();
+                        if inner.cfg.am_reuse && !inner.stopping {
+                            inner.am_pool.push(am2.clone());
+                            true
+                        } else {
+                            false
+                        }
+                    };
+                    if !pooled {
+                        am2.finish(eng);
+                    }
+                    this2.complete_unit(eng, u2.clone(), Placement::Yarn { vcores, mem_mb });
+                },
+            );
         });
     }
 
@@ -1020,13 +1032,15 @@ impl Agent {
             unit.advance(engine, UnitState::Executing);
             let this = self.clone();
             let u2 = unit.clone();
-            rp_spark::run_simulated_app(engine, &cluster, &spark, spec, move |eng, res| {
-                match res {
-                    Ok(_stats) => this.complete_unit(
-                        eng,
-                        u2.clone(),
-                        Placement::Spark { cores: gate_cores },
-                    ),
+            rp_spark::run_simulated_app(
+                engine,
+                &cluster,
+                &spark,
+                spec,
+                move |eng, res| match res {
+                    Ok(_stats) => {
+                        this.complete_unit(eng, u2.clone(), Placement::Spark { cores: gate_cores })
+                    }
                     Err(e) => {
                         this.fail_and_release(
                             eng,
@@ -1035,12 +1049,15 @@ impl Agent {
                             &format!("spark job failed: {e}"),
                         );
                     }
-                }
-            });
+                },
+            );
             return;
         }
         let (cores, core_seconds) = match d.work {
-            WorkSpec::SparkApp { cores, core_seconds } => (cores, core_seconds),
+            WorkSpec::SparkApp {
+                cores,
+                core_seconds,
+            } => (cores, core_seconds),
             // Plain work on a Spark pilot runs as a trivial one-stage app.
             WorkSpec::Sleep(dur) => (d.cores.max(1), dur.as_secs_f64() * d.cores.max(1) as f64),
             _ => (d.cores.max(1), 0.0),
@@ -1356,7 +1373,11 @@ impl Agent {
         engine.trace.record(
             engine.now(),
             "agent",
-            format!("{:?} lost ({reason}); attempt {}", unit.id(), unit.attempts()),
+            format!(
+                "{:?} lost ({reason}); attempt {}",
+                unit.id(),
+                unit.attempts()
+            ),
         );
         self.release(engine, run.placement);
         if unit.state().is_final() {
@@ -1367,7 +1388,10 @@ impl Agent {
         if attempts >= retry.max_attempts {
             unit.fail(
                 engine,
-                format!("{reason}: no attempts left ({attempts}/{})", retry.max_attempts),
+                format!(
+                    "{reason}: no attempts left ({attempts}/{})",
+                    retry.max_attempts
+                ),
             );
             return;
         }
@@ -1401,8 +1425,14 @@ impl AgentInner {
                 RuntimeAccess::Plain => self.place_on_nodes(&d),
                 RuntimeAccess::Yarn { env, .. } => {
                     let state = env.yarn.cluster_state();
-                    let free_v = state.available.vcores.saturating_sub(self.yarn_inflight.vcores);
-                    let free_m = state.available.mem_mb.saturating_sub(self.yarn_inflight.mem_mb);
+                    let free_v = state
+                        .available
+                        .vcores
+                        .saturating_sub(self.yarn_inflight.vcores);
+                    let free_m = state
+                        .available
+                        .mem_mb
+                        .saturating_sub(self.yarn_inflight.mem_mb);
                     // Gate: the unit's container + its AM must fit in what
                     // is not already promised to in-flight units. MapReduce
                     // jobs gate coarsely (AM + one container) — the MR AM
@@ -1428,14 +1458,20 @@ impl AgentInner {
                         WorkSpec::SparkJob(spec) => spec.executor_cores.max(1),
                         _ => d.cores.max(1),
                     };
-                    let free = cluster.free_cores().saturating_sub(self.spark_inflight_cores);
+                    let free = cluster
+                        .free_cores()
+                        .saturating_sub(self.spark_inflight_cores);
                     (need <= free).then_some(Placement::Spark { cores: need })
                 }
             };
             if let Some(p) = placement {
                 // Reserve.
                 match &p {
-                    Placement::Nodes { nodes, mem_mb, cores } => {
+                    Placement::Nodes {
+                        nodes,
+                        mem_mb,
+                        cores,
+                    } => {
                         for &(n, c) in nodes {
                             *self.free_cores.get_mut(&n).expect("node known") -= c;
                             *self.committed_mem.get_mut(&n).expect("node known") +=

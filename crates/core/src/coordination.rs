@@ -100,7 +100,8 @@ impl CoordinationStore {
             {
                 let mut inner = this.inner.borrow_mut();
                 inner.docs_written += units.len() as u64;
-                eng.metrics.add("coordination.docs_written", units.len() as u64);
+                eng.metrics
+                    .add("coordination.docs_written", units.len() as u64);
                 inner
                     .queues
                     .entry(pilot)

@@ -119,7 +119,10 @@ impl std::fmt::Debug for WorkSpec {
                 "Compute({core_seconds} core-s, r{read_mb}MB w{write_mb}MB {io:?})"
             ),
             WorkSpec::MapReduce(spec) => write!(f, "MapReduce({})", spec.name),
-            WorkSpec::SparkApp { cores, core_seconds } => {
+            WorkSpec::SparkApp {
+                cores,
+                core_seconds,
+            } => {
                 write!(f, "SparkApp({cores} cores, {core_seconds} core-s)")
             }
             WorkSpec::SparkJob(spec) => {

@@ -14,11 +14,7 @@ use crate::manager::PilotHandle;
 /// counting or registering extra handlers). Faults that fire before the
 /// pilot's agent is up are dropped — a fault plan normally targets the
 /// workload phase, not bootstrap.
-pub fn install_faults(
-    engine: &mut Engine,
-    plan: &FaultPlan,
-    pilot: &PilotHandle,
-) -> FaultInjector {
+pub fn install_faults(engine: &mut Engine, plan: &FaultPlan, pilot: &PilotHandle) -> FaultInjector {
     let injector = FaultInjector::new();
     let pilot = pilot.clone();
     injector.on_fault(move |eng, kind| {

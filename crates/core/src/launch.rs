@@ -42,7 +42,12 @@ impl LaunchMethod {
 /// Pick the launch method for a unit on a machine (the agent's Launch
 /// Method component). Framework work always goes through the framework
 /// submitter; MPI picks the machine's native launcher.
-pub fn select(machine: &MachineSpec, unit: &ComputeUnitDescription, has_yarn: bool, has_spark: bool) -> LaunchMethod {
+pub fn select(
+    machine: &MachineSpec,
+    unit: &ComputeUnitDescription,
+    has_yarn: bool,
+    has_spark: bool,
+) -> LaunchMethod {
     match &unit.work {
         WorkSpec::MapReduce(_) => LaunchMethod::YarnSubmit,
         WorkSpec::SparkApp { .. } => LaunchMethod::SparkSubmit,
@@ -91,7 +96,10 @@ mod tests {
     #[test]
     fn yarn_pilot_routes_through_yarn() {
         let m = MachineSpec::wrangler();
-        assert_eq!(select(&m, &unit(false), true, false), LaunchMethod::YarnSubmit);
+        assert_eq!(
+            select(&m, &unit(false), true, false),
+            LaunchMethod::YarnSubmit
+        );
     }
 
     #[test]

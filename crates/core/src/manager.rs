@@ -106,13 +106,20 @@ impl PilotHandle {
             match next {
                 PilotState::PendingLaunch => {
                     rec.times.submitted = Some(now);
-                    let root = engine.trace.span_begin(now, "pilot", "pilot.run", SpanId::NONE);
+                    let root = engine
+                        .trace
+                        .span_begin(now, "pilot", "pilot.run", SpanId::NONE);
                     engine.trace.span_attr(root, "pilot", rec.id.0.to_string());
-                    engine.trace.span_attr(root, "resource", rec.descr.resource.clone());
-                    engine.trace.span_attr(root, "nodes", rec.descr.nodes.to_string());
+                    engine
+                        .trace
+                        .span_attr(root, "resource", rec.descr.resource.clone());
+                    engine
+                        .trace
+                        .span_attr(root, "nodes", rec.descr.nodes.to_string());
                     rec.span_root = root;
-                    rec.span_open =
-                        engine.trace.span_begin(now, "pilot", "pilot.queue_wait", root);
+                    rec.span_open = engine
+                        .trace
+                        .span_begin(now, "pilot", "pilot.queue_wait", root);
                 }
                 PilotState::Launching => {
                     rec.times.launched = Some(now);
@@ -136,10 +143,9 @@ impl PilotHandle {
                 _ => {}
             }
         }
-        engine.metrics.incr_labeled(
-            "pilot.transitions",
-            &[("state", &format!("{next:?}"))],
-        );
+        engine
+            .metrics
+            .incr_labeled("pilot.transitions", &[("state", &format!("{next:?}"))]);
         engine.trace.record(
             engine.now(),
             "pilot",
@@ -371,10 +377,8 @@ impl UnitManager {
             let all_ok = deps_vec
                 .iter()
                 .all(|d| d.state() == crate::states::UnitState::Done);
-            let mut per_pilot: std::collections::BTreeMap<
-                crate::unit::PilotId,
-                Vec<UnitHandle>,
-            > = std::collections::BTreeMap::new();
+            let mut per_pilot: std::collections::BTreeMap<crate::unit::PilotId, Vec<UnitHandle>> =
+                std::collections::BTreeMap::new();
             for (pilot, unit) in planned {
                 if all_ok {
                     unit.advance(eng, crate::states::UnitState::UmScheduling);
@@ -397,8 +401,7 @@ impl UnitManager {
     pub fn cancel_unit(&self, engine: &mut Engine, unit: &UnitHandle) {
         use crate::states::UnitState;
         let state = unit.state();
-        if state.is_final() || state == UnitState::Executing || state == UnitState::StagingOutput
-        {
+        if state.is_final() || state == UnitState::Executing || state == UnitState::StagingOutput {
             return;
         }
         unit.advance(engine, UnitState::Canceled);
@@ -422,8 +425,7 @@ impl UnitManager {
                     .pilots
                     .iter()
                     .min_by_key(|p| {
-                        let remote =
-                            crate::data::remote_bytes(&deps, &p.description().resource);
+                        let remote = crate::data::remote_bytes(&deps, &p.description().resource);
                         let done = p.agent().map(|a| a.units_completed()).unwrap_or(0);
                         (remote, p.assigned_units() - done)
                     })
@@ -477,7 +479,10 @@ mod tests {
             .unwrap();
         let mut um = UnitManager::new(&session, UmScheduler::Direct);
         um.add_pilot(&pilot);
-        let units = um.submit_units(&mut e, (0..8).map(|i| sleep_unit(&format!("u{i}"), 2)).collect());
+        let units = um.submit_units(
+            &mut e,
+            (0..8).map(|i| sleep_unit(&format!("u{i}"), 2)).collect(),
+        );
         e.run_until(SimTime::from_secs_f64(120.0));
         assert_eq!(pilot.state(), PilotState::Active);
         for u in &units {
@@ -545,15 +550,24 @@ mod tests {
         let session = Session::new(SessionConfig::test_profile());
         let pm = PilotManager::new(&session);
         let p1 = pm
-            .submit(&mut e, PilotDescription::new("localhost", 1, SimDuration::from_secs(600)))
+            .submit(
+                &mut e,
+                PilotDescription::new("localhost", 1, SimDuration::from_secs(600)),
+            )
             .unwrap();
         let p2 = pm
-            .submit(&mut e, PilotDescription::new("localhost", 1, SimDuration::from_secs(600)))
+            .submit(
+                &mut e,
+                PilotDescription::new("localhost", 1, SimDuration::from_secs(600)),
+            )
             .unwrap();
         let mut um = UnitManager::new(&session, UmScheduler::RoundRobin);
         um.add_pilot(&p1);
         um.add_pilot(&p2);
-        let units = um.submit_units(&mut e, (0..6).map(|i| sleep_unit(&format!("u{i}"), 1)).collect());
+        let units = um.submit_units(
+            &mut e,
+            (0..6).map(|i| sleep_unit(&format!("u{i}"), 1)).collect(),
+        );
         assert_eq!(p1.assigned_units(), 3);
         assert_eq!(p2.assigned_units(), 3);
         e.run_until(SimTime::from_secs_f64(120.0));
@@ -566,7 +580,10 @@ mod tests {
         let session = Session::new(SessionConfig::test_profile());
         let pm = PilotManager::new(&session);
         let pilot = pm
-            .submit(&mut e, PilotDescription::new("localhost", 1, SimDuration::from_secs(600)))
+            .submit(
+                &mut e,
+                PilotDescription::new("localhost", 1, SimDuration::from_secs(600)),
+            )
             .unwrap();
         let mut um = UnitManager::new(&session, UmScheduler::Direct);
         um.add_pilot(&pilot);
@@ -594,7 +611,10 @@ mod tests {
         let session = Session::new(SessionConfig::test_profile());
         let pm = PilotManager::new(&session);
         let pilot = pm
-            .submit(&mut e, PilotDescription::new("localhost", 2, SimDuration::from_secs(3600)))
+            .submit(
+                &mut e,
+                PilotDescription::new("localhost", 2, SimDuration::from_secs(3600)),
+            )
             .unwrap();
         let mut um = UnitManager::new(&session, UmScheduler::Direct);
         um.add_pilot(&pilot);
@@ -617,7 +637,10 @@ mod tests {
         let session = Session::new(SessionConfig::test_profile());
         let pm = PilotManager::new(&session);
         let pilot = pm
-            .submit(&mut e, PilotDescription::new("localhost", 1, SimDuration::from_secs(3600)))
+            .submit(
+                &mut e,
+                PilotDescription::new("localhost", 1, SimDuration::from_secs(3600)),
+            )
             .unwrap();
         let mut um = UnitManager::new(&session, UmScheduler::Direct);
         um.add_pilot(&pilot);
@@ -651,18 +674,29 @@ mod tests {
         let session = Session::new(SessionConfig::test_profile());
         let pm = PilotManager::new(&session);
         let pilot = pm
-            .submit(&mut e, PilotDescription::new("localhost", 1, SimDuration::from_secs(600)))
+            .submit(
+                &mut e,
+                PilotDescription::new("localhost", 1, SimDuration::from_secs(600)),
+            )
             .unwrap();
         let mut um = UnitManager::new(&session, UmScheduler::Direct);
         um.add_pilot(&pilot);
         // Fill all 8 cores with a long unit, then queue a victim behind it.
         let blocker = um.submit_units(
             &mut e,
-            vec![ComputeUnitDescription::new("blocker", 8, WorkSpec::Sleep(SimDuration::from_secs(100)))],
+            vec![ComputeUnitDescription::new(
+                "blocker",
+                8,
+                WorkSpec::Sleep(SimDuration::from_secs(100)),
+            )],
         );
         let victim = um.submit_units(
             &mut e,
-            vec![ComputeUnitDescription::new("victim", 8, WorkSpec::Sleep(SimDuration::from_secs(100)))],
+            vec![ComputeUnitDescription::new(
+                "victim",
+                8,
+                WorkSpec::Sleep(SimDuration::from_secs(100)),
+            )],
         );
         e.run_until(SimTime::from_secs_f64(20.0));
         assert_eq!(blocker[0].state(), UnitState::Executing);
@@ -682,13 +716,20 @@ mod tests {
         let session = Session::new(SessionConfig::test_profile());
         let pm = PilotManager::new(&session);
         let pilot = pm
-            .submit(&mut e, PilotDescription::new("localhost", 1, SimDuration::from_secs(600)))
+            .submit(
+                &mut e,
+                PilotDescription::new("localhost", 1, SimDuration::from_secs(600)),
+            )
             .unwrap();
         let mut um = UnitManager::new(&session, UmScheduler::Direct);
         um.add_pilot(&pilot);
         let units = um.submit_units(
             &mut e,
-            vec![ComputeUnitDescription::new("long", 1, WorkSpec::Sleep(SimDuration::from_secs(45)))],
+            vec![ComputeUnitDescription::new(
+                "long",
+                1,
+                WorkSpec::Sleep(SimDuration::from_secs(45)),
+            )],
         );
         e.run_until(SimTime::from_secs_f64(120.0));
         assert_eq!(units[0].state(), UnitState::Done);
@@ -707,11 +748,17 @@ mod tests {
         let pm = PilotManager::new(&session);
         // Fill the machine so the second pilot queues.
         let _p1 = pm
-            .submit(&mut e, PilotDescription::new("localhost", 4, SimDuration::from_secs(600)))
+            .submit(
+                &mut e,
+                PilotDescription::new("localhost", 4, SimDuration::from_secs(600)),
+            )
             .unwrap();
         e.run_until(SimTime::from_secs_f64(5.0));
         let p2 = pm
-            .submit(&mut e, PilotDescription::new("localhost", 4, SimDuration::from_secs(600)))
+            .submit(
+                &mut e,
+                PilotDescription::new("localhost", 4, SimDuration::from_secs(600)),
+            )
             .unwrap();
         e.run_until(SimTime::from_secs_f64(10.0));
         assert_eq!(p2.state(), PilotState::PendingLaunch);

@@ -152,7 +152,11 @@ impl Session {
     /// Look up (and lazily instantiate) a machine by resource key, e.g.
     /// `"xsede.stampede"`. Machines with dedicated Hadoop get their
     /// environment provisioned at first access.
-    pub fn machine(&self, engine: &mut Engine, resource: &str) -> Result<MachineHandle, PilotError> {
+    pub fn machine(
+        &self,
+        engine: &mut Engine,
+        resource: &str,
+    ) -> Result<MachineHandle, PilotError> {
         if let Some(m) = self.inner.borrow().machines.get(resource) {
             return Ok(m.clone());
         }

@@ -19,7 +19,10 @@ pub enum PilotState {
 
 impl PilotState {
     pub fn is_final(self) -> bool {
-        matches!(self, PilotState::Done | PilotState::Canceled | PilotState::Failed)
+        matches!(
+            self,
+            PilotState::Done | PilotState::Canceled | PilotState::Failed
+        )
     }
 
     /// Whether `self → next` is a legal transition.
@@ -59,7 +62,10 @@ pub enum UnitState {
 
 impl UnitState {
     pub fn is_final(self) -> bool {
-        matches!(self, UnitState::Done | UnitState::Canceled | UnitState::Failed)
+        matches!(
+            self,
+            UnitState::Done | UnitState::Canceled | UnitState::Failed
+        )
     }
 
     pub fn can_transition_to(self, next: UnitState) -> bool {

@@ -183,12 +183,15 @@ impl UnitHandle {
             match next {
                 UnitState::UmScheduling => {
                     rec.times.submitted = Some(now);
-                    let root = engine.trace.span_begin(now, "unit", "unit.run", SpanId::NONE);
+                    let root = engine
+                        .trace
+                        .span_begin(now, "unit", "unit.run", SpanId::NONE);
                     engine.trace.span_attr(root, "unit", rec.id.0.to_string());
                     engine.trace.span_attr(root, "name", rec.descr.name.clone());
                     rec.span_root = root;
-                    rec.span_open =
-                        engine.trace.span_begin(now, "unit", "unit.scheduling", root);
+                    rec.span_open = engine
+                        .trace
+                        .span_begin(now, "unit", "unit.scheduling", root);
                 }
                 UnitState::AgentScheduling => {
                     rec.times.agent_pickup = Some(now);
@@ -209,7 +212,9 @@ impl UnitHandle {
                     rec.times.exec_start = Some(now);
                     engine.trace.span_end(now, rec.span_open);
                     rec.span_open =
-                        engine.trace.span_begin(now, "unit", "unit.exec", rec.span_root);
+                        engine
+                            .trace
+                            .span_begin(now, "unit", "unit.exec", rec.span_root);
                 }
                 UnitState::StagingOutput => {
                     rec.times.exec_end = Some(now);
@@ -242,11 +247,9 @@ impl UnitHandle {
         engine
             .metrics
             .incr_labeled("unit.transitions", &[("state", &format!("{next:?}"))]);
-        engine.trace.record(
-            engine.now(),
-            "unit",
-            format!("{:?} -> {next:?}", self.id()),
-        );
+        engine
+            .trace
+            .record(engine.now(), "unit", format!("{:?} -> {next:?}", self.id()));
         for w in waiters {
             w(engine);
         }

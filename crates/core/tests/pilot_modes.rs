@@ -17,8 +17,7 @@ fn active_pilot(
     let pilot = pm
         .submit(
             engine,
-            PilotDescription::new("localhost", 2, SimDuration::from_secs(7200))
-                .with_access(access),
+            PilotDescription::new("localhost", 2, SimDuration::from_secs(7200)).with_access(access),
         )
         .unwrap();
     engine.run_until(SimTime::from_secs_f64(300.0));
@@ -37,10 +36,19 @@ fn mode_i_pilot_runs_units_through_yarn() {
 
     let mut um = UnitManager::new(&session, UmScheduler::Direct);
     um.add_pilot(&pilot);
-    let units = um.submit_units(&mut e, (0..4).map(|i| sleep_unit(&format!("u{i}"), 3)).collect());
+    let units = um.submit_units(
+        &mut e,
+        (0..4).map(|i| sleep_unit(&format!("u{i}"), 3)).collect(),
+    );
     e.run_until(SimTime::from_secs_f64(600.0));
     for u in &units {
-        assert_eq!(u.state(), UnitState::Done, "{:?}: {:?}", u.id(), u.failure());
+        assert_eq!(
+            u.state(),
+            UnitState::Done,
+            "{:?}: {:?}",
+            u.id(),
+            u.failure()
+        );
         assert!(!u.exec_nodes().is_empty());
     }
 }
@@ -63,7 +71,12 @@ fn yarn_unit_startup_exceeds_plain_startup() {
         um.add_pilot(&pilot);
         let units = um.submit_units(&mut e, vec![sleep_unit("probe", 1)]);
         e.run_until(SimTime::from_secs_f64(900.0));
-        assert_eq!(units[0].state(), UnitState::Done, "{:?}", units[0].failure());
+        assert_eq!(
+            units[0].state(),
+            UnitState::Done,
+            "{:?}",
+            units[0].failure()
+        );
         units[0].times().startup_time().unwrap().as_secs_f64()
     };
     let plain = startup(AccessMode::Plain, 21);
@@ -97,7 +110,12 @@ fn mode_ii_connects_to_dedicated_cluster() {
     um.add_pilot(&pilot);
     let units = um.submit_units(&mut e, vec![sleep_unit("probe", 2)]);
     e.run_until(SimTime::from_secs_f64(600.0));
-    assert_eq!(units[0].state(), UnitState::Done, "{:?}", units[0].failure());
+    assert_eq!(
+        units[0].state(),
+        UnitState::Done,
+        "{:?}",
+        units[0].failure()
+    );
 }
 
 #[test]
@@ -117,7 +135,11 @@ fn mode_i_bootstrap_slower_than_mode_ii() {
             .unwrap();
         e.run_until(SimTime::from_secs_f64(600.0));
         assert_eq!(pilot.state(), PilotState::Active);
-        pilot.agent().unwrap().framework_bootstrap_time().as_secs_f64()
+        pilot
+            .agent()
+            .unwrap()
+            .framework_bootstrap_time()
+            .as_secs_f64()
     };
     let mode_i = boot(AccessMode::YarnModeI { with_hdfs: true });
     let mode_ii = boot(AccessMode::YarnModeII);
@@ -136,7 +158,8 @@ fn am_reuse_cuts_subsequent_unit_startup() {
         cfg.yarn.container_launch_s = (2.0, 0.0);
         cfg.yarn.app_submit_s = (1.0, 0.0);
         let session = Session::new(cfg);
-        let (_pm, pilot) = active_pilot(&mut e, &session, AccessMode::YarnModeI { with_hdfs: false });
+        let (_pm, pilot) =
+            active_pilot(&mut e, &session, AccessMode::YarnModeI { with_hdfs: false });
         let mut um = UnitManager::new(&session, UmScheduler::Direct);
         um.add_pilot(&pilot);
         // Sequential units: submit the second after the first finishes.
@@ -177,7 +200,12 @@ fn spark_pilot_runs_spark_apps() {
         )],
     );
     e.run_until(SimTime::from_secs_f64(600.0));
-    assert_eq!(units[0].state(), UnitState::Done, "{:?}", units[0].failure());
+    assert_eq!(
+        units[0].state(),
+        UnitState::Done,
+        "{:?}",
+        units[0].failure()
+    );
     assert!(!units[0].exec_nodes().is_empty());
     // 40 core-s on 4 cores → ~10 s execution.
     let exec = units[0].times().execution_time().unwrap().as_secs_f64();
@@ -191,8 +219,12 @@ fn mapreduce_unit_runs_on_mode_i_pilot() {
     let (_pm, pilot) = active_pilot(&mut e, &session, AccessMode::YarnModeI { with_hdfs: true });
     let env = pilot.agent().unwrap().hadoop_env().unwrap();
     let hdfs = env.hdfs.clone().unwrap();
-    hdfs.create_synthetic("/data/in", 256 * 1024 * 1024, rp_hdfs::StoragePolicy::Default)
-        .unwrap();
+    hdfs.create_synthetic(
+        "/data/in",
+        256 * 1024 * 1024,
+        rp_hdfs::StoragePolicy::Default,
+    )
+    .unwrap();
 
     let mut um = UnitManager::new(&session, UmScheduler::Direct);
     um.add_pilot(&pilot);
@@ -212,7 +244,12 @@ fn mapreduce_unit_runs_on_mode_i_pilot() {
         )],
     );
     e.run_until(SimTime::from_secs_f64(1200.0));
-    assert_eq!(units[0].state(), UnitState::Done, "{:?}", units[0].failure());
+    assert_eq!(
+        units[0].state(),
+        UnitState::Done,
+        "{:?}",
+        units[0].failure()
+    );
     let stats = units[0].mr_stats().expect("MR stats recorded");
     assert_eq!(stats.maps, 2); // 256 MB / 128 MB
     assert_eq!(stats.reducers, 2);
@@ -261,7 +298,12 @@ fn staging_directives_execute_in_order() {
         });
     let units = um.submit_units(&mut e, vec![unit]);
     e.run_until(SimTime::from_secs_f64(600.0));
-    assert_eq!(units[0].state(), UnitState::Done, "{:?}", units[0].failure());
+    assert_eq!(
+        units[0].state(),
+        UnitState::Done,
+        "{:?}",
+        units[0].failure()
+    );
     // Total time must include both staging legs (≥1 s of I/O beyond sleep).
     let total = units[0].times().total_time().unwrap().as_secs_f64();
     let exec = units[0].times().execution_time().unwrap().as_secs_f64();
@@ -273,10 +315,14 @@ fn deterministic_pilot_runs_with_same_seed() {
     let run = || {
         let mut e = Engine::new(99);
         let session = Session::new(SessionConfig::test_profile());
-        let (_pm, pilot) = active_pilot(&mut e, &session, AccessMode::YarnModeI { with_hdfs: false });
+        let (_pm, pilot) =
+            active_pilot(&mut e, &session, AccessMode::YarnModeI { with_hdfs: false });
         let mut um = UnitManager::new(&session, UmScheduler::Direct);
         um.add_pilot(&pilot);
-        let units = um.submit_units(&mut e, (0..3).map(|i| sleep_unit(&format!("u{i}"), 2)).collect());
+        let units = um.submit_units(
+            &mut e,
+            (0..3).map(|i| sleep_unit(&format!("u{i}"), 2)).collect(),
+        );
         e.run_until(SimTime::from_secs_f64(900.0));
         units
             .iter()
@@ -305,7 +351,12 @@ fn preempted_yarn_unit_restarts_and_completes() {
     assert_eq!(victims.len(), 1, "task container should be preemptible");
     // The unit must still finish (restarted on a fresh container).
     e.run_until(SimTime::from_secs_f64(t_exec.as_secs_f64() + 300.0));
-    assert_eq!(units[0].state(), UnitState::Done, "{:?}", units[0].failure());
+    assert_eq!(
+        units[0].state(),
+        UnitState::Done,
+        "{:?}",
+        units[0].failure()
+    );
     // The agent logged the preemption restart, and the work was redone
     // from scratch (done ≥ preemption instant + full 30 s sleep).
     assert!(
@@ -382,7 +433,12 @@ fn gang_scheduled_mpi_rejected_on_yarn_pilot() {
     while units.iter().any(|u| !u.state().is_final()) {
         assert!(e.step());
     }
-    assert_eq!(units[0].state(), UnitState::Done, "{:?}", units[0].failure());
+    assert_eq!(
+        units[0].state(),
+        UnitState::Done,
+        "{:?}",
+        units[0].failure()
+    );
     assert!(units[0].exec_nodes().len() >= 2, "MPI unit spans nodes");
 }
 
@@ -405,7 +461,12 @@ fn unit_survives_yarn_node_failure() {
     assert!(!lost.is_empty(), "the unit's container was on the node");
     let horizon = e.now().as_secs_f64() + 300.0;
     e.run_until(SimTime::from_secs_f64(horizon));
-    assert_eq!(units[0].state(), UnitState::Done, "{:?}", units[0].failure());
+    assert_eq!(
+        units[0].state(),
+        UnitState::Done,
+        "{:?}",
+        units[0].failure()
+    );
     // The restart landed on a different (surviving) node.
     assert_ne!(units[0].exec_nodes()[0], node);
     assert!(e.trace.find("re-requesting").is_some());

@@ -461,10 +461,8 @@ impl Hdfs {
                                 *r -= 1;
                                 if *r == 0 {
                                     drop(r);
-                                    let cb = done
-                                        .borrow_mut()
-                                        .take()
-                                        .expect("re-replication raced");
+                                    let cb =
+                                        done.borrow_mut().take().expect("re-replication raced");
                                     cb(eng, lost2);
                                 }
                             },
@@ -659,9 +657,15 @@ mod tests {
         let nodes: Vec<NodeId> = cluster.node_ids().collect();
         let out = Rc::new(RefCell::new(None));
         let o = out.clone();
-        Hdfs::deploy(engine, cluster, nodes, HdfsConfig::default(), move |_, fs| {
-            *o.borrow_mut() = Some(fs);
-        });
+        Hdfs::deploy(
+            engine,
+            cluster,
+            nodes,
+            HdfsConfig::default(),
+            move |_, fs| {
+                *o.borrow_mut() = Some(fs);
+            },
+        );
         engine.run();
         let fs = out.borrow_mut().take().expect("hdfs deployed");
         fs
@@ -716,7 +720,8 @@ mod tests {
     fn duplicate_create_rejected() {
         let mut e = Engine::new(1);
         let fs = deploy_localhost(&mut e);
-        fs.create_synthetic("/x", 10, StoragePolicy::Default).unwrap();
+        fs.create_synthetic("/x", 10, StoragePolicy::Default)
+            .unwrap();
         assert!(matches!(
             fs.create_synthetic("/x", 10, StoragePolicy::Default),
             Err(HdfsError::AlreadyExists(_))
@@ -727,7 +732,8 @@ mod tests {
     fn delete_frees_space() {
         let mut e = Engine::new(1);
         let fs = deploy_localhost(&mut e);
-        fs.create_synthetic("/x", 1024, StoragePolicy::Default).unwrap();
+        fs.create_synthetic("/x", 1024, StoragePolicy::Default)
+            .unwrap();
         assert!(fs.used_bytes() > 0);
         fs.delete("/x").unwrap();
         assert_eq!(fs.used_bytes(), 0);
@@ -762,12 +768,20 @@ mod tests {
     fn write_duplicate_path_fails_async() {
         let mut e = Engine::new(1);
         let fs = deploy_localhost(&mut e);
-        fs.create_synthetic("/dup", 10, StoragePolicy::Default).unwrap();
+        fs.create_synthetic("/dup", 10, StoragePolicy::Default)
+            .unwrap();
         let failed = Rc::new(RefCell::new(false));
         let f = failed.clone();
-        fs.write_file(&mut e, NodeId(0), "/dup", 10, StoragePolicy::Default, move |_, res| {
-            *f.borrow_mut() = matches!(res, Err(HdfsError::AlreadyExists(_)));
-        });
+        fs.write_file(
+            &mut e,
+            NodeId(0),
+            "/dup",
+            10,
+            StoragePolicy::Default,
+            move |_, res| {
+                *f.borrow_mut() = matches!(res, Err(HdfsError::AlreadyExists(_)));
+            },
+        );
         e.run();
         assert!(*failed.borrow());
     }
@@ -832,7 +846,12 @@ mod tests {
             e.run();
         }
         let times = times.borrow();
-        assert!(times[0] < times[1], "ssd {} vs archive {}", times[0], times[1]);
+        assert!(
+            times[0] < times[1],
+            "ssd {} vs archive {}",
+            times[0],
+            times[1]
+        );
     }
 
     #[test]
@@ -861,7 +880,11 @@ mod tests {
             *l.borrow_mut() = Some(lost_blocks);
         });
         e.run();
-        assert_eq!(lost.borrow().clone().unwrap().len(), 0, "replication 3 → no loss");
+        assert_eq!(
+            lost.borrow().clone().unwrap().len(),
+            0,
+            "replication 3 → no loss"
+        );
         // Every block is back at full replication, none on the dead node.
         for b in fs.block_locations("/data").unwrap() {
             assert_eq!(b.replicas.len(), 3, "{b:?}");

@@ -95,8 +95,12 @@ mod tests {
 
     #[test]
     fn policy_factors_ordered() {
-        assert!(StoragePolicy::AllSsd.bandwidth_factor() > StoragePolicy::Default.bandwidth_factor());
-        assert!(StoragePolicy::Archive.bandwidth_factor() < StoragePolicy::Default.bandwidth_factor());
+        assert!(
+            StoragePolicy::AllSsd.bandwidth_factor() > StoragePolicy::Default.bandwidth_factor()
+        );
+        assert!(
+            StoragePolicy::Archive.bandwidth_factor() < StoragePolicy::Default.bandwidth_factor()
+        );
     }
 
     #[test]
@@ -106,8 +110,16 @@ mod tests {
             size_bytes: 10,
             policy: StoragePolicy::Default,
             blocks: vec![
-                BlockMeta { id: 0, size_bytes: 5, replicas: vec![NodeId(1), NodeId(2)] },
-                BlockMeta { id: 1, size_bytes: 5, replicas: vec![NodeId(2), NodeId(0)] },
+                BlockMeta {
+                    id: 0,
+                    size_bytes: 5,
+                    replicas: vec![NodeId(1), NodeId(2)],
+                },
+                BlockMeta {
+                    id: 1,
+                    size_bytes: 5,
+                    replicas: vec![NodeId(2), NodeId(0)],
+                },
             ],
         };
         assert_eq!(f.holder_nodes(), vec![NodeId(0), NodeId(1), NodeId(2)]);

@@ -17,8 +17,9 @@ fn failure_rereplication_invariants() {
     let mut rng = SimRng::new(0x2E91);
     for case in 0..48 {
         let n_files = rng.uniform_u64(1, 5) as usize;
-        let sizes: Vec<u64> =
-            (0..n_files).map(|_| rng.uniform_u64(1, 2_000_000_000)).collect();
+        let sizes: Vec<u64> = (0..n_files)
+            .map(|_| rng.uniform_u64(1, 2_000_000_000))
+            .collect();
         let replication = rng.uniform_u64(1, 3) as u32;
         let victim_idx = rng.uniform_u64(0, 3) as usize;
         let mut e = Engine::new(1);
@@ -28,7 +29,10 @@ fn failure_rereplication_invariants() {
         let fs = Hdfs::attach(
             cluster,
             nodes.clone(),
-            HdfsConfig { replication, ..HdfsConfig::default() },
+            HdfsConfig {
+                replication,
+                ..HdfsConfig::default()
+            },
         );
         for (i, &size) in sizes.iter().enumerate() {
             fs.create_synthetic(&format!("/f{i}"), size, StoragePolicy::Default)
@@ -58,7 +62,10 @@ fn failure_rereplication_invariants() {
         let effective = replication.min(n_nodes);
         for i in 0..sizes.len() {
             for b in fs.block_locations(&format!("/f{i}")).unwrap() {
-                assert!(!b.replicas.contains(&victim), "case {case}: replica on dead node");
+                assert!(
+                    !b.replicas.contains(&victim),
+                    "case {case}: replica on dead node"
+                );
                 let mut r = b.replicas.clone();
                 r.sort();
                 r.dedup();
@@ -80,7 +87,9 @@ fn used_bytes_accounting() {
     let mut rng = SimRng::new(0x05EDB);
     for case in 0..48 {
         let n_files = rng.uniform_u64(1, 7) as usize;
-        let sizes: Vec<u64> = (0..n_files).map(|_| rng.uniform_u64(1, 500_000_000)).collect();
+        let sizes: Vec<u64> = (0..n_files)
+            .map(|_| rng.uniform_u64(1, 500_000_000))
+            .collect();
         let cluster = Cluster::new(MachineSpec::localhost());
         let nodes: Vec<NodeId> = cluster.node_ids().collect();
         let fs = Hdfs::attach(cluster, nodes, HdfsConfig::default());

@@ -36,10 +36,7 @@ impl JobState {
     pub fn is_final(self) -> bool {
         matches!(
             self,
-            JobState::Completed
-                | JobState::Cancelled
-                | JobState::TimedOut
-                | JobState::Failed
+            JobState::Completed | JobState::Cancelled | JobState::TimedOut | JobState::Failed
         )
     }
 }
@@ -245,7 +242,12 @@ impl BatchSystem {
             if (inner.free_nodes.len() as u32) < count {
                 return None;
             }
-            let picked: Vec<u32> = inner.free_nodes.iter().take(count as usize).copied().collect();
+            let picked: Vec<u32> = inner
+                .free_nodes
+                .iter()
+                .take(count as usize)
+                .copied()
+                .collect();
             for p in &picked {
                 inner.free_nodes.remove(p);
             }
@@ -315,7 +317,9 @@ impl BatchSystem {
             let start_now: Option<JobId> = {
                 let inner = self.inner.borrow();
                 match inner.queue.first() {
-                    Some(&head) if inner.jobs[&head].req.nodes as usize <= inner.free_nodes.len() => {
+                    Some(&head)
+                        if inner.jobs[&head].req.nodes as usize <= inner.free_nodes.len() =>
+                    {
                         Some(head)
                     }
                     _ => None,
@@ -334,11 +338,10 @@ impl BatchSystem {
             }
             let head = inner.queue[0];
             let head_nodes = inner.jobs[&head].req.nodes as usize;
-            let (shadow_time, extra_nodes) =
-                match self.shadow(&inner, head_nodes, engine.now()) {
-                    Some(x) => x,
-                    None => return,
-                };
+            let (shadow_time, extra_nodes) = match self.shadow(&inner, head_nodes, engine.now()) {
+                Some(x) => x,
+                None => return,
+            };
             inner.queue[1..]
                 .iter()
                 .copied()
@@ -366,12 +369,7 @@ impl BatchSystem {
     /// EASY reservation for the blocked head: the time when enough nodes
     /// will be free (`shadow_time`) and how many currently-free nodes are
     /// NOT needed by the head at that time (`extra_nodes`).
-    fn shadow(
-        &self,
-        inner: &Inner,
-        head_nodes: usize,
-        now: SimTime,
-    ) -> Option<(SimTime, usize)> {
+    fn shadow(&self, inner: &Inner, head_nodes: usize, now: SimTime) -> Option<(SimTime, usize)> {
         let mut releases: Vec<(SimTime, usize)> = inner
             .jobs
             .values()
@@ -438,7 +436,12 @@ impl BatchSystem {
         let ev = engine.schedule_in(walltime, move |eng| {
             this.finish(eng, id, JobState::TimedOut);
         });
-        self.inner.borrow_mut().jobs.get_mut(&id).unwrap().walltime_event = Some(ev);
+        self.inner
+            .borrow_mut()
+            .jobs
+            .get_mut(&id)
+            .unwrap()
+            .walltime_event = Some(ev);
         start_cb(engine, alloc);
     }
 }
@@ -521,10 +524,7 @@ mod tests {
             b2.complete(eng, id1);
         });
         e.run();
-        assert_eq!(
-            started2.borrow().unwrap(),
-            SimTime::from_secs_f64(10.0)
-        );
+        assert_eq!(started2.borrow().unwrap(), SimTime::from_secs_f64(10.0));
         assert_eq!(b.state(id1), JobState::Completed);
     }
 
@@ -684,7 +684,9 @@ mod tests {
         let t = started.borrow().unwrap().as_secs_f64();
         assert!((t - 100.0).abs() < 0.5, "{t}");
         // Over-reservation is rejected.
-        assert!(b.reserve_nodes(&mut e, 5, SimDuration::from_secs(1)).is_none());
+        assert!(b
+            .reserve_nodes(&mut e, 5, SimDuration::from_secs(1))
+            .is_none());
     }
 
     #[test]
@@ -711,7 +713,10 @@ mod tests {
         let mut spec = MachineSpec::localhost();
         spec.submit_latency_s = (0.0, 0.0);
         // Median wait e^4 ≈ 55 s.
-        spec.queue_wait = crate::machine::QueueWaitModel::LogNormal { mu: 4.0, sigma: 0.3 };
+        spec.queue_wait = crate::machine::QueueWaitModel::LogNormal {
+            mu: 4.0,
+            sigma: 0.3,
+        };
         let b = BatchSystem::new(Cluster::new(spec));
         let mut e = Engine::new(7);
         let id = b.submit(&mut e, req("waits", 1, 100), |_, _| {});

@@ -82,7 +82,10 @@ impl Cluster {
                 }),
             })
             .collect();
-        let lustre = FairLink::new(format!("{}:lustre", spec.name), spec.lustre.aggregate_mbps * MB);
+        let lustre = FairLink::new(
+            format!("{}:lustre", spec.name),
+            spec.lustre.aggregate_mbps * MB,
+        );
         let fabric = FairLink::new(format!("{}:fabric", spec.name), spec.fabric_mbps * MB);
         Cluster {
             inner: Rc::new(ClusterInner {
@@ -241,9 +244,15 @@ mod tests {
         let done_at = Rc::new(RefCell::new(SimTime::ZERO));
         let d = done_at.clone();
         // 500 MB at 500 MB/s (per-stream == aggregate) + 0.5 ms latency ≈ 1.0005 s
-        c.storage_io(&mut e, StorageTarget::Lustre, IoKind::Read, 500.0 * MB, move |eng| {
-            *d.borrow_mut() = eng.now();
-        });
+        c.storage_io(
+            &mut e,
+            StorageTarget::Lustre,
+            IoKind::Read,
+            500.0 * MB,
+            move |eng| {
+                *d.borrow_mut() = eng.now();
+            },
+        );
         e.run();
         let t = done_at.borrow().as_secs_f64();
         assert!((t - 1.0005).abs() < 0.01, "{t}");
@@ -256,9 +265,15 @@ mod tests {
         let times = Rc::new(RefCell::new(Vec::new()));
         for _ in 0..4 {
             let t = times.clone();
-            c.storage_io(&mut e, StorageTarget::Lustre, IoKind::Write, 250.0 * MB, move |eng| {
-                t.borrow_mut().push(eng.now().as_secs_f64());
-            });
+            c.storage_io(
+                &mut e,
+                StorageTarget::Lustre,
+                IoKind::Write,
+                250.0 * MB,
+                move |eng| {
+                    t.borrow_mut().push(eng.now().as_secs_f64());
+                },
+            );
         }
         e.run();
         // 4 × 250 MB over a 500 MB/s shared link → ~2 s each.

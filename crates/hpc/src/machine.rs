@@ -274,9 +274,7 @@ mod tests {
         let w = MachineSpec::wrangler();
         assert!(w.core_speed > s.core_speed);
         assert!(w.lustre.aggregate_mbps > s.lustre.aggregate_mbps);
-        assert!(
-            w.local_disk.unwrap().aggregate_mbps > s.local_disk.unwrap().aggregate_mbps
-        );
+        assert!(w.local_disk.unwrap().aggregate_mbps > s.local_disk.unwrap().aggregate_mbps);
     }
 
     #[test]

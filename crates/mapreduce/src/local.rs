@@ -135,7 +135,10 @@ mod tests {
 
     fn wc_input() -> Vec<Vec<(u64, String)>> {
         vec![
-            vec![(0, "the quick brown fox".into()), (1, "the lazy dog".into())],
+            vec![
+                (0, "the quick brown fox".into()),
+                (1, "the lazy dog".into()),
+            ],
             vec![(2, "the end".into())],
         ]
     }
@@ -143,8 +146,7 @@ mod tests {
     #[test]
     fn word_count_without_combiner() {
         let out = run_local(wc_input(), &WordCountMapper, None, &SumReducer, 3);
-        let all: std::collections::HashMap<String, u64> =
-            out.into_iter().flatten().collect();
+        let all: std::collections::HashMap<String, u64> = out.into_iter().flatten().collect();
         assert_eq!(all["the"], 3);
         assert_eq!(all["quick"], 1);
         assert_eq!(all.len(), 7);
@@ -192,9 +194,7 @@ mod tests {
             splits,
             &|_k: u64, v: u64, e: &mut Emitter<u64, u64>| e.emit(v % 2, v),
             None,
-            &|k: u64, vs: Vec<u64>, out: &mut Vec<(u64, u64)>| {
-                out.push((k, vs.into_iter().sum()))
-            },
+            &|k: u64, vs: Vec<u64>, out: &mut Vec<(u64, u64)>| out.push((k, vs.into_iter().sum())),
             2,
         );
         let m: std::collections::HashMap<u64, u64> = out.into_iter().flatten().collect();

@@ -135,7 +135,9 @@ fn advance_phase_span(
         (st.span_open, st.span_parent)
     };
     engine.trace.span_end(engine.now(), open);
-    let next = engine.trace.span_begin(engine.now(), category, name, parent);
+    let next = engine
+        .trace
+        .span_begin(engine.now(), category, name, parent);
     state.borrow_mut().span_open = next;
 }
 
@@ -260,8 +262,7 @@ fn run_map_task(
     let state2 = state.clone();
     hdfs.read_block(engine, node, &block, policy, move |eng| {
         // 2. Map compute (with optional speculative-execution tail cap).
-        let base = spec2.cost.map_fixed_s
-            + spec2.cost.map_core_s_per_input_mb * (input_bytes / MB);
+        let base = spec2.cost.map_fixed_s + spec2.cost.map_core_s_per_input_mb * (input_bytes / MB);
         let jitter = jitter(eng, spec2.cost.task_jitter_sigma);
         let mut effective = base * jitter;
         let threshold = spec2.cost.speculative_threshold;
@@ -270,7 +271,9 @@ fn run_map_task(
             // container allocation (~2 heartbeats + launch) and runs at
             // its own jitter; the task ends at the earlier finisher.
             let backup_overhead = 2.0 + 4.0; // alloc + launch, seconds
-            let backup = base * threshold + backup_overhead + base * jitter2(eng, spec2.cost.task_jitter_sigma);
+            let backup = base * threshold
+                + backup_overhead
+                + base * jitter2(eng, spec2.cost.task_jitter_sigma);
             if backup < effective {
                 eng.trace.record(
                     eng.now(),
@@ -458,24 +461,15 @@ fn run_reduce_task(
                                     shuffle_phase: st
                                         .t_shuffle_done
                                         .saturating_since(st.t_maps_done),
-                                    reduce_phase: eng
-                                        .now()
-                                        .saturating_since(st.t_shuffle_done),
+                                    reduce_phase: eng.now().saturating_since(st.t_shuffle_done),
                                     maps: st.map_outputs.len(),
                                     reducers: spec2.num_reducers,
                                     input_bytes: st.input_bytes,
-                                    shuffle_bytes: st
-                                        .map_outputs
-                                        .iter()
-                                        .map(|&(_, b)| b)
-                                        .sum(),
+                                    shuffle_bytes: st.map_outputs.iter().map(|&(_, b)| b).sum(),
                                     output_bytes: st.output_bytes,
                                 }
                             };
-                            let cb = done
-                                .borrow_mut()
-                                .take()
-                                .expect("MR job completed twice");
+                            let cb = done.borrow_mut().take().expect("MR job completed twice");
                             cb(eng, stats);
                         }
                     });
@@ -554,15 +548,22 @@ fn chain_iteration(
     let cluster2 = cluster.clone();
     let yarn2 = yarn.clone();
     let hdfs2 = hdfs.clone();
-    run_on_yarn(engine, &cluster, &yarn, &hdfs, iter_spec, move |eng, stats| {
-        acc.borrow_mut().push(stats);
-        if remaining <= 1 {
-            let out = std::mem::take(&mut *acc.borrow_mut());
-            done(eng, out);
-        } else {
-            chain_iteration(eng, cluster2, yarn2, hdfs2, spec, remaining - 1, acc, done);
-        }
-    });
+    run_on_yarn(
+        engine,
+        &cluster,
+        &yarn,
+        &hdfs,
+        iter_spec,
+        move |eng, stats| {
+            acc.borrow_mut().push(stats);
+            if remaining <= 1 {
+                let out = std::mem::take(&mut *acc.borrow_mut());
+                done(eng, out);
+            } else {
+                chain_iteration(eng, cluster2, yarn2, hdfs2, spec, remaining - 1, acc, done);
+            }
+        },
+    );
 }
 
 fn jitter(engine: &mut Engine, sigma: f64) -> f64 {

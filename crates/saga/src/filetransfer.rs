@@ -12,9 +12,7 @@ use rp_sim::{Engine, SimDuration, MB};
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Endpoint {
     /// Outside the machine (campus storage, web): fixed WAN bandwidth.
-    Remote {
-        bandwidth_mbps: f64,
-    },
+    Remote { bandwidth_mbps: f64 },
     /// The machine's shared parallel filesystem.
     Lustre,
     /// A node's local disk.
@@ -137,11 +135,7 @@ mod tests {
     use std::cell::RefCell;
     use std::rc::Rc;
 
-    fn finish_time(
-        from: Endpoint,
-        to: Endpoint,
-        bytes_mb: f64,
-    ) -> f64 {
+    fn finish_time(from: Endpoint, to: Endpoint, bytes_mb: f64) -> f64 {
         let mut e = Engine::new(1);
         let cluster = Cluster::new(MachineSpec::localhost());
         let t = Rc::new(RefCell::new(0.0));
@@ -157,13 +151,25 @@ mod tests {
     #[test]
     fn ingest_pays_wan_plus_write() {
         // 100 MB over a 10 MB/s WAN (10 s) + Lustre write (~0.2 s).
-        let t = finish_time(Endpoint::Remote { bandwidth_mbps: 10.0 }, Endpoint::Lustre, 100.0);
+        let t = finish_time(
+            Endpoint::Remote {
+                bandwidth_mbps: 10.0,
+            },
+            Endpoint::Lustre,
+            100.0,
+        );
         assert!((10.0..11.0).contains(&t), "{t}");
     }
 
     #[test]
     fn egress_pays_read_plus_wan() {
-        let t = finish_time(Endpoint::Lustre, Endpoint::Remote { bandwidth_mbps: 50.0 }, 100.0);
+        let t = finish_time(
+            Endpoint::Lustre,
+            Endpoint::Remote {
+                bandwidth_mbps: 50.0,
+            },
+            100.0,
+        );
         assert!((2.0..3.0).contains(&t), "{t}");
     }
 
@@ -176,8 +182,16 @@ mod tests {
 
     #[test]
     fn local_to_local_includes_fabric_leg() {
-        let same = finish_time(Endpoint::Local(NodeId(0)), Endpoint::Local(NodeId(0)), 400.0);
-        let cross = finish_time(Endpoint::Local(NodeId(0)), Endpoint::Local(NodeId(1)), 400.0);
+        let same = finish_time(
+            Endpoint::Local(NodeId(0)),
+            Endpoint::Local(NodeId(0)),
+            400.0,
+        );
+        let cross = finish_time(
+            Endpoint::Local(NodeId(0)),
+            Endpoint::Local(NodeId(1)),
+            400.0,
+        );
         assert!(cross > same, "cross {cross} vs same {same}");
     }
 
@@ -212,9 +226,16 @@ mod tests {
         let mut e = Engine::new(1);
         let t_stream = Rc::new(RefCell::new(0.0));
         let ts = t_stream.clone();
-        stream(&mut e, &cluster, NodeId(0), NodeId(1), 800.0 * MB, move |eng| {
-            *ts.borrow_mut() = eng.now().as_secs_f64();
-        });
+        stream(
+            &mut e,
+            &cluster,
+            NodeId(0),
+            NodeId(1),
+            800.0 * MB,
+            move |eng| {
+                *ts.borrow_mut() = eng.now().as_secs_f64();
+            },
+        );
         e.run();
         assert!(
             *t_stream.borrow() < *t_persist.borrow() / 2.0,
@@ -234,8 +255,12 @@ mod tests {
     #[should_panic]
     fn remote_to_remote_rejected() {
         finish_time(
-            Endpoint::Remote { bandwidth_mbps: 1.0 },
-            Endpoint::Remote { bandwidth_mbps: 1.0 },
+            Endpoint::Remote {
+                bandwidth_mbps: 1.0,
+            },
+            Endpoint::Remote {
+                bandwidth_mbps: 1.0,
+            },
             1.0,
         );
     }

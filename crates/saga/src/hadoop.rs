@@ -150,8 +150,11 @@ pub fn start_cluster(
                     let n = alloc.nodes.len();
                     let mut daemons_max = 0.0f64;
                     for _ in 0..n {
-                        daemons_max = daemons_max
-                            .max(eng.rng.normal_min(daemon_start_s, daemon_start_s * 0.15, 0.01));
+                        daemons_max = daemons_max.max(eng.rng.normal_min(
+                            daemon_start_s,
+                            daemon_start_s * 0.15,
+                            0.01,
+                        ));
                     }
                     let total = rp_sim::SimDuration::from_secs_f64(
                         eng.rng.normal_min(prepare_s, prepare_s * 0.1, 0.01) + daemons_max,
@@ -238,11 +241,15 @@ mod tests {
         let d = done.clone();
         if let FrameworkHandle::Yarn(env) = &mc.framework {
             assert!(env.hdfs.is_some());
-            env.yarn
-                .submit_app(&mut e, "probe", ResourceRequest::new(1, 1024), move |eng, am| {
+            env.yarn.submit_app(
+                &mut e,
+                "probe",
+                ResourceRequest::new(1, 1024),
+                move |eng, am| {
                     *d.borrow_mut() = true;
                     am.finish(eng);
-                });
+                },
+            );
         } else {
             panic!("expected yarn handle");
         }

@@ -79,7 +79,10 @@ impl JobDescription {
 pub enum SagaError {
     BadUrl(String),
     /// URL scheme does not match the machine's batch system.
-    AdaptorMismatch { requested: String, machine: String },
+    AdaptorMismatch {
+        requested: String,
+        machine: String,
+    },
     UnknownScheme(String),
 }
 
@@ -167,12 +170,14 @@ impl JobService {
         engine.trace.record(
             engine.now(),
             "saga",
-            format!("submitted '{}' ({} nodes) via {}", jd.executable, jd.nodes, self.url),
+            format!(
+                "submitted '{}' ({} nodes) via {}",
+                jd.executable, jd.nodes, self.url
+            ),
         );
-        engine.metrics.incr_labeled(
-            "saga.jobs_submitted",
-            &[("scheme", &self.url.scheme)],
-        );
+        engine
+            .metrics
+            .incr_labeled("saga.jobs_submitted", &[("scheme", &self.url.scheme)]);
         SagaJob {
             id,
             batch: self.batch.clone(),
@@ -259,15 +264,17 @@ mod tests {
     fn submit_runs_job_lifecycle() {
         let mut e = rp_sim::Engine::new(1);
         let batch = BatchSystem::new(Cluster::new(MachineSpec::localhost()));
-        let svc =
-            JobService::connect(SagaUrl::parse("fork://localhost").unwrap(), batch).unwrap();
+        let svc = JobService::connect(SagaUrl::parse("fork://localhost").unwrap(), batch).unwrap();
         let events = Rc::new(RefCell::new(Vec::new()));
         let ev1 = events.clone();
         let ev2 = events.clone();
         let job = svc.submit(
             &mut e,
             JobDescription::new("agent.sh", 2, SimDuration::from_secs(600)),
-            move |_, alloc| ev1.borrow_mut().push(format!("start:{}", alloc.nodes.len())),
+            move |_, alloc| {
+                ev1.borrow_mut()
+                    .push(format!("start:{}", alloc.nodes.len()))
+            },
             move |_, st| ev2.borrow_mut().push(format!("end:{st:?}")),
         );
         e.run_until(rp_sim::SimTime::from_secs_f64(5.0));

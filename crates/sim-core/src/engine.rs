@@ -103,11 +103,7 @@ impl Engine {
     }
 
     /// Schedule an event at an absolute time (must not be in the past).
-    pub fn schedule_at(
-        &mut self,
-        time: SimTime,
-        f: impl FnOnce(&mut Engine) + 'static,
-    ) -> EventId {
+    pub fn schedule_at(&mut self, time: SimTime, f: impl FnOnce(&mut Engine) + 'static) -> EventId {
         assert!(
             time >= self.now,
             "cannot schedule into the past: {time} < {}",

@@ -27,8 +27,10 @@
 //! the *native* execution engines elsewhere in the workspace use real thread
 //! pools.
 
+pub mod critpath;
 pub mod engine;
 pub mod fault;
+pub mod json;
 pub mod link;
 pub mod metrics;
 pub mod par;
@@ -40,6 +42,7 @@ pub mod time;
 pub mod tokens;
 pub mod trace;
 
+pub use critpath::{critical_path, critical_path_run, CritPhaseRow, CriticalPath, PathSegment};
 pub use engine::{Engine, EventId};
 pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan};
 pub use link::{FairLink, FlowId};
@@ -53,7 +56,9 @@ pub use rng::SimRng;
 pub use stats::Summary;
 pub use time::{SimDuration, SimTime};
 pub use tokens::Tokens;
-pub use trace::{validate_chrome_json, ChromeTraceStats, Span, SpanId, Trace, TraceEvent};
+pub use trace::{
+    escape_json, validate_chrome_json, ChromeTraceStats, Span, SpanId, Trace, TraceEvent,
+};
 
 /// Convenience: megabytes → bytes (storage models are specified in MB/s).
 pub const MB: f64 = 1024.0 * 1024.0;

@@ -56,7 +56,10 @@ impl FairLink {
     /// A link with the given aggregate capacity in bytes/second.
     /// `f64::INFINITY` gives an uncontended link (flows run at their cap).
     pub fn new(name: impl Into<String>, capacity_bytes_per_sec: f64) -> Self {
-        assert!(capacity_bytes_per_sec > 0.0, "link capacity must be positive");
+        assert!(
+            capacity_bytes_per_sec > 0.0,
+            "link capacity must be positive"
+        );
         FairLink {
             inner: Rc::new(RefCell::new(Inner {
                 name: name.into(),
@@ -105,7 +108,10 @@ impl FairLink {
         per_flow_cap: f64,
         done: impl FnOnce(&mut Engine) + 'static,
     ) -> FlowId {
-        assert!(bytes >= 0.0 && bytes.is_finite(), "invalid transfer size {bytes}");
+        assert!(
+            bytes >= 0.0 && bytes.is_finite(),
+            "invalid transfer size {bytes}"
+        );
         assert!(per_flow_cap > 0.0, "per-flow cap must be positive");
         let now = engine.now();
         let id;
@@ -148,7 +154,10 @@ impl FairLink {
     /// degradation and recovery). Progress under the old rates is applied
     /// first, then rates and the next completion event are recomputed.
     pub fn set_capacity(&self, engine: &mut Engine, capacity_bytes_per_sec: f64) {
-        assert!(capacity_bytes_per_sec > 0.0, "link capacity must be positive");
+        assert!(
+            capacity_bytes_per_sec > 0.0,
+            "link capacity must be positive"
+        );
         let now = engine.now();
         {
             let mut inner = self.inner.borrow_mut();
@@ -286,7 +295,10 @@ mod tests {
     use std::rc::Rc;
 
     #[allow(clippy::type_complexity)]
-    fn done_log() -> (Rc<RefCell<Vec<(u32, SimTime)>>>, impl Fn(u32) -> DoneFn + Clone) {
+    fn done_log() -> (
+        Rc<RefCell<Vec<(u32, SimTime)>>>,
+        impl Fn(u32) -> DoneFn + Clone,
+    ) {
         let log: Rc<RefCell<Vec<(u32, SimTime)>>> = Rc::new(RefCell::new(Vec::new()));
         let l = log.clone();
         let mk = move |tag: u32| -> DoneFn {

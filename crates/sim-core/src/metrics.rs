@@ -100,7 +100,10 @@ impl MetricsRegistry {
     /// Append a time-stamped observation to a series (no-op when disabled).
     pub fn observe(&mut self, name: &str, time: SimTime, value: f64) {
         if self.enabled {
-            self.series.entry(name.to_string()).or_default().push((time, value));
+            self.series
+                .entry(name.to_string())
+                .or_default()
+                .push((time, value));
         }
     }
 
@@ -156,7 +159,10 @@ impl MetricsSnapshot {
             rows.push((k.clone(), format!("{v:.3}")));
         }
         for (k, v) in &self.series {
-            let last = v.last().map(|&(_, x)| format!("{x:.3}")).unwrap_or_default();
+            let last = v
+                .last()
+                .map(|&(_, x)| format!("{x:.3}"))
+                .unwrap_or_default();
             rows.push((k.clone(), format!("n={} last={last}", v.len())));
         }
         let width = rows.iter().map(|(k, _)| k.len()).max().unwrap_or(0);

@@ -110,7 +110,10 @@ mod tests {
     #[test]
     fn split_even_distributes_remainder() {
         let parts = split_even((0..10).collect::<Vec<_>>(), 4);
-        assert_eq!(parts.iter().map(Vec::len).collect::<Vec<_>>(), vec![3, 3, 2, 2]);
+        assert_eq!(
+            parts.iter().map(Vec::len).collect::<Vec<_>>(),
+            vec![3, 3, 2, 2]
+        );
         let flat: Vec<_> = parts.into_iter().flatten().collect();
         assert_eq!(flat, (0..10).collect::<Vec<_>>());
     }

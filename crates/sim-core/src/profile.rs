@@ -136,7 +136,7 @@ impl PhaseBreakdown {
         }
     }
 
-    fn charge(&mut self, phase: Phase, d: u64) {
+    pub(crate) fn charge(&mut self, phase: Phase, d: u64) {
         self.durations[phase.index()].0 += d;
         self.total.0 += d;
     }
@@ -198,7 +198,7 @@ pub fn profile_span(trace: &Trace, root: SpanId) -> PhaseBreakdown {
 }
 
 /// A span's own phase, or the nearest mapped ancestor's, or `Overhead`.
-fn effective_phase(trace: &Trace, span: &Span) -> Phase {
+pub(crate) fn effective_phase(trace: &Trace, span: &Span) -> Phase {
     let mut cur = Some(span.id);
     while let Some(id) = cur {
         let Some(s) = trace.span(id) else { break };
@@ -258,7 +258,10 @@ pub fn pilot_utilization(trace: &Trace, pilot_root: SpanId, cores: u32) -> f64 {
     };
     let Some(end) = root.end else { return 0.0 };
     let attr = |s: &Span, key: &str| -> Option<String> {
-        s.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone())
+        s.attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.clone())
     };
     let Some(pilot) = attr(root, "pilot") else {
         return 0.0;
@@ -282,9 +285,7 @@ pub fn pilot_utilization(trace: &Trace, pilot_root: SpanId, cores: u32) -> f64 {
         let Some(e) = s.end else { continue };
         let b = s.begin.0.clamp(start.0, end.0);
         let e = e.0.clamp(start.0, end.0);
-        let span_cores: u32 = attr(s, "cores")
-            .and_then(|c| c.parse().ok())
-            .unwrap_or(1);
+        let span_cores: u32 = attr(s, "cores").and_then(|c| c.parse().ok()).unwrap_or(1);
         busy += (e.saturating_sub(b)) as u128 * span_cores as u128;
     }
     busy as f64 / (window as u128 * cores as u128) as f64

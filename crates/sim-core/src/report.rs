@@ -1,15 +1,30 @@
 //! Uniform run reports: labelled phase breakdowns rendered as an aligned
-//! table, CSV, or JSON. Benches and examples all emit their Fig. 5 /
-//! Fig. 6 style decompositions through this one type.
+//! table, CSV, JSON, or Markdown. Benches and examples all emit their
+//! Fig. 5 / Fig. 6 style decompositions through this one type. A report can
+//! also carry a critical-path section ([`RunReport::push_critical`]): the
+//! per-phase on-path / off-path / slack attribution from
+//! [`crate::critpath`], rendered alongside the wall-clock sweep in every
+//! format.
 
+use crate::critpath::{CritPhaseRow, CriticalPath};
 use crate::profile::{Phase, PhaseBreakdown};
 use crate::trace::escape_json;
 
-/// A set of labelled [`PhaseBreakdown`] rows (one per experiment case).
+/// One labelled critical-path attribution (see [`CriticalPath`]).
+#[derive(Debug, Clone)]
+pub struct CritSummary {
+    pub label: String,
+    pub makespan_s: f64,
+    pub rows: Vec<CritPhaseRow>,
+}
+
+/// A set of labelled [`PhaseBreakdown`] rows (one per experiment case),
+/// plus optional critical-path summaries.
 #[derive(Debug, Clone, Default)]
 pub struct RunReport {
     pub title: String,
     rows: Vec<(String, PhaseBreakdown)>,
+    critical: Vec<CritSummary>,
 }
 
 impl RunReport {
@@ -17,6 +32,7 @@ impl RunReport {
         RunReport {
             title: title.into(),
             rows: Vec::new(),
+            critical: Vec::new(),
         }
     }
 
@@ -24,8 +40,21 @@ impl RunReport {
         self.rows.push((label.into(), breakdown));
     }
 
+    /// Attach a critical-path attribution for one case.
+    pub fn push_critical(&mut self, label: impl Into<String>, cp: &CriticalPath) {
+        self.critical.push(CritSummary {
+            label: label.into(),
+            makespan_s: cp.makespan_secs(),
+            rows: cp.phase_rows(),
+        });
+    }
+
     pub fn rows(&self) -> &[(String, PhaseBreakdown)] {
         &self.rows
+    }
+
+    pub fn critical(&self) -> &[CritSummary] {
+        &self.critical
     }
 
     /// Phases that are non-zero in at least one row (the table and CSV
@@ -38,75 +67,107 @@ impl RunReport {
             .collect()
     }
 
-    /// Aligned text table, durations in seconds.
-    pub fn render_table(&self) -> String {
+    /// Header + body cells of the phase table (shared by every renderer).
+    fn phase_matrix(&self, decimals: usize) -> (Vec<String>, Vec<Vec<String>>) {
         let phases = self.active_phases();
         let mut header: Vec<String> = vec!["case".into()];
         header.extend(phases.iter().map(|p| p.label().to_string()));
         header.push("total".into());
-        let mut body: Vec<Vec<String>> = Vec::new();
-        for (label, b) in &self.rows {
-            let mut row = vec![label.clone()];
-            row.extend(phases.iter().map(|&p| format!("{:.1}", b.secs(p))));
-            row.push(format!("{:.1}", b.total_secs()));
-            body.push(row);
+        let body = self
+            .rows
+            .iter()
+            .map(|(label, b)| {
+                let mut row = vec![label.clone()];
+                row.extend(phases.iter().map(|&p| format!("{:.decimals$}", b.secs(p))));
+                row.push(format!("{:.decimals$}", b.total_secs()));
+                row
+            })
+            .collect();
+        (header, body)
+    }
+
+    /// Header + body cells of the critical-path table, or `None` when no
+    /// critical-path summaries were attached.
+    fn crit_matrix(&self, decimals: usize) -> Option<(Vec<String>, Vec<Vec<String>>)> {
+        if self.critical.is_empty() {
+            return None;
         }
-        let cols = header.len();
-        let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
-        for row in &body {
-            for (i, cell) in row.iter().enumerate() {
-                widths[i] = widths[i].max(cell.len());
+        let header: Vec<String> = ["case", "phase", "path", "off_path", "min_slack"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let mut body = Vec::new();
+        for c in &self.critical {
+            for r in &c.rows {
+                body.push(vec![
+                    c.label.clone(),
+                    r.phase.label().to_string(),
+                    format!("{:.decimals$}", r.path_s),
+                    format!("{:.decimals$}", r.off_path_s),
+                    r.min_slack_s
+                        .map(|s| format!("{s:.decimals$}"))
+                        .unwrap_or_else(|| "-".into()),
+                ]);
             }
+            body.push(vec![
+                c.label.clone(),
+                "total".into(),
+                format!("{:.decimals$}", c.makespan_s),
+                format!(
+                    "{:.decimals$}",
+                    c.rows.iter().map(|r| r.off_path_s).sum::<f64>()
+                ),
+                "-".into(),
+            ]);
         }
-        let render_row = |cells: &[String]| -> String {
-            let mut line = String::new();
-            for (i, cell) in cells.iter().enumerate() {
-                if i == 0 {
-                    line.push_str(&format!("{cell:<width$}", width = widths[0]));
-                } else {
-                    line.push_str(&format!("  {cell:>width$}", width = widths[i]));
-                }
-            }
-            line.push('\n');
-            line
-        };
+        Some((header, body))
+    }
+
+    /// Aligned text table, durations in seconds.
+    pub fn render_table(&self) -> String {
         let mut out = String::new();
         if !self.title.is_empty() {
             out.push_str(&format!("{}\n", self.title));
         }
-        out.push_str(&render_row(&header));
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
-        out.push('\n');
-        for row in &body {
-            out.push_str(&render_row(row));
+        let (header, body) = self.phase_matrix(1);
+        out.push_str(&render_aligned(&header, &body));
+        if let Some((header, body)) = self.crit_matrix(1) {
+            out.push_str("critical path (s on path / s off path / min slack)\n");
+            out.push_str(&render_aligned(&header, &body));
         }
         out
     }
 
-    /// CSV export (seconds, 6 decimal places).
+    /// CSV export (seconds, 6 decimal places). The critical-path section,
+    /// when present, follows the phase table after a blank line with its
+    /// own header.
     pub fn to_csv(&self) -> String {
-        let phases = self.active_phases();
-        let mut out = String::from("case");
-        for p in &phases {
-            out.push_str(&format!(",{}", p.label()));
-        }
-        out.push_str(",total\n");
-        for (label, b) in &self.rows {
-            let quoted = if label.contains(',') || label.contains('"') {
-                format!("\"{}\"", label.replace('"', "\"\""))
-            } else {
-                label.clone()
-            };
-            out.push_str(&quoted);
-            for &p in &phases {
-                out.push_str(&format!(",{:.6}", b.secs(p)));
-            }
-            out.push_str(&format!(",{:.6}\n", b.total_secs()));
+        let (header, body) = self.phase_matrix(6);
+        let mut out = render_csv(&header, &body);
+        if let Some((header, body)) = self.crit_matrix(6) {
+            out.push('\n');
+            out.push_str(&render_csv(&header, &body));
         }
         out
     }
 
-    /// JSON export: every phase (including zeros) per row, in seconds.
+    /// GitHub-flavoured Markdown (for pasting into PR descriptions).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&format!("### {}\n\n", self.title));
+        }
+        let (header, body) = self.phase_matrix(2);
+        out.push_str(&render_markdown(&header, &body));
+        if let Some((header, body)) = self.crit_matrix(2) {
+            out.push_str("\nCritical path (seconds on / off the path, minimum local slack):\n\n");
+            out.push_str(&render_markdown(&header, &body));
+        }
+        out
+    }
+
+    /// JSON export: every phase (including zeros) per row, in seconds,
+    /// plus the critical-path summaries (empty array when none).
     pub fn to_json(&self) -> String {
         let mut out = format!("{{\"title\":\"{}\",\"rows\":[", escape_json(&self.title));
         for (i, (label, b)) in self.rows.iter().enumerate() {
@@ -119,9 +180,114 @@ impl RunReport {
             }
             out.push_str(&format!(",\"total\":{:.6}}}", b.total_secs()));
         }
+        out.push_str("],\"critical\":[");
+        for (i, c) in self.critical.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"case\":\"{}\",\"makespan\":{:.6},\"phases\":[",
+                escape_json(&c.label),
+                c.makespan_s
+            ));
+            for (j, r) in c.rows.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let slack = match r.min_slack_s {
+                    Some(s) => format!("{s:.6}"),
+                    None => "null".into(),
+                };
+                out.push_str(&format!(
+                    "{{\"phase\":\"{}\",\"path\":{:.6},\"off_path\":{:.6},\"min_slack\":{}}}",
+                    r.phase.label(),
+                    r.path_s,
+                    r.off_path_s,
+                    slack
+                ));
+            }
+            out.push_str("]}");
+        }
         out.push_str("]}");
         out
     }
+}
+
+/// Render cells as an aligned text table: first column left-aligned, the
+/// rest right-aligned, a dashed rule under the header.
+fn render_aligned(header: &[String], body: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in body {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let render_row = |cells: &[String]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i == 0 {
+                line.push_str(&format!("{cell:<width$}", width = widths[0]));
+            } else {
+                line.push_str(&format!("  {cell:>width$}", width = widths[i]));
+            }
+        }
+        line.push('\n');
+        line
+    };
+    let mut out = render_row(header);
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in body {
+        out.push_str(&render_row(row));
+    }
+    out
+}
+
+/// Render cells as CSV with minimal quoting.
+fn render_csv(header: &[String], body: &[Vec<String>]) -> String {
+    let quote = |cell: &str| -> String {
+        if cell.contains(',') || cell.contains('"') {
+            format!("\"{}\"", cell.replace('"', "\"\""))
+        } else {
+            cell.to_string()
+        }
+    };
+    let mut out = String::new();
+    for row in std::iter::once(header).chain(body.iter().map(|r| &r[..])) {
+        let cells: Vec<String> = row.iter().map(|c| quote(c)).collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render cells as a GitHub-flavoured Markdown table: first column
+/// left-aligned, the rest right-aligned.
+fn render_markdown(header: &[String], body: &[Vec<String>]) -> String {
+    let escape = |cell: &str| cell.replace('|', "\\|");
+    let mut out = format!(
+        "| {} |\n",
+        header
+            .iter()
+            .map(|c| escape(c))
+            .collect::<Vec<_>>()
+            .join(" | ")
+    );
+    let aligns: Vec<&str> = (0..header.len())
+        .map(|i| if i == 0 { ":--" } else { "--:" })
+        .collect();
+    out.push_str(&format!("| {} |\n", aligns.join(" | ")));
+    for row in body {
+        out.push_str(&format!(
+            "| {} |\n",
+            row.iter()
+                .map(|c| escape(c))
+                .collect::<Vec<_>>()
+                .join(" | ")
+        ));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -137,6 +303,19 @@ mod tests {
         tr.span_end(SimTime(10_000_000), q);
         tr.span_end(SimTime(25_000_000), root);
         crate::profile::profile_span(&tr, root)
+    }
+
+    fn crit_trace() -> (Trace, SpanId) {
+        let mut tr = Trace::enabled();
+        let job = tr.span_begin(SimTime(0), "mr", "job", SpanId::NONE);
+        let m1 = tr.span_begin(SimTime(0), "mr", "mr.map", job);
+        let m2 = tr.span_begin(SimTime(0), "mr", "mr.map", job);
+        tr.span_end(SimTime(50_000_000), m1);
+        tr.span_end(SimTime(20_000_000), m2);
+        let r = tr.span_begin(SimTime(50_000_000), "mr", "mr.reduce", job);
+        tr.span_end(SimTime(80_000_000), r);
+        tr.span_end(SimTime(80_000_000), job);
+        (tr, job)
     }
 
     #[test]
@@ -165,6 +344,8 @@ mod tests {
         assert!(json.contains("\"queue_wait\":10.000000"));
         assert!(json.contains("\"shuffle\":0.000000")); // JSON keeps zeros
         assert!(json.contains("\"total\":25.000000"));
+        assert!(json.ends_with("\"critical\":[]}"));
+        crate::json::parse(&json).expect("report JSON parses");
     }
 
     #[test]
@@ -173,5 +354,66 @@ mod tests {
         let t = r.render_table();
         assert!(t.contains("case"));
         assert_eq!(r.to_csv(), "case,total\n");
+        assert_eq!(r.to_markdown(), "| case | total |\n| :-- | --: |\n");
+    }
+
+    #[test]
+    fn markdown_table_is_well_formed() {
+        let mut r = RunReport::new("fig6");
+        r.push("k|means", breakdown());
+        let md = r.to_markdown();
+        assert!(md.starts_with("### fig6\n\n| case |"));
+        assert!(md.contains("| :-- |"));
+        assert!(md.contains("k\\|means")); // pipes escaped inside cells
+        assert!(md.contains("| 10.00 |") || md.contains(" 10.00 |"));
+        // Every line of the table has the same number of pipes.
+        let counts: Vec<usize> = md
+            .lines()
+            .filter(|l| l.starts_with('|'))
+            .map(|l| l.matches('|').count() - l.matches("\\|").count())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn critical_section_appears_in_all_formats() {
+        let (tr, job) = crit_trace();
+        let cp = crate::critpath::critical_path(&tr, job).unwrap();
+        let mut r = RunReport::new("crit");
+        r.push("mr", crate::profile::profile_span(&tr, job));
+        r.push_critical("mr", &cp);
+        assert_eq!(r.critical().len(), 1);
+        assert_eq!(r.critical()[0].makespan_s, 80.0);
+
+        let t = r.render_table();
+        assert!(t.contains("critical path"));
+        assert!(t.contains("min_slack"));
+
+        let csv = r.to_csv();
+        assert!(csv.contains("\ncase,phase,path,off_path,min_slack\n"));
+        // Compute: on-path m1 (50) + reduce (30); off-path m2 (20), slack 30.
+        assert!(csv.contains("mr,compute,80.000000,20.000000,30.000000"));
+        assert!(csv.contains("mr,total,80.000000,20.000000,-"));
+
+        let md = r.to_markdown();
+        assert!(md.contains("Critical path"));
+        assert!(md.contains("| compute | 80.00 | 20.00 | 30.00 |"));
+
+        let json = r.to_json();
+        let v = crate::json::parse(&json).expect("report JSON parses");
+        let crit = v.get("critical").and_then(|c| c.as_array()).unwrap();
+        assert_eq!(crit.len(), 1);
+        assert_eq!(crit[0].get("makespan").and_then(|m| m.as_f64()), Some(80.0));
+        let phases = crit[0].get("phases").and_then(|p| p.as_array()).unwrap();
+        let compute = phases
+            .iter()
+            .find(|p| p.get("phase").and_then(|n| n.as_str()) == Some("compute"))
+            .unwrap();
+        assert_eq!(compute.get("path").and_then(|x| x.as_f64()), Some(80.0));
+        assert_eq!(compute.get("off_path").and_then(|x| x.as_f64()), Some(20.0));
+        assert_eq!(
+            compute.get("min_slack").and_then(|x| x.as_f64()),
+            Some(30.0)
+        );
     }
 }

@@ -62,10 +62,7 @@ impl SimDuration {
     }
 
     pub fn from_secs_f64(secs: f64) -> Self {
-        assert!(
-            secs >= 0.0 && secs.is_finite(),
-            "invalid duration: {secs}"
-        );
+        assert!(secs >= 0.0 && secs.is_finite(), "invalid duration: {secs}");
         SimDuration((secs * MICROS_PER_SEC as f64).round() as u64)
     }
 

@@ -51,7 +51,12 @@ impl Tokens {
     /// Request `n` tokens; `granted` fires (as a fresh event at the grant
     /// instant) once they are held. Panics if `n` exceeds capacity — such a
     /// request could never be satisfied.
-    pub fn acquire(&self, engine: &mut Engine, n: u64, granted: impl FnOnce(&mut Engine) + 'static) {
+    pub fn acquire(
+        &self,
+        engine: &mut Engine,
+        n: u64,
+        granted: impl FnOnce(&mut Engine) + 'static,
+    ) {
         let mut inner = self.inner.borrow_mut();
         assert!(
             n <= inner.capacity,

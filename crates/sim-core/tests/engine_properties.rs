@@ -130,7 +130,11 @@ fn token_grants_never_exceed_capacity() {
             });
         }
         e.run();
-        assert!(*peak.borrow() <= cap, "case {case}: peak {} > {cap}", peak.borrow());
+        assert!(
+            *peak.borrow() <= cap,
+            "case {case}: peak {} > {cap}",
+            peak.borrow()
+        );
         assert_eq!(*outstanding.borrow(), 0, "case {case}");
         assert_eq!(t.available(), cap, "case {case}");
     }

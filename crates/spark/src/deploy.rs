@@ -130,8 +130,7 @@ impl SparkCluster {
                     .normal_min(config.worker_start_s.0, config.worker_start_s.1, 0.01)
             })
             .fold(0.0f64, f64::max);
-        let total =
-            SimDuration::from_secs_f64(download + prepare + confgen + master + workers_max);
+        let total = SimDuration::from_secs_f64(download + prepare + confgen + master + workers_max);
         let cores = cluster.spec().cores_per_node;
         engine.trace.record(
             engine.now(),
@@ -183,7 +182,10 @@ impl SparkCluster {
         });
     }
 
-    fn try_allocate(&self, total_cores: u32) -> Result<(SparkAppId, Vec<ExecutorGrant>), SparkError> {
+    fn try_allocate(
+        &self,
+        total_cores: u32,
+    ) -> Result<(SparkAppId, Vec<ExecutorGrant>), SparkError> {
         let mut inner = self.inner.borrow_mut();
         let free: u32 = inner.workers.iter().map(|w| w.cores_free).sum();
         if free < total_cores {
@@ -237,11 +239,21 @@ impl SparkCluster {
 
     /// Total free executor cores right now.
     pub fn free_cores(&self) -> u32 {
-        self.inner.borrow().workers.iter().map(|w| w.cores_free).sum()
+        self.inner
+            .borrow()
+            .workers
+            .iter()
+            .map(|w| w.cores_free)
+            .sum()
     }
 
     pub fn total_cores(&self) -> u32 {
-        self.inner.borrow().workers.iter().map(|w| w.cores_total).sum()
+        self.inner
+            .borrow()
+            .workers
+            .iter()
+            .map(|w| w.cores_total)
+            .sum()
     }
 
     /// `sbin/stop-all.sh`: tear the cluster down.

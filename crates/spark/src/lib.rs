@@ -19,5 +19,5 @@ pub use rp_sim::par as pool;
 
 pub use deploy::{ExecutorGrant, SparkAppId, SparkCluster, SparkConfig, SparkError};
 pub use on_yarn::{submit_spark_on_yarn, SparkOnYarnApp};
-pub use simapp::{run_simulated_app, SparkJobSpec, SparkJobStats, SparkStage};
 pub use rdd::{Rdd, SparkContext};
+pub use simapp::{run_simulated_app, SparkJobSpec, SparkJobStats, SparkStage};

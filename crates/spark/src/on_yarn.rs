@@ -77,9 +77,7 @@ pub fn submit_spark_on_yarn(
                     ResourceRequest::new(cores_per_executor, mem_mb_per_executor),
                     move |eng, container| {
                         // Executor JVM start + driver registration.
-                        let reg = SimDuration::from_secs_f64(
-                            eng.rng.normal_min(2.5, 0.4, 0.1),
-                        );
+                        let reg = SimDuration::from_secs_f64(eng.rng.normal_min(2.5, 0.4, 0.1));
                         let granted = granted.clone();
                         let on_ready = on_ready.clone();
                         let am3 = am2.clone();

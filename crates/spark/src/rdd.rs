@@ -121,7 +121,8 @@ where
             // Map side: compute each parent partition and pre-aggregate
             // (combiner) into per-bucket maps.
             let per_part: Vec<Vec<HashMap<K, V>>> = parallel_map_indexed(n_in, threads, |p| {
-                let mut maps: Vec<HashMap<K, V>> = (0..self.num_out).map(|_| HashMap::new()).collect();
+                let mut maps: Vec<HashMap<K, V>> =
+                    (0..self.num_out).map(|_| HashMap::new()).collect();
                 for (k, v) in self.parent.compute(p) {
                     let b = bucket_of(&k, self.num_out);
                     match maps[b].remove(&k) {

@@ -136,8 +136,19 @@ fn run_stage(
                 //    nodes (memory-backed blocks, no disk spill).
                 let n = nodes2.len().max(1);
                 if stage.shuffle_mb <= 0.0 || n == 1 {
-                    finish_stage(eng, cluster2, spark, app_id, nodes2, spec, idx, t0,
-                                 stage_start, stats, done);
+                    finish_stage(
+                        eng,
+                        cluster2,
+                        spark,
+                        app_id,
+                        nodes2,
+                        spec,
+                        idx,
+                        t0,
+                        stage_start,
+                        stats,
+                        done,
+                    );
                     return;
                 }
                 let per_pair = stage.shuffle_mb * MB / (n * n) as f64;
@@ -148,9 +159,21 @@ fn run_stage(
                     let nodes3 = nodes2.clone();
                     let stats2 = stats.clone();
                     Rc::new(RefCell::new(Some(Box::new(move |eng: &mut Engine| {
-                        finish_stage(eng, cluster3, spark, app_id, nodes3, spec, idx, t0,
-                                     stage_start, stats2, done);
-                    }) as Box<dyn FnOnce(&mut Engine)>)))
+                        finish_stage(
+                            eng,
+                            cluster3,
+                            spark,
+                            app_id,
+                            nodes3,
+                            spec,
+                            idx,
+                            t0,
+                            stage_start,
+                            stats2,
+                            done,
+                        );
+                    })
+                        as Box<dyn FnOnce(&mut Engine)>)))
                 };
                 for &a in &nodes2 {
                     for &b in &nodes2 {
@@ -183,15 +206,21 @@ fn run_stage(
         for _ in 0..n {
             let remaining = remaining.clone();
             let after = after.clone();
-            cluster.storage_io(engine, StorageTarget::Lustre, IoKind::Read, per_node, move |eng| {
-                let mut r = remaining.borrow_mut();
-                *r -= 1;
-                if *r == 0 {
-                    drop(r);
-                    let f = after.borrow_mut().take().expect("read raced");
-                    f(eng);
-                }
-            });
+            cluster.storage_io(
+                engine,
+                StorageTarget::Lustre,
+                IoKind::Read,
+                per_node,
+                move |eng| {
+                    let mut r = remaining.borrow_mut();
+                    *r -= 1;
+                    if *r == 0 {
+                        drop(r);
+                        let f = after.borrow_mut().take().expect("read raced");
+                        f(eng);
+                    }
+                },
+            );
         }
     }
 }
@@ -211,7 +240,18 @@ fn finish_stage(
     done: DoneFn,
 ) {
     stats.borrow_mut().push(engine.now().since(stage_start));
-    run_stage(engine, cluster, spark, app_id, nodes, spec, idx + 1, t0, stats, done);
+    run_stage(
+        engine,
+        cluster,
+        spark,
+        app_id,
+        nodes,
+        spec,
+        idx + 1,
+        t0,
+        stats,
+        done,
+    );
 }
 
 #[cfg(test)]
@@ -225,9 +265,15 @@ mod tests {
         let nodes: Vec<NodeId> = cluster.node_ids().collect();
         let out = Rc::new(RefCell::new(None));
         let o = out.clone();
-        SparkCluster::bootstrap(engine, &cluster, nodes, SparkConfig::test_profile(), move |_, sc, _| {
-            *o.borrow_mut() = Some(sc);
-        });
+        SparkCluster::bootstrap(
+            engine,
+            &cluster,
+            nodes,
+            SparkConfig::test_profile(),
+            move |_, sc, _| {
+                *o.borrow_mut() = Some(sc);
+            },
+        );
         engine.run();
         let sc = out.borrow_mut().take().unwrap();
         (cluster, sc)
@@ -249,7 +295,12 @@ mod tests {
         }
     }
 
-    fn run(engine: &mut Engine, cluster: &Cluster, sc: &SparkCluster, spec: SparkJobSpec) -> SparkJobStats {
+    fn run(
+        engine: &mut Engine,
+        cluster: &Cluster,
+        sc: &SparkCluster,
+        spec: SparkJobSpec,
+    ) -> SparkJobStats {
         let out = Rc::new(RefCell::new(None));
         let o = out.clone();
         run_simulated_app(engine, cluster, sc, spec, move |_, res| {

@@ -60,12 +60,8 @@ pub fn bootstrap_mode_i_in_span(
 ) {
     assert!(!nodes.is_empty());
     let t0 = engine.now();
-    let yarn_span = engine
-        .trace
-        .span_begin(t0, "yarn", "yarn.startup", parent);
-    engine
-        .trace
-        .span_attr(yarn_span, "mode", "I");
+    let yarn_span = engine.trace.span_begin(t0, "yarn", "yarn.startup", parent);
+    engine.trace.span_attr(yarn_span, "mode", "I");
     engine
         .trace
         .span_attr(yarn_span, "nodes", nodes.len().to_string());
@@ -138,9 +134,8 @@ pub fn bootstrap_mode_i_in_span(
             Hdfs::deploy(eng, cluster2, nodes2, hdfs_cfg, move |eng, hdfs| {
                 eng.trace.span_end(eng.now(), hdfs_span);
                 // Residual: YARN daemons may outlast HDFS's.
-                let residual = daemons2.saturating_sub(SimDuration::from_secs_f64(
-                    hdfs_deploy_estimate(),
-                ));
+                let residual =
+                    daemons2.saturating_sub(SimDuration::from_secs_f64(hdfs_deploy_estimate()));
                 eng.schedule_in(residual, move |eng| after_daemons(eng, Some(hdfs)));
             });
         } else {
@@ -193,8 +188,8 @@ pub fn dedicated_cluster(
     with_hdfs: bool,
 ) -> HadoopEnv {
     let yarn = YarnCluster::start(engine, cluster, nodes, config);
-    let hdfs = with_hdfs
-        .then(|| Hdfs::attach(cluster.clone(), nodes.to_vec(), HdfsConfig::default()));
+    let hdfs =
+        with_hdfs.then(|| Hdfs::attach(cluster.clone(), nodes.to_vec(), HdfsConfig::default()));
     HadoopEnv {
         yarn,
         hdfs,
@@ -244,9 +239,16 @@ mod tests {
                 dist_cached: cached,
                 ..YarnConfig::default()
             };
-            bootstrap_mode_i(&mut e, cluster, vec![NodeId(0)], cfg, false, move |_, env| {
-                *g.borrow_mut() = Some(env.bootstrap_time.as_secs_f64());
-            });
+            bootstrap_mode_i(
+                &mut e,
+                cluster,
+                vec![NodeId(0)],
+                cfg,
+                false,
+                move |_, env| {
+                    *g.borrow_mut() = Some(env.bootstrap_time.as_secs_f64());
+                },
+            );
             e.run();
             let t = got.borrow().unwrap();
             t

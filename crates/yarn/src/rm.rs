@@ -184,7 +184,12 @@ impl YarnCluster {
     /// Create a cluster over `nodes` of `cluster` and start its scheduler
     /// immediately (daemons assumed up — bootstrap timing lives in
     /// [`crate::bootstrap`]).
-    pub fn start(engine: &mut Engine, cluster: &Cluster, nodes: &[NodeId], config: YarnConfig) -> YarnCluster {
+    pub fn start(
+        engine: &mut Engine,
+        cluster: &Cluster,
+        nodes: &[NodeId],
+        config: YarnConfig,
+    ) -> YarnCluster {
         assert!(!nodes.is_empty(), "YARN cluster needs nodes");
         let spec = cluster.spec();
         let nm_mem = (spec.mem_per_node_mb as f64 * config.nm_mem_fraction) as u64;
@@ -293,9 +298,11 @@ impl YarnCluster {
         let inner = self.inner.borrow();
         let app = &inner.apps[&id];
         let running = app.containers.len() as u32
-            + app.am_container.map(|_| 1).unwrap_or(0).min(
-                if app.state.is_final() { 0 } else { 1 },
-            );
+            + app
+                .am_container
+                .map(|_| 1)
+                .unwrap_or(0)
+                .min(if app.state.is_final() { 0 } else { 1 });
         AppReport {
             id,
             state: app.state,
@@ -399,8 +406,8 @@ impl YarnCluster {
                 .cloned()
                 .collect();
             for c in &on_node {
-                let is_am = inner.apps.get(&c.app).map(|a| a.am_container == Some(c.id))
-                    == Some(true);
+                let is_am =
+                    inner.apps.get(&c.app).map(|a| a.am_container == Some(c.id)) == Some(true);
                 if is_am {
                     dead_apps.push(c.app);
                 } else {
@@ -544,8 +551,7 @@ impl YarnCluster {
             };
             (m, s, is_am, extra)
         };
-        let delay =
-            SimDuration::from_secs_f64(engine.rng.normal_min(mean, std, 0.05) + extra);
+        let delay = SimDuration::from_secs_f64(engine.rng.normal_min(mean, std, 0.05) + extra);
         engine.trace.record(
             engine.now(),
             "yarn",
@@ -863,10 +869,15 @@ mod tests {
         let (_c, yarn) = test_cluster(&mut e);
         let started = Rc::new(RefCell::new(None));
         let s = started.clone();
-        let id = yarn.submit_app(&mut e, "app", ResourceRequest::new(1, 1024), move |eng, am| {
-            *s.borrow_mut() = Some(eng.now());
-            am.finish(eng);
-        });
+        let id = yarn.submit_app(
+            &mut e,
+            "app",
+            ResourceRequest::new(1, 1024),
+            move |eng, am| {
+                *s.borrow_mut() = Some(eng.now());
+                am.finish(eng);
+            },
+        );
         e.run();
         assert!(started.borrow().is_some());
         assert_eq!(yarn.app_state(id), AppState::Finished);
@@ -881,15 +892,20 @@ mod tests {
         let (_c, yarn) = test_cluster(&mut e);
         let task_node = Rc::new(RefCell::new(None));
         let tn = task_node.clone();
-        yarn.submit_app(&mut e, "mr", ResourceRequest::new(1, 1024), move |eng, am| {
-            let tn = tn.clone();
-            let am2 = am.clone();
-            am.request_container(eng, ResourceRequest::new(2, 2048), move |eng, c| {
-                *tn.borrow_mut() = Some(c.node);
-                am2.release_container(eng, c.id);
-                am2.finish(eng);
-            });
-        });
+        yarn.submit_app(
+            &mut e,
+            "mr",
+            ResourceRequest::new(1, 1024),
+            move |eng, am| {
+                let tn = tn.clone();
+                let am2 = am.clone();
+                am.request_container(eng, ResourceRequest::new(2, 2048), move |eng, c| {
+                    *tn.borrow_mut() = Some(c.node);
+                    am2.release_container(eng, c.id);
+                    am2.finish(eng);
+                });
+            },
+        );
         e.run();
         assert!(task_node.borrow().is_some());
         let state = yarn.cluster_state();
@@ -903,14 +919,19 @@ mod tests {
         let (_c, yarn) = test_cluster(&mut e);
         let got = Rc::new(RefCell::new(None));
         let g = got.clone();
-        yarn.submit_app(&mut e, "round", ResourceRequest::new(1, 1500), move |eng, am| {
-            let g = g.clone();
-            let am2 = am.clone();
-            am.request_container(eng, ResourceRequest::new(1, 100), move |eng, c| {
-                *g.borrow_mut() = Some(c.resource);
-                am2.finish(eng);
-            });
-        });
+        yarn.submit_app(
+            &mut e,
+            "round",
+            ResourceRequest::new(1, 1500),
+            move |eng, am| {
+                let g = g.clone();
+                let am2 = am.clone();
+                am.request_container(eng, ResourceRequest::new(1, 100), move |eng, c| {
+                    *g.borrow_mut() = Some(c.resource);
+                    am2.finish(eng);
+                });
+            },
+        );
         e.run();
         let r = got.borrow().unwrap();
         assert_eq!(r.mem_mb, 1024); // rounded up from 100
@@ -922,18 +943,23 @@ mod tests {
         let (_c, yarn) = test_cluster(&mut e);
         let got = Rc::new(RefCell::new(None));
         let g = got.clone();
-        yarn.submit_app(&mut e, "local", ResourceRequest::new(1, 1024), move |eng, am| {
-            let g = g.clone();
-            let am2 = am.clone();
-            am.request_container(
-                eng,
-                ResourceRequest::new(1, 1024).on_node(NodeId(2)),
-                move |eng, c| {
-                    *g.borrow_mut() = Some(c.node);
-                    am2.finish(eng);
-                },
-            );
-        });
+        yarn.submit_app(
+            &mut e,
+            "local",
+            ResourceRequest::new(1, 1024),
+            move |eng, am| {
+                let g = g.clone();
+                let am2 = am.clone();
+                am.request_container(
+                    eng,
+                    ResourceRequest::new(1, 1024).on_node(NodeId(2)),
+                    move |eng, c| {
+                        *g.borrow_mut() = Some(c.node);
+                        am2.finish(eng);
+                    },
+                );
+            },
+        );
         e.run();
         assert_eq!(got.borrow().unwrap(), NodeId(2));
     }
@@ -947,35 +973,45 @@ mod tests {
         // Fill node 0 completely with a blocker app.
         let blocker_done = Rc::new(RefCell::new(None));
         let bd = blocker_done.clone();
-        yarn.submit_app(&mut e, "blocker", ResourceRequest::new(1, 1024), move |eng, am| {
-            let bd = bd.clone();
-            let am2 = am.clone();
-            am.request_container(
-                eng,
-                ResourceRequest::new(7, 12 * 1024).on_node(NodeId(0)),
-                move |_, c| {
-                    *bd.borrow_mut() = Some((am2, c));
-                },
-            );
-        });
+        yarn.submit_app(
+            &mut e,
+            "blocker",
+            ResourceRequest::new(1, 1024),
+            move |eng, am| {
+                let bd = bd.clone();
+                let am2 = am.clone();
+                am.request_container(
+                    eng,
+                    ResourceRequest::new(7, 12 * 1024).on_node(NodeId(0)),
+                    move |_, c| {
+                        *bd.borrow_mut() = Some((am2, c));
+                    },
+                );
+            },
+        );
         e.run();
         assert!(blocker_done.borrow().is_some());
         // Now request node 0 again: full → after locality_delay ticks the
         // request relaxes to another node.
         let got = Rc::new(RefCell::new(None));
         let g = got.clone();
-        yarn.submit_app(&mut e, "wants0", ResourceRequest::new(1, 1024), move |eng, am| {
-            let g = g.clone();
-            let am2 = am.clone();
-            am.request_container(
-                eng,
-                ResourceRequest::new(7, 12 * 1024).on_node(NodeId(0)),
-                move |eng, c| {
-                    *g.borrow_mut() = Some(c.node);
-                    am2.finish(eng);
-                },
-            );
-        });
+        yarn.submit_app(
+            &mut e,
+            "wants0",
+            ResourceRequest::new(1, 1024),
+            move |eng, am| {
+                let g = g.clone();
+                let am2 = am.clone();
+                am.request_container(
+                    eng,
+                    ResourceRequest::new(7, 12 * 1024).on_node(NodeId(0)),
+                    move |eng, c| {
+                        *g.borrow_mut() = Some(c.node);
+                        am2.finish(eng);
+                    },
+                );
+            },
+        );
         e.run();
         let node = got.borrow().unwrap();
         assert_ne!(node, NodeId(0), "must have relaxed off the full node");
@@ -988,41 +1024,51 @@ mod tests {
         // One app grabs all vcores of all 4 nodes (8 each), then releases.
         let order = Rc::new(RefCell::new(Vec::new()));
         let o = order.clone();
-        yarn.submit_app(&mut e, "hog", ResourceRequest::new(1, 1024), move |eng, am| {
-            let held = Rc::new(RefCell::new(Vec::new()));
-            for _ in 0..4 {
-                let held = held.clone();
-                let o = o.clone();
-                let am2 = am.clone();
-                am.request_container(eng, ResourceRequest::new(7, 1024), move |eng, c| {
-                    o.borrow_mut().push(format!("hog:{}", c.node));
-                    held.borrow_mut().push(c.id);
-                    if held.borrow().len() == 4 {
-                        // Release everything after 5 s.
-                        let am3 = am2.clone();
-                        let held2 = held.clone();
-                        eng.schedule_in(SimDuration::from_secs(5), move |eng| {
-                            for id in held2.borrow().iter() {
-                                am3.release_container(eng, *id);
-                            }
-                            am3.finish(eng);
-                        });
-                    }
-                });
-            }
-        });
+        yarn.submit_app(
+            &mut e,
+            "hog",
+            ResourceRequest::new(1, 1024),
+            move |eng, am| {
+                let held = Rc::new(RefCell::new(Vec::new()));
+                for _ in 0..4 {
+                    let held = held.clone();
+                    let o = o.clone();
+                    let am2 = am.clone();
+                    am.request_container(eng, ResourceRequest::new(7, 1024), move |eng, c| {
+                        o.borrow_mut().push(format!("hog:{}", c.node));
+                        held.borrow_mut().push(c.id);
+                        if held.borrow().len() == 4 {
+                            // Release everything after 5 s.
+                            let am3 = am2.clone();
+                            let held2 = held.clone();
+                            eng.schedule_in(SimDuration::from_secs(5), move |eng| {
+                                for id in held2.borrow().iter() {
+                                    am3.release_container(eng, *id);
+                                }
+                                am3.finish(eng);
+                            });
+                        }
+                    });
+                }
+            },
+        );
         e.run_until(SimTime::from_secs_f64(2.0));
         // Competitor needs 7 vcores: blocked while hog holds them.
         let got_at = Rc::new(RefCell::new(None));
         let g = got_at.clone();
-        yarn.submit_app(&mut e, "late", ResourceRequest::new(1, 1024), move |eng, am| {
-            let g = g.clone();
-            let am2 = am.clone();
-            am.request_container(eng, ResourceRequest::new(7, 1024), move |eng, _c| {
-                *g.borrow_mut() = Some(eng.now());
-                am2.finish(eng);
-            });
-        });
+        yarn.submit_app(
+            &mut e,
+            "late",
+            ResourceRequest::new(1, 1024),
+            move |eng, am| {
+                let g = g.clone();
+                let am2 = am.clone();
+                am.request_container(eng, ResourceRequest::new(7, 1024), move |eng, _c| {
+                    *g.borrow_mut() = Some(eng.now());
+                    am2.finish(eng);
+                });
+            },
+        );
         e.run();
         let t = got_at.borrow().unwrap().as_secs_f64();
         assert!(t > 5.0, "late container should wait for the release: {t}");
@@ -1032,9 +1078,14 @@ mod tests {
     fn kill_app_frees_everything() {
         let mut e = Engine::new(1);
         let (_c, yarn) = test_cluster(&mut e);
-        let id = yarn.submit_app(&mut e, "victim", ResourceRequest::new(1, 1024), move |eng, am| {
-            am.request_container(eng, ResourceRequest::new(4, 4096), |_, _| {});
-        });
+        let id = yarn.submit_app(
+            &mut e,
+            "victim",
+            ResourceRequest::new(1, 1024),
+            move |eng, am| {
+                am.request_container(eng, ResourceRequest::new(4, 4096), |_, _| {});
+            },
+        );
         e.run_until(SimTime::from_secs_f64(2.0));
         yarn.kill_app(&mut e, id);
         e.run();
@@ -1057,11 +1108,16 @@ mod tests {
         let order = Rc::new(RefCell::new(Vec::new()));
         for i in 0..3 {
             let o = order.clone();
-            yarn.submit_app(&mut e, format!("app{i}"), ResourceRequest::new(1, 1024), move |eng, am| {
-                o.borrow_mut().push((i, eng.now()));
-                let am2 = am.clone();
-                eng.schedule_in(SimDuration::from_secs(2), move |eng| am2.finish(eng));
-            });
+            yarn.submit_app(
+                &mut e,
+                format!("app{i}"),
+                ResourceRequest::new(1, 1024),
+                move |eng, am| {
+                    o.borrow_mut().push((i, eng.now()));
+                    let am2 = am.clone();
+                    eng.schedule_in(SimDuration::from_secs(2), move |eng| am2.finish(eng));
+                },
+            );
         }
         e.run();
         let order = order.borrow();
@@ -1080,13 +1136,18 @@ mod tests {
         assert_eq!(s0.containers_running, 0);
         let held = Rc::new(RefCell::new(None));
         let h = held.clone();
-        yarn.submit_app(&mut e, "x", ResourceRequest::new(1, 1024), move |eng, am| {
-            let h = h.clone();
-            let am2 = am.clone();
-            am.request_container(eng, ResourceRequest::new(3, 2048), move |_, c| {
-                *h.borrow_mut() = Some((am2, c));
-            });
-        });
+        yarn.submit_app(
+            &mut e,
+            "x",
+            ResourceRequest::new(1, 1024),
+            move |eng, am| {
+                let h = h.clone();
+                let am2 = am.clone();
+                am.request_container(eng, ResourceRequest::new(3, 2048), move |_, c| {
+                    *h.borrow_mut() = Some((am2, c));
+                });
+            },
+        );
         e.run();
         let s1 = yarn.cluster_state();
         // AM (1 vcore) + task (3 vcores) in flight.
@@ -1100,9 +1161,14 @@ mod tests {
     fn oversized_container_request_panics() {
         let mut e = Engine::new(1);
         let (_c, yarn) = test_cluster(&mut e);
-        yarn.submit_app(&mut e, "huge", ResourceRequest::new(1, 1024), move |eng, am| {
-            am.request_container(eng, ResourceRequest::new(64, 1024), |_, _| {});
-        });
+        yarn.submit_app(
+            &mut e,
+            "huge",
+            ResourceRequest::new(1, 1024),
+            move |eng, am| {
+                am.request_container(eng, ResourceRequest::new(64, 1024), |_, _| {});
+            },
+        );
         e.run();
     }
 
@@ -1118,10 +1184,15 @@ mod tests {
         let yarn = YarnCluster::start(&mut e, &cluster, &nodes, cfg);
         let t_am = Rc::new(RefCell::new(None));
         let t = t_am.clone();
-        yarn.submit_app(&mut e, "q", ResourceRequest::new(1, 1024), move |eng, am| {
-            *t.borrow_mut() = Some(eng.now());
-            am.finish(eng);
-        });
+        yarn.submit_app(
+            &mut e,
+            "q",
+            ResourceRequest::new(1, 1024),
+            move |eng, am| {
+                *t.borrow_mut() = Some(eng.now());
+                am.finish(eng);
+            },
+        );
         e.run();
         // Submitted at t≈0 → allocated on the first heartbeat at t=1 s.
         let t = t_am.borrow().unwrap().as_secs_f64();
@@ -1142,23 +1213,28 @@ mod tests {
         let yarn = YarnCluster::start(&mut e, &cluster, &nodes, cfg);
         let times = Rc::new(RefCell::new(Vec::new()));
         let t = times.clone();
-        yarn.submit_app(&mut e, "docker", ResourceRequest::new(1, 1024), move |eng, am| {
-            // AM pays the pull (first container on the node); two task
-            // containers after it only pay the start overhead.
-            let am2 = am.clone();
-            let t2 = t.clone();
-            am.request_container(eng, ResourceRequest::new(1, 1024), move |eng, c1| {
-                t2.borrow_mut().push(eng.now());
-                let am3 = am2.clone();
-                let t3 = t2.clone();
-                am2.request_container(eng, ResourceRequest::new(1, 1024), move |eng, c2| {
-                    t3.borrow_mut().push(eng.now());
-                    am3.release_container(eng, c1.id);
-                    am3.release_container(eng, c2.id);
-                    am3.finish(eng);
+        yarn.submit_app(
+            &mut e,
+            "docker",
+            ResourceRequest::new(1, 1024),
+            move |eng, am| {
+                // AM pays the pull (first container on the node); two task
+                // containers after it only pay the start overhead.
+                let am2 = am.clone();
+                let t2 = t.clone();
+                am.request_container(eng, ResourceRequest::new(1, 1024), move |eng, c1| {
+                    t2.borrow_mut().push(eng.now());
+                    let am3 = am2.clone();
+                    let t3 = t2.clone();
+                    am2.request_container(eng, ResourceRequest::new(1, 1024), move |eng, c2| {
+                        t3.borrow_mut().push(eng.now());
+                        am3.release_container(eng, c1.id);
+                        am3.release_container(eng, c2.id);
+                        am3.finish(eng);
+                    });
                 });
-            });
-        });
+            },
+        );
         e.run();
         let times = times.borrow();
         // First container (the AM) absorbed the 10 s pull; the gap between
@@ -1177,18 +1253,23 @@ mod tests {
         let granted = Rc::new(RefCell::new(0usize));
         let p = preempted.clone();
         let g = granted.clone();
-        yarn.submit_app(&mut e, "victim", ResourceRequest::new(1, 1024), move |eng, am| {
-            for _ in 0..3 {
-                let p = p.clone();
-                let g = g.clone();
-                am.request_container_preemptible(
-                    eng,
-                    ResourceRequest::new(2, 2048),
-                    move |_, c| p.borrow_mut().push(c.id),
-                    move |_, _c| *g.borrow_mut() += 1,
-                );
-            }
-        });
+        yarn.submit_app(
+            &mut e,
+            "victim",
+            ResourceRequest::new(1, 1024),
+            move |eng, am| {
+                for _ in 0..3 {
+                    let p = p.clone();
+                    let g = g.clone();
+                    am.request_container_preemptible(
+                        eng,
+                        ResourceRequest::new(2, 2048),
+                        move |_, c| p.borrow_mut().push(c.id),
+                        move |_, _c| *g.borrow_mut() += 1,
+                    );
+                }
+            },
+        );
         e.run();
         assert_eq!(*granted.borrow(), 3);
         let before = yarn.cluster_state();
@@ -1222,15 +1303,20 @@ mod tests {
         let finished = Rc::new(RefCell::new(0usize));
         for i in 0..64 {
             let f = finished.clone();
-            yarn.submit_app(&mut e, format!("a{i}"), ResourceRequest::new(1, 1024), move |eng, am| {
-                let am2 = am.clone();
-                let f = f.clone();
-                am.request_container(eng, ResourceRequest::new(1, 1024), move |eng, cont| {
-                    am2.release_container(eng, cont.id);
-                    am2.finish(eng);
-                    *f.borrow_mut() += 1;
-                });
-            });
+            yarn.submit_app(
+                &mut e,
+                format!("a{i}"),
+                ResourceRequest::new(1, 1024),
+                move |eng, am| {
+                    let am2 = am.clone();
+                    let f = f.clone();
+                    am.request_container(eng, ResourceRequest::new(1, 1024), move |eng, cont| {
+                        am2.release_container(eng, cont.id);
+                        am2.finish(eng);
+                        *f.borrow_mut() += 1;
+                    });
+                },
+            );
         }
         // A bounded drive: the engine must drain (no eternal ticks).
         let mut steps = 0u64;
@@ -1255,14 +1341,23 @@ mod tests {
             let grants: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
             for app in 0..2u64 {
                 let g = grants.clone();
-                yarn.submit_app(&mut e, format!("a{app}"), ResourceRequest::new(1, 1024), move |eng, am| {
-                    for _ in 0..6 {
-                        let g = g.clone();
-                        am.request_container(eng, ResourceRequest::new(1, 1024), move |_, _| {
-                            g.borrow_mut().push(app);
-                        });
-                    }
-                });
+                yarn.submit_app(
+                    &mut e,
+                    format!("a{app}"),
+                    ResourceRequest::new(1, 1024),
+                    move |eng, am| {
+                        for _ in 0..6 {
+                            let g = g.clone();
+                            am.request_container(
+                                eng,
+                                ResourceRequest::new(1, 1024),
+                                move |_, _| {
+                                    g.borrow_mut().push(app);
+                                },
+                            );
+                        }
+                    },
+                );
             }
             e.run_until(rp_sim::SimTime::from_secs_f64(30.0));
             let out = grants.borrow().clone();
@@ -1286,18 +1381,23 @@ mod tests {
         let (_c, yarn) = test_cluster(&mut e);
         let state = Rc::new(RefCell::new((None, Vec::new()))); // (task node, preempted)
         let st = state.clone();
-        yarn.submit_app(&mut e, "victim", ResourceRequest::new(1, 1024), move |eng, am| {
-            let st = st.clone();
-            am.request_container_preemptible(
-                eng,
-                ResourceRequest::new(2, 2048),
-                {
-                    let st = st.clone();
-                    move |_, c| st.borrow_mut().1.push(c.id)
-                },
-                move |_, c| st.borrow_mut().0 = Some(c.node),
-            );
-        });
+        yarn.submit_app(
+            &mut e,
+            "victim",
+            ResourceRequest::new(1, 1024),
+            move |eng, am| {
+                let st = st.clone();
+                am.request_container_preemptible(
+                    eng,
+                    ResourceRequest::new(2, 2048),
+                    {
+                        let st = st.clone();
+                        move |_, c| st.borrow_mut().1.push(c.id)
+                    },
+                    move |_, c| st.borrow_mut().0 = Some(c.node),
+                );
+            },
+        );
         e.run();
         let task_node = state.borrow().0.expect("task placed");
         let before = yarn.cluster_state();
@@ -1346,13 +1446,18 @@ mod tests {
         let (_c, yarn) = test_cluster(&mut e);
         let held = Rc::new(RefCell::new(None));
         let h = held.clone();
-        let id = yarn.submit_app(&mut e, "rep", ResourceRequest::new(1, 1024), move |eng, am| {
-            let h = h.clone();
-            let am2 = am.clone();
-            am.request_container(eng, ResourceRequest::new(2, 2048), move |_, c| {
-                *h.borrow_mut() = Some((am2, c));
-            });
-        });
+        let id = yarn.submit_app(
+            &mut e,
+            "rep",
+            ResourceRequest::new(1, 1024),
+            move |eng, am| {
+                let h = h.clone();
+                let am2 = am.clone();
+                am.request_container(eng, ResourceRequest::new(2, 2048), move |_, c| {
+                    *h.borrow_mut() = Some((am2, c));
+                });
+            },
+        );
         e.run();
         let r = yarn.app_report(&e, id);
         assert_eq!(r.state, AppState::Running);

@@ -50,16 +50,13 @@ fn vcores_and_memory_always_balance() {
                                     let am3 = am2.clone();
                                     let held2 = held.clone();
                                     let f = f.clone();
-                                    eng.schedule_in(
-                                        SimDuration::from_secs(hold),
-                                        move |eng| {
-                                            for id in held2.borrow().iter() {
-                                                am3.release_container(eng, *id);
-                                            }
-                                            am3.finish(eng);
-                                            *f.borrow_mut() += 1;
-                                        },
-                                    );
+                                    eng.schedule_in(SimDuration::from_secs(hold), move |eng| {
+                                        for id in held2.borrow().iter() {
+                                            am3.release_container(eng, *id);
+                                        }
+                                        am3.finish(eng);
+                                        *f.borrow_mut() += 1;
+                                    });
                                 }
                             },
                         );
@@ -94,8 +91,9 @@ fn preemption_preserves_accounting() {
     let mut rng = SimRng::new(0x92EE397);
     for case in 0..32 {
         let n_batches = rng.uniform_u64(1, 4) as usize;
-        let preempt_batches: Vec<usize> =
-            (0..n_batches).map(|_| rng.uniform_u64(1, 3) as usize).collect();
+        let preempt_batches: Vec<usize> = (0..n_batches)
+            .map(|_| rng.uniform_u64(1, 3) as usize)
+            .collect();
         let mut e = Engine::new(2);
         let cluster = Cluster::new(MachineSpec::localhost());
         let nodes: Vec<NodeId> = cluster.node_ids().collect();

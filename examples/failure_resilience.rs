@@ -69,7 +69,10 @@ fn main() {
         engine.now()
     );
     let lost = env.yarn.fail_node(&mut engine, exec_node);
-    println!("{} container(s) lost; agent re-requests elsewhere", lost.len());
+    println!(
+        "{} container(s) lost; agent re-requests elsewhere",
+        lost.len()
+    );
     while !units[0].state().is_final() {
         assert!(engine.step());
     }
@@ -97,16 +100,26 @@ fn main() {
     let job_id = hadoop_hpc::hpc::JobId(1); // the second placeholder job
     machine.batch.fail_job(&mut engine, job_id);
     engine.run_until(SimTime::from_secs_f64(engine.now().as_secs_f64() + 10.0));
-    println!("\nsecond pilot after injected batch failure: {:?}", doomed.state());
+    println!(
+        "\nsecond pilot after injected batch failure: {:?}",
+        doomed.state()
+    );
     assert_eq!(doomed.state(), PilotState::Failed);
 
     pm.cancel(&mut engine, &pilot);
     engine.run();
     println!("\n-- failure-related trace lines --");
     for e in engine.trace.events() {
-        if e.message.contains("fail") || e.message.contains("preempt") || e.message.contains("re-request")
+        if e.message.contains("fail")
+            || e.message.contains("preempt")
+            || e.message.contains("re-request")
         {
-            println!("{:>10} [{:<6}] {}", format!("{}", e.time), e.category, e.message);
+            println!(
+                "{:>10} [{:<6}] {}",
+                format!("{}", e.time),
+                e.category,
+                e.message
+            );
         }
     }
 }

@@ -4,14 +4,25 @@
 //! link degradation — keep the workload at 100% completion.
 //!
 //! ```text
-//! cargo run --example fault_injection [seed] [intensity]
+//! cargo run --example fault_injection [seed] [intensity] [--json]
 //! ```
+//!
+//! With `--json`, emits one machine-checkable JSON line instead of the
+//! human-readable report (used by the CI fault-matrix smoke).
 
 use hadoop_hpc::pilot::*;
-use hadoop_hpc::sim::{Engine, FaultPlan, SimDuration};
+use hadoop_hpc::sim::{escape_json, Engine, FaultPlan, SimDuration};
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let (mut positional, mut json_out) = (Vec::new(), false);
+    for a in std::env::args().skip(1) {
+        if a == "--json" {
+            json_out = true;
+        } else {
+            positional.push(a);
+        }
+    }
+    let mut args = positional.into_iter();
     let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(11);
     let intensity: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(6);
 
@@ -30,9 +41,11 @@ fn main() {
     // intensity) pair always yields the same schedule, and the engine's
     // randomness is untouched.
     let plan = FaultPlan::generate(seed, SimDuration::from_secs(1800), 4, intensity);
-    println!("fault plan (seed {seed}, intensity {intensity}):");
-    for ev in &plan.events {
-        println!("  {:>10}  {:?}", format!("{}", ev.at), ev.kind);
+    if !json_out {
+        println!("fault plan (seed {seed}, intensity {intensity}):");
+        for ev in &plan.events {
+            println!("  {:>10}  {:?}", format!("{}", ev.at), ev.kind);
+        }
     }
     let injector = install_faults(&mut engine, &plan, &pilot);
 
@@ -71,8 +84,54 @@ fn main() {
         .iter()
         .filter(|u| u.state() == UnitState::Done)
         .count();
+    let failed = units
+        .iter()
+        .filter(|u| u.state() == UnitState::Failed)
+        .count();
     let retried = units.iter().filter(|u| u.attempts() > 1).count();
-    println!("\n{} faults injected; {done}/{} units Done, {retried} retried", injector.injected(), units.len());
+
+    if json_out {
+        let makespan_s = units
+            .iter()
+            .filter_map(|u| u.times().done)
+            .map(|t| t.as_secs_f64())
+            .fold(0.0_f64, f64::max);
+        let unit_fields: Vec<String> = units
+            .iter()
+            .map(|u| {
+                format!(
+                    "{{\"name\":\"{}\",\"state\":\"{:?}\",\"attempts\":{}}}",
+                    escape_json(&u.name()),
+                    u.state(),
+                    u.attempts()
+                )
+            })
+            .collect();
+        let dead: Vec<String> = agent
+            .dead_nodes()
+            .iter()
+            .map(|n| format!("\"{}\"", escape_json(&n.to_string())))
+            .collect();
+        println!(
+            "{{\"seed\":{seed},\"intensity\":{intensity},\"planned\":{},\
+             \"injected\":{},\"units\":{},\"done\":{done},\"failed\":{failed},\
+             \"retried\":{retried},\"degraded\":{},\"dead_nodes\":[{}],\
+             \"makespan_s\":{makespan_s:.6},\"unit_states\":[{}]}}",
+            plan.events.len(),
+            injector.injected(),
+            units.len(),
+            agent.is_degraded(),
+            dead.join(","),
+            unit_fields.join(",")
+        );
+        return;
+    }
+
+    println!(
+        "\n{} faults injected; {done}/{} units Done, {retried} retried",
+        injector.injected(),
+        units.len()
+    );
     println!(
         "pilot degraded: {}, dead nodes: {:?}",
         agent.is_degraded(),
@@ -97,7 +156,12 @@ fn main() {
             || e.message.contains("faulted")
             || e.message.contains("degraded")
         {
-            println!("{:>10} [{:<5}] {}", format!("{}", e.time), e.category, e.message);
+            println!(
+                "{:>10} [{:<5}] {}",
+                format!("{}", e.time),
+                e.category,
+                e.message
+            );
         }
     }
 }

@@ -27,7 +27,10 @@ fn main() {
     };
 
     println!("K-Means ({}), 2 iterations, Stampede\n", scenario.label);
-    println!("{:<8}{:>22}{:>22}", "tasks", "RADICAL-Pilot (s)", "RP-YARN Mode I (s)");
+    println!(
+        "{:<8}{:>22}{:>22}",
+        "tasks", "RADICAL-Pilot (s)", "RP-YARN Mode I (s)"
+    );
     for tasks in [8u32, 16, 32] {
         let mut e = Engine::new(7 + tasks as u64);
         let session = Session::new(fig6_session_config());

@@ -62,18 +62,13 @@ fn main() {
             assert!(engine.step());
         }
         assert!(sims.iter().all(|u| u.state() == UnitState::Done));
-        println!(
-            "  {} simulation units done at {}",
-            REPLICAS,
-            engine.now()
-        );
+        println!("  {} simulation units done at {}", REPLICAS, engine.now());
 
         // 2. Analysis stage: a Native unit that really computes. The
         //    closure runs on host threads; its wall time becomes the
         //    unit's virtual execution time.
         #[allow(clippy::type_complexity)]
-        let analysis_out: Rc<RefCell<Option<(f64, f64, [f64; 3])>>> =
-            Rc::new(RefCell::new(None));
+        let analysis_out: Rc<RefCell<Option<(f64, f64, [f64; 3])>>> = Rc::new(RefCell::new(None));
         let out = analysis_out.clone();
         let seed = 90 + generation as u64;
         let step = step_size;
@@ -90,8 +85,7 @@ fn main() {
                     let drift = series.last().copied().unwrap_or(0.0);
                     let m = moments(&traj);
                     let p = pca(&traj);
-                    *out.borrow_mut() =
-                        Some((drift, m.variance[0], p.eigenvalues));
+                    *out.borrow_mut() = Some((drift, m.variance[0], p.eigenvalues));
                 })),
             )],
         );

@@ -82,22 +82,38 @@ fn main() {
 
     println!("\n-- trace (first 20 events) --");
     for e in engine.trace.events().iter().take(20) {
-        println!("{:>10} [{:<6}] {}", format!("{}", e.time), e.category, e.message);
+        println!(
+            "{:>10} [{:<6}] {}",
+            format!("{}", e.time),
+            e.category,
+            e.message
+        );
     }
 
     // Phase profile: pilot lifecycle + the workload's units, attributed
     // from the span tree by the virtual-time profiler.
     let mut report = RunReport::new("phase breakdown (seconds)");
     report.push("pilot.run", profile_span(&engine.trace, pilot.root_span()));
-    report.push("units (aggregate)", aggregate_roots(&engine.trace, "unit.run"));
+    report.push(
+        "units (aggregate)",
+        aggregate_roots(&engine.trace, "unit.run"),
+    );
     println!("\n{}", report.render_table());
     let cores = 2 * 16; // 2 Stampede nodes
     let util: Vec<String> = engine
         .trace
         .roots_named("pilot.run")
-        .map(|s| format!("{:.0}%", 100.0 * pilot_utilization(&engine.trace, s.id, cores)))
+        .map(|s| {
+            format!(
+                "{:.0}%",
+                100.0 * pilot_utilization(&engine.trace, s.id, cores)
+            )
+        })
         .collect();
-    println!("pilot core utilization over active window: {}", util.join(", "));
+    println!(
+        "pilot core utilization over active window: {}",
+        util.join(", ")
+    );
 
     // Optional Perfetto artifact.
     let args: Vec<String> = std::env::args().collect();
@@ -109,7 +125,12 @@ fn main() {
         std::fs::write(path, engine.trace.to_chrome_json()).expect("write trace");
         println!(
             "wrote {} spans + {} instants to {path}",
-            engine.trace.spans().iter().filter(|s| s.end.is_some()).count(),
+            engine
+                .trace
+                .spans()
+                .iter()
+                .filter(|s| s.end.is_some())
+                .count(),
             engine.trace.events().len()
         );
     }

@@ -63,7 +63,9 @@ fn main() {
             // Artificially expensive map.
             let mut h = x;
             for _ in 0..32 {
-                h = h.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                h = h
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
             }
             h
         })

@@ -52,7 +52,10 @@ fn mapreduce_unit_rejected_on_plain_pilot() {
     );
     drive(&mut e, &units);
     assert_eq!(units[0].state(), UnitState::Failed);
-    assert!(units[0].failure().unwrap().contains("requires a YARN pilot"));
+    assert!(units[0]
+        .failure()
+        .unwrap()
+        .contains("requires a YARN pilot"));
 }
 
 #[test]
@@ -73,7 +76,10 @@ fn spark_unit_rejected_on_plain_pilot() {
     );
     drive(&mut e, &units);
     assert_eq!(units[0].state(), UnitState::Failed);
-    assert!(units[0].failure().unwrap().contains("requires a Spark pilot"));
+    assert!(units[0]
+        .failure()
+        .unwrap()
+        .contains("requires a Spark pilot"));
 }
 
 #[test]
@@ -250,7 +256,12 @@ fn heartbeat_monitor_detects_crash_and_requeues() {
     );
     drive(&mut e, &units);
     let agent = pilot.agent().unwrap();
-    assert_eq!(units[0].state(), UnitState::Done, "{:?}", units[0].failure());
+    assert_eq!(
+        units[0].state(),
+        UnitState::Done,
+        "{:?}",
+        units[0].failure()
+    );
     assert_eq!(units[0].attempts(), 2, "crash must force a second attempt");
     assert!(agent.is_degraded());
     assert_eq!(agent.dead_nodes().len(), 1);

@@ -121,8 +121,7 @@ fn fig6_runners_are_deterministic() {
     let rp = |seed: u64| {
         let mut e = Engine::new(seed);
         let session = Session::new(fig6_session_config());
-        run_rp_kmeans(&mut e, &session, "xsede.stampede", 16, SCENARIOS[1], &cal)
-            .time_to_completion
+        run_rp_kmeans(&mut e, &session, "xsede.stampede", 16, SCENARIOS[1], &cal).time_to_completion
     };
     assert_eq!(rp(7).to_bits(), rp(7).to_bits());
     let yarn = |seed: u64| {

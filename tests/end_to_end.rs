@@ -71,10 +71,16 @@ fn load_balanced_scheduler_prefers_idle_pilot() {
     let session = Session::new(SessionConfig::test_profile());
     let pm = PilotManager::new(&session);
     let p1 = pm
-        .submit(&mut e, PilotDescription::new("localhost", 1, SimDuration::from_secs(7200)))
+        .submit(
+            &mut e,
+            PilotDescription::new("localhost", 1, SimDuration::from_secs(7200)),
+        )
         .unwrap();
     let p2 = pm
-        .submit(&mut e, PilotDescription::new("localhost", 1, SimDuration::from_secs(7200)))
+        .submit(
+            &mut e,
+            PilotDescription::new("localhost", 1, SimDuration::from_secs(7200)),
+        )
         .unwrap();
     let mut um = UnitManager::new(&session, UmScheduler::LoadBalanced);
     um.add_pilot(&p1);
@@ -146,8 +152,12 @@ fn hybrid_pipeline_hpc_stage_then_mapreduce_stage() {
     // with a MapReduce unit on the same pilot.
     let env = pilot.agent().unwrap().hadoop_env().unwrap();
     let hdfs = env.hdfs.clone().unwrap();
-    hdfs.create_synthetic("/traj/gen0", 384 * 1024 * 1024, hadoop_hpc::hdfs::StoragePolicy::Default)
-        .unwrap();
+    hdfs.create_synthetic(
+        "/traj/gen0",
+        384 * 1024 * 1024,
+        hadoop_hpc::hdfs::StoragePolicy::Default,
+    )
+    .unwrap();
     let analysis = um.submit_units(
         &mut e,
         vec![ComputeUnitDescription::new(
@@ -164,7 +174,12 @@ fn hybrid_pipeline_hpc_stage_then_mapreduce_stage() {
         )],
     );
     drive_until_final(&mut e, &analysis);
-    assert_eq!(analysis[0].state(), UnitState::Done, "{:?}", analysis[0].failure());
+    assert_eq!(
+        analysis[0].state(),
+        UnitState::Done,
+        "{:?}",
+        analysis[0].failure()
+    );
     let stats = analysis[0].mr_stats().unwrap();
     assert_eq!(stats.maps, 3); // 384 MB / 128 MB blocks
     assert!(stats.total.as_secs_f64() > 0.0);
@@ -199,7 +214,10 @@ fn pilot_walltime_cancels_leftover_units() {
     );
     e.run();
     assert_eq!(pilot.state(), PilotState::Done); // walltime expiry
-    let done = units.iter().filter(|u| u.state() == UnitState::Done).count();
+    let done = units
+        .iter()
+        .filter(|u| u.state() == UnitState::Done)
+        .count();
     let canceled = units
         .iter()
         .filter(|u| u.state() == UnitState::Canceled)
@@ -240,10 +258,7 @@ fn trace_records_full_causal_chain() {
         "Executing",
         "Done",
     ] {
-        assert!(
-            e.trace.find(needle).is_some(),
-            "trace missing '{needle}'"
-        );
+        assert!(e.trace.find(needle).is_some(), "trace missing '{needle}'");
     }
     // Causality: unit Done after pilot active.
     let active_t = e.trace.find("active").unwrap().time;

@@ -5,9 +5,7 @@
 //! shows up as a monotone makespan penalty.
 
 use hadoop_hpc::pilot::*;
-use hadoop_hpc::sim::{
-    Engine, FaultEvent, FaultKind, FaultPlan, SimDuration, SimTime, TraceEvent,
-};
+use hadoop_hpc::sim::{Engine, FaultEvent, FaultKind, FaultPlan, SimDuration, SimTime, TraceEvent};
 
 /// A plain 4-node pilot running `n` one-core sleep units of `sleep_s`,
 /// with `plan` installed. Returns the unit handles, the pilot and the
@@ -107,7 +105,13 @@ fn under_budget_plan_completes_every_unit() {
     };
     let (units, pilot, trace) = sleep_run(11, 10, 300, Some(&plan));
     for u in &units {
-        assert_eq!(u.state(), UnitState::Done, "{:?}: {:?}", u.id(), u.failure());
+        assert_eq!(
+            u.state(),
+            UnitState::Done,
+            "{:?}: {:?}",
+            u.id(),
+            u.failure()
+        );
     }
     let agent = pilot.agent().expect("pilot active");
     assert!(agent.is_degraded(), "faults must mark the pilot degraded");
@@ -193,10 +197,12 @@ fn unit_fails_terminally_once_retry_budget_is_spent() {
     um.add_pilot(&pilot);
     let units = um.submit_units(
         &mut e,
-        vec![
-            ComputeUnitDescription::new("fragile", 1, WorkSpec::Sleep(SimDuration::from_secs(600)))
-                .with_retry(RetryPolicy::never()),
-        ],
+        vec![ComputeUnitDescription::new(
+            "fragile",
+            1,
+            WorkSpec::Sleep(SimDuration::from_secs(600)),
+        )
+        .with_retry(RetryPolicy::never())],
     );
     while units.iter().any(|u| !u.state().is_final()) {
         assert!(e.step());
@@ -249,7 +255,13 @@ fn yarn_pilot_survives_container_kills() {
         assert!(e.step());
     }
     for u in &units {
-        assert_eq!(u.state(), UnitState::Done, "{:?}: {:?}", u.id(), u.failure());
+        assert_eq!(
+            u.state(),
+            UnitState::Done,
+            "{:?}: {:?}",
+            u.id(),
+            u.failure()
+        );
     }
     let agent = pilot.agent().unwrap();
     assert!(agent.is_degraded());
@@ -262,8 +274,7 @@ fn yarn_pilot_survives_container_kills() {
 fn fault_matrix_always_terminates() {
     for seed in [1u64, 2, 3] {
         for intensity in [2usize, 6, 12] {
-            let plan =
-                FaultPlan::generate(seed, SimDuration::from_secs(1800), 4, intensity);
+            let plan = FaultPlan::generate(seed, SimDuration::from_secs(1800), 4, intensity);
             let (units, _, _) = sleep_run(seed, 8, 150, Some(&plan));
             for u in &units {
                 assert!(

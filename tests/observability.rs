@@ -14,9 +14,7 @@
 use std::collections::BTreeMap;
 
 use hadoop_hpc::pilot::*;
-use hadoop_hpc::sim::{
-    validate_chrome_json, Engine, FaultPlan, SimDuration, Span, SpanId,
-};
+use hadoop_hpc::sim::{validate_chrome_json, Engine, FaultPlan, SimDuration, Span, SpanId};
 
 /// The `determinism.rs` mixed workload, but traced: a 2-node pilot with the
 /// given access mode running 12 heterogeneous Compute units to completion,
@@ -28,8 +26,7 @@ fn traced_mixed(seed: u64, machine: &str, access: AccessMode) -> Engine {
     let pilot = pm
         .submit(
             &mut e,
-            PilotDescription::new(machine, 2, SimDuration::from_secs(7200))
-                .with_access(access),
+            PilotDescription::new(machine, 2, SimDuration::from_secs(7200)).with_access(access),
         )
         .unwrap();
     let mut um = UnitManager::new(&session, UmScheduler::Direct);
@@ -147,7 +144,11 @@ fn assert_unit_taxonomy(spans: &[Span], min_scheduling: usize) {
 
 #[test]
 fn mode_i_golden_span_stream() {
-    let e = traced_mixed(42, "xsede.stampede", AccessMode::YarnModeI { with_hdfs: true });
+    let e = traced_mixed(
+        42,
+        "xsede.stampede",
+        AccessMode::YarnModeI { with_hdfs: true },
+    );
     let spans = e.trace.spans();
     assert_span_invariants(spans);
 
@@ -245,11 +246,7 @@ fn fault_matrix_span_invariants_survive_crash_requeue() {
             let pilot = pm
                 .submit(
                     &mut e,
-                    PilotDescription::new(
-                        "xsede.stampede",
-                        4,
-                        SimDuration::from_secs(14_400),
-                    ),
+                    PilotDescription::new("xsede.stampede", 4, SimDuration::from_secs(14_400)),
                 )
                 .unwrap();
             install_faults(&mut e, &plan, &pilot);
@@ -311,9 +308,7 @@ fn fault_matrix_span_invariants_survive_crash_requeue() {
                 saw_abandoned = true;
             }
             let stats = validate_chrome_json(&e.trace.to_chrome_json())
-                .unwrap_or_else(|err| {
-                    panic!("seed={seed} intensity={intensity}: {err}")
-                });
+                .unwrap_or_else(|err| panic!("seed={seed} intensity={intensity}: {err}"));
             assert_eq!(stats.begins, spans.len() - open);
             assert_eq!(stats.ends, spans.len() - open);
         }

@@ -26,7 +26,11 @@ fn fig5_pilot_startup_shape() {
             assert!(e.step());
         }
         let s = pilot.times().startup_time().unwrap().as_secs_f64();
-        let b = pilot.agent().unwrap().framework_bootstrap_time().as_secs_f64();
+        let b = pilot
+            .agent()
+            .unwrap()
+            .framework_bootstrap_time()
+            .as_secs_f64();
         (s, b)
     };
     let (rp, _) = startup("xsede.stampede", AccessMode::Plain, 2);

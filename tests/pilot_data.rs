@@ -56,10 +56,16 @@ fn data_aware_scheduler_follows_the_bytes() {
     // Compute pilots on both machines.
     let pm = PilotManager::new(&session);
     let p_s = pm
-        .submit(&mut e, PilotDescription::new("xsede.stampede", 1, SimDuration::from_secs(7200)))
+        .submit(
+            &mut e,
+            PilotDescription::new("xsede.stampede", 1, SimDuration::from_secs(7200)),
+        )
         .unwrap();
     let p_w = pm
-        .submit(&mut e, PilotDescription::new("xsede.wrangler", 1, SimDuration::from_secs(7200)))
+        .submit(
+            &mut e,
+            PilotDescription::new("xsede.wrangler", 1, SimDuration::from_secs(7200)),
+        )
         .unwrap();
     let mut um = UnitManager::new(&session, UmScheduler::DataAware);
     um.add_pilot(&p_s);
@@ -76,7 +82,11 @@ fn data_aware_scheduler_follows_the_bytes() {
         .with_data(small.clone())
         .with_data(big.clone())],
     );
-    assert_eq!(units[0].pilot(), Some(p_w.id()), "unit must follow the bytes");
+    assert_eq!(
+        units[0].pilot(),
+        Some(p_w.id()),
+        "unit must follow the bytes"
+    );
     drive(&mut e, &units);
     assert_eq!(units[0].state(), UnitState::Done);
 
@@ -124,18 +134,19 @@ fn remote_dependency_pays_wan_staging() {
         let pm = PilotManager::new(&session);
         // Pilot always on Stampede; only the data location varies.
         let pilot = pm
-            .submit(&mut e, PilotDescription::new("xsede.stampede", 1, SimDuration::from_secs(7200)))
+            .submit(
+                &mut e,
+                PilotDescription::new("xsede.stampede", 1, SimDuration::from_secs(7200)),
+            )
             .unwrap();
         let mut um = UnitManager::new(&session, UmScheduler::Direct);
         um.add_pilot(&pilot);
         let units = um.submit_units(
             &mut e,
-            vec![ComputeUnitDescription::new(
-                "u",
-                1,
-                WorkSpec::Sleep(SimDuration::from_secs(1)),
-            )
-            .with_data(du)],
+            vec![
+                ComputeUnitDescription::new("u", 1, WorkSpec::Sleep(SimDuration::from_secs(1)))
+                    .with_data(du),
+            ],
         );
         drive(&mut e, &units);
         assert_eq!(units[0].state(), UnitState::Done);

@@ -35,7 +35,10 @@ fn fairlink_conserves_bytes_and_respects_capacity() {
         let end = e.run();
         assert_eq!(*done.borrow(), n, "case {case}");
         let total: f64 = sizes.iter().sum();
-        assert!((link.total_bytes() - total).abs() < total * 1e-6 + 1.0, "case {case}");
+        assert!(
+            (link.total_bytes() - total).abs() < total * 1e-6 + 1.0,
+            "case {case}"
+        );
         // Lower bound: remaining work at full capacity can't beat
         // total/capacity from t=0.
         let min_end = total / capacity;
@@ -44,7 +47,10 @@ fn fairlink_conserves_bytes_and_respects_capacity() {
             "case {case}"
         );
         // Busy time never exceeds the makespan.
-        assert!(link.busy_time().as_secs_f64() <= end.as_secs_f64() + 1e-9, "case {case}");
+        assert!(
+            link.busy_time().as_secs_f64() <= end.as_secs_f64() + 1e-9,
+            "case {case}"
+        );
     }
 }
 
@@ -127,7 +133,13 @@ fn mapreduce_matches_sequential_reference() {
         let chunk = words.len().div_ceil(splits).max(1);
         let split_input: Vec<Vec<(u64, String)>> = words
             .chunks(chunk)
-            .map(|c| c.iter().cloned().enumerate().map(|(i, w)| (i as u64, w)).collect())
+            .map(|c| {
+                c.iter()
+                    .cloned()
+                    .enumerate()
+                    .map(|(i, w)| (i as u64, w))
+                    .collect()
+            })
             .collect();
         let out = run_local(
             split_input,
@@ -159,7 +171,11 @@ fn rdd_matches_iterator_semantics() {
             .map(|x| x.wrapping_mul(3))
             .filter(|x| x % 2 == 0)
             .collect();
-        let want: Vec<i32> = xs.iter().map(|x| x.wrapping_mul(3)).filter(|x| x % 2 == 0).collect();
+        let want: Vec<i32> = xs
+            .iter()
+            .map(|x| x.wrapping_mul(3))
+            .filter(|x| x % 2 == 0)
+            .collect();
         assert_eq!(got, want, "case {case}");
     }
 }
@@ -198,7 +214,13 @@ fn kmeans_cost_monotone() {
         let mut last = f64::INFINITY;
         for iters in 1..5u32 {
             let r = hadoop_hpc::analytics::lloyd(&pts, k, iters);
-            assert!(r.cost <= last + 1e-6, "iters {}: {} > {}", iters, r.cost, last);
+            assert!(
+                r.cost <= last + 1e-6,
+                "iters {}: {} > {}",
+                iters,
+                r.cost,
+                last
+            );
             last = r.cost;
         }
     }
@@ -287,7 +309,11 @@ fn batch_never_oversubscribes() {
             });
         }
         e.run();
-        assert!(*peak.borrow() <= total_nodes, "case {case}: peak {} > {total_nodes}", peak.borrow());
+        assert!(
+            *peak.borrow() <= total_nodes,
+            "case {case}: peak {} > {total_nodes}",
+            peak.borrow()
+        );
         assert_eq!(*in_use.borrow(), 0, "case {case}");
     }
 }
