@@ -27,7 +27,7 @@ echo "==> bench suite (quick) + regression gate"
 BENCH_OUT="${BENCH_OUT:-target/bench}"
 cargo run --release -q -p rp-bench --bin bench_suite -- --quick --out-dir "$BENCH_OUT"
 baselines_present=true
-for s in fig5_startup fig5_unit_startup fig6_kmeans fault_matrix; do
+for s in fig5_startup fig5_unit_startup fig6_kmeans fault_matrix pilot_loss; do
     [ -f "BENCH_$s.json" ] || baselines_present=false
 done
 if $baselines_present; then
@@ -60,5 +60,23 @@ print("--- seed=%d intensity=%d: %d/%d done, %d retried, %d faults, makespan %.0
 '
     done
 done
+
+echo "==> chaos soak (quick: 8 seeds over the mixed fault + lossy-store grid)"
+CHAOS_SEEDS=8 cargo test --release -q --test chaos
+
+echo "==> pilot-kill smoke (failover to the surviving pilot, JSON-checked)"
+cargo run --release -q --example fault_injection 5 --pilot-kill --json \
+    | python3 -c '
+import json, sys
+d = json.loads(sys.stdin.read())
+assert d["mode"] == "pilot_kill", d
+assert d["kinds"] == ["NodeCrash", "NodeSlowdown", "ContainerKill",
+                      "LinkDegrade", "StagingError", "PilotKill"], d["kinds"]
+assert d["injected"] == d["planned"] == 1, d
+assert d["done"] == d["units"] and d["failed"] == 0, d
+assert d["rebound"] >= 1, d
+print("--- pilot-kill: %d/%d done, %d re-bound, makespan %.0fs"
+      % (d["done"], d["units"], d["rebound"], d["makespan_s"]))
+'
 
 echo "==> OK"

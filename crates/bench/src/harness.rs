@@ -30,12 +30,13 @@ use crate::Variant;
 /// diff mismatched schemas.
 pub const SCHEMA_VERSION: u32 = 1;
 
-/// The four scenarios of the suite, in run order.
-pub const SCENARIO_NAMES: [&str; 4] = [
+/// The five scenarios of the suite, in run order.
+pub const SCENARIO_NAMES: [&str; 5] = [
     "fig5_startup",
     "fig5_unit_startup",
     "fig6_kmeans",
     "fault_matrix",
+    "pilot_loss",
 ];
 
 /// `BENCH_<scenario>.json`.
@@ -257,6 +258,121 @@ pub fn run_fault_matrix(params: FaultMatrixParams) -> VirtualResult {
     out
 }
 
+/// Parameters of the pilot-loss scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct PilotLossParams {
+    pub seed: u64,
+    pub units: usize,
+    pub sleep_s: u64,
+    /// When the first pilot's batch job is killed (kill variant only).
+    pub kill_at_s: u64,
+}
+
+impl Default for PilotLossParams {
+    fn default() -> Self {
+        PilotLossParams {
+            seed: 1,
+            units: 16,
+            sleep_s: 300,
+            kill_at_s: 180,
+        }
+    }
+}
+
+/// One pilot-loss case: 2 three-node pilots with cross-pilot failover,
+/// optionally killing the first pilot mid-run. Returns the traced engine
+/// and the workload makespan.
+fn pilot_loss_case(params: PilotLossParams, kill: bool) -> (Engine, f64, u64) {
+    let mut e = Engine::with_trace(params.seed);
+    let session = Session::new(SessionConfig::test_profile());
+    let pm = PilotManager::new(&session);
+    let pilots: Vec<_> = (0..2)
+        .map(|_| {
+            pm.submit(
+                &mut e,
+                PilotDescription::new("xsede.stampede", 3, SimDuration::from_secs(14_400)),
+            )
+            .expect("pilot submits")
+        })
+        .collect();
+    let mut um = UnitManager::new(&session, UmScheduler::RoundRobin);
+    for p in &pilots {
+        um.add_pilot(p);
+    }
+    um.enable_failover(&mut e);
+    if kill {
+        let victim = pilots[0].clone();
+        e.schedule_in(SimDuration::from_secs(params.kill_at_s), move |eng| {
+            victim.kill(eng)
+        });
+    }
+    let units = um.submit_units(
+        &mut e,
+        (0..params.units)
+            .map(|i| {
+                ComputeUnitDescription::new(
+                    format!("u{i}"),
+                    1,
+                    WorkSpec::Sleep(SimDuration::from_secs(params.sleep_s)),
+                )
+            })
+            .collect(),
+    );
+    while units.iter().any(|u| !u.state().is_final()) {
+        assert!(e.step(), "simulation stalled with live units");
+    }
+    assert!(
+        units.iter().all(|u| u.state() == UnitState::Done),
+        "every unit must fail over to the surviving pilot"
+    );
+    if kill {
+        assert_eq!(pilots[0].state(), PilotState::Failed);
+        assert!(
+            units.iter().all(|u| u.pilot() == Some(pilots[1].id())),
+            "survivors must all land on the surviving pilot"
+        );
+        assert!(um.rebinds() > 0, "the kill must force re-binds");
+    }
+    for p in &pilots {
+        if !p.state().is_final() {
+            pm.cancel(&mut e, p);
+        }
+    }
+    e.run();
+    let makespan = units
+        .iter()
+        .map(|u| u.times().done.expect("unit finished"))
+        .max()
+        .unwrap()
+        .as_secs_f64();
+    (e, makespan, um.rebinds())
+}
+
+/// Pilot loss: the same 2-pilot workload with and without a mid-run
+/// pilot kill. The kill variant must still complete every unit (on the
+/// survivor) and its makespan overhead is the price of failover.
+pub fn run_pilot_loss(params: PilotLossParams) -> VirtualResult {
+    let mut out = new_result(&format!(
+        "pilot_loss: {} sleep units on 2 pilots, kill at {}s, seed {}",
+        params.units, params.kill_at_s, params.seed
+    ));
+    let (e, baseline_s, _) = pilot_loss_case(params, false);
+    absorb_run(&mut out, "2 pilots, no loss", &e, "unit.run");
+    let (e, kill_s, rebinds) = pilot_loss_case(params, true);
+    absorb_run(&mut out, "pilot 0 killed mid-run", &e, "unit.run");
+    assert!(
+        kill_s > baseline_s,
+        "failover must cost makespan ({kill_s} vs {baseline_s})"
+    );
+    out.counters
+        .insert("bench.pilot_loss_rebinds".into(), rebinds);
+    out.counters.insert(
+        "bench.failover_overhead_ms".into(),
+        ((kill_s - baseline_s) * 1e3).round() as u64,
+    );
+    out
+}
+
 /// Run the named scenario once.
 pub fn run_scenario(name: &str) -> VirtualResult {
     match name {
@@ -264,6 +380,7 @@ pub fn run_scenario(name: &str) -> VirtualResult {
         "fig5_unit_startup" => run_fig5_unit_startup(),
         "fig6_kmeans" => run_fig6_kmeans(),
         "fault_matrix" => run_fault_matrix(FaultMatrixParams::default()),
+        "pilot_loss" => run_pilot_loss(PilotLossParams::default()),
         other => panic!("unknown scenario {other:?} (expected one of {SCENARIO_NAMES:?})"),
     }
 }

@@ -16,7 +16,7 @@ use std::rc::Rc;
 
 use rp_hpc::{Allocation, IoKind, NodeId, StorageTarget};
 use rp_saga::filetransfer::{transfer, Endpoint};
-use rp_sim::{Engine, FaultKind, SimDuration, SpanId};
+use rp_sim::{Engine, FaultKind, SimDuration, SimTime, SpanId};
 use rp_spark::SparkCluster;
 use rp_yarn::{
     bootstrap_mode_i_in_span, connect_mode_ii, AmHandle, HadoopEnv, Resource, ResourceRequest,
@@ -99,6 +99,14 @@ struct AgentInner {
     /// Live attempts owning agent resources, keyed by unit id. The
     /// Heartbeat Monitor scans these for runs stranded on dead nodes.
     active: BTreeMap<u64, ActiveRun>,
+    /// Units past execution (staging out / awaiting the Done round trip).
+    /// Ownership token: `terminate` drains this map, so a completion
+    /// callback that fires after the pilot died finds its unit gone and
+    /// must not flip the (possibly re-bound) unit's state.
+    finishing: BTreeMap<u64, UnitHandle>,
+    /// Hard end of the allocation (start + walltime): the reference for
+    /// walltime-aware draining.
+    deadline: Option<SimTime>,
     /// Set once any fault hit this pilot (crash detected, work requeued).
     degraded: bool,
     /// Idle RADICAL-Pilot Application Masters kept for reuse (§III-C
@@ -152,6 +160,7 @@ impl Agent {
                     .map(|&n| (n, machine.cluster.spec().cores_per_node))
                     .collect();
                 let committed_mem = alloc.nodes.iter().map(|&n| (n, 0u64)).collect();
+                let deadline = machine.batch.deadline(alloc.job_id);
                 let agent = Agent {
                     inner: Rc::new(RefCell::new(AgentInner {
                         pilot,
@@ -173,6 +182,8 @@ impl Agent {
                         slowdown: BTreeMap::new(),
                         staging_faults: 0,
                         active: BTreeMap::new(),
+                        finishing: BTreeMap::new(),
+                        deadline,
                         degraded: false,
                         am_pool: Vec::new(),
                         framework_bootstrap,
@@ -292,6 +303,10 @@ impl Agent {
             eng.metrics.incr("agent.heartbeats");
             eng.trace
                 .record(eng.now(), "agent", format!("{pilot:?} heartbeat"));
+            // Liveness signal for cross-pilot failover: the Unit-Manager's
+            // heartbeat-gap monitor reads this (droppable, no events).
+            let store = this.inner.borrow().store.clone();
+            store.report_heartbeat(eng, pilot);
             // The Heartbeat Monitor doubles as the failure detector: any
             // run stranded on a dead node is requeued (or failed) now.
             this.detect_dead_runs(eng);
@@ -351,6 +366,110 @@ impl Agent {
         engine
             .trace
             .record(engine.now(), "agent", format!("{pilot:?} stopped"));
+    }
+
+    /// Whole-pilot loss (walltime expiry, queue kill, batch failure).
+    /// Unlike `stop`, which cancels queued units, this invalidates every
+    /// in-flight attempt and reports all unfinished units back through
+    /// the coordination store so a Unit-Manager can re-bind them to
+    /// surviving pilots. Without a failover client listening it falls
+    /// back to the legacy `stop` semantics.
+    pub(crate) fn terminate(&self, engine: &mut Engine, cause: &str) {
+        if !self.inner.borrow().store.has_client() {
+            self.stop(engine);
+            return;
+        }
+        let (queued, spawn, active, finishing, access, pool, pilot) = {
+            let mut inner = self.inner.borrow_mut();
+            if inner.stopping {
+                return;
+            }
+            inner.stopping = true;
+            (
+                std::mem::take(&mut inner.queue),
+                std::mem::take(&mut inner.spawn_queue),
+                std::mem::take(&mut inner.active),
+                std::mem::take(&mut inner.finishing),
+                inner.access.clone(),
+                std::mem::take(&mut inner.am_pool),
+                inner.pilot,
+            )
+        };
+        self.inner.borrow().store.deregister_agent(pilot);
+        // Collect every unfinished unit the agent owns, exactly once.
+        // Killed attempts deliberately abandon their compute spans (same
+        // convention as node-crash recovery); the unit-level span closes
+        // when the Unit-Manager re-binds or fails the unit.
+        let mut seen = BTreeSet::new();
+        let mut unfinished = Vec::new();
+        for u in queued {
+            if seen.insert(u.id().0) && !u.state().is_final() {
+                unfinished.push(u);
+            }
+        }
+        for (u, _, alive) in spawn {
+            alive.set(false);
+            if seen.insert(u.id().0) && !u.state().is_final() {
+                unfinished.push(u);
+            }
+        }
+        for (_, run) in active {
+            run.alive.set(false);
+            if seen.insert(run.unit.id().0) && !run.unit.state().is_final() {
+                unfinished.push(run.unit);
+            }
+        }
+        for (id, u) in finishing {
+            if seen.insert(id) && !u.state().is_final() {
+                unfinished.push(u);
+            }
+        }
+        for am in pool {
+            am.finish(engine);
+        }
+        match access {
+            RuntimeAccess::Yarn { env, mode_i: true } => env.yarn.shutdown(engine),
+            RuntimeAccess::Spark { cluster } => cluster.shutdown(engine, |_| {}),
+            _ => {}
+        }
+        engine
+            .metrics
+            .add("agent.units_returned", unfinished.len() as u64);
+        engine.trace.record(
+            engine.now(),
+            "agent",
+            format!(
+                "{pilot:?} terminated ({cause}); returning {} unfinished units",
+                unfinished.len()
+            ),
+        );
+        let store = self.inner.borrow().store.clone();
+        store.return_units(engine, pilot, unfinished, cause);
+    }
+
+    /// Chaos hook: the agent process dies *silently* — heartbeats stop,
+    /// nothing is torn down or returned, and the batch job keeps running.
+    /// Stranded work is only recovered by a Unit-Manager heartbeat-gap
+    /// monitor or, eventually, the allocation's walltime expiry.
+    pub fn hang(&self, engine: &mut Engine) {
+        let (active, pilot) = {
+            let mut inner = self.inner.borrow_mut();
+            if inner.stopping {
+                return;
+            }
+            inner.stopping = true;
+            inner.finishing.clear();
+            (std::mem::take(&mut inner.active), inner.pilot)
+        };
+        for (_, run) in active {
+            run.alive.set(false);
+        }
+        self.inner.borrow().store.deregister_agent(pilot);
+        engine.trace.record(
+            engine.now(),
+            "agent",
+            format!("{pilot:?} hung (silent agent death)"),
+        );
     }
 
     // ---- unit intake & scheduling ----
@@ -421,18 +540,50 @@ impl Agent {
     }
 
     fn try_schedule(&self, engine: &mut Engine) {
+        let mut drained = Vec::new();
         loop {
             let next = {
                 let mut inner = self.inner.borrow_mut();
                 if inner.stopping {
-                    return;
+                    break;
                 }
-                inner.pop_schedulable()
+                // Walltime-aware draining only makes sense when someone is
+                // listening for returned units; otherwise a drained unit
+                // would be lost, which is strictly worse than trying it.
+                let drain_deadline = if inner.store.has_client() {
+                    inner.deadline
+                } else {
+                    None
+                };
+                inner.pop_schedulable(engine.now(), drain_deadline, &mut drained)
             };
             match next {
                 Some((unit, placement)) => self.begin_unit(engine, unit, placement),
-                None => return,
+                None => break,
             }
+        }
+        if !drained.is_empty() {
+            let (pilot, store) = {
+                let inner = self.inner.borrow();
+                (inner.pilot, inner.store.clone())
+            };
+            engine
+                .metrics
+                .add("agent.units_drained", drained.len() as u64);
+            engine.trace.record(
+                engine.now(),
+                "agent",
+                format!(
+                    "{pilot:?} draining {} units (insufficient walltime left)",
+                    drained.len()
+                ),
+            );
+            store.return_units(
+                engine,
+                pilot,
+                drained,
+                "drained: insufficient walltime left",
+            );
         }
     }
 
@@ -494,6 +645,13 @@ impl Agent {
             Box::new(move |eng, ok| {
                 if !alive2.get() {
                     // Killed while staging; the recovery path owns the unit.
+                    return;
+                }
+                if u2.state().is_final() {
+                    // Canceled while staging in: drop the attempt and free
+                    // its reservation instead of launching a final unit.
+                    this.inner.borrow_mut().active.remove(&u2.id().0);
+                    this.release(eng, placement);
                     return;
                 }
                 if !ok {
@@ -672,6 +830,13 @@ impl Agent {
                 // Killed during launch prep; the recovery path owns it.
                 return;
             }
+            if unit.state().is_final() {
+                // Canceled while queued for the spawner or during prep:
+                // never execute a final unit; just free its reservation.
+                this.inner.borrow_mut().active.remove(&unit.id().0);
+                this.release(eng, placement);
+                return;
+            }
             match placement {
                 p @ Placement::Nodes { .. } => {
                     if this.placement_lost(&p) {
@@ -680,8 +845,10 @@ impl Agent {
                     }
                     this.exec_on_nodes(eng, unit, p, alive)
                 }
-                Placement::Yarn { vcores, mem_mb } => this.exec_on_yarn(eng, unit, vcores, mem_mb),
-                Placement::Spark { cores } => this.exec_on_spark(eng, unit, cores),
+                Placement::Yarn { vcores, mem_mb } => {
+                    this.exec_on_yarn(eng, unit, vcores, mem_mb, alive)
+                }
+                Placement::Spark { cores } => this.exec_on_spark(eng, unit, cores, alive),
             }
         });
     }
@@ -829,7 +996,14 @@ impl Agent {
 
     // ---- YARN execution (the RADICAL-Pilot YARN application, Fig. 4) ----
 
-    fn exec_on_yarn(&self, engine: &mut Engine, unit: UnitHandle, vcores: u32, mem_mb: u64) {
+    fn exec_on_yarn(
+        &self,
+        engine: &mut Engine,
+        unit: UnitHandle,
+        vcores: u32,
+        mem_mb: u64,
+        run_alive: Rc<Cell<bool>>,
+    ) {
         let env = match &self.inner.borrow().access {
             RuntimeAccess::Yarn { env, .. } => env.clone(),
             _ => unreachable!("yarn placement on non-yarn pilot"),
@@ -853,6 +1027,10 @@ impl Agent {
                 spec,
                 unit.open_span(),
                 move |eng, stats| {
+                    if !run_alive.get() {
+                        // Pilot terminated mid-job; the UM owns the unit.
+                        return;
+                    }
                     u2.rec.borrow_mut().mr_stats = Some(stats);
                     this.complete_unit(eng, u2.clone(), Placement::Yarn { vcores, mem_mb });
                 },
@@ -883,7 +1061,7 @@ impl Agent {
                     "agent",
                     format!("{:?} reusing pooled AM", unit.id()),
                 );
-                this.yarn_task_container(engine, am, req, unit, vcores, mem_mb);
+                this.yarn_task_container(engine, am, req, unit, vcores, mem_mb, run_alive);
             }
             None => {
                 let name = format!("rp-yarn-app-{:?}", unit.id());
@@ -903,7 +1081,7 @@ impl Agent {
                     ResourceRequest::new(1, 1536),
                     move |eng, am| {
                         eng.trace.span_end(eng.now(), span);
-                        this2.yarn_task_container(eng, am, req, unit, vcores, mem_mb);
+                        this2.yarn_task_container(eng, am, req, unit, vcores, mem_mb, run_alive);
                     },
                 );
             }
@@ -914,6 +1092,7 @@ impl Agent {
     /// RM preemption: a preempted attempt re-requests a fresh container
     /// and re-runs the work from the start (the "dynamic set of
     /// resources" behaviour YARN applications must implement, §III-B).
+    #[allow(clippy::too_many_arguments)]
     fn yarn_task_container(
         &self,
         engine: &mut Engine,
@@ -922,11 +1101,14 @@ impl Agent {
         unit: UnitHandle,
         vcores: u32,
         mem_mb: u64,
+        run_alive: Rc<Cell<bool>>,
     ) {
         let this = self.clone();
         let am_for_cb = am.clone();
         let alive = Rc::new(std::cell::Cell::new(true));
         let alive_preempt = alive.clone();
+        let run_alive_preempt = run_alive.clone();
+        let run_alive_grant = run_alive.clone();
         let retry = {
             let this = self.clone();
             let am = am.clone();
@@ -934,6 +1116,10 @@ impl Agent {
             let unit = unit.clone();
             move |eng: &mut Engine, container: rp_yarn::Container| {
                 alive_preempt.set(false);
+                if !run_alive_preempt.get() {
+                    // Pilot terminated; the UM owns this unit now.
+                    return;
+                }
                 let policy = unit.description().retry;
                 let attempts = unit.attempts();
                 if attempts >= policy.max_attempts {
@@ -962,8 +1148,9 @@ impl Agent {
                 let am2 = am.clone();
                 let req2 = req.clone();
                 let u2 = unit.clone();
+                let ra2 = run_alive_preempt.clone();
                 eng.schedule_in(policy.backoff(attempts + 1), move |eng| {
-                    this2.yarn_task_container(eng, am2, req2, u2, vcores, mem_mb);
+                    this2.yarn_task_container(eng, am2, req2, u2, vcores, mem_mb, ra2);
                 });
             }
         };
@@ -979,6 +1166,18 @@ impl Agent {
         am.request_container_preemptible(engine, req, retry, move |eng, container| {
             eng.trace.span_end(eng.now(), alloc_span);
             let am = am_for_cb;
+            if !run_alive_grant.get() {
+                // Granted after the pilot died; nothing to run any more.
+                return;
+            }
+            if unit.state().is_final() {
+                // Canceled while the container was allocated: free it all.
+                am.release_container(eng, container.id);
+                am.finish(eng);
+                this.inner.borrow_mut().active.remove(&unit.id().0);
+                this.release(eng, Placement::Yarn { vcores, mem_mb });
+                return;
+            }
             unit.rec.borrow_mut().exec_nodes = vec![container.node];
             // On a preemption restart the unit is already Executing.
             if unit.state() != UnitState::Executing {
@@ -994,9 +1193,9 @@ impl Agent {
                 &[(container.node, cores)],
                 &alive.clone(),
                 move |eng| {
-                    if !alive.get() {
-                        // This attempt was preempted mid-flight; the restart
-                        // owns the unit now.
+                    if !alive.get() || !run_alive.get() {
+                        // This attempt was preempted mid-flight (the restart
+                        // owns the unit) or the pilot died (the UM does).
                         return;
                     }
                     am2.release_container(eng, container.id);
@@ -1020,7 +1219,13 @@ impl Agent {
 
     // ---- Spark execution ----
 
-    fn exec_on_spark(&self, engine: &mut Engine, unit: UnitHandle, gate_cores: u32) {
+    fn exec_on_spark(
+        &self,
+        engine: &mut Engine,
+        unit: UnitHandle,
+        gate_cores: u32,
+        run_alive: Rc<Cell<bool>>,
+    ) {
         let spark = match &self.inner.borrow().access {
             RuntimeAccess::Spark { cluster } => cluster.clone(),
             _ => unreachable!("spark placement on non-spark pilot"),
@@ -1032,12 +1237,12 @@ impl Agent {
             unit.advance(engine, UnitState::Executing);
             let this = self.clone();
             let u2 = unit.clone();
-            rp_spark::run_simulated_app(
-                engine,
-                &cluster,
-                &spark,
-                spec,
-                move |eng, res| match res {
+            rp_spark::run_simulated_app(engine, &cluster, &spark, spec, move |eng, res| {
+                if !run_alive.get() {
+                    // Pilot terminated mid-job; the UM owns the unit.
+                    return;
+                }
+                match res {
                     Ok(_stats) => {
                         this.complete_unit(eng, u2.clone(), Placement::Spark { cores: gate_cores })
                     }
@@ -1049,8 +1254,8 @@ impl Agent {
                             &format!("spark job failed: {e}"),
                         );
                     }
-                },
-            );
+                }
+            });
             return;
         }
         let (cores, core_seconds) = match d.work {
@@ -1066,31 +1271,49 @@ impl Agent {
         let cluster = self.inner.borrow().machine.cluster.clone();
         let pilot_id = self.inner.borrow().pilot;
         let spark_cb = spark.clone();
-        spark.submit_app(engine, cores, move |eng, result| match result {
-            Ok((app_id, grants)) => {
-                unit.rec.borrow_mut().exec_nodes = grants.iter().map(|g| g.node).collect();
-                unit.advance(eng, UnitState::Executing);
-                let span =
-                    eng.trace
-                        .span_begin(eng.now(), "unit", "unit.compute", unit.open_span());
-                eng.trace.span_attr(span, "pilot", pilot_id.0.to_string());
-                eng.trace.span_attr(span, "cores", cores.to_string());
-                let dur = cluster.compute_duration(core_seconds / cores.max(1) as f64);
-                let u2 = unit.clone();
-                let spark = spark_cb;
-                eng.schedule_in(dur, move |eng| {
-                    eng.trace.span_end(eng.now(), span);
-                    spark.finish_app(eng, app_id);
-                    this.complete_unit(eng, u2.clone(), Placement::Spark { cores: gate_cores });
-                });
+        spark.submit_app(engine, cores, move |eng, result| {
+            if !run_alive.get() {
+                // Granted (or refused) after the pilot died; nothing to run.
+                return;
             }
-            Err(e) => {
-                this.fail_and_release(
-                    eng,
-                    unit.clone(),
-                    Placement::Spark { cores: gate_cores },
-                    &format!("spark submission failed: {e}"),
-                );
+            match result {
+                Ok((app_id, grants)) => {
+                    if unit.state().is_final() {
+                        // Canceled while waiting for executor cores.
+                        spark_cb.finish_app(eng, app_id);
+                        this.inner.borrow_mut().active.remove(&unit.id().0);
+                        this.release(eng, Placement::Spark { cores: gate_cores });
+                        return;
+                    }
+                    unit.rec.borrow_mut().exec_nodes = grants.iter().map(|g| g.node).collect();
+                    unit.advance(eng, UnitState::Executing);
+                    let span =
+                        eng.trace
+                            .span_begin(eng.now(), "unit", "unit.compute", unit.open_span());
+                    eng.trace.span_attr(span, "pilot", pilot_id.0.to_string());
+                    eng.trace.span_attr(span, "cores", cores.to_string());
+                    let dur = cluster.compute_duration(core_seconds / cores.max(1) as f64);
+                    let u2 = unit.clone();
+                    let spark = spark_cb;
+                    eng.schedule_in(dur, move |eng| {
+                        if !run_alive.get() {
+                            // Killed mid-run: abandon the compute span open
+                            // (kill semantics) and leave the unit to the UM.
+                            return;
+                        }
+                        eng.trace.span_end(eng.now(), span);
+                        spark.finish_app(eng, app_id);
+                        this.complete_unit(eng, u2.clone(), Placement::Spark { cores: gate_cores });
+                    });
+                }
+                Err(e) => {
+                    this.fail_and_release(
+                        eng,
+                        unit.clone(),
+                        Placement::Spark { cores: gate_cores },
+                        &format!("spark submission failed: {e}"),
+                    );
+                }
             }
         });
     }
@@ -1099,7 +1322,15 @@ impl Agent {
 
     fn complete_unit(&self, engine: &mut Engine, unit: UnitHandle, placement: Placement) {
         // The attempt survived execution; it no longer needs crash recovery.
-        self.inner.borrow_mut().active.remove(&unit.id().0);
+        // The `finishing` entry is this path's ownership token: `terminate`
+        // drains it when the pilot dies, after which the stale staging /
+        // roundtrip continuations below must not touch the (possibly
+        // re-bound) unit.
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.active.remove(&unit.id().0);
+            inner.finishing.insert(unit.id().0, unit.clone());
+        }
         unit.advance(engine, UnitState::StagingOutput);
         let directives = unit.description().output_staging;
         let primary = unit.exec_nodes().first().copied();
@@ -1111,7 +1342,11 @@ impl Agent {
             primary,
             unit,
             Box::new(move |eng, ok| {
+                if !this.inner.borrow().finishing.contains_key(&u2.id().0) {
+                    return; // pilot died while staging out; UM owns the unit
+                }
                 if !ok {
+                    this.inner.borrow_mut().finishing.remove(&u2.id().0);
                     u2.fail(eng, "output staging failed after retries");
                     this.release(eng, placement);
                     return;
@@ -1122,6 +1357,15 @@ impl Agent {
                 let store = this.inner.borrow().store.clone();
                 let this2 = this.clone();
                 store.roundtrip(eng, move |eng| {
+                    if this2
+                        .inner
+                        .borrow_mut()
+                        .finishing
+                        .remove(&u2.id().0)
+                        .is_none()
+                    {
+                        return; // pilot died mid-roundtrip; UM owns the unit
+                    }
                     u2.advance(eng, UnitState::Done);
                     eng.metrics.incr("agent.units_completed");
                     this2.inner.borrow_mut().units_completed += 1;
@@ -1259,6 +1503,11 @@ impl Agent {
             }
             FaultKind::StagingError => {
                 self.inner.borrow_mut().staging_faults += 1;
+            }
+            FaultKind::PilotKill { .. } => {
+                // Whole-pilot loss is routed at the Pilot-Manager level (the
+                // placeholder batch job is killed and `terminate` runs from
+                // its end-callback); nothing to do inside the agent itself.
             }
         }
     }
@@ -1415,10 +1664,48 @@ impl Agent {
 }
 
 impl AgentInner {
+    /// Expected runtime of a unit's work on this machine, where the model
+    /// admits a prediction. `None` ⇒ unknown, and the unit is always
+    /// admitted (draining must not starve unpredictable work).
+    fn expected_runtime(
+        &self,
+        d: &crate::description::ComputeUnitDescription,
+    ) -> Option<SimDuration> {
+        match &d.work {
+            WorkSpec::Sleep(dur) => Some(*dur),
+            WorkSpec::Compute { core_seconds, .. } => Some(
+                self.machine
+                    .cluster
+                    .compute_duration(core_seconds / d.cores.max(1) as f64),
+            ),
+            _ => None,
+        }
+    }
+
     /// Find, reserve and pop the first schedulable unit (FIFO with skip).
-    /// Units cancelled while queued are dropped here.
-    fn pop_schedulable(&mut self) -> Option<(UnitHandle, Placement)> {
+    /// Units cancelled while queued are dropped here. With a drain
+    /// deadline set, units whose expected runtime no longer fits the
+    /// remaining walltime (minus the configured safety margin) are moved
+    /// to `drained` instead of being admitted — the caller hands them
+    /// back to the Unit-Manager.
+    fn pop_schedulable(
+        &mut self,
+        now: SimTime,
+        drain_deadline: Option<SimTime>,
+        drained: &mut Vec<UnitHandle>,
+    ) -> Option<(UnitHandle, Placement)> {
         self.queue.retain(|u| !u.state().is_final());
+        if let Some(deadline) = drain_deadline {
+            let margin = SimDuration::from_secs_f64(self.cfg.drain_margin_s);
+            let mut keep = VecDeque::with_capacity(self.queue.len());
+            for u in std::mem::take(&mut self.queue) {
+                match self.expected_runtime(&u.description()) {
+                    Some(est) if now + est + margin > deadline => drained.push(u),
+                    _ => keep.push_back(u),
+                }
+            }
+            self.queue = keep;
+        }
         for i in 0..self.queue.len() {
             let d = self.queue[i].description();
             let placement = match &self.access {

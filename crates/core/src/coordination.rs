@@ -5,14 +5,60 @@
 //! three latencies that matter: document write, agent poll cadence, and
 //! state-update round trips. Poll events are armed only while documents
 //! are pending, so an idle session drains the event queue.
+//!
+//! Delivery is **at-least-once**: with a lossy [`LossProfile`] a message
+//! may be dropped (it is retransmitted after a poll interval), delayed, or
+//! delivered twice. Every message carries a sequence number and receivers
+//! ignore sequences they already applied, so the visible effect of each
+//! logical message happens exactly once. With the default lossless
+//! profile the store never touches its private RNG and the event schedule
+//! is bit-identical to the ideal exactly-once store.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
-use rp_sim::{Engine, SimDuration, SimTime};
+use rp_sim::{Engine, SimDuration, SimRng, SimTime};
 
 use crate::unit::{PilotId, UnitHandle};
+
+/// Message-loss model of the store's transport. All-zero (the default)
+/// means exact delivery; the store's private RNG is then never consumed,
+/// so enabling the fields later cannot perturb existing runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LossProfile {
+    /// Probability a delivery attempt is dropped. Dropped messages are
+    /// retransmitted after one poll interval (at-least-once), except
+    /// heartbeats, which are fire-and-forget.
+    pub drop_p: f64,
+    /// Probability a delivered message arrives twice (duplicate apply is
+    /// suppressed by sequence-number dedup).
+    pub dup_p: f64,
+    /// Extra uniform delivery delay in `[0, delay_jitter_ms)` per copy.
+    pub delay_jitter_ms: f64,
+    /// Seed of the store's private RNG stream (kept apart from the
+    /// engine's so traces without loss stay bit-identical).
+    pub seed: u64,
+}
+
+impl LossProfile {
+    pub const NONE: LossProfile = LossProfile {
+        drop_p: 0.0,
+        dup_p: 0.0,
+        delay_jitter_ms: 0.0,
+        seed: 0,
+    };
+
+    pub fn is_lossless(&self) -> bool {
+        self.drop_p <= 0.0 && self.dup_p <= 0.0 && self.delay_jitter_ms <= 0.0
+    }
+}
+
+impl Default for LossProfile {
+    fn default() -> Self {
+        LossProfile::NONE
+    }
+}
 
 /// Latency model of the store.
 #[derive(Debug, Clone)]
@@ -23,6 +69,8 @@ pub struct CoordinationConfig {
     pub update_ms: f64,
     /// Agent poll interval (ms). Pickup delay ≈ write + U(0, poll).
     pub poll_ms: u64,
+    /// Transport loss model (lossless by default).
+    pub loss: LossProfile,
 }
 
 impl Default for CoordinationConfig {
@@ -31,6 +79,7 @@ impl Default for CoordinationConfig {
             write_ms: 60.0,
             update_ms: 60.0,
             poll_ms: 1_000,
+            loss: LossProfile::NONE,
         }
     }
 }
@@ -49,11 +98,30 @@ struct AgentRegistration {
     poll_armed: bool,
 }
 
+type ClientFn = Rc<dyn Fn(&mut Engine, PilotId, Vec<UnitHandle>, &str)>;
+type ApplyFn = Box<dyn FnOnce(&mut Engine)>;
+
 struct StoreInner {
     config: CoordinationConfig,
     queues: HashMap<PilotId, PilotQueue>,
     docs_written: u64,
     polls: u64,
+    /// Private RNG of the lossy transport; `None` for lossless profiles
+    /// (never constructed, never consumed).
+    rng: Option<SimRng>,
+    /// Sequence counter stamped on every message.
+    next_seq: u64,
+    /// Sequences already applied (receiver-side idempotency).
+    applied: HashSet<u64>,
+    /// The Unit-Manager-side client that accepts units an agent hands
+    /// back (pilot loss, walltime draining).
+    client: Option<ClientFn>,
+    /// Last heartbeat seen per pilot (heartbeats are droppable and never
+    /// retransmitted — exactly the signal a gap detector must tolerate).
+    heartbeats: HashMap<PilotId, SimTime>,
+    msgs_dropped: u64,
+    msgs_duplicated: u64,
+    dup_applies_ignored: u64,
 }
 
 /// Shared handle to the session's coordination store.
@@ -64,12 +132,25 @@ pub struct CoordinationStore {
 
 impl CoordinationStore {
     pub fn new(config: CoordinationConfig) -> CoordinationStore {
+        let rng = if config.loss.is_lossless() {
+            None
+        } else {
+            Some(SimRng::new(config.loss.seed ^ 0xC0_u64.rotate_left(56)))
+        };
         CoordinationStore {
             inner: Rc::new(RefCell::new(StoreInner {
                 config,
                 queues: HashMap::new(),
                 docs_written: 0,
                 polls: 0,
+                rng,
+                next_seq: 0,
+                applied: HashSet::new(),
+                client: None,
+                heartbeats: HashMap::new(),
+                msgs_dropped: 0,
+                msgs_duplicated: 0,
+                dup_applies_ignored: 0,
             })),
         }
     }
@@ -88,6 +169,110 @@ impl CoordinationStore {
         self.inner.borrow().polls
     }
 
+    /// Messages the lossy transport dropped (each was retransmitted).
+    pub fn msgs_dropped(&self) -> u64 {
+        self.inner.borrow().msgs_dropped
+    }
+
+    /// Messages the lossy transport delivered twice.
+    pub fn msgs_duplicated(&self) -> u64 {
+        self.inner.borrow().msgs_duplicated
+    }
+
+    /// Duplicate applies suppressed by sequence-number dedup.
+    pub fn dup_applies_ignored(&self) -> u64 {
+        self.inner.borrow().dup_applies_ignored
+    }
+
+    /// Stamp a fresh sequence number and hand the message to the
+    /// transport. `apply` runs exactly once even though the transport may
+    /// drop (→ retransmit after a poll interval) or duplicate deliveries.
+    fn send(
+        &self,
+        engine: &mut Engine,
+        latency: SimDuration,
+        label: &'static str,
+        apply: impl FnOnce(&mut Engine) + 'static,
+    ) {
+        let seq = {
+            let mut inner = self.inner.borrow_mut();
+            inner.next_seq += 1;
+            inner.next_seq
+        };
+        let apply: Rc<RefCell<Option<ApplyFn>>> = Rc::new(RefCell::new(Some(Box::new(apply))));
+        self.transmit(engine, seq, latency, label, apply);
+    }
+
+    /// One delivery attempt of message `seq` (re-entered on retransmit).
+    fn transmit(
+        &self,
+        engine: &mut Engine,
+        seq: u64,
+        latency: SimDuration,
+        label: &'static str,
+        apply: Rc<RefCell<Option<ApplyFn>>>,
+    ) {
+        let (dropped, duplicated, retry_after) = {
+            let mut inner = self.inner.borrow_mut();
+            let loss = inner.config.loss;
+            let poll = SimDuration(inner.config.poll_ms * 1_000);
+            match inner.rng.as_mut() {
+                None => (false, false, poll),
+                Some(rng) => (rng.chance(loss.drop_p), rng.chance(loss.dup_p), poll),
+            }
+        };
+        if dropped {
+            self.inner.borrow_mut().msgs_dropped += 1;
+            engine.metrics.incr("coordination.msgs_dropped");
+            engine.trace.record(
+                engine.now(),
+                "store",
+                format!("{label} #{seq} dropped; retransmit in {retry_after}"),
+            );
+            let this = self.clone();
+            engine.schedule_in(latency + retry_after, move |eng| {
+                this.transmit(eng, seq, latency, label, apply);
+            });
+            return;
+        }
+        let copies = if duplicated {
+            self.inner.borrow_mut().msgs_duplicated += 1;
+            engine.metrics.incr("coordination.msgs_duplicated");
+            engine.trace.record(
+                engine.now(),
+                "store",
+                format!("{label} #{seq} duplicated in flight"),
+            );
+            2
+        } else {
+            1
+        };
+        for _ in 0..copies {
+            let jitter = {
+                let mut inner = self.inner.borrow_mut();
+                let jitter_ms = inner.config.loss.delay_jitter_ms;
+                match inner.rng.as_mut() {
+                    Some(rng) if jitter_ms > 0.0 => {
+                        SimDuration::from_secs_f64(rng.uniform(0.0, jitter_ms) / 1e3)
+                    }
+                    _ => SimDuration(0),
+                }
+            };
+            let this = self.clone();
+            let apply = apply.clone();
+            engine.schedule_in(latency + jitter, move |eng| {
+                if !this.inner.borrow_mut().applied.insert(seq) {
+                    this.inner.borrow_mut().dup_applies_ignored += 1;
+                    eng.metrics.incr("coordination.dup_applies_ignored");
+                    return;
+                }
+                if let Some(f) = apply.borrow_mut().take() {
+                    f(eng);
+                }
+            });
+        }
+    }
+
     /// Queue unit documents for a pilot (U.2). The write latency is paid
     /// before the documents become visible to the agent's polls.
     pub fn push_units(&self, engine: &mut Engine, pilot: PilotId, units: Vec<UnitHandle>) {
@@ -96,7 +281,7 @@ impl CoordinationStore {
         }
         let write = SimDuration::from_secs_f64(self.inner.borrow().config.write_ms / 1e3);
         let this = self.clone();
-        engine.schedule_in(write, move |eng| {
+        self.send(engine, write, "push_units", move |eng| {
             {
                 let mut inner = this.inner.borrow_mut();
                 inner.docs_written += units.len() as u64;
@@ -161,7 +346,71 @@ impl CoordinationStore {
     /// Pay the state-update round trip, then run `cb` (client visibility).
     pub fn roundtrip(&self, engine: &mut Engine, cb: impl FnOnce(&mut Engine) + 'static) {
         let update = SimDuration::from_secs_f64(self.inner.borrow().config.update_ms / 1e3);
-        engine.schedule_in(update, cb);
+        self.send(engine, update, "update", cb);
+    }
+
+    /// Register the Unit-Manager-side client that accepts units an agent
+    /// hands back (pilot loss, walltime draining). At most one client per
+    /// session; registering is what arms the failover paths — without a
+    /// client, agents keep their legacy cancel-on-teardown behavior.
+    pub fn register_client(
+        &self,
+        on_returned: impl Fn(&mut Engine, PilotId, Vec<UnitHandle>, &str) + 'static,
+    ) {
+        self.inner.borrow_mut().client = Some(Rc::new(on_returned));
+    }
+
+    /// Whether a failover client is listening for returned units.
+    pub fn has_client(&self) -> bool {
+        self.inner.borrow().client.is_some()
+    }
+
+    /// Agent → Unit-Manager: report units this pilot can no longer run
+    /// (walltime drain) or finish (pilot death). Travels the lossy
+    /// transport like any state update; the receiving Unit-Manager's
+    /// re-bind is idempotent, so duplicates and stale arrivals are safe.
+    pub fn return_units(
+        &self,
+        engine: &mut Engine,
+        pilot: PilotId,
+        units: Vec<UnitHandle>,
+        cause: impl Into<String>,
+    ) {
+        if units.is_empty() {
+            return;
+        }
+        let update = SimDuration::from_secs_f64(self.inner.borrow().config.update_ms / 1e3);
+        let cause = cause.into();
+        let this = self.clone();
+        engine
+            .metrics
+            .add("coordination.units_returned", units.len() as u64);
+        self.send(engine, update, "return_units", move |eng| {
+            let client = this.inner.borrow().client.clone();
+            if let Some(cb) = client {
+                cb(eng, pilot, units, &cause);
+            }
+        });
+    }
+
+    /// Record an agent heartbeat. Heartbeats are fire-and-forget: a lossy
+    /// transport may drop them silently (no retransmit) — exactly the
+    /// signal a heartbeat-gap detector must tolerate. Schedules nothing.
+    pub fn report_heartbeat(&self, engine: &Engine, pilot: PilotId) {
+        let mut inner = self.inner.borrow_mut();
+        let drop_p = inner.config.loss.drop_p;
+        let dropped = match inner.rng.as_mut() {
+            Some(rng) if drop_p > 0.0 => rng.chance(drop_p),
+            _ => false,
+        };
+        if !dropped {
+            inner.heartbeats.insert(pilot, engine.now());
+        }
+    }
+
+    /// Last heartbeat seen from `pilot`'s agent, if any.
+    pub fn last_heartbeat(&self, pilot: PilotId) -> Option<SimTime> {
+        self.inner.borrow().heartbeats.get(&pilot).copied()
     }
 
     /// Arm the next poll for `pilot` if documents are pending, a consumer
@@ -318,5 +567,103 @@ mod tests {
         s.push_units(&mut e, PilotId(0), vec![]);
         e.run();
         assert_eq!(s.docs_written(), 0);
+    }
+
+    fn lossy_store(drop_p: f64, dup_p: f64, seed: u64) -> CoordinationStore {
+        CoordinationStore::new(CoordinationConfig {
+            loss: LossProfile {
+                drop_p,
+                dup_p,
+                delay_jitter_ms: 20.0,
+                seed,
+            },
+            ..CoordinationConfig::default()
+        })
+    }
+
+    #[test]
+    fn dropped_messages_are_retransmitted_until_delivered() {
+        let mut e = Engine::new(1);
+        let s = lossy_store(0.7, 0.0, 9);
+        let got = Rc::new(RefCell::new(0usize));
+        let g = got.clone();
+        s.register_agent(&mut e, PilotId(0), move |_, batch| {
+            *g.borrow_mut() += batch.len();
+        });
+        for i in 0..20 {
+            s.push_units(&mut e, PilotId(0), vec![unit(i)]);
+        }
+        e.run();
+        // At-least-once: every push eventually lands despite 70% drops.
+        assert_eq!(*got.borrow(), 20);
+        assert!(s.msgs_dropped() > 0, "with p=0.7 some of 20 writes drop");
+    }
+
+    #[test]
+    fn duplicated_deliveries_apply_once() {
+        let mut e = Engine::new(1);
+        let s = lossy_store(0.0, 1.0, 3);
+        let applies = Rc::new(RefCell::new(0usize));
+        for _ in 0..5 {
+            let a = applies.clone();
+            s.roundtrip(&mut e, move |_| *a.borrow_mut() += 1);
+        }
+        e.run();
+        assert_eq!(*applies.borrow(), 5, "dup deliveries must not re-apply");
+        assert_eq!(s.msgs_duplicated(), 5);
+        assert_eq!(s.dup_applies_ignored(), 5);
+    }
+
+    #[test]
+    fn lossless_store_schedule_is_unchanged_by_loss_plumbing() {
+        // Same seed, one store lossless, one with all-zero loss profile
+        // explicitly: delivery times must be identical to the legacy
+        // exactly-once behavior (write 60 ms → poll boundary at 1 s).
+        let mut e = Engine::new(1);
+        let s = store();
+        let at = Rc::new(RefCell::new(SimTime::ZERO));
+        let a = at.clone();
+        s.register_agent(&mut e, PilotId(0), move |eng, _| {
+            *a.borrow_mut() = eng.now();
+        });
+        s.push_units(&mut e, PilotId(0), vec![unit(0)]);
+        e.run();
+        assert_eq!(*at.borrow(), SimTime::from_secs_f64(1.0));
+        assert_eq!(s.msgs_dropped(), 0);
+        assert_eq!(s.msgs_duplicated(), 0);
+    }
+
+    #[test]
+    fn returned_units_reach_registered_client() {
+        let mut e = Engine::new(1);
+        let s = store();
+        assert!(!s.has_client());
+        let got: Rc<RefCell<Vec<(PilotId, usize, String)>>> = Rc::new(RefCell::new(Vec::new()));
+        let g = got.clone();
+        s.register_client(move |_, pilot, units, cause| {
+            g.borrow_mut().push((pilot, units.len(), cause.to_string()));
+        });
+        assert!(s.has_client());
+        s.return_units(&mut e, PilotId(3), vec![unit(0), unit(1)], "walltime");
+        // Empty returns are no-ops.
+        s.return_units(&mut e, PilotId(3), vec![], "walltime");
+        e.run();
+        let got = got.borrow();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0], (PilotId(3), 2, "walltime".to_string()));
+    }
+
+    #[test]
+    fn heartbeats_recorded_and_droppable() {
+        let e = Engine::new(1);
+        let s = store();
+        assert_eq!(s.last_heartbeat(PilotId(0)), None);
+        s.report_heartbeat(&e, PilotId(0));
+        assert_eq!(s.last_heartbeat(PilotId(0)), Some(SimTime::ZERO));
+        assert_eq!(e.pending(), 0, "heartbeats schedule nothing");
+        // A fully lossy transport swallows every heartbeat.
+        let lossy = lossy_store(1.0, 0.0, 4);
+        lossy.report_heartbeat(&e, PilotId(0));
+        assert_eq!(lossy.last_heartbeat(PilotId(0)), None);
     }
 }

@@ -195,6 +195,11 @@ pub struct ComputeUnitDescription {
     /// Failure-recovery policy applied by the agent when the unit's node
     /// crashes, its container is killed, or a staging transfer faults.
     pub retry: RetryPolicy,
+    /// How many times the Unit-Manager may re-bind the unit to another
+    /// pilot after a pilot loss or walltime drain before declaring it
+    /// `Failed` (late binding makes units pilot-agnostic, but an unlucky
+    /// unit must not bounce forever).
+    pub max_rebinds: u32,
 }
 
 impl ComputeUnitDescription {
@@ -209,11 +214,17 @@ impl ComputeUnitDescription {
             input_staging: Vec::new(),
             output_staging: Vec::new(),
             retry: RetryPolicy::default(),
+            max_rebinds: 2,
         }
     }
 
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    pub fn with_max_rebinds(mut self, max_rebinds: u32) -> Self {
+        self.max_rebinds = max_rebinds;
         self
     }
 

@@ -6,7 +6,9 @@
 //! Monitor, retry with capped exponential backoff, YARN/HDFS failure
 //! propagation for Mode I pilots.
 
-use rp_sim::{Engine, FaultInjector, FaultPlan};
+use std::cell::Cell;
+
+use rp_sim::{Engine, FaultInjector, FaultKind, FaultPlan};
 
 use crate::manager::PilotHandle;
 
@@ -15,10 +17,31 @@ use crate::manager::PilotHandle;
 /// pilot's agent is up are dropped — a fault plan normally targets the
 /// workload phase, not bootstrap.
 pub fn install_faults(engine: &mut Engine, plan: &FaultPlan, pilot: &PilotHandle) -> FaultInjector {
+    install_faults_multi(engine, plan, std::slice::from_ref(pilot))
+}
+
+/// Install `plan` against a set of pilots. [`FaultKind::PilotKill`] kills
+/// `pilots[pilot % len]` outright (batch-job loss); every other fault
+/// kind targets one pilot's agent, rotating round-robin so a multi-pilot
+/// session degrades evenly. With a single pilot this is exactly
+/// [`install_faults`].
+pub fn install_faults_multi(
+    engine: &mut Engine,
+    plan: &FaultPlan,
+    pilots: &[PilotHandle],
+) -> FaultInjector {
+    assert!(!pilots.is_empty(), "install_faults_multi needs a pilot");
     let injector = FaultInjector::new();
-    let pilot = pilot.clone();
+    let pilots: Vec<PilotHandle> = pilots.to_vec();
+    let cursor = Cell::new(0usize);
     injector.on_fault(move |eng, kind| {
-        if let Some(agent) = pilot.agent() {
+        if let FaultKind::PilotKill { pilot } = kind {
+            pilots[pilot % pilots.len()].kill(eng);
+            return;
+        }
+        let i = cursor.get();
+        cursor.set((i + 1) % pilots.len());
+        if let Some(agent) = pilots[i % pilots.len()].agent() {
             agent.apply_fault(eng, kind);
         }
     });

@@ -50,7 +50,7 @@ pub mod states;
 pub mod unit;
 
 pub use agent::Agent;
-pub use coordination::{CoordinationConfig, CoordinationStore};
+pub use coordination::{CoordinationConfig, CoordinationStore, LossProfile};
 pub use data::{
     remote_bytes, DataError, DataPilot, DataPilotBackend, DataPilotDescription, DataUnit,
     DataUnitDescription, DataUnitId, DataUnitState, LogicalFile,
@@ -59,9 +59,11 @@ pub use description::{
     AccessMode, ComputeUnitDescription, PilotDescription, RetryPolicy, StageEndpoint,
     StagingDirective, UnitIoTarget, WorkSpec,
 };
-pub use fault::install_faults;
+pub use fault::{install_faults, install_faults_multi};
 pub use launch::LaunchMethod;
-pub use manager::{PilotHandle, PilotManager, PilotTimestamps, UmScheduler, UnitManager};
+pub use manager::{
+    BackfillHook, PilotHandle, PilotManager, PilotTimestamps, UmScheduler, UnitManager,
+};
 pub use session::{MachineHandle, PilotError, Session, SessionConfig};
 pub use states::{PilotState, UnitState};
 pub use unit::{when_all_done, PilotId, UnitHandle, UnitId, UnitTimestamps};

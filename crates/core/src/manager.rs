@@ -41,6 +41,8 @@ impl PilotTimestamps {
     }
 }
 
+type FinalWaiter = Box<dyn FnOnce(&mut Engine, PilotState)>;
+
 struct PilotRecord {
     id: PilotId,
     descr: PilotDescription,
@@ -53,6 +55,9 @@ struct PilotRecord {
     /// phase span — both `NONE` when tracing is disabled.
     span_root: SpanId,
     span_open: SpanId,
+    /// Callbacks fired once when the pilot reaches a final state (the
+    /// Unit-Manager's failover monitor registers here).
+    waiters: Vec<FinalWaiter>,
 }
 
 /// Shared handle to a pilot. Cheap to clone.
@@ -98,8 +103,36 @@ impl PilotHandle {
         self.rec.borrow().span_open
     }
 
+    /// Run `cb` once the pilot reaches a final state. Returns `false` if
+    /// it is already final — the callback is not retained then, and the
+    /// caller handles the already-final case inline.
+    pub fn watch_final(&self, cb: impl FnOnce(&mut Engine, PilotState) + 'static) -> bool {
+        let mut rec = self.rec.borrow_mut();
+        if rec.state.get().is_final() {
+            return false;
+        }
+        rec.waiters.push(Box::new(cb));
+        true
+    }
+
+    /// Kill the pilot's placeholder batch job (queue kill, hardware loss).
+    /// The job's end-callback then terminates the agent, which reports
+    /// every unfinished unit back through the coordination store for
+    /// cross-pilot re-binding. No-op on final pilots.
+    pub fn kill(&self, engine: &mut Engine) {
+        if self.state().is_final() {
+            return;
+        }
+        let job = self.rec.borrow().saga_job.clone();
+        match job {
+            Some(job) => job.fail(engine),
+            // Never made it into the batch system; fail directly.
+            None => self.advance(engine, PilotState::Failed),
+        }
+    }
+
     fn advance(&self, engine: &mut Engine, next: PilotState) {
-        {
+        let waiters = {
             let mut rec = self.rec.borrow_mut();
             rec.state.advance(next);
             let now = engine.now();
@@ -142,7 +175,12 @@ impl PilotHandle {
                 }
                 _ => {}
             }
-        }
+            if next.is_final() {
+                std::mem::take(&mut rec.waiters)
+            } else {
+                Vec::new()
+            }
+        };
         engine
             .metrics
             .incr_labeled("pilot.transitions", &[("state", &format!("{next:?}"))]);
@@ -151,6 +189,9 @@ impl PilotHandle {
             "pilot",
             format!("{:?} -> {next:?}", self.id()),
         );
+        for w in waiters {
+            w(engine, next);
+        }
     }
 }
 
@@ -189,6 +230,7 @@ impl PilotManager {
                 assigned_units: 0,
                 span_root: SpanId::NONE,
                 span_open: SpanId::NONE,
+                waiters: Vec::new(),
             })),
         };
         let scheme = machine.cluster.spec().scheduler.scheme();
@@ -237,14 +279,18 @@ impl PilotManager {
                 if state.is_final() {
                     return;
                 }
-                if let Some(agent) = h_end.agent() {
-                    agent.stop(eng);
-                }
-                let next = match job_state {
-                    JobState::Cancelled => PilotState::Canceled,
-                    JobState::Completed | JobState::TimedOut => PilotState::Done,
-                    _ => PilotState::Failed,
+                let (next, cause) = match job_state {
+                    JobState::Cancelled => (PilotState::Canceled, "pilot canceled"),
+                    JobState::Completed => (PilotState::Done, "pilot completed"),
+                    JobState::TimedOut => (PilotState::Done, "pilot walltime expired"),
+                    _ => (PilotState::Failed, "pilot lost (batch job failed)"),
                 };
+                if let Some(agent) = h_end.agent() {
+                    // With a failover client listening this reports every
+                    // unfinished unit back through the coordination store;
+                    // otherwise it is the legacy hard stop.
+                    agent.terminate(eng, cause);
+                }
                 h_end.advance(eng, next);
             },
         );
@@ -287,30 +333,175 @@ pub enum UmScheduler {
     DataAware,
 }
 
-/// Manages Compute-Units and dispatches them to pilots.
-pub struct UnitManager {
-    session: Session,
+/// Hook invoked on pilot loss to resubmit a replacement pilot. Returning
+/// `Some` registers the new pilot with the Unit-Manager before re-binding
+/// starts, so rescued units can land on it.
+pub type BackfillHook = Rc<dyn Fn(&mut Engine) -> Option<PilotHandle>>;
+
+struct UmInner {
     scheduler: UmScheduler,
     pilots: Vec<PilotHandle>,
-    rr_cursor: std::cell::Cell<usize>,
+    rr_cursor: usize,
+    /// Cross-pilot failover armed (`enable_failover` ran).
+    failover: bool,
+    /// Every unit this UM submitted — scanned to rescue the ones bound to
+    /// a pilot that was lost.
+    tracked: Vec<UnitHandle>,
+    /// Pilots declared lost; never picked again.
+    dead: std::collections::BTreeSet<PilotId>,
+    /// Declare a pilot dead when it is Active, holds unfinished units and
+    /// has not heartbeated for this long (silent agent death detector).
+    heartbeat_gap: Option<SimDuration>,
+    monitor_armed: bool,
+    /// When units were last pushed to each pilot (grace period for the
+    /// heartbeat-gap monitor: work may not have started heartbeating yet).
+    bound_at: std::collections::BTreeMap<PilotId, SimTime>,
+    backfill: Option<BackfillHook>,
+    rebinds: u64,
+}
+
+impl UmInner {
+    /// Pilots still eligible for placement. Falls back to the full list
+    /// when none is left alive so legacy (no-failover) behaviour — where
+    /// pilot health is never consulted — is preserved bit-for-bit.
+    fn candidates(&self) -> Vec<PilotHandle> {
+        if !self.failover {
+            return self.pilots.clone();
+        }
+        let alive: Vec<PilotHandle> = self
+            .pilots
+            .iter()
+            .filter(|p| !self.dead.contains(&p.id()) && !p.state().is_final())
+            .cloned()
+            .collect();
+        if alive.is_empty() {
+            self.pilots.clone()
+        } else {
+            alive
+        }
+    }
+
+    fn pick_from(&mut self, cands: &[PilotHandle]) -> PilotHandle {
+        match self.scheduler {
+            UmScheduler::Direct => cands[0].clone(),
+            UmScheduler::RoundRobin => {
+                let i = self.rr_cursor;
+                self.rr_cursor = (i + 1) % cands.len();
+                cands[i % cands.len()].clone()
+            }
+            UmScheduler::LoadBalanced | UmScheduler::DataAware => cands
+                .iter()
+                .min_by_key(|p| {
+                    let done = p.agent().map(|a| a.units_completed()).unwrap_or(0);
+                    p.assigned_units() - done
+                })
+                .cloned()
+                .expect("pilots nonempty"),
+        }
+    }
+}
+
+/// Manages Compute-Units and dispatches them to pilots.
+#[derive(Clone)]
+pub struct UnitManager {
+    session: Session,
+    inner: Rc<RefCell<UmInner>>,
 }
 
 impl UnitManager {
     pub fn new(session: &Session, scheduler: UmScheduler) -> UnitManager {
         UnitManager {
             session: session.clone(),
-            scheduler,
-            pilots: Vec::new(),
-            rr_cursor: std::cell::Cell::new(0),
+            inner: Rc::new(RefCell::new(UmInner {
+                scheduler,
+                pilots: Vec::new(),
+                rr_cursor: 0,
+                failover: false,
+                tracked: Vec::new(),
+                dead: std::collections::BTreeSet::new(),
+                heartbeat_gap: None,
+                monitor_armed: false,
+                bound_at: std::collections::BTreeMap::new(),
+                backfill: None,
+                rebinds: 0,
+            })),
         }
     }
 
     pub fn add_pilot(&mut self, pilot: &PilotHandle) {
-        self.pilots.push(pilot.clone());
+        let failover = {
+            let mut inner = self.inner.borrow_mut();
+            inner.pilots.push(pilot.clone());
+            inner.failover
+        };
+        if failover {
+            self.watch_pilot(pilot);
+        }
     }
 
-    pub fn pilots(&self) -> &[PilotHandle] {
-        &self.pilots
+    pub fn pilots(&self) -> Vec<PilotHandle> {
+        self.inner.borrow().pilots.clone()
+    }
+
+    /// Units re-bound to another pilot so far.
+    pub fn rebinds(&self) -> u64 {
+        self.inner.borrow().rebinds
+    }
+
+    /// Arm cross-pilot failover: the UM registers as the coordination
+    /// store's client (receiving units an agent reports back on pilot
+    /// loss or walltime drain) and watches every pilot's terminal state.
+    /// Until this runs, pilot loss keeps the legacy semantics (queued
+    /// units are cancelled, in-flight ones are stranded).
+    pub fn enable_failover(&self, _engine: &mut Engine) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            if inner.failover {
+                return;
+            }
+            inner.failover = true;
+        }
+        let this = self.clone();
+        self.session
+            .store()
+            .register_client(move |eng, pilot, units, cause| {
+                this.on_units_returned(eng, pilot, units, cause);
+            });
+        let pilots = self.inner.borrow().pilots.clone();
+        for p in &pilots {
+            self.watch_pilot(p);
+        }
+    }
+
+    /// Arm the silent-death detector: a pilot that is Active, holds
+    /// unfinished units and has not heartbeated for `gap` is declared
+    /// lost. Requires `enable_failover`.
+    pub fn set_heartbeat_gap(&self, engine: &mut Engine, gap: SimDuration) {
+        self.inner.borrow_mut().heartbeat_gap = Some(gap);
+        self.ensure_monitor(engine);
+    }
+
+    /// Install a backfill hook: on pilot loss it may resubmit a
+    /// replacement pilot, which joins the UM before re-binding starts.
+    pub fn set_backfill(&self, hook: BackfillHook) {
+        self.inner.borrow_mut().backfill = Some(hook);
+    }
+
+    fn watch_pilot(&self, pilot: &PilotHandle) {
+        let this = self.clone();
+        let id = pilot.id();
+        let registered = pilot.watch_final(move |eng, state| {
+            if state == PilotState::Canceled {
+                // User-initiated cancel keeps the legacy hard-cancel
+                // semantics: no failover for deliberately dropped work.
+                return;
+            }
+            this.handle_pilot_loss(eng, id, "pilot reached a terminal state");
+        });
+        if !registered {
+            // Added a pilot that is already gone: never pick it.
+            self.inner.borrow_mut().dead.insert(id);
+        }
     }
 
     /// Submit descriptions; returns live handles (U.1 → U.2).
@@ -320,7 +511,7 @@ impl UnitManager {
         descrs: Vec<ComputeUnitDescription>,
     ) -> Vec<UnitHandle> {
         assert!(
-            !self.pilots.is_empty(),
+            !self.inner.borrow().pilots.is_empty(),
             "UnitManager has no pilots — call add_pilot first"
         );
         let store = self.session.store();
@@ -334,11 +525,15 @@ impl UnitManager {
             pilot.rec.borrow_mut().assigned_units += 1;
             unit.advance(engine, crate::states::UnitState::UmScheduling);
             per_pilot.entry(pilot.id()).or_default().push(unit.clone());
+            self.inner.borrow_mut().tracked.push(unit.clone());
             handles.push(unit);
         }
+        let now = engine.now();
         for (pilot, units) in per_pilot {
+            self.inner.borrow_mut().bound_at.insert(pilot, now);
             store.push_units(engine, pilot, units);
         }
+        self.ensure_monitor(engine);
         handles
     }
 
@@ -355,7 +550,7 @@ impl UnitManager {
         deps: &[UnitHandle],
     ) -> Vec<UnitHandle> {
         assert!(
-            !self.pilots.is_empty(),
+            !self.inner.borrow().pilots.is_empty(),
             "UnitManager has no pilots — call add_pilot first"
         );
         if deps.is_empty() {
@@ -370,9 +565,11 @@ impl UnitManager {
             unit.rec.borrow_mut().pilot = Some(pilot.id());
             pilot.rec.borrow_mut().assigned_units += 1;
             planned.push((pilot.id(), unit.clone()));
+            self.inner.borrow_mut().tracked.push(unit.clone());
             handles.push(unit);
         }
         let deps_vec: Vec<UnitHandle> = deps.to_vec();
+        let this = self.clone();
         when_all_done(engine, deps, move |eng| {
             let all_ok = deps_vec
                 .iter()
@@ -381,15 +578,32 @@ impl UnitManager {
                 std::collections::BTreeMap::new();
             for (pilot, unit) in planned {
                 if all_ok {
+                    // The planned pilot may have died while the deps ran;
+                    // late binding lets us re-pick at dispatch time.
+                    let pilot = if this.inner.borrow().dead.contains(&pilot) {
+                        let target = {
+                            let mut inner = this.inner.borrow_mut();
+                            let cands = inner.candidates();
+                            inner.pick_from(&cands)
+                        };
+                        unit.rec.borrow_mut().pilot = Some(target.id());
+                        target.rec.borrow_mut().assigned_units += 1;
+                        target.id()
+                    } else {
+                        pilot
+                    };
                     unit.advance(eng, crate::states::UnitState::UmScheduling);
                     per_pilot.entry(pilot).or_default().push(unit);
                 } else {
                     unit.fail(eng, "dependency failed or was cancelled");
                 }
             }
+            let now = eng.now();
             for (pilot, units) in per_pilot {
+                this.inner.borrow_mut().bound_at.insert(pilot, now);
                 store.push_units(eng, pilot, units);
             }
+            this.ensure_monitor(eng);
         });
         handles
     }
@@ -417,41 +631,225 @@ impl UnitManager {
         when_all_done(engine, units, cb);
     }
 
-    fn pick_pilot_for(&self, unit: &UnitHandle) -> &PilotHandle {
-        if self.scheduler == UmScheduler::DataAware {
+    fn pick_pilot_for(&self, unit: &UnitHandle) -> PilotHandle {
+        let mut inner = self.inner.borrow_mut();
+        let cands = inner.candidates();
+        if inner.scheduler == UmScheduler::DataAware {
             let deps = unit.description().data_deps;
             if !deps.is_empty() {
-                return self
-                    .pilots
+                return cands
                     .iter()
                     .min_by_key(|p| {
                         let remote = crate::data::remote_bytes(&deps, &p.description().resource);
                         let done = p.agent().map(|a| a.units_completed()).unwrap_or(0);
                         (remote, p.assigned_units() - done)
                     })
+                    .cloned()
                     .expect("pilots nonempty");
             }
         }
-        self.pick_pilot()
+        inner.pick_from(&cands)
     }
 
-    fn pick_pilot(&self) -> &PilotHandle {
-        match self.scheduler {
-            UmScheduler::Direct => &self.pilots[0],
-            UmScheduler::RoundRobin => {
-                let i = self.rr_cursor.get();
-                self.rr_cursor.set((i + 1) % self.pilots.len());
-                &self.pilots[i % self.pilots.len()]
+    // ---- cross-pilot failover ----
+
+    /// A pilot is gone (terminal state or heartbeat silence): mark it
+    /// dead, give the backfill hook a chance to replace it, then rescue
+    /// every unit still bound to it — documents never picked up from the
+    /// store plus tracked in-flight units — and re-bind them.
+    fn handle_pilot_loss(&self, engine: &mut Engine, dead: PilotId, cause: &str) {
+        if !self.inner.borrow_mut().dead.insert(dead) {
+            return;
+        }
+        engine.metrics.incr("um.pilots_lost");
+        engine
+            .trace
+            .record(engine.now(), "um", format!("{dead:?} lost ({cause})"));
+        let backfill = self.inner.borrow().backfill.clone();
+        if let Some(hook) = backfill {
+            if let Some(p) = hook(engine) {
+                engine.trace.record(
+                    engine.now(),
+                    "um",
+                    format!("backfilled replacement {:?} for {dead:?}", p.id()),
+                );
+                self.inner.borrow_mut().pilots.push(p.clone());
+                self.watch_pilot(&p);
             }
-            UmScheduler::LoadBalanced | UmScheduler::DataAware => self
+        }
+        let pending = self.session.store().take_pending(dead);
+        let stranded: Vec<UnitHandle> = {
+            let inner = self.inner.borrow();
+            inner
+                .tracked
+                .iter()
+                .filter(|u| u.pilot() == Some(dead) && !u.state().is_final())
+                .cloned()
+                .collect()
+        };
+        // `rebind` is idempotent (skips units no longer bound to `dead`),
+        // so the overlap between the two sets is harmless.
+        for u in pending.into_iter().chain(stranded) {
+            self.rebind(engine, u, dead, cause);
+        }
+    }
+
+    /// Units an agent reported back through the coordination store
+    /// (walltime drain or pilot death). May arrive late or twice — the
+    /// transport is at-least-once — so `rebind` carries the idempotence.
+    fn on_units_returned(
+        &self,
+        engine: &mut Engine,
+        pilot: PilotId,
+        units: Vec<UnitHandle>,
+        cause: &str,
+    ) {
+        engine.trace.record(
+            engine.now(),
+            "um",
+            format!("{} units returned from {pilot:?} ({cause})", units.len()),
+        );
+        for u in units {
+            self.rebind(engine, u, pilot, cause);
+        }
+    }
+
+    /// Re-bind one unit away from `from`, respecting the per-unit re-bind
+    /// budget. Stale/duplicate requests (unit already re-bound or final)
+    /// are dropped silently.
+    fn rebind(&self, engine: &mut Engine, unit: UnitHandle, from: PilotId, cause: &str) {
+        use crate::states::UnitState;
+        let state = unit.state();
+        if state.is_final() || unit.pilot() != Some(from) {
+            return;
+        }
+        if state == UnitState::New {
+            // Dependent unit not yet dispatched: `submit_units_after`
+            // re-picks its pilot at dispatch time.
+            return;
+        }
+        let max = unit.description().max_rebinds;
+        if unit.rebinds() >= max {
+            unit.fail(
+                engine,
+                format!("re-bind budget exhausted ({max}) after {cause}"),
+            );
+            return;
+        }
+        let target = {
+            let mut inner = self.inner.borrow_mut();
+            let cands: Vec<PilotHandle> = inner
+                .candidates()
+                .into_iter()
+                .filter(|p| !p.state().is_final() && !inner.dead.contains(&p.id()))
+                .collect();
+            // Prefer any pilot other than the one that just shed the unit
+            // (a drained unit re-bound to the same pilot drains again).
+            let others: Vec<PilotHandle> =
+                cands.iter().filter(|p| p.id() != from).cloned().collect();
+            let pool = if others.is_empty() { cands } else { others };
+            if pool.is_empty() {
+                None
+            } else {
+                Some(inner.pick_from(&pool))
+            }
+        };
+        let Some(target) = target else {
+            unit.fail(
+                engine,
+                format!("no surviving pilot to re-bind to after {cause}"),
+            );
+            return;
+        };
+        unit.rec.borrow_mut().rebinds += 1;
+        if state != UnitState::UmScheduling {
+            unit.advance(engine, UnitState::UmScheduling);
+        }
+        unit.rec.borrow_mut().pilot = Some(target.id());
+        target.rec.borrow_mut().assigned_units += 1;
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.rebinds += 1;
+            inner.bound_at.insert(target.id(), engine.now());
+        }
+        engine.metrics.incr("um.rebinds");
+        engine.trace.record(
+            engine.now(),
+            "um",
+            format!(
+                "{:?} re-bound {from:?} -> {:?} ({cause})",
+                unit.id(),
+                target.id()
+            ),
+        );
+        self.session
+            .store()
+            .push_units(engine, target.id(), vec![unit]);
+        self.ensure_monitor(engine);
+    }
+
+    /// Arm the next heartbeat-gap check if the detector is configured and
+    /// some unit is still in flight. Quiet on healthy systems: the tick
+    /// emits no trace or metrics unless it declares a pilot dead.
+    fn ensure_monitor(&self, engine: &mut Engine) {
+        let (gap, tick) = {
+            let mut inner = self.inner.borrow_mut();
+            if !inner.failover || inner.monitor_armed {
+                return;
+            }
+            let Some(gap) = inner.heartbeat_gap else {
+                return;
+            };
+            if !inner.tracked.iter().any(|u| !u.state().is_final()) {
+                return;
+            }
+            inner.monitor_armed = true;
+            let tick = SimDuration(gap.0 / 2).max(SimDuration::from_secs(1));
+            (gap, tick)
+        };
+        let this = self.clone();
+        engine.schedule_in(tick, move |eng| {
+            this.inner.borrow_mut().monitor_armed = false;
+            this.monitor_tick(eng, gap);
+        });
+    }
+
+    fn monitor_tick(&self, engine: &mut Engine, gap: SimDuration) {
+        let now = engine.now();
+        let store = self.session.store();
+        let suspects: Vec<PilotId> = {
+            let inner = self.inner.borrow();
+            inner
                 .pilots
                 .iter()
-                .min_by_key(|p| {
-                    let done = p.agent().map(|a| a.units_completed()).unwrap_or(0);
-                    p.assigned_units() - done
+                .filter(|p| {
+                    let id = p.id();
+                    if inner.dead.contains(&id) || p.state() != PilotState::Active {
+                        return false;
+                    }
+                    let bound = inner
+                        .tracked
+                        .iter()
+                        .any(|u| u.pilot() == Some(id) && !u.state().is_final());
+                    if !bound {
+                        return false;
+                    }
+                    let mut last = p.times().active.unwrap_or(SimTime::ZERO);
+                    if let Some(hb) = store.last_heartbeat(id) {
+                        last = last.max(hb);
+                    }
+                    if let Some(&b) = inner.bound_at.get(&id) {
+                        last = last.max(b);
+                    }
+                    now.since(last) > gap
                 })
-                .expect("pilots nonempty"),
+                .map(|p| p.id())
+                .collect()
+        };
+        for id in suspects {
+            self.handle_pilot_loss(engine, id, "pilot heartbeat lost");
         }
+        self.ensure_monitor(engine);
     }
 }
 
@@ -739,6 +1137,368 @@ mod tests {
         let before_idle = hb;
         e.run_until(SimTime::from_secs_f64(400.0));
         assert_eq!(pilot.agent().unwrap().heartbeats(), before_idle);
+    }
+
+    #[test]
+    fn cancel_during_input_staging_does_not_resurrect() {
+        let mut e = Engine::new(21);
+        let session = Session::new(SessionConfig::test_profile());
+        let pm = PilotManager::new(&session);
+        let pilot = pm
+            .submit(
+                &mut e,
+                PilotDescription::new("localhost", 1, SimDuration::from_secs(600)),
+            )
+            .unwrap();
+        let mut um = UnitManager::new(&session, UmScheduler::Direct);
+        um.add_pilot(&pilot);
+        // A big stage-in keeps the unit in StagingInput for a while.
+        let units = um.submit_units(
+            &mut e,
+            vec![ComputeUnitDescription::new(
+                "staged",
+                1,
+                WorkSpec::Sleep(SimDuration::from_secs(10)),
+            )
+            .stage_in(crate::description::StagingDirective {
+                bytes: 20e9,
+                from: crate::description::StageEndpoint::Lustre,
+                to: crate::description::StageEndpoint::ExecNode,
+            })],
+        );
+        // Step until the unit is mid-staging, then cancel it.
+        while units[0].state() != UnitState::StagingInput {
+            assert!(e.step());
+        }
+        um.cancel_unit(&mut e, &units[0]);
+        assert_eq!(units[0].state(), UnitState::Canceled);
+        // The staging continuation fires later; it must not launch (and
+        // certainly not advance) the canceled unit. Pre-fix this panicked
+        // on an illegal Canceled -> Executing transition.
+        e.run_until(SimTime::from_secs_f64(580.0));
+        assert_eq!(units[0].state(), UnitState::Canceled);
+        // The slot came back: a fresh unit still runs to completion.
+        let next = um.submit_units(
+            &mut e,
+            vec![ComputeUnitDescription::new(
+                "after",
+                8,
+                WorkSpec::Sleep(SimDuration::from_secs(1)),
+            )],
+        );
+        e.run_until(SimTime::from_secs_f64(599.0));
+        assert_eq!(next[0].state(), UnitState::Done);
+    }
+
+    #[test]
+    fn pilot_kill_fails_over_units_to_surviving_pilot() {
+        let mut e = Engine::new(22);
+        let session = Session::new(SessionConfig::test_profile());
+        let pm = PilotManager::new(&session);
+        let p0 = pm
+            .submit(
+                &mut e,
+                PilotDescription::new("localhost", 2, SimDuration::from_secs(7200)),
+            )
+            .unwrap();
+        let p1 = pm
+            .submit(
+                &mut e,
+                PilotDescription::new("localhost", 2, SimDuration::from_secs(7200)),
+            )
+            .unwrap();
+        let mut um = UnitManager::new(&session, UmScheduler::RoundRobin);
+        um.add_pilot(&p0);
+        um.add_pilot(&p1);
+        um.enable_failover(&mut e);
+        let units = um.submit_units(
+            &mut e,
+            (0..8).map(|i| sleep_unit(&format!("u{i}"), 60)).collect(),
+        );
+        // Kill pilot 0 while its units are mid-flight.
+        let victim = p0.clone();
+        e.schedule_in(SimDuration::from_secs(30), move |eng| victim.kill(eng));
+        while units.iter().any(|u| !u.state().is_final()) {
+            assert!(e.step(), "stalled with live units");
+        }
+        assert_eq!(p0.state(), PilotState::Failed);
+        assert!(
+            units.iter().all(|u| u.state() == UnitState::Done),
+            "all units must fail over: {:?}",
+            units.iter().map(|u| u.state()).collect::<Vec<_>>()
+        );
+        assert!(um.rebinds() > 0, "failover must actually re-bind units");
+        // Every survivor ended up on the surviving pilot.
+        assert!(units.iter().all(|u| u.pilot() == Some(p1.id())));
+    }
+
+    #[test]
+    fn rebind_exhaustion_fails_units_when_no_pilot_survives() {
+        let mut e = Engine::new(23);
+        let session = Session::new(SessionConfig::test_profile());
+        let pm = PilotManager::new(&session);
+        let p0 = pm
+            .submit(
+                &mut e,
+                PilotDescription::new("localhost", 2, SimDuration::from_secs(7200)),
+            )
+            .unwrap();
+        let mut um = UnitManager::new(&session, UmScheduler::Direct);
+        um.add_pilot(&p0);
+        um.enable_failover(&mut e);
+        let units = um.submit_units(&mut e, vec![sleep_unit("doomed", 120)]);
+        let victim = p0.clone();
+        e.schedule_in(SimDuration::from_secs(30), move |eng| victim.kill(eng));
+        while units.iter().any(|u| !u.state().is_final()) {
+            assert!(e.step(), "stalled with live units");
+        }
+        assert_eq!(units[0].state(), UnitState::Failed);
+        assert!(
+            units[0].failure().unwrap().contains("no surviving pilot"),
+            "{:?}",
+            units[0].failure()
+        );
+    }
+
+    #[test]
+    fn rebind_budget_is_respected() {
+        // Two pilots killed in sequence with max_rebinds = 1: the unit
+        // survives the first loss, then fails on the second.
+        let mut e = Engine::new(24);
+        let session = Session::new(SessionConfig::test_profile());
+        let pm = PilotManager::new(&session);
+        let p0 = pm
+            .submit(
+                &mut e,
+                PilotDescription::new("localhost", 1, SimDuration::from_secs(7200)),
+            )
+            .unwrap();
+        let p1 = pm
+            .submit(
+                &mut e,
+                PilotDescription::new("localhost", 1, SimDuration::from_secs(7200)),
+            )
+            .unwrap();
+        let mut um = UnitManager::new(&session, UmScheduler::Direct);
+        um.add_pilot(&p0);
+        um.add_pilot(&p1);
+        um.enable_failover(&mut e);
+        let units = um.submit_units(
+            &mut e,
+            vec![ComputeUnitDescription::new(
+                "bouncy",
+                1,
+                WorkSpec::Sleep(SimDuration::from_secs(300)),
+            )
+            .with_max_rebinds(1)],
+        );
+        let (v0, v1) = (p0.clone(), p1.clone());
+        e.schedule_in(SimDuration::from_secs(30), move |eng| v0.kill(eng));
+        e.schedule_in(SimDuration::from_secs(90), move |eng| v1.kill(eng));
+        while units.iter().any(|u| !u.state().is_final()) {
+            assert!(e.step(), "stalled with live units");
+        }
+        assert_eq!(units[0].state(), UnitState::Failed);
+        assert_eq!(units[0].rebinds(), 1);
+        assert!(
+            units[0].failure().unwrap().contains("re-bind budget")
+                || units[0].failure().unwrap().contains("no surviving pilot"),
+            "{:?}",
+            units[0].failure()
+        );
+    }
+
+    #[test]
+    fn load_balanced_respects_unequal_pilot_sizes_and_death() {
+        // LoadBalanced counts assigned-minus-done, so the bigger pilot —
+        // finishing faster — absorbs more of the stream; after one pilot
+        // dies, everything lands on the survivor.
+        let mut e = Engine::new(25);
+        let session = Session::new(SessionConfig::test_profile());
+        let pm = PilotManager::new(&session);
+        let small = pm
+            .submit(
+                &mut e,
+                PilotDescription::new("localhost", 1, SimDuration::from_secs(7200)),
+            )
+            .unwrap();
+        let big = pm
+            .submit(
+                &mut e,
+                PilotDescription::new("localhost", 3, SimDuration::from_secs(7200)),
+            )
+            .unwrap();
+        let mut um = UnitManager::new(&session, UmScheduler::LoadBalanced);
+        um.add_pilot(&small);
+        um.add_pilot(&big);
+        um.enable_failover(&mut e);
+        // Full-node units (8 cores): the small pilot runs 1 at a time,
+        // the big one 3. Feed waves faster than the small pilot drains so
+        // assigned-minus-done steers later waves toward the big pilot.
+        let full_node = |name: &str| {
+            ComputeUnitDescription::new(name, 8, WorkSpec::Sleep(SimDuration::from_secs(60)))
+        };
+        let mut all = Vec::new();
+        for wave in 0..6u64 {
+            let units = um.submit_units(
+                &mut e,
+                (0..8).map(|i| full_node(&format!("w{wave}u{i}"))).collect(),
+            );
+            all.extend(units);
+            e.run_until(SimTime::from_secs_f64(70.0 * (wave + 1) as f64));
+        }
+        while all.iter().any(|u| !u.state().is_final()) {
+            assert!(e.step());
+        }
+        assert!(all.iter().all(|u| u.state() == UnitState::Done));
+        // 3-node pilot must have completed more than the 1-node pilot.
+        let big_done = big.agent().unwrap().units_completed();
+        let small_done = small.agent().unwrap().units_completed();
+        assert!(
+            big_done > small_done,
+            "big {big_done} vs small {small_done}"
+        );
+
+        // Now kill the small pilot and submit more: all go to `big`.
+        small.kill(&mut e);
+        e.run_until(e.now() + SimDuration::from_secs(5));
+        let tail = um.submit_units(
+            &mut e,
+            (0..4).map(|i| sleep_unit(&format!("t{i}"), 10)).collect(),
+        );
+        assert!(tail.iter().all(|u| u.pilot() == Some(big.id())));
+        while tail.iter().any(|u| !u.state().is_final()) {
+            assert!(e.step());
+        }
+        assert!(tail.iter().all(|u| u.state() == UnitState::Done));
+    }
+
+    #[test]
+    fn walltime_drain_hands_long_units_to_the_long_pilot() {
+        let mut e = Engine::new(26);
+        let session = Session::new(SessionConfig::test_profile());
+        let pm = PilotManager::new(&session);
+        // Short pilot: 90 s of walltime. Long pilot: two hours.
+        let short = pm
+            .submit(
+                &mut e,
+                PilotDescription::new("localhost", 2, SimDuration::from_secs(90)),
+            )
+            .unwrap();
+        let long = pm
+            .submit(
+                &mut e,
+                PilotDescription::new("localhost", 2, SimDuration::from_secs(7200)),
+            )
+            .unwrap();
+        let mut um = UnitManager::new(&session, UmScheduler::Direct);
+        um.add_pilot(&short);
+        um.add_pilot(&long);
+        um.enable_failover(&mut e);
+        // 300 s of sleep cannot fit in ~85 s of remaining walltime
+        // (test-profile drain margin 5 s): the short pilot's scheduler
+        // must hand them back instead of letting the walltime kill them.
+        let units = um.submit_units(
+            &mut e,
+            (0..3).map(|i| sleep_unit(&format!("u{i}"), 300)).collect(),
+        );
+        while units.iter().any(|u| !u.state().is_final()) {
+            assert!(e.step(), "stalled with live units");
+        }
+        assert!(
+            units.iter().all(|u| u.state() == UnitState::Done),
+            "{:?}",
+            units.iter().map(|u| u.state()).collect::<Vec<_>>()
+        );
+        assert!(units.iter().all(|u| u.pilot() == Some(long.id())));
+        assert!(um.rebinds() >= 3);
+        // Drained, not killed: one re-bind each, no retry attempts burned.
+        assert!(units.iter().all(|u| u.attempts() <= 1));
+    }
+
+    #[test]
+    fn heartbeat_gap_monitor_detects_silent_agent_death() {
+        let mut e = Engine::new(27);
+        let session = Session::new(SessionConfig::test_profile());
+        let pm = PilotManager::new(&session);
+        let p0 = pm
+            .submit(
+                &mut e,
+                PilotDescription::new("localhost", 2, SimDuration::from_secs(7200)),
+            )
+            .unwrap();
+        let p1 = pm
+            .submit(
+                &mut e,
+                PilotDescription::new("localhost", 2, SimDuration::from_secs(7200)),
+            )
+            .unwrap();
+        let mut um = UnitManager::new(&session, UmScheduler::Direct);
+        um.add_pilot(&p0);
+        um.add_pilot(&p1);
+        um.enable_failover(&mut e);
+        um.set_heartbeat_gap(&mut e, SimDuration::from_secs(25));
+        let units = um.submit_units(
+            &mut e,
+            (0..4).map(|i| sleep_unit(&format!("u{i}"), 120)).collect(),
+        );
+        // The agent dies silently: no terminal state, no returned units —
+        // only the missing heartbeats give it away.
+        let victim = p0.clone();
+        e.schedule_in(SimDuration::from_secs(40), move |eng| {
+            victim.agent().unwrap().hang(eng);
+        });
+        while units.iter().any(|u| !u.state().is_final()) {
+            assert!(e.step(), "stalled with live units");
+        }
+        assert!(
+            units.iter().all(|u| u.state() == UnitState::Done),
+            "{:?}",
+            units.iter().map(|u| u.state()).collect::<Vec<_>>()
+        );
+        assert!(units.iter().all(|u| u.pilot() == Some(p1.id())));
+        // The batch job is still burning walltime — only the agent died.
+        assert_eq!(p0.state(), PilotState::Active);
+    }
+
+    #[test]
+    fn backfill_hook_replaces_a_lost_pilot() {
+        let mut e = Engine::new(28);
+        let session = Session::new(SessionConfig::test_profile());
+        let pm = Rc::new(PilotManager::new(&session));
+        let p0 = pm
+            .submit(
+                &mut e,
+                PilotDescription::new("localhost", 2, SimDuration::from_secs(7200)),
+            )
+            .unwrap();
+        let mut um = UnitManager::new(&session, UmScheduler::Direct);
+        um.add_pilot(&p0);
+        um.enable_failover(&mut e);
+        let pm2 = pm.clone();
+        um.set_backfill(Rc::new(move |eng: &mut Engine| {
+            pm2.submit(
+                eng,
+                PilotDescription::new("localhost", 2, SimDuration::from_secs(7200)),
+            )
+            .ok()
+        }));
+        let units = um.submit_units(
+            &mut e,
+            (0..4).map(|i| sleep_unit(&format!("u{i}"), 60)).collect(),
+        );
+        let victim = p0.clone();
+        e.schedule_in(SimDuration::from_secs(20), move |eng| victim.kill(eng));
+        while units.iter().any(|u| !u.state().is_final()) {
+            assert!(e.step(), "stalled with live units");
+        }
+        assert!(
+            units.iter().all(|u| u.state() == UnitState::Done),
+            "{:?}",
+            units.iter().map(|u| u.state()).collect::<Vec<_>>()
+        );
+        assert_eq!(um.pilots().len(), 2, "backfill registered a replacement");
+        assert!(units.iter().all(|u| u.pilot() != Some(p0.id())));
     }
 
     #[test]

@@ -11,7 +11,7 @@ use rp_sim::Engine;
 use rp_spark::SparkConfig;
 use rp_yarn::{dedicated_cluster, HadoopEnv, YarnConfig};
 
-use crate::coordination::{CoordinationConfig, CoordinationStore};
+use crate::coordination::{CoordinationConfig, CoordinationStore, LossProfile};
 use crate::unit::{PilotId, UnitId};
 
 /// Session-wide configuration.
@@ -38,6 +38,11 @@ pub struct SessionConfig {
     /// Inter-site (WAN) bandwidth for pulling non-co-located Pilot-Data
     /// bytes, MB/s (XSEDE backbone-era default).
     pub inter_site_mbps: f64,
+    /// Safety margin (s) for walltime-aware draining: the agent stops
+    /// admitting units whose expected runtime exceeds remaining walltime
+    /// minus this margin and hands them back to the Unit-Manager (only
+    /// when a failover client is listening).
+    pub drain_margin_s: f64,
 }
 
 impl Default for SessionConfig {
@@ -53,6 +58,7 @@ impl Default for SessionConfig {
             compute_jitter_sigma: 0.08,
             dedicated_nodes: 4,
             inter_site_mbps: 100.0,
+            drain_margin_s: 30.0,
         }
     }
 }
@@ -65,6 +71,7 @@ impl SessionConfig {
                 write_ms: 5.0,
                 update_ms: 5.0,
                 poll_ms: 50,
+                loss: LossProfile::NONE,
             },
             yarn: YarnConfig::test_profile(),
             spark: SparkConfig::test_profile(),
@@ -75,6 +82,7 @@ impl SessionConfig {
             compute_jitter_sigma: 0.0,
             dedicated_nodes: 2,
             inter_site_mbps: 100.0,
+            drain_margin_s: 5.0,
         }
     }
 }

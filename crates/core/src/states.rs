@@ -81,6 +81,14 @@ impl UnitState {
             // whose staging transfer faulted goes back to the agent queue.
             (StagingInput, AgentScheduling) => true,
             (Executing, AgentScheduling) => true,
+            // Cross-pilot re-binding: when a whole pilot is lost (walltime
+            // expiry, queue kill, agent death) or drains work it can no
+            // longer finish, the Unit-Manager takes the unit back and
+            // re-schedules it onto a surviving pilot.
+            (AgentScheduling, UmScheduling) => true,
+            (StagingInput, UmScheduling) => true,
+            (Executing, UmScheduling) => true,
+            (StagingOutput, UmScheduling) => true,
             (s, Canceled) | (s, Failed) => !s.is_final(),
             _ => false,
         }
@@ -201,6 +209,23 @@ mod tests {
         assert!(UnitState::StagingInput.can_transition_to(UnitState::AgentScheduling));
         assert!(!UnitState::StagingOutput.can_transition_to(UnitState::AgentScheduling));
         assert!(!UnitState::Done.can_transition_to(UnitState::AgentScheduling));
+    }
+
+    #[test]
+    fn rebind_paths_are_legal() {
+        for s in [
+            UnitState::AgentScheduling,
+            UnitState::StagingInput,
+            UnitState::Executing,
+            UnitState::StagingOutput,
+        ] {
+            assert!(s.can_transition_to(UnitState::UmScheduling), "{s:?}");
+        }
+        // A unit the UM has not yet handed to an agent cannot "re-bind";
+        // final units stay final.
+        assert!(!UnitState::UmScheduling.can_transition_to(UnitState::UmScheduling));
+        assert!(!UnitState::Done.can_transition_to(UnitState::UmScheduling));
+        assert!(!UnitState::Failed.can_transition_to(UnitState::UmScheduling));
     }
 
     #[test]

@@ -60,6 +60,9 @@ pub(crate) struct UnitRecord {
     /// Execution attempts started so far (1 on first launch; incremented
     /// on every fault-triggered retry).
     pub attempts: u32,
+    /// Cross-pilot re-binds so far (0 for units that never left their
+    /// first pilot); capped by `descr.max_rebinds`.
+    pub rebinds: u32,
     /// Root lifecycle span ("unit.run") and the currently open phase span
     /// — both `NONE` when tracing is disabled.
     pub span_root: SpanId,
@@ -86,6 +89,7 @@ impl UnitHandle {
                 failure: None,
                 mr_stats: None,
                 attempts: 0,
+                rebinds: 0,
                 span_root: SpanId::NONE,
                 span_open: SpanId::NONE,
                 waiters: Vec::new(),
@@ -132,6 +136,12 @@ impl UnitHandle {
     /// an injected fault).
     pub fn attempts(&self) -> u32 {
         self.rec.borrow().attempts
+    }
+
+    /// Cross-pilot re-binds so far (>0 ⇒ the unit survived a pilot loss
+    /// or a walltime drain and was re-scheduled onto another pilot).
+    pub fn rebinds(&self) -> u32 {
+        self.rec.borrow().rebinds
     }
 
     pub fn description(&self) -> ComputeUnitDescription {
@@ -182,16 +192,29 @@ impl UnitHandle {
             // span, so retried attempts show up as sequential phases.
             match next {
                 UnitState::UmScheduling => {
-                    rec.times.submitted = Some(now);
-                    let root = engine
-                        .trace
-                        .span_begin(now, "unit", "unit.run", SpanId::NONE);
-                    engine.trace.span_attr(root, "unit", rec.id.0.to_string());
-                    engine.trace.span_attr(root, "name", rec.descr.name.clone());
-                    rec.span_root = root;
-                    rec.span_open = engine
-                        .trace
-                        .span_begin(now, "unit", "unit.scheduling", root);
+                    if rec.times.submitted.is_none() {
+                        // First submission: open the root lifecycle span.
+                        rec.times.submitted = Some(now);
+                        let root = engine
+                            .trace
+                            .span_begin(now, "unit", "unit.run", SpanId::NONE);
+                        engine.trace.span_attr(root, "unit", rec.id.0.to_string());
+                        engine.trace.span_attr(root, "name", rec.descr.name.clone());
+                        rec.span_root = root;
+                        rec.span_open =
+                            engine
+                                .trace
+                                .span_begin(now, "unit", "unit.scheduling", root);
+                    } else {
+                        // Cross-pilot re-bind: the root span stays open; the
+                        // interrupted phase closes and a fresh scheduling
+                        // phase begins on the surviving pilot.
+                        engine.trace.span_end(now, rec.span_open);
+                        rec.span_open =
+                            engine
+                                .trace
+                                .span_begin(now, "unit", "unit.scheduling", rec.span_root);
+                    }
                 }
                 UnitState::AgentScheduling => {
                     rec.times.agent_pickup = Some(now);

@@ -207,6 +207,15 @@ impl BatchSystem {
         job.start_time.map(|s| s.since(job.submit_time))
     }
 
+    /// Hard end of a job's allocation (start + requested walltime); None
+    /// until the job has started. Agents use this to drain work that can
+    /// no longer finish before the allocation is reclaimed.
+    pub fn deadline(&self, id: JobId) -> Option<SimTime> {
+        let inner = self.inner.borrow();
+        let job = inner.jobs.get(&id)?;
+        job.start_time.map(|s| s + job.req.walltime)
+    }
+
     pub fn free_node_count(&self) -> usize {
         self.inner.borrow().free_nodes.len()
     }

@@ -203,8 +203,18 @@ impl SagaJob {
         self.batch.complete(engine, self.id);
     }
 
+    /// Kill the job as a hardware/queue fault would (fault injection).
+    pub fn fail(&self, engine: &mut Engine) {
+        self.batch.fail_job(engine, self.id);
+    }
+
     pub fn wait_time(&self) -> Option<SimDuration> {
         self.batch.wait_time(self.id)
+    }
+
+    /// Hard end of the allocation (start + walltime); None until running.
+    pub fn deadline(&self) -> Option<rp_sim::SimTime> {
+        self.batch.deadline(self.id)
     }
 }
 

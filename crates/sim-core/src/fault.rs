@@ -44,6 +44,11 @@ pub enum FaultKind {
     /// Fail the next staging directive once; the transfer is retried after
     /// backoff.
     StagingError,
+    /// Kill an entire pilot allocation (queue kill / hardware loss): the
+    /// batch job fails, the agent dies, and every unfinished unit on the
+    /// pilot must be failed over or failed. The index is logical
+    /// (position in the installer's pilot list).
+    PilotKill { pilot: usize },
 }
 
 /// A fault at a point in virtual time.
@@ -100,6 +105,51 @@ impl FaultPlan {
         FaultPlan { events }
     }
 
+    /// Generate a mixed plan that may also kill whole pilots. Same
+    /// contract as [`FaultPlan::generate`] (private RNG stream, exactly
+    /// `intensity` events, sorted) but the kind distribution includes
+    /// [`FaultKind::PilotKill`] against `pilots` logical pilot indices.
+    /// A separate stream from `generate`, so existing schedules are
+    /// untouched.
+    pub fn generate_mixed(
+        seed: u64,
+        horizon: SimDuration,
+        nodes: usize,
+        pilots: usize,
+        intensity: usize,
+    ) -> Self {
+        let mut rng = SimRng::new(seed ^ 0xFB_u64.rotate_left(56));
+        let mut events: Vec<FaultEvent> = (0..intensity)
+            .map(|_| {
+                let at = SimTime(rng.uniform_u64(0, horizon.0.saturating_sub(1).max(1)));
+                let kind = match rng.index(6) {
+                    0 => FaultKind::NodeCrash {
+                        node: rng.index(nodes.max(1)),
+                    },
+                    1 => FaultKind::NodeSlowdown {
+                        node: rng.index(nodes.max(1)),
+                        factor: rng.uniform(1.5, 4.0),
+                        duration: SimDuration::from_secs(rng.uniform_u64(30, 300)),
+                    },
+                    2 => FaultKind::ContainerKill {
+                        count: rng.uniform_u64(1, 3) as usize,
+                    },
+                    3 => FaultKind::LinkDegrade {
+                        factor: rng.uniform(0.1, 0.6),
+                        duration: SimDuration::from_secs(rng.uniform_u64(30, 300)),
+                    },
+                    4 => FaultKind::StagingError,
+                    _ => FaultKind::PilotKill {
+                        pilot: rng.index(pilots.max(1)),
+                    },
+                };
+                FaultEvent { at, kind }
+            })
+            .collect();
+        events.sort_by_key(|e| e.at);
+        FaultPlan { events }
+    }
+
     /// Number of scheduled faults.
     pub fn len(&self) -> usize {
         self.events.len()
@@ -114,6 +164,14 @@ impl FaultPlan {
         self.events
             .iter()
             .filter(|e| matches!(e.kind, FaultKind::NodeCrash { .. }))
+            .count()
+    }
+
+    /// Number of pilot kills in the plan.
+    pub fn pilot_kill_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::PilotKill { .. }))
             .count()
     }
 }
@@ -214,6 +272,23 @@ mod tests {
         let _plan = FaultPlan::generate(7, SimDuration::from_secs(600), 4, 50);
         let after = e2.rng.next_u64();
         assert_eq!(before, after);
+    }
+
+    #[test]
+    fn generate_mixed_is_deterministic_and_includes_pilot_kills() {
+        let a = FaultPlan::generate_mixed(7, SimDuration::from_secs(600), 4, 2, 60);
+        let b = FaultPlan::generate_mixed(7, SimDuration::from_secs(600), 4, 2, 60);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 60);
+        assert!(a.pilot_kill_count() > 0, "60 draws over 6 kinds");
+        for ev in &a.events {
+            if let FaultKind::PilotKill { pilot } = ev.kind {
+                assert!(pilot < 2);
+            }
+        }
+        // Distinct stream from `generate`: existing schedules unchanged.
+        let legacy = FaultPlan::generate(7, SimDuration::from_secs(600), 4, 12);
+        assert_eq!(legacy.pilot_kill_count(), 0);
     }
 
     #[test]

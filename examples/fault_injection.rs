@@ -1,30 +1,193 @@
 //! Fault injection with a deterministic schedule: build a `FaultPlan`,
-//! install it against a pilot, and watch the agent's recovery paths —
+//! install it against a pilot, and watch the recovery paths —
 //! heartbeat-driven dead-node detection, capped-backoff retries, staged
-//! link degradation — keep the workload at 100% completion.
+//! link degradation, cross-pilot failover — keep the workload at 100%
+//! completion.
 //!
 //! ```text
-//! cargo run --example fault_injection [seed] [intensity] [--json]
+//! cargo run --example fault_injection [seed] [intensity] [--json] [--pilot-kill]
 //! ```
 //!
 //! With `--json`, emits one machine-checkable JSON line instead of the
-//! human-readable report (used by the CI fault-matrix smoke).
+//! human-readable report (used by the CI fault-matrix smoke). With
+//! `--pilot-kill`, runs the pilot-loss case instead: two pilots with
+//! failover enabled, the first killed mid-run, every unit re-bound to
+//! the survivor.
 
 use hadoop_hpc::pilot::*;
-use hadoop_hpc::sim::{escape_json, Engine, FaultPlan, SimDuration};
+use hadoop_hpc::sim::{
+    escape_json, Engine, FaultEvent, FaultKind, FaultPlan, SimDuration, SimTime,
+};
+
+/// Every injectable fault kind, in `FaultKind` declaration order.
+const KINDS: [&str; 6] = [
+    "NodeCrash",
+    "NodeSlowdown",
+    "ContainerKill",
+    "LinkDegrade",
+    "StagingError",
+    "PilotKill",
+];
+
+fn kinds_json() -> String {
+    let quoted: Vec<String> = KINDS.iter().map(|k| format!("\"{k}\"")).collect();
+    format!("[{}]", quoted.join(","))
+}
+
+fn print_help() {
+    println!("fault_injection — deterministic fault schedules against a pilot workload");
+    println!();
+    println!(
+        "usage: cargo run --example fault_injection [seed] [intensity] [--json] [--pilot-kill]"
+    );
+    println!();
+    println!("  seed          RNG seed for engine and fault plan (default 11)");
+    println!("  intensity     number of scheduled faults (default 6)");
+    println!("  --json        one machine-checkable JSON line (CI smoke)");
+    println!("  --pilot-kill  pilot-loss case: 2 pilots with cross-pilot failover,");
+    println!("                pilot 0 killed mid-run, units re-bound to the survivor");
+    println!("  --help        this text");
+    println!();
+    println!("fault kinds:");
+    println!("  NodeCrash      permanently kill a node; running work requeues elsewhere");
+    println!("  NodeSlowdown   degrade a node's compute speed for a while, then restore");
+    println!("  ContainerKill  kill running executions (preemption-style; work restarts)");
+    println!("  LinkDegrade    scale shared-filesystem capacity down for a while");
+    println!("  StagingError   fail the next staging directive once (retried after backoff)");
+    println!("  PilotKill      kill a whole pilot allocation; unfinished units fail over");
+}
+
+/// The `--pilot-kill` case: a `PilotKill` fault against a 2-pilot session
+/// with failover enabled. The workload must finish on the survivor.
+fn run_pilot_kill(seed: u64, json_out: bool) {
+    let mut engine = Engine::with_trace(seed);
+    let session = Session::new(SessionConfig::default());
+    let pm = PilotManager::new(&session);
+    let pilots: Vec<PilotHandle> = (0..2)
+        .map(|_| {
+            pm.submit(
+                &mut engine,
+                PilotDescription::new("xsede.stampede", 3, SimDuration::from_secs(4 * 3600)),
+            )
+            .expect("pilot")
+        })
+        .collect();
+    let mut um = UnitManager::new(&session, UmScheduler::RoundRobin);
+    for p in &pilots {
+        um.add_pilot(p);
+    }
+    um.enable_failover(&mut engine);
+    let plan = FaultPlan {
+        events: vec![FaultEvent {
+            at: SimTime::from_secs_f64(180.0),
+            kind: FaultKind::PilotKill { pilot: 0 },
+        }],
+    };
+    if !json_out {
+        println!("pilot-kill plan (seed {seed}):");
+        for ev in &plan.events {
+            println!("  {:>10}  {:?}", format!("{}", ev.at), ev.kind);
+        }
+    }
+    let injector = install_faults_multi(&mut engine, &plan, &pilots);
+    let units = um.submit_units(
+        &mut engine,
+        (0..12)
+            .map(|i| {
+                ComputeUnitDescription::new(
+                    format!("work-{i}"),
+                    1,
+                    WorkSpec::Sleep(SimDuration::from_secs(300)),
+                )
+            })
+            .collect(),
+    );
+    while units.iter().any(|u| !u.state().is_final()) {
+        assert!(engine.step(), "stalled");
+    }
+    for p in &pilots {
+        if !p.state().is_final() {
+            pm.cancel(&mut engine, p);
+        }
+    }
+    engine.run();
+    let done = units
+        .iter()
+        .filter(|u| u.state() == UnitState::Done)
+        .count();
+    let failed = units
+        .iter()
+        .filter(|u| u.state() == UnitState::Failed)
+        .count();
+    let makespan_s = units
+        .iter()
+        .filter_map(|u| u.times().done)
+        .map(|t| t.as_secs_f64())
+        .fold(0.0_f64, f64::max);
+    if json_out {
+        let unit_fields: Vec<String> = units
+            .iter()
+            .map(|u| {
+                format!(
+                    "{{\"name\":\"{}\",\"state\":\"{:?}\",\"attempts\":{}}}",
+                    escape_json(&u.name()),
+                    u.state(),
+                    u.attempts()
+                )
+            })
+            .collect();
+        println!(
+            "{{\"seed\":{seed},\"mode\":\"pilot_kill\",\"planned\":{},\
+             \"injected\":{},\"units\":{},\"done\":{done},\"failed\":{failed},\
+             \"rebound\":{},\"kinds\":{},\"makespan_s\":{makespan_s:.6},\
+             \"unit_states\":[{}]}}",
+            plan.events.len(),
+            injector.injected(),
+            units.len(),
+            um.rebinds(),
+            kinds_json(),
+            unit_fields.join(",")
+        );
+        return;
+    }
+    println!(
+        "\npilot 0 {:?}; {done}/{} units Done on the survivor, {} re-bound",
+        pilots[0].state(),
+        units.len(),
+        um.rebinds()
+    );
+    for u in &units {
+        println!(
+            "  {:<8} {:?} attempts={} pilot={:?}",
+            u.name(),
+            u.state(),
+            u.attempts(),
+            u.pilot()
+        );
+    }
+}
 
 fn main() {
-    let (mut positional, mut json_out) = (Vec::new(), false);
+    let (mut positional, mut json_out, mut pilot_kill) = (Vec::new(), false, false);
     for a in std::env::args().skip(1) {
-        if a == "--json" {
-            json_out = true;
-        } else {
-            positional.push(a);
+        match a.as_str() {
+            "--json" => json_out = true,
+            "--pilot-kill" => pilot_kill = true,
+            "--help" | "-h" => {
+                print_help();
+                return;
+            }
+            _ => positional.push(a),
         }
     }
     let mut args = positional.into_iter();
     let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(11);
     let intensity: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(6);
+
+    if pilot_kill {
+        run_pilot_kill(seed, json_out);
+        return;
+    }
 
     let mut engine = Engine::with_trace(seed);
     let session = Session::new(SessionConfig::default());
@@ -116,12 +279,13 @@ fn main() {
             "{{\"seed\":{seed},\"intensity\":{intensity},\"planned\":{},\
              \"injected\":{},\"units\":{},\"done\":{done},\"failed\":{failed},\
              \"retried\":{retried},\"degraded\":{},\"dead_nodes\":[{}],\
-             \"makespan_s\":{makespan_s:.6},\"unit_states\":[{}]}}",
+             \"kinds\":{},\"makespan_s\":{makespan_s:.6},\"unit_states\":[{}]}}",
             plan.events.len(),
             injector.injected(),
             units.len(),
             agent.is_degraded(),
             dead.join(","),
+            kinds_json(),
             unit_fields.join(",")
         );
         return;

@@ -1,0 +1,257 @@
+//! Chaos soak: the whole failure surface at once.
+//!
+//! Each seeded scenario runs a two-pilot session with cross-pilot
+//! failover enabled, a lossy coordination store (drops, duplicates,
+//! delivery jitter) and a mixed fault plan that can crash nodes, slow
+//! them down, kill containers, fail staging and kill entire pilots.
+//! Every scenario must uphold the failure-model contract:
+//!
+//! (a) every Compute-Unit reaches a terminal state — the sim never
+//!     wedges;
+//! (b) no duplicate side effects — each Done unit completed exactly
+//!     once, and every duplicated store message had its second apply
+//!     suppressed by the sequence-number dedup;
+//! (c) no open spans at shutdown except deliberately-abandoned attempt
+//!     spans (a killed attempt's `unit.compute` span is left open on
+//!     purpose: the work never finished);
+//! (d) re-running the same seed is bit-identical (events, spans,
+//!     metrics);
+//! (e) the zero-fault configuration — injector installed with an empty
+//!     plan, loss probabilities at zero — is bit-identical to a run
+//!     without the chaos machinery at all.
+//!
+//! `CHAOS_SEEDS` overrides the number of scenarios (default 32;
+//! `ci.sh` quick mode uses 8).
+
+use hadoop_hpc::pilot::*;
+use hadoop_hpc::sim::{Engine, FaultPlan, MetricsSnapshot, SimDuration, SimTime, Span, TraceEvent};
+
+const UNITS: usize = 12;
+const SLEEP_S: u64 = 150;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    /// Failover on, lossless store, no injector: the reference run.
+    Baseline,
+    /// Failover on, injector installed with an empty plan: must match
+    /// `Baseline` bit for bit.
+    ZeroFault,
+    /// Failover on, lossy store, mixed fault plan.
+    Chaos,
+}
+
+struct Outcome {
+    states: Vec<UnitState>,
+    events: Vec<TraceEvent>,
+    spans: Vec<Span>,
+    metrics: MetricsSnapshot,
+    rebinds: u64,
+    done: usize,
+    units_completed: u64,
+    msgs_dropped: u64,
+    msgs_duplicated: u64,
+    dup_applies_ignored: u64,
+    faults_injected: usize,
+}
+
+fn counter(metrics: &MetricsSnapshot, key: &str) -> u64 {
+    metrics
+        .counters
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| *v)
+        .unwrap_or(0)
+}
+
+/// One soak scenario: 2 three-node pilots, RoundRobin Unit-Manager with
+/// failover and a heartbeat-gap monitor, `UNITS` sleep units.
+fn chaos_run(seed: u64, mode: Mode) -> Outcome {
+    let mut e = Engine::with_trace(seed);
+    let mut cfg = SessionConfig::test_profile();
+    if mode == Mode::Chaos {
+        // Seed-derived loss: every scenario shakes the transport
+        // differently, but deterministically.
+        cfg.coordination.loss = LossProfile {
+            drop_p: 0.15,
+            dup_p: 0.10,
+            delay_jitter_ms: 25.0,
+            seed,
+        };
+    }
+    let session = Session::new(cfg);
+    let pm = PilotManager::new(&session);
+    let pilots: Vec<PilotHandle> = (0..2)
+        .map(|_| {
+            pm.submit(
+                &mut e,
+                PilotDescription::new("xsede.stampede", 3, SimDuration::from_secs(14_400)),
+            )
+            .unwrap()
+        })
+        .collect();
+    let mut um = UnitManager::new(&session, UmScheduler::RoundRobin);
+    for p in &pilots {
+        um.add_pilot(p);
+    }
+    um.enable_failover(&mut e);
+    // Heartbeats are droppable: the gap must tolerate a burst of
+    // consecutive drops (12 × 10 s beats at drop_p = 0.15 is ~1e-10)
+    // without declaring a live pilot dead.
+    um.set_heartbeat_gap(&mut e, SimDuration::from_secs(120));
+    let injector = match mode {
+        Mode::Baseline => None,
+        Mode::ZeroFault => Some(install_faults_multi(&mut e, &FaultPlan::none(), &pilots)),
+        Mode::Chaos => {
+            let plan =
+                FaultPlan::generate_mixed(seed, SimDuration::from_secs(1_800), 3, pilots.len(), 8);
+            Some(install_faults_multi(&mut e, &plan, &pilots))
+        }
+    };
+    let units = um.submit_units(
+        &mut e,
+        (0..UNITS)
+            .map(|i| {
+                ComputeUnitDescription::new(
+                    format!("c{i}"),
+                    1,
+                    WorkSpec::Sleep(SimDuration::from_secs(SLEEP_S)),
+                )
+            })
+            .collect(),
+    );
+    // Invariant (a): terminate without wedging. Walltime expiry is the
+    // backstop, so the loop is bounded by virtual time.
+    let horizon = SimTime::from_secs_f64(20_000.0);
+    while units.iter().any(|u| !u.state().is_final()) {
+        assert!(e.step(), "seed {seed}: sim wedged with live units");
+        assert!(
+            e.now() < horizon,
+            "seed {seed}: units still live past the walltime backstop"
+        );
+    }
+    e.run();
+    let store = session.store();
+    Outcome {
+        states: units.iter().map(|u| u.state()).collect(),
+        done: units
+            .iter()
+            .filter(|u| u.state() == UnitState::Done)
+            .count(),
+        units_completed: counter(&e.metrics.snapshot(), "agent.units_completed"),
+        events: e.trace.events().to_vec(),
+        spans: e.trace.spans().to_vec(),
+        metrics: e.metrics.snapshot(),
+        rebinds: um.rebinds(),
+        msgs_dropped: store.msgs_dropped(),
+        msgs_duplicated: store.msgs_duplicated(),
+        dup_applies_ignored: store.dup_applies_ignored(),
+        faults_injected: injector.map(|i| i.injected()).unwrap_or(0),
+    }
+}
+
+fn seed_count() -> u64 {
+    std::env::var("CHAOS_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32)
+}
+
+fn check_invariants(seed: u64, out: &Outcome) {
+    // (a) every unit terminal (the run loop already proved no wedge).
+    for (i, s) in out.states.iter().enumerate() {
+        assert!(s.is_final(), "seed {seed}: c{i} not terminal: {s:?}");
+    }
+    // (b) exactly-once side effects: the agent completion counter equals
+    // the number of Done units — no unit was completed twice — and every
+    // duplicated store delivery had its second apply suppressed.
+    assert_eq!(
+        out.units_completed, out.done as u64,
+        "seed {seed}: completion side effects diverge from Done count"
+    );
+    assert_eq!(
+        out.dup_applies_ignored, out.msgs_duplicated,
+        "seed {seed}: every duplicated message must be applied exactly once"
+    );
+    // (c) open spans at shutdown are only abandoned attempt spans.
+    for span in out.spans.iter().filter(|s| s.end.is_none()) {
+        assert_eq!(
+            span.name, "unit.compute",
+            "seed {seed}: unexpected open span {:?}/{} at shutdown",
+            span.category, span.name
+        );
+    }
+}
+
+#[test]
+fn chaos_soak() {
+    let seeds = seed_count();
+    assert!(seeds >= 1);
+    let mut total_rebinds = 0u64;
+    let mut total_dropped = 0u64;
+    let mut total_duplicated = 0u64;
+    let mut any_failed = 0usize;
+    for seed in 1..=seeds {
+        let out = chaos_run(seed, Mode::Chaos);
+        assert!(
+            out.faults_injected > 0,
+            "seed {seed}: plan injected nothing"
+        );
+        check_invariants(seed, &out);
+        total_rebinds += out.rebinds;
+        total_dropped += out.msgs_dropped;
+        total_duplicated += out.msgs_duplicated;
+        any_failed += out.states.len() - out.done;
+    }
+    // The soak must actually exercise the machinery under test: across
+    // the seed grid, some pilots died and re-bound units, and the lossy
+    // transport dropped and duplicated messages.
+    assert!(
+        total_rebinds > 0,
+        "no scenario exercised cross-pilot failover"
+    );
+    assert!(total_dropped > 0, "no scenario dropped a message");
+    assert!(total_duplicated > 0, "no scenario duplicated a message");
+    // Failed units are allowed (both pilots can die), but the recovery
+    // paths must save the large majority of the workload.
+    let total_units = seeds as usize * UNITS;
+    assert!(
+        any_failed * 4 < total_units,
+        "{any_failed}/{total_units} units failed — recovery is not pulling its weight"
+    );
+}
+
+#[test]
+fn chaos_reruns_are_bit_identical() {
+    // Invariant (d) on a spread of seeds: injected chaos is part of the
+    // simulation, so a re-run reproduces events, spans and metrics
+    // exactly.
+    let seeds = seed_count().min(8);
+    for seed in 1..=seeds {
+        let a = chaos_run(seed, Mode::Chaos);
+        let b = chaos_run(seed, Mode::Chaos);
+        assert_eq!(a.states, b.states, "seed {seed}: states diverge");
+        assert_eq!(a.events, b.events, "seed {seed}: trace events diverge");
+        assert_eq!(a.spans, b.spans, "seed {seed}: spans diverge");
+        assert_eq!(a.metrics, b.metrics, "seed {seed}: metrics diverge");
+        assert_eq!(a.rebinds, b.rebinds, "seed {seed}: rebinds diverge");
+    }
+}
+
+#[test]
+fn zero_fault_chaos_config_matches_baseline() {
+    // Invariant (e): the chaos machinery at rest — injector with an
+    // empty plan, loss probabilities at zero — must not perturb the run
+    // at all.
+    for seed in [1u64, 7, 23] {
+        let base = chaos_run(seed, Mode::Baseline);
+        let zero = chaos_run(seed, Mode::ZeroFault);
+        assert_eq!(base.states, zero.states, "seed {seed}");
+        assert_eq!(base.events, zero.events, "seed {seed}");
+        assert_eq!(base.spans, zero.spans, "seed {seed}");
+        assert_eq!(base.metrics, zero.metrics, "seed {seed}");
+        assert_eq!(base.rebinds, 0, "baseline must never re-bind");
+        assert_eq!(base.done, UNITS, "baseline must finish everything");
+        assert_eq!(base.msgs_dropped, 0);
+        assert_eq!(base.msgs_duplicated, 0);
+    }
+}
