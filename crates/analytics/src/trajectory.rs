@@ -207,6 +207,7 @@ pub fn leaflet_finder(frame: &Frame, cutoff: f64) -> Vec<Vec<usize>> {
     }
     let mut uf = UnionFind::new(n);
     let c2 = cutoff * cutoff;
+    // rp-lint: allow(hash-iter): union-find components are visit-order independent
     for (&(cx, cy, cz), members) in &grid {
         for dx in -1..=1 {
             for dy in -1..=1 {
@@ -229,6 +230,7 @@ pub fn leaflet_finder(frame: &Frame, cutoff: f64) -> Vec<Vec<usize>> {
     for i in 0..n {
         groups.entry(uf.find(i)).or_default().push(i);
     }
+    // rp-lint: allow(hash-iter): every group and the outer list are sorted below
     let mut out: Vec<Vec<usize>> = groups.into_values().collect();
     for g in out.iter_mut() {
         g.sort_unstable();

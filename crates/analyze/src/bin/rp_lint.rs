@@ -1,0 +1,120 @@
+//! rp_lint — run the workspace static-analysis pass.
+//!
+//! Usage:
+//!   rp_lint [--json] [--root DIR] [--bless] [--emit-dot DIR] [--explain RULE]
+//!
+//! Exit code 1 when any unwaived fatal finding remains (or on usage error),
+//! 0 otherwise.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rp_analyze::{report, run_pass, scan, Options};
+
+const USAGE: &str = "\
+rp_lint: workspace static-analysis pass (rp-analyze)
+
+USAGE:
+    rp_lint [OPTIONS]
+
+OPTIONS:
+    --json            Emit findings as JSON on stdout
+    --root DIR        Workspace root (default: nearest [workspace] Cargo.toml)
+    --bless           Rewrite lockorder.toml and lint_baseline.toml from the
+                      current tree instead of checking against them
+    --emit-dot DIR    Write lifecycle DOT graphs into DIR
+    --explain RULE    Print the long description of one rule and exit
+                      (or list all rules when RULE is omitted)
+    -h, --help        Show this help
+";
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut opts = Options::default();
+    let mut explain: Option<Option<String>> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--bless" => opts.bless = true,
+            "--root" => match args.next() {
+                Some(d) => root = Some(PathBuf::from(d)),
+                None => return usage_error("--root needs a directory"),
+            },
+            "--emit-dot" => match args.next() {
+                Some(d) => opts.emit_dot = Some(PathBuf::from(d)),
+                None => return usage_error("--emit-dot needs a directory"),
+            },
+            "--explain" => explain = Some(args.next()),
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    if let Some(rule) = explain {
+        return match rule {
+            Some(r) => match report::explain(&r) {
+                Some(doc) => {
+                    println!("{doc}");
+                    ExitCode::SUCCESS
+                }
+                None => usage_error(&format!(
+                    "unknown rule `{r}`; rules: {}",
+                    report::RULES.join(", ")
+                )),
+            },
+            None => {
+                println!("rules: {}", report::RULES.join(", "));
+                println!("run `rp_lint --explain <rule>` for details");
+                ExitCode::SUCCESS
+            }
+        };
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match scan::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("rp_lint: no [workspace] Cargo.toml above {}", cwd.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+
+    let pass = match run_pass(&root, &opts) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("rp_lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if opts.bless {
+        eprintln!("rp_lint: blessed lockorder.toml and lint_baseline.toml");
+    }
+    if json {
+        print!("{}", pass.report.render_json());
+    } else {
+        print!("{}", pass.report.render_text());
+    }
+
+    if pass.report.fatal_count() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("rp_lint: {msg}\n\n{USAGE}");
+    ExitCode::FAILURE
+}

@@ -1,0 +1,130 @@
+//! rp-analyze: offline static-analysis pass over the workspace source.
+//!
+//! Four rule families guard invariants the type system cannot express:
+//!
+//! 1. **state-machine** — every literal lifecycle transition the workspace
+//!    exercises must be legal per the `can_transition_to` tables, and every
+//!    table edge must be exercised somewhere (no dead contract).
+//! 2. **lock-order** — nested Mutex acquisitions must be acyclic and match
+//!    the blessed ordering in `lockorder.toml`.
+//! 3. **determinism hazards** — `hash-iter` (HashMap/HashSet iteration
+//!    order leaking into traces), `wallclock` (host-time reads in
+//!    virtual-time code), `unwrap-ratchet` (panic budget per file against
+//!    `lint_baseline.toml`).
+//! 4. **span-balance** — every `span_begin` must be matched by a
+//!    `span_end` or an ownership transfer on all return paths.
+//!
+//! Everything is lexical: a hand-rolled token scanner (`lexer`), no
+//! external dependencies, no proc macros. Findings can be waived inline
+//! with `// rp-lint: allow(<rule>, ...): <reason>`.
+
+pub mod baseline;
+pub mod hazards;
+pub mod lexer;
+pub mod locks;
+pub mod report;
+pub mod scan;
+pub mod spans;
+pub mod states;
+
+use std::path::{Path, PathBuf};
+
+use report::{Finding, Report};
+
+/// How many lifecycle state machines the workspace is expected to define
+/// (PilotState and UnitState). Parsing fewer means the analyzer lost track
+/// of the tables — fail loudly rather than silently passing.
+pub const EXPECTED_MACHINES: usize = 2;
+
+#[derive(Debug, Default, Clone)]
+pub struct Options {
+    /// Rewrite `lockorder.toml` and `lint_baseline.toml` from the current
+    /// tree instead of checking against them.
+    pub bless: bool,
+    /// Write lifecycle DOT graphs into this directory.
+    pub emit_dot: Option<PathBuf>,
+}
+
+/// Outcome of a full pass.
+pub struct Pass {
+    pub report: Report,
+    /// Parsed machines (name -> DOT source), for artifact checks.
+    pub dots: Vec<(String, String)>,
+}
+
+/// Run every rule over the workspace rooted at `root`.
+pub fn run_pass(root: &Path, opts: &Options) -> std::io::Result<Pass> {
+    let files = scan::load_workspace(root)?;
+    let mut report = Report::default();
+
+    // Family 1: state-machine conformance.
+    let machines = states::parse_machines(&files);
+    if machines.len() < EXPECTED_MACHINES {
+        report.push(Finding::new(
+            "state-machine",
+            "crates/core/src/states.rs",
+            0,
+            format!(
+                "expected {} lifecycle tables (PilotState, UnitState) but parsed {} — \
+                 the analyzer no longer recognizes the can_transition_to tables",
+                EXPECTED_MACHINES,
+                machines.len()
+            ),
+        ));
+    }
+    states::check(&files, &machines, &mut report);
+
+    // Family 2: lock-order.
+    locks::check(&files, root, opts.bless, &mut report)?;
+
+    // Family 3: determinism hazards.
+    hazards::check_wallclock(&files, &mut report);
+    hazards::check_hash_iter(&files, &mut report);
+    hazards::check_unwrap_ratchet(&files, root, opts.bless, &mut report)?;
+
+    // Family 4: span balance.
+    spans::check(&files, &mut report);
+
+    report.sort();
+
+    let mut dots = Vec::new();
+    for m in &machines {
+        dots.push((snake(&m.name), states::emit_dot(m)));
+    }
+    if let Some(dir) = &opts.emit_dot {
+        std::fs::create_dir_all(dir)?;
+        for (name, dot) in &dots {
+            std::fs::write(dir.join(format!("{name}.dot")), dot)?;
+        }
+    }
+
+    Ok(Pass { report, dots })
+}
+
+/// `PilotState` -> `pilot_states` (file-name style for DOT artifacts).
+fn snake(name: &str) -> String {
+    let mut out = String::new();
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    // `pilot_state` reads better pluralized in the artifact name.
+    format!("{out}s")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snake_names_match_artifacts() {
+        assert_eq!(snake("PilotState"), "pilot_states");
+        assert_eq!(snake("UnitState"), "unit_states");
+    }
+}

@@ -1,0 +1,277 @@
+//! Rule `lock-order`: static deadlock detection over Mutex acquisitions.
+//!
+//! A `.lock()` made while an earlier guard is still live records an ordering
+//! edge `held -> acquired` (names qualified by file stem). Cycles in the
+//! resulting graph are potential deadlocks and always fail; acyclic edges
+//! must match the blessed set in `lockorder.toml` so any new nesting gets a
+//! human review before it can pass CI.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+use crate::baseline;
+use crate::lexer::TokKind;
+use crate::report::{Finding, Report};
+use crate::scan::SourceFile;
+
+const RULE: &str = "lock-order";
+
+/// Edge `(held, acquired)` -> first observed site `(file, line)`.
+pub type EdgeMap = BTreeMap<(String, String), (String, u32)>;
+
+#[derive(Debug, Clone)]
+struct Guard {
+    name: String,
+    depth: i32,
+    let_bound: bool,
+    /// The `let` binding's identifier, when there is one — lets an explicit
+    /// `drop(guard)` release the guard early.
+    binding: Option<String>,
+}
+
+/// Normalized receiver of a `.lock()` call ending just before the dot at
+/// `dot`. Index expressions collapse to `[_]` so `slots[i]` and `slots[j]`
+/// name the same lock family.
+fn lock_receiver(t: &[crate::lexer::Tok], dot: usize) -> Option<String> {
+    let mut parts: Vec<String> = Vec::new();
+    let mut i = dot; // index of the `.` before `lock`
+    loop {
+        if i == 0 {
+            break;
+        }
+        let prev = i - 1;
+        if t[prev].is("]") {
+            // Collapse the index expression.
+            let mut depth = 0i32;
+            let mut j = prev;
+            loop {
+                if t[j].is("]") {
+                    depth += 1;
+                } else if t[j].is("[") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if j == 0 {
+                    return None;
+                }
+                j -= 1;
+            }
+            parts.push("[_]".to_string());
+            i = j;
+            continue;
+        }
+        if t[prev].kind == TokKind::Ident {
+            parts.push(t[prev].text.clone());
+            if prev >= 1 && t[prev - 1].is(".") {
+                i = prev - 1;
+                continue;
+            }
+        }
+        break;
+    }
+    if parts.is_empty() {
+        return None;
+    }
+    parts.reverse();
+    let mut name = String::new();
+    for p in parts {
+        if p == "[_]" {
+            name.push_str("[_]");
+        } else {
+            if !name.is_empty() {
+                name.push('.');
+            }
+            name.push_str(&p);
+        }
+    }
+    Some(name)
+}
+
+/// Collect lock-ordering edges from one file.
+pub fn collect_edges(file: &SourceFile, edges: &mut EdgeMap) {
+    let t = &file.lexed.toks;
+    let stem = Path::new(&file.rel)
+        .file_stem()
+        .map(|s| s.to_string_lossy().to_string())
+        .unwrap_or_else(|| file.rel.clone());
+    let mut live: Vec<Guard> = Vec::new();
+    let mut depth = 0i32;
+
+    for i in 0..t.len() {
+        if t[i].is("{") {
+            depth += 1;
+        } else if t[i].is("}") {
+            depth -= 1;
+            live.retain(|g| g.depth <= depth);
+        } else if t[i].is(";") {
+            live.retain(|g| g.let_bound || g.depth != depth);
+        } else if t[i].is("fn") {
+            live.clear();
+        } else if t[i].is("drop") && i + 2 < t.len() && t[i + 1].is("(") {
+            let dropped = t[i + 2].text.clone();
+            live.retain(|g| g.binding.as_deref() != Some(dropped.as_str()));
+        } else if t[i].is("lock")
+            && i >= 2
+            && t[i - 1].is(".")
+            && t.get(i + 1).is_some_and(|x| x.is("("))
+        {
+            let Some(recv) = lock_receiver(t, i - 1) else {
+                continue;
+            };
+            let qual = format!("{stem}::{recv}");
+            for g in &live {
+                if g.name != qual {
+                    edges
+                        .entry((g.name.clone(), qual.clone()))
+                        .or_insert((file.rel.clone(), t[i].line));
+                }
+            }
+            // Back-scan for `let` in this statement to decide lifetime and
+            // capture the binding name for explicit-drop tracking.
+            let mut j = i;
+            while j > 0 && !(t[j].is(";") || t[j].is("{") || t[j].is("}")) {
+                j -= 1;
+            }
+            let stmt = &t[j..i];
+            let let_pos = stmt.iter().position(|x| x.is("let"));
+            let binding = let_pos.and_then(|p| {
+                stmt[p + 1..]
+                    .iter()
+                    .find(|x| x.kind == TokKind::Ident && !x.is("mut"))
+                    .map(|x| x.text.clone())
+            });
+            live.push(Guard {
+                name: qual,
+                depth,
+                let_bound: let_pos.is_some(),
+                binding,
+            });
+        }
+    }
+}
+
+/// DFS cycle search; returns one cycle as a node path if any exists.
+/// (Lock graphs here are tiny — a handful of nodes — so recursion depth is
+/// never a concern.)
+fn find_cycle(adj: &BTreeMap<String, BTreeSet<String>>) -> Option<Vec<String>> {
+    fn dfs(
+        node: &str,
+        adj: &BTreeMap<String, BTreeSet<String>>,
+        on_path: &mut Vec<String>,
+        done: &mut BTreeSet<String>,
+    ) -> Option<Vec<String>> {
+        if done.contains(node) {
+            return None;
+        }
+        if let Some(pos) = on_path.iter().position(|p| p == node) {
+            let mut cycle = on_path[pos..].to_vec();
+            cycle.push(node.to_string());
+            return Some(cycle);
+        }
+        on_path.push(node.to_string());
+        if let Some(nexts) = adj.get(node) {
+            for next in nexts {
+                if let Some(cycle) = dfs(next, adj, on_path, done) {
+                    return Some(cycle);
+                }
+            }
+        }
+        on_path.pop();
+        done.insert(node.to_string());
+        None
+    }
+
+    let mut done = BTreeSet::new();
+    for start in adj.keys() {
+        let mut on_path = Vec::new();
+        if let Some(cycle) = dfs(start, adj, &mut on_path, &mut done) {
+            return Some(cycle);
+        }
+    }
+    None
+}
+
+/// Run the rule: collect edges, detect cycles, diff against the blessed set.
+///
+/// With `bless`, rewrites `lockorder.toml` to the currently observed edges
+/// and reports nothing.
+pub fn check(
+    files: &[SourceFile],
+    root: &Path,
+    bless: bool,
+    report: &mut Report,
+) -> std::io::Result<EdgeMap> {
+    let mut edges = EdgeMap::new();
+    for f in files {
+        collect_edges(f, &mut edges);
+    }
+
+    let toml_path = root.join("lockorder.toml");
+    if bless {
+        baseline::write_lock_order(&toml_path, &edges)?;
+        return Ok(edges);
+    }
+
+    // Cycle detection is unconditional: a blessed deadlock is still a
+    // deadlock.
+    let mut adj: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for (a, b) in edges.keys() {
+        adj.entry(a.clone()).or_default().insert(b.clone());
+    }
+    if let Some(cycle) = find_cycle(&adj) {
+        let first = cycle.first().cloned().unwrap_or_default();
+        let site = edges
+            .iter()
+            .find(|((a, _), _)| *a == first)
+            .map(|(_, s)| s.clone())
+            .unwrap_or_else(|| ("lockorder.toml".to_string(), 0));
+        report.push(Finding::new(
+            RULE,
+            &site.0,
+            site.1,
+            format!(
+                "lock-order cycle (potential deadlock): {}",
+                cycle.join(" -> ")
+            ),
+        ));
+    }
+
+    let blessed = baseline::read_lock_order(&toml_path)?;
+    for ((a, b), (file, line)) in &edges {
+        if !blessed.contains(&(a.clone(), b.clone())) {
+            let f = Finding::new(
+                RULE,
+                file,
+                *line,
+                format!(
+                    "new lock nesting {a} -> {b} is not blessed in lockorder.toml; \
+                     review the ordering and run `rp_lint --bless`"
+                ),
+            );
+            let waived = files
+                .iter()
+                .find(|s| s.rel == *file)
+                .is_some_and(|s| s.is_waived(*line, RULE));
+            report.push(if waived { f.waived() } else { f });
+        }
+    }
+    for (a, b) in &blessed {
+        if !edges.contains_key(&(a.clone(), b.clone())) {
+            report.push(
+                Finding::new(
+                    RULE,
+                    "lockorder.toml",
+                    0,
+                    format!(
+                        "blessed lock ordering {a} -> {b} is no longer observed; \
+                         run `rp_lint --bless` to prune it"
+                    ),
+                )
+                .info(),
+            );
+        }
+    }
+    Ok(edges)
+}

@@ -1,0 +1,261 @@
+//! Workspace walking: loads every Rust source, lexes it, and classifies
+//! test-like regions so rules can distinguish library code from tests.
+
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, Lexed, TokKind};
+
+/// Where the file sits in the workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FileKind {
+    /// Library/bin source under a `src/` directory.
+    Lib,
+    /// Integration tests, examples, benches — exempt from determinism lints.
+    TestLike,
+}
+
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators (stable across hosts).
+    pub rel: String,
+    pub kind: FileKind,
+    pub lexed: Lexed,
+    /// Line ranges (inclusive) of `#[cfg(test)] mod` bodies.
+    test_regions: Vec<(u32, u32)>,
+}
+
+impl SourceFile {
+    pub fn from_source(rel: &str, kind: FileKind, src: &str) -> SourceFile {
+        let lexed = lex(src);
+        let test_regions = find_test_regions(&lexed);
+        SourceFile {
+            rel: rel.to_string(),
+            kind,
+            lexed,
+            test_regions,
+        }
+    }
+
+    /// True when `line` is inside a `#[cfg(test)]` module (or the whole
+    /// file is test-like).
+    pub fn is_test_code(&self, line: u32) -> bool {
+        self.kind == FileKind::TestLike
+            || self
+                .test_regions
+                .iter()
+                .any(|&(lo, hi)| line >= lo && line <= hi)
+    }
+
+    /// True when a waiver comment for `rule` covers `line` (same line or
+    /// the line directly above).
+    pub fn is_waived(&self, line: u32, rule: &str) -> bool {
+        [line, line.saturating_sub(1)].iter().any(|l| {
+            self.lexed
+                .waivers
+                .get(l)
+                .is_some_and(|rs| rs.iter().any(|r| r == rule))
+        })
+    }
+}
+
+/// Locate `#[cfg(test)] mod name { ... }` bodies by token walk.
+fn find_test_regions(lexed: &Lexed) -> Vec<(u32, u32)> {
+    let t = &lexed.toks;
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 6 < t.len() {
+        let is_cfg_test = t[i].is("#")
+            && t[i + 1].is("[")
+            && t[i + 2].is("cfg")
+            && t[i + 3].is("(")
+            && t[i + 4].is("test")
+            && t[i + 5].is(")")
+            && t[i + 6].is("]");
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        // Skip over any further attributes to the `mod` keyword.
+        let mut j = i + 7;
+        while j < t.len() && t[j].is("#") {
+            // Skip `#[...]`.
+            let mut depth = 0;
+            j += 1;
+            while j < t.len() {
+                if t[j].is("[") {
+                    depth += 1;
+                } else if t[j].is("]") {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        if j < t.len() && t[j].is("mod") {
+            // Find the opening brace, then its match.
+            let mut k = j;
+            while k < t.len() && !t[k].is("{") {
+                k += 1;
+            }
+            if k < t.len() {
+                let start_line = t[i].line;
+                let mut depth = 0i32;
+                let mut end_line = t[k].line;
+                while k < t.len() {
+                    if t[k].is("{") {
+                        depth += 1;
+                    } else if t[k].is("}") {
+                        depth -= 1;
+                        if depth == 0 {
+                            end_line = t[k].line;
+                            break;
+                        }
+                    }
+                    k += 1;
+                }
+                out.push((start_line, end_line));
+                i = k;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Load every `.rs` file in the workspace, in sorted (deterministic) order.
+pub fn load_workspace(root: &Path) -> std::io::Result<Vec<SourceFile>> {
+    let mut paths: Vec<(PathBuf, FileKind)> = Vec::new();
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        for entry in read_dir_sorted(&crates)? {
+            for (sub, kind) in [
+                ("src", FileKind::Lib),
+                ("tests", FileKind::TestLike),
+                ("benches", FileKind::TestLike),
+                ("examples", FileKind::TestLike),
+            ] {
+                collect_rs(&entry.join(sub), kind, &mut paths)?;
+            }
+        }
+    }
+    collect_rs(&root.join("src"), FileKind::Lib, &mut paths)?;
+    collect_rs(&root.join("tests"), FileKind::TestLike, &mut paths)?;
+    collect_rs(&root.join("examples"), FileKind::TestLike, &mut paths)?;
+    paths.sort();
+    paths.dedup();
+
+    let mut out = Vec::with_capacity(paths.len());
+    for (p, kind) in paths {
+        let src = std::fs::read_to_string(&p)?;
+        let rel = p
+            .strip_prefix(root)
+            .unwrap_or(&p)
+            .to_string_lossy()
+            .replace('\\', "/");
+        out.push(SourceFile::from_source(&rel, kind, &src));
+    }
+    Ok(out)
+}
+
+fn read_dir_sorted(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut v: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    v.sort();
+    Ok(v)
+}
+
+fn collect_rs(
+    dir: &Path,
+    kind: FileKind,
+    out: &mut Vec<(PathBuf, FileKind)>,
+) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            if p.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs(&p, kind, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push((p, kind));
+        }
+    }
+    Ok(())
+}
+
+/// Walk upward from `start` to the directory containing the workspace
+/// `Cargo.toml` (the one declaring `[workspace]`).
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(s) = std::fs::read_to_string(&manifest) {
+                if s.contains("[workspace]") {
+                    return Some(d);
+                }
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Iterate non-test tokens of a file: yields indices whose line is outside
+/// every test region. (Helper for rules that ignore test code.)
+pub fn lib_token_indices(file: &SourceFile) -> Vec<usize> {
+    (0..file.lexed.toks.len())
+        .filter(|&i| !file.is_test_code(file.lexed.toks[i].line))
+        .collect()
+}
+
+/// Convenience: the token at `i` if it is an identifier.
+pub fn ident_at(file: &SourceFile, i: usize) -> Option<&str> {
+    let t = file.lexed.toks.get(i)?;
+    (t.kind == TokKind::Ident).then_some(t.text.as_str())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_regions_cover_cfg_test_mods() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn tail() {}\n";
+        let f = SourceFile::from_source("x.rs", FileKind::Lib, src);
+        assert!(!f.is_test_code(1));
+        assert!(f.is_test_code(3));
+        assert!(f.is_test_code(4));
+        assert!(!f.is_test_code(6));
+    }
+
+    #[test]
+    fn testlike_files_are_all_test_code() {
+        let f = SourceFile::from_source("tests/x.rs", FileKind::TestLike, "fn a() {}");
+        assert!(f.is_test_code(1));
+    }
+
+    #[test]
+    fn waiver_applies_to_same_and_next_line() {
+        let src =
+            "// rp-lint: allow(wallclock)\nlet t = 1;\nlet u = 2; // rp-lint: allow(hash-iter)\n";
+        let f = SourceFile::from_source("x.rs", FileKind::Lib, src);
+        assert!(f.is_waived(2, "wallclock"));
+        assert!(!f.is_waived(3, "wallclock"));
+        assert!(f.is_waived(3, "hash-iter"));
+    }
+}

@@ -1,0 +1,642 @@
+//! Rule `state-machine`: lifecycle conformance against the
+//! `can_transition_to` tables.
+//!
+//! The tables in `crates/core/src/states.rs` are parsed into the legal-edge
+//! set; every literal transition the workspace exercises is then extracted
+//! and checked. Two failure modes: a chained pair the table forbids
+//! (illegal transition at a call site), and a table edge nothing exercises
+//! (dead transition — the contract claims more than the code does).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{Tok, TokKind};
+use crate::report::{Finding, Report};
+use crate::scan::SourceFile;
+
+const RULE: &str = "state-machine";
+
+/// One parsed lifecycle state machine.
+#[derive(Debug)]
+pub struct Machine {
+    pub name: String,
+    pub variants: BTreeSet<String>,
+    pub finals: BTreeSet<String>,
+    /// Explicit `(Src, Dst) => true` arms, with the arm's source line.
+    pub explicit: BTreeMap<(String, String), u32>,
+    /// Targets of `(s, Dst) => !s.is_final()` wildcard arms, with line.
+    pub wildcard_targets: BTreeMap<String, u32>,
+    /// File the table lives in (for findings).
+    pub file: String,
+}
+
+impl Machine {
+    pub fn allows(&self, src: &str, dst: &str) -> bool {
+        self.explicit
+            .contains_key(&(src.to_string(), dst.to_string()))
+            || (self.wildcard_targets.contains_key(dst) && !self.finals.contains(src))
+    }
+}
+
+/// Evidence that a transition is exercised somewhere in the workspace.
+#[derive(Debug, Default)]
+pub struct Evidence {
+    /// Chained literal source->target pairs, with provenance.
+    pub chains: Vec<(usize, String, String, String, u32)>,
+    /// Positive `A.can_transition_to(B)` assertions: (machine, src, dst).
+    pub asserted: BTreeSet<(usize, String, String)>,
+    /// Every literal advance target observed, per machine.
+    pub targets: BTreeSet<(usize, String)>,
+}
+
+/// Given the index of the *last* ident of a `Foo::Bar::Baz` path, return
+/// the path's start index and that final ident.
+fn last_path_ident(toks: &[Tok], mut i: usize) -> Option<(usize, String)> {
+    let text = toks.get(i)?.text.clone();
+    while i >= 2 && toks[i - 1].is("::") && toks[i - 2].kind == TokKind::Ident {
+        i -= 2;
+    }
+    Some((i, text))
+}
+
+/// Parse every machine: an enum with an `impl` providing both `is_final`
+/// and `can_transition_to` on a `match (self, next)`.
+pub fn parse_machines(files: &[SourceFile]) -> Vec<Machine> {
+    let mut machines = Vec::new();
+    for f in files {
+        let t = &f.lexed.toks;
+        // Enums first.
+        let mut enums: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        let mut i = 0;
+        while i < t.len() {
+            if t[i].is("enum") && i + 1 < t.len() && t[i + 1].kind == TokKind::Ident {
+                let name = t[i + 1].text.clone();
+                let mut j = i + 2;
+                while j < t.len() && !t[j].is("{") {
+                    j += 1;
+                }
+                let mut depth = 0i32;
+                let mut variants = BTreeSet::new();
+                let mut expect_variant = true;
+                while j < t.len() {
+                    if t[j].is("{") {
+                        depth += 1;
+                        if depth > 1 {
+                            expect_variant = false;
+                        }
+                    } else if t[j].is("}") {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else if depth == 1 {
+                        if t[j].is("#") {
+                            // Skip `#[...]` attribute on a variant.
+                            while j < t.len() && !t[j].is("]") {
+                                j += 1;
+                            }
+                        } else if t[j].is(",") {
+                            expect_variant = true;
+                        } else if expect_variant && t[j].kind == TokKind::Ident {
+                            variants.insert(t[j].text.clone());
+                            expect_variant = false;
+                        }
+                    }
+                    j += 1;
+                }
+                enums.insert(name, variants);
+                i = j;
+            }
+            i += 1;
+        }
+
+        // Impl blocks providing the two lifecycle functions.
+        let mut i = 0;
+        while i + 1 < t.len() {
+            if t[i].is("impl") && t[i + 1].kind == TokKind::Ident {
+                let name = t[i + 1].text.clone();
+                if let Some(variants) = enums.get(&name) {
+                    let end = block_end(t, i);
+                    let body = &t[i..end];
+                    let finals = parse_is_final(body, variants);
+                    if let Some((explicit, wildcard)) = parse_transition_table(body, variants) {
+                        machines.push(Machine {
+                            name,
+                            variants: variants.clone(),
+                            finals,
+                            explicit,
+                            wildcard_targets: wildcard,
+                            file: f.rel.clone(),
+                        });
+                    }
+                    i = end;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+    }
+    machines
+}
+
+/// Index one past the matching `}` of the first `{` at/after `i`.
+fn block_end(t: &[Tok], mut i: usize) -> usize {
+    while i < t.len() && !t[i].is("{") {
+        i += 1;
+    }
+    let mut depth = 0i32;
+    while i < t.len() {
+        if t[i].is("{") {
+            depth += 1;
+        } else if t[i].is("}") {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    t.len()
+}
+
+/// Index of the `)` matching the `(` at `open`.
+fn matching_paren(t: &[Tok], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < t.len() {
+        if t[i].is("(") {
+            depth += 1;
+        } else if t[i].is(")") {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    t.len()
+}
+
+fn parse_is_final(body: &[Tok], variants: &BTreeSet<String>) -> BTreeSet<String> {
+    let mut finals = BTreeSet::new();
+    for i in 1..body.len() {
+        if body[i].is("is_final") && body[i - 1].is("fn") {
+            // Find `matches ! ( self ,` then variant idents up to `)`.
+            let mut j = i;
+            while j + 1 < body.len() && !(body[j].is("matches") && body[j + 1].is("!")) {
+                j += 1;
+            }
+            while j < body.len() && !body[j].is(",") {
+                j += 1;
+            }
+            while j < body.len() && !body[j].is(")") {
+                if body[j].kind == TokKind::Ident && variants.contains(&body[j].text) {
+                    finals.insert(body[j].text.clone());
+                }
+                j += 1;
+            }
+            break;
+        }
+    }
+    finals
+}
+
+type Table = (BTreeMap<(String, String), u32>, BTreeMap<String, u32>);
+
+fn parse_transition_table(body: &[Tok], variants: &BTreeSet<String>) -> Option<Table> {
+    let mut i = 1;
+    while i < body.len() && !(body[i].is("can_transition_to") && body[i - 1].is("fn")) {
+        i += 1;
+    }
+    if i >= body.len() {
+        return None;
+    }
+    while i < body.len() && !body[i].is("match") {
+        i += 1;
+    }
+    while i < body.len() && !body[i].is("{") {
+        i += 1;
+    }
+    if i >= body.len() {
+        return None;
+    }
+    let end = block_end(body, i);
+    let arms = &body[i + 1..end - 1];
+
+    let mut explicit = BTreeMap::new();
+    let mut wildcard = BTreeMap::new();
+    let mut j = 0;
+    while j < arms.len() {
+        // One arm: pattern alternatives until `=>`, expr until `,` at
+        // bracket depth 0 (or end of match body).
+        let arm_line = arms[j].line;
+        let mut pats: Vec<(Option<String>, Option<String>)> = Vec::new();
+        let mut depth = 0i32;
+        let mut k = j;
+        while k < arms.len() && !(depth == 0 && arms[k].is("=>")) {
+            if arms[k].is("(") {
+                if depth == 0 {
+                    // Collect the `(a, b)` pair.
+                    let close = matching_paren(arms, k);
+                    let mut parts: Vec<Option<String>> = Vec::new();
+                    let mut cur: Option<String> = None;
+                    let mut d2 = 0i32;
+                    for tok in &arms[k + 1..close] {
+                        if tok.is("(") {
+                            d2 += 1;
+                        } else if tok.is(")") {
+                            d2 -= 1;
+                        } else if d2 == 0 && tok.is(",") {
+                            parts.push(cur.take());
+                        } else if d2 == 0 && tok.kind == TokKind::Ident {
+                            cur = Some(tok.text.clone());
+                        }
+                    }
+                    parts.push(cur.take());
+                    if parts.len() == 2 {
+                        let lit = |p: &Option<String>| {
+                            p.as_ref()
+                                .filter(|v| variants.contains(v.as_str()))
+                                .cloned()
+                        };
+                        pats.push((lit(&parts[0]), lit(&parts[1])));
+                    }
+                    k = close + 1;
+                    continue;
+                }
+                depth += 1;
+            } else if arms[k].is(")") {
+                depth -= 1;
+            }
+            k += 1;
+        }
+        if k >= arms.len() {
+            break;
+        }
+        // Expression tokens of the arm.
+        let mut e = k + 1;
+        let mut d = 0i32;
+        let expr_start = e;
+        while e < arms.len() {
+            if arms[e].is("(") || arms[e].is("{") || arms[e].is("[") {
+                d += 1;
+            } else if arms[e].is(")") || arms[e].is("}") || arms[e].is("]") {
+                d -= 1;
+            } else if d == 0 && arms[e].is(",") {
+                break;
+            }
+            e += 1;
+        }
+        let expr = &arms[expr_start..e];
+        let is_true = expr.first().is_some_and(|t| t.is("true"));
+        let is_nonfinal_guard =
+            expr.iter().any(|t| t.is("is_final")) && expr.first().is_some_and(|t| t.is("!"));
+        for (src, dst) in &pats {
+            match (src, dst) {
+                (Some(s), Some(dd)) if is_true => {
+                    explicit.insert((s.clone(), dd.clone()), arm_line);
+                }
+                (None, Some(dd)) if is_nonfinal_guard => {
+                    wildcard.insert(dd.clone(), arm_line);
+                }
+                _ => {}
+            }
+        }
+        j = e + 1;
+    }
+    Some((explicit, wildcard))
+}
+
+fn machine_idx(machines: &[Machine], name: &str) -> Option<usize> {
+    machines.iter().position(|m| m.name == name)
+}
+
+/// First `Enum::Variant` literal among `toks` where Enum is a machine.
+fn path_literal(toks: &[Tok], machines: &[Machine]) -> Option<(usize, String)> {
+    for j in 0..toks.len() {
+        if toks[j].kind == TokKind::Ident
+            && j + 2 < toks.len()
+            && toks[j + 1].is("::")
+            && toks[j + 2].kind == TokKind::Ident
+        {
+            if let Some(mi) = machine_idx(machines, &toks[j].text) {
+                if machines[mi].variants.contains(&toks[j + 2].text) {
+                    return Some((mi, toks[j + 2].text.clone()));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// The dotted receiver chain ending at token `end` (e.g. `self.foo`).
+fn receiver_chain(t: &[Tok], end: usize) -> Option<String> {
+    let mut i = end;
+    if t.get(i)?.kind != TokKind::Ident {
+        return None;
+    }
+    while i >= 2 && t[i - 1].is(".") && t[i - 2].kind == TokKind::Ident {
+        i -= 2;
+    }
+    Some(
+        t[i..=end]
+            .iter()
+            .map(|tok| tok.text.as_str())
+            .collect::<Vec<_>>()
+            .join(""),
+    )
+}
+
+/// Collect exercised-transition evidence from one file.
+///
+/// The chain model is lexical and deliberately approximate: consecutive
+/// `.advance(_, State::X)` calls on the same receiver at the same brace
+/// depth form a source->target chain; entering a closure or a new function
+/// resets it. `Guarded::<S>::new()` seeds a receiver at `New`, and
+/// `for s in [State::A, State::B] { recv.advance(_, s) }` chains the array.
+pub fn collect_evidence(file: &SourceFile, machines: &[Machine], ev: &mut Evidence) {
+    let t = &file.lexed.toks;
+    // (receiver, depth) -> (machine, state)
+    let mut last: BTreeMap<(String, i32), (usize, String)> = BTreeMap::new();
+    let mut depth = 0i32;
+
+    let mut i = 0;
+    while i < t.len() {
+        if t[i].is("{") {
+            depth += 1;
+        } else if t[i].is("}") {
+            depth -= 1;
+            last.retain(|(_, d), _| *d <= depth);
+        } else if t[i].is("fn") {
+            // New function: forget chain state (approximation boundary).
+            last.clear();
+        } else if t[i].is("Guarded")
+            && i + 6 < t.len()
+            && t[i + 1].is("::")
+            && t[i + 2].is("<")
+            && t[i + 4].is(">")
+            && t[i + 5].is("::")
+            && t[i + 6].is("new")
+        {
+            if let Some(mi) = machine_idx(machines, &t[i + 3].text) {
+                // Back-scan for `let [mut] NAME` in the same statement.
+                let mut j = i;
+                while j > 0 && !(t[j].is(";") || t[j].is("{") || t[j].is("}")) {
+                    j -= 1;
+                }
+                if let Some(p) = t[j..i].iter().position(|x| x.is("let")) {
+                    let name = t[j + p + 1..i]
+                        .iter()
+                        .find(|x| x.kind == TokKind::Ident && !x.is("mut"))
+                        .map(|x| x.text.clone());
+                    if let Some(name) = name {
+                        last.insert((name, depth), (mi, "New".to_string()));
+                    }
+                }
+            }
+        } else if t[i].is("for")
+            && i + 3 < t.len()
+            && t[i + 1].kind == TokKind::Ident
+            && t[i + 2].is("in")
+            && (t[i + 3].is("[") || (t[i + 3].is("&") && t.get(i + 4).is_some_and(|x| x.is("["))))
+        {
+            // `for VAR in [Enum::A, Enum::B, ...] { body }`
+            let var = t[i + 1].text.clone();
+            let open = if t[i + 3].is("[") { i + 3 } else { i + 4 };
+            let mut elems: Vec<(usize, String)> = Vec::new();
+            let mut j = open + 1;
+            let mut literal_array = true;
+            while j < t.len() && !t[j].is("]") {
+                if t[j].kind == TokKind::Ident {
+                    if j + 2 < t.len() && t[j + 1].is("::") && t[j + 2].kind == TokKind::Ident {
+                        match machine_idx(machines, &t[j].text) {
+                            Some(mi) if machines[mi].variants.contains(&t[j + 2].text) => {
+                                elems.push((mi, t[j + 2].text.clone()));
+                            }
+                            _ => literal_array = false,
+                        }
+                        j += 2;
+                    } else {
+                        literal_array = false;
+                    }
+                } else if !t[j].is(",") {
+                    literal_array = false;
+                }
+                j += 1;
+            }
+            if literal_array && !elems.is_empty() && elems.iter().all(|(m, _)| *m == elems[0].0) {
+                let mi = elems[0].0;
+                let body_end = block_end(t, j);
+                let body = &t[j..body_end];
+                for b in 2..body.len() {
+                    let called = |name: &str| {
+                        body[b].is(name)
+                            && body[b - 1].is(".")
+                            && body.get(b + 1).is_some_and(|x| x.is("("))
+                    };
+                    if called("advance") {
+                        let args_end = matching_paren(body, b + 1);
+                        if body[b + 2..args_end].iter().any(|a| a.text == var) {
+                            let line = body[b].line;
+                            // Seed edge from the receiver's pre-loop state.
+                            if let Some(recv) = receiver_chain(body, b - 2) {
+                                if let Some((pm, ps)) = last.get(&(recv.clone(), depth)) {
+                                    if *pm == mi {
+                                        ev.chains.push((
+                                            mi,
+                                            ps.clone(),
+                                            elems[0].1.clone(),
+                                            file.rel.clone(),
+                                            line,
+                                        ));
+                                    }
+                                }
+                                last.insert((recv, depth), (mi, elems[elems.len() - 1].1.clone()));
+                            }
+                            for w in elems.windows(2) {
+                                ev.chains.push((
+                                    mi,
+                                    w[0].1.clone(),
+                                    w[1].1.clone(),
+                                    file.rel.clone(),
+                                    line,
+                                ));
+                            }
+                            for (m, v) in &elems {
+                                ev.targets.insert((*m, v.clone()));
+                            }
+                        }
+                    } else if called("can_transition_to")
+                        && body[b - 2].text == var
+                        && !(b >= 3 && body[b - 3].is("!"))
+                    {
+                        let args_end = matching_paren(body, b + 1);
+                        if let Some((m2, v2)) = path_literal(&body[b + 2..args_end], machines) {
+                            if m2 == mi {
+                                for (_, v) in &elems {
+                                    ev.asserted.insert((mi, v.clone(), v2.clone()));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        } else if t[i].is("advance")
+            && i >= 2
+            && t[i - 1].is(".")
+            && t.get(i + 1).is_some_and(|x| x.is("("))
+        {
+            let args_end = matching_paren(t, i + 1);
+            if let Some((mi, target)) = path_literal(&t[i + 2..args_end], machines) {
+                ev.targets.insert((mi, target.clone()));
+                if let Some(recv) = receiver_chain(t, i - 2) {
+                    let key = (recv, depth);
+                    if let Some((pm, ps)) = last.get(&key) {
+                        if *pm == mi {
+                            ev.chains.push((
+                                mi,
+                                ps.clone(),
+                                target.clone(),
+                                file.rel.clone(),
+                                t[i].line,
+                            ));
+                        }
+                    }
+                    last.insert(key, (mi, target));
+                }
+            }
+        } else if t[i].is("can_transition_to")
+            && i >= 3
+            && t[i - 1].is(".")
+            && t.get(i + 1).is_some_and(|x| x.is("("))
+        {
+            // `Enum::Src.can_transition_to(Enum::Dst)`, not negated.
+            if let Some((start, src)) = last_path_ident(t, i - 2) {
+                if let Some(mi) = machine_idx(machines, &t[start].text) {
+                    let negated = start >= 1 && t[start - 1].is("!");
+                    if !negated && machines[mi].variants.contains(&src) {
+                        let args_end = matching_paren(t, i + 1);
+                        if let Some((m2, dst)) = path_literal(&t[i + 2..args_end], machines) {
+                            if m2 == mi {
+                                ev.asserted.insert((mi, src, dst));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Run the full rule over the workspace.
+pub fn check(files: &[SourceFile], machines: &[Machine], report: &mut Report) -> Evidence {
+    let mut ev = Evidence::default();
+    for f in files {
+        collect_evidence(f, machines, &mut ev);
+    }
+
+    let push = |report: &mut Report, files: &[SourceFile], finding: Finding| {
+        let waived = files
+            .iter()
+            .find(|f| f.rel == finding.file)
+            .is_some_and(|f| f.is_waived(finding.line, RULE));
+        report.push(if waived { finding.waived() } else { finding });
+    };
+
+    // Illegal chained transitions.
+    for (mi, src, dst, file, line) in &ev.chains {
+        let m = &machines[*mi];
+        if !m.allows(src, dst) {
+            push(
+                report,
+                files,
+                Finding::new(
+                    RULE,
+                    file,
+                    *line,
+                    format!(
+                        "illegal {} transition {src} -> {dst}: not allowed by \
+                         can_transition_to in {}",
+                        m.name, m.file
+                    ),
+                ),
+            );
+        }
+    }
+
+    // Dead table edges.
+    let mut exercised: BTreeSet<(usize, String, String)> = ev.asserted.clone();
+    for (mi, s, d, _, _) in &ev.chains {
+        exercised.insert((*mi, s.clone(), d.clone()));
+    }
+    for (mi, m) in machines.iter().enumerate() {
+        for ((src, dst), line) in &m.explicit {
+            if !exercised.contains(&(mi, src.clone(), dst.clone())) {
+                push(
+                    report,
+                    files,
+                    Finding::new(
+                        RULE,
+                        &m.file,
+                        *line,
+                        format!(
+                            "dead transition: table allows {} {src} -> {dst} but no call \
+                             site or assertion exercises it",
+                            m.name
+                        ),
+                    ),
+                );
+            }
+        }
+        for (dst, line) in &m.wildcard_targets {
+            if !ev.targets.contains(&(mi, dst.clone()))
+                && !exercised.iter().any(|(em, _, ed)| *em == mi && ed == dst)
+            {
+                push(
+                    report,
+                    files,
+                    Finding::new(
+                        RULE,
+                        &m.file,
+                        *line,
+                        format!(
+                            "dead transition: table allows {} * -> {dst} but no call site \
+                             reaches it",
+                            m.name
+                        ),
+                    ),
+                );
+            }
+        }
+    }
+    ev
+}
+
+/// Render a machine's lifecycle as Graphviz DOT.
+pub fn emit_dot(m: &Machine) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "// Generated by rp_lint --emit-dot from {} — do not edit by hand.\n",
+        m.file
+    ));
+    out.push_str(&format!("digraph {} {{\n", m.name));
+    out.push_str("    rankdir=LR;\n    node [shape=box, style=rounded];\n");
+    for v in &m.variants {
+        if m.finals.contains(v) {
+            out.push_str(&format!("    {v} [peripheries=2];\n"));
+        } else {
+            out.push_str(&format!("    {v};\n"));
+        }
+    }
+    for (src, dst) in m.explicit.keys() {
+        out.push_str(&format!("    {src} -> {dst};\n"));
+    }
+    if !m.wildcard_targets.is_empty() {
+        out.push_str("    any_live [label=\"any non-final\", shape=plaintext];\n");
+        for dst in m.wildcard_targets.keys() {
+            out.push_str(&format!("    any_live -> {dst} [style=dashed];\n"));
+        }
+    }
+    out.push_str("}\n");
+    out
+}

@@ -941,6 +941,11 @@ impl Agent {
                 engine.schedule_in(dur, done);
             }
             WorkSpec::Native(f) => {
+                // Native work runs a real closure and bills its measured host
+                // runtime as sim time by design — this variant explicitly
+                // trades determinism for realism (see WorkSpec::Native docs);
+                // all other variants stay virtual.
+                // rp-lint: allow(wallclock): host timing is the point of Native work
                 let t0 = std::time::Instant::now();
                 f();
                 let dur = SimDuration::from_secs_f64(t0.elapsed().as_secs_f64());

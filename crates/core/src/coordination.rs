@@ -15,7 +15,7 @@
 //! is bit-identical to the ideal exactly-once store.
 
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
 use rp_sim::{Engine, SimDuration, SimRng, SimTime};
@@ -103,7 +103,7 @@ type ApplyFn = Box<dyn FnOnce(&mut Engine)>;
 
 struct StoreInner {
     config: CoordinationConfig,
-    queues: HashMap<PilotId, PilotQueue>,
+    queues: BTreeMap<PilotId, PilotQueue>,
     docs_written: u64,
     polls: u64,
     /// Private RNG of the lossy transport; `None` for lossless profiles
@@ -112,13 +112,13 @@ struct StoreInner {
     /// Sequence counter stamped on every message.
     next_seq: u64,
     /// Sequences already applied (receiver-side idempotency).
-    applied: HashSet<u64>,
+    applied: BTreeSet<u64>,
     /// The Unit-Manager-side client that accepts units an agent hands
     /// back (pilot loss, walltime draining).
     client: Option<ClientFn>,
     /// Last heartbeat seen per pilot (heartbeats are droppable and never
     /// retransmitted — exactly the signal a gap detector must tolerate).
-    heartbeats: HashMap<PilotId, SimTime>,
+    heartbeats: BTreeMap<PilotId, SimTime>,
     msgs_dropped: u64,
     msgs_duplicated: u64,
     dup_applies_ignored: u64,
@@ -140,14 +140,14 @@ impl CoordinationStore {
         CoordinationStore {
             inner: Rc::new(RefCell::new(StoreInner {
                 config,
-                queues: HashMap::new(),
+                queues: BTreeMap::new(),
                 docs_written: 0,
                 polls: 0,
                 rng,
                 next_seq: 0,
-                applied: HashSet::new(),
+                applied: BTreeSet::new(),
                 client: None,
-                heartbeats: HashMap::new(),
+                heartbeats: BTreeMap::new(),
                 msgs_dropped: 0,
                 msgs_duplicated: 0,
                 dup_applies_ignored: 0,

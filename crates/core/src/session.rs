@@ -2,7 +2,7 @@
 //! registry, coordination store, and the configuration profile.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use rp_hdfs::HdfsConfig;
@@ -100,7 +100,7 @@ pub struct MachineHandle {
 
 struct SessionInner {
     config: SessionConfig,
-    machines: HashMap<String, MachineHandle>,
+    machines: BTreeMap<String, MachineHandle>,
     store: CoordinationStore,
     next_pilot: u64,
     next_unit: u64,
@@ -141,7 +141,7 @@ impl Session {
         Session {
             inner: Rc::new(RefCell::new(SessionInner {
                 config,
-                machines: HashMap::new(),
+                machines: BTreeMap::new(),
                 store,
                 next_pilot: 0,
                 next_unit: 0,

@@ -293,7 +293,10 @@ pub fn when_all_done(
     let remaining = Rc::new(RefCell::new(units.len()));
     let cb = Rc::new(RefCell::new(Some(cb)));
     if units.is_empty() {
-        let cb = cb.borrow_mut().take().unwrap();
+        let cb = cb
+            .borrow_mut()
+            .take()
+            .expect("when_all_done callback taken twice on empty unit set");
         engine.schedule_now(cb);
         return;
     }

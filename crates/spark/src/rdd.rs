@@ -111,7 +111,7 @@ fn bucket_of<K: Hash>(key: &K, buckets: usize) -> usize {
 
 impl<K, V> ShuffleReduce<K, V>
 where
-    K: Clone + Eq + Hash + Send + Sync + 'static,
+    K: Clone + Ord + Eq + Hash + Send + Sync + 'static,
     V: Clone + Send + Sync + 'static,
 {
     fn materialise(&self) -> &Vec<Vec<(K, V)>> {
@@ -154,7 +154,12 @@ where
                         }
                     }
                 }
-                out.push(merged.into_iter().collect());
+                // Sort by key so reduce output is deterministic: HashMap
+                // drain order must not leak into partition contents.
+                // rp-lint: allow(hash-iter): drained to a Vec and sorted by key below
+                let mut bucket: Vec<(K, V)> = merged.into_iter().collect();
+                bucket.sort_by(|a, b| a.0.cmp(&b.0));
+                out.push(bucket);
             }
             out
         })
@@ -163,7 +168,7 @@ where
 
 impl<K, V> RddNode<(K, V)> for ShuffleReduce<K, V>
 where
-    K: Clone + Eq + Hash + Send + Sync + 'static,
+    K: Clone + Ord + Eq + Hash + Send + Sync + 'static,
     V: Clone + Send + Sync + 'static,
 {
     fn num_partitions(&self) -> usize {
@@ -319,7 +324,7 @@ impl<T: Clone + Send + Sync + 'static> Rdd<T> {
 
 impl<K, V> Rdd<(K, V)>
 where
-    K: Clone + Eq + Hash + Send + Sync + 'static,
+    K: Clone + Ord + Eq + Hash + Send + Sync + 'static,
     V: Clone + Send + Sync + 'static,
 {
     /// Wide transformation: merge values per key with `f` across the whole
