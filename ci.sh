@@ -54,12 +54,19 @@ echo "==> bench suite (quick) + regression gate"
 BENCH_OUT="${BENCH_OUT:-target/bench}"
 cargo run --release -q -p rp-bench --bin bench_suite -- --quick --out-dir "$BENCH_OUT"
 baselines_present=true
-for s in fig5_startup fig5_unit_startup fig6_kmeans fault_matrix pilot_loss; do
+for s in fig5_startup fig5_unit_startup fig6_kmeans fault_matrix pilot_loss scale_1k scale_10k; do
     [ -f "BENCH_$s.json" ] || baselines_present=false
 done
 if $baselines_present; then
+    # scale_10k is excluded: the quick suite deliberately skips the one
+    # slow scenario, so the candidate dir has no artifact to diff. The
+    # full-reps invocation in EXPERIMENTS.md still regenerates (and a
+    # manual bench_compare without --scenario still gates) all seven.
     cargo run --release -q -p rp-bench --bin bench_compare -- \
-        --baseline . --candidate "$BENCH_OUT"
+        --baseline . --candidate "$BENCH_OUT" \
+        --scenario fig5_startup --scenario fig5_unit_startup \
+        --scenario fig6_kmeans --scenario fault_matrix \
+        --scenario pilot_loss --scenario scale_1k
 else
     echo "    (no checked-in baselines; seeding BENCH_*.json from this run"
     echo "     — run 'bench_suite --out-dir .' without --quick for real host stats)"
@@ -91,6 +98,9 @@ done
 echo "==> chaos soak (quick: 8 seeds over the mixed fault + lossy-store grid)"
 CHAOS_SEEDS=8 cargo test --release -q --test chaos
 
+echo "==> scale smoke (1k units: bounded working set + bit-identical replay)"
+SCALE_UNITS=1000 cargo test --release -q --test scale
+
 echo "==> pilot-kill smoke (failover to the surviving pilot, JSON-checked)"
 cargo run --release -q --example fault_injection 5 --pilot-kill --json \
     | python3 -c '
@@ -105,6 +115,11 @@ assert d["rebound"] >= 1, d
 print("--- pilot-kill: %d/%d done, %d re-bound, makespan %.0fs"
       % (d["done"], d["units"], d["rebound"], d["makespan_s"]))
 '
+
+if [ "${CI_SCALE:-0}" = "1" ]; then
+    echo "==> CI_SCALE=1: 100k-unit scale tier (same assertions, full volume)"
+    SCALE_UNITS=100000 cargo test --release -q --test scale
+fi
 
 if [ "${CI_SANITIZE:-0}" = "1" ]; then
     echo "==> CI_SANITIZE=1: chaos soak under ThreadSanitizer (nightly)"

@@ -1,7 +1,9 @@
 //! Validate a Chrome/Perfetto trace JSON file produced by
 //! `Trace::to_chrome_json` (e.g. the quickstart's `--trace-out` artifact):
-//! parses the document and checks that every async-nestable begin (`"b"`)
-//! has a matching end (`"e"`) on the same id.
+//! streams the document element-by-element and checks that every
+//! async-nestable begin (`"b"`) has a matching end (`"e"`) on the same id.
+//! Peak memory is one JSON object plus the open-id table, so multi-GB
+//! scale-run traces validate without being read into memory.
 //!
 //! ```text
 //! cargo run -p rp-bench --bin trace_validate -- trace.json
@@ -10,7 +12,7 @@
 //! Exits 0 and prints the event counts on success; exits 1 with the
 //! offending reason otherwise.
 
-use rp_sim::validate_chrome_json;
+use rp_sim::validate_chrome_reader;
 
 fn main() {
     let path = match std::env::args().nth(1) {
@@ -20,14 +22,14 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let doc = match std::fs::read_to_string(&path) {
-        Ok(d) => d,
+    let file = match std::fs::File::open(&path) {
+        Ok(f) => f,
         Err(e) => {
             eprintln!("{path}: {e}");
             std::process::exit(2);
         }
     };
-    match validate_chrome_json(&doc) {
+    match validate_chrome_reader(file) {
         Ok(stats) => {
             println!(
                 "{path}: ok — {} objects, {} instants, {} span begin/end pairs",

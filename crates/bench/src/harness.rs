@@ -15,8 +15,8 @@ use std::time::Instant;
 
 use rp_analytics::{fig6_session_config, run_rp_kmeans, run_rp_yarn_kmeans, KMeansCalibration};
 use rp_pilot::{
-    install_faults, ComputeUnitDescription, PilotDescription, PilotManager, PilotState, Session,
-    SessionConfig, UmScheduler, UnitManager, UnitState, WorkSpec,
+    install_faults, when_all_done, ComputeUnitDescription, PilotDescription, PilotManager,
+    PilotState, Session, SessionConfig, UmScheduler, UnitManager, UnitState, WorkSpec,
 };
 use rp_sim::stats::percentile;
 use rp_sim::{
@@ -30,13 +30,18 @@ use crate::Variant;
 /// diff mismatched schemas.
 pub const SCHEMA_VERSION: u32 = 1;
 
-/// The five scenarios of the suite, in run order.
-pub const SCENARIO_NAMES: [&str; 5] = [
+/// The scenarios of the suite, in run order. The `scale_*` family measures
+/// raw engine/agent/coordination throughput (events per second, peak live
+/// spans) on large plain-pilot bags; `scale_10k` is skipped under
+/// `bench_suite --quick`.
+pub const SCENARIO_NAMES: [&str; 7] = [
     "fig5_startup",
     "fig5_unit_startup",
     "fig6_kmeans",
     "fault_matrix",
     "pilot_loss",
+    "scale_1k",
+    "scale_10k",
 ];
 
 /// `BENCH_<scenario>.json`.
@@ -373,6 +378,102 @@ pub fn run_pilot_loss(params: PilotLossParams) -> VirtualResult {
     out
 }
 
+/// Parameters of the scale scenario family.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaleParams {
+    pub seed: u64,
+    pub units: usize,
+    pub nodes: u32,
+}
+
+impl ScaleParams {
+    pub fn scale_1k() -> Self {
+        ScaleParams {
+            seed: 7,
+            units: 1_000,
+            nodes: 16,
+        }
+    }
+
+    pub fn scale_10k() -> Self {
+        ScaleParams {
+            seed: 7,
+            units: 10_000,
+            nodes: 32,
+        }
+    }
+}
+
+/// Scale: a large bag of one-core sleep units through a plain pilot,
+/// exercising the slab event queue, the dense agent slots, the batched
+/// coordination store and the chunked trace sink at volume. Beyond the
+/// usual phase/critical-path reduction, the virtual counters pin the
+/// event count, peak live (unended) spans and the event-slab high-water
+/// mark, so a structural regression (span leak, event-queue growth) trips
+/// the exact-diff gate even if virtual time is unchanged.
+pub fn run_scale(params: ScaleParams) -> VirtualResult {
+    let mut out = new_result(&format!(
+        "scale: {} one-core sleep units on a plain {}-node pilot, seed {}",
+        params.units, params.nodes, params.seed
+    ));
+    let mut e = Engine::with_trace(params.seed);
+    let session = Session::new(SessionConfig::test_profile());
+    let pm = PilotManager::new(&session);
+    let pilot = pm
+        .submit(
+            &mut e,
+            PilotDescription::new(
+                "xsede.stampede",
+                params.nodes,
+                SimDuration::from_secs(14_400),
+            ),
+        )
+        .expect("pilot submits");
+    let mut um = UnitManager::new(&session, UmScheduler::Direct);
+    um.add_pilot(&pilot);
+    let units = um.submit_units(
+        &mut e,
+        (0..params.units)
+            .map(|i| {
+                ComputeUnitDescription::new(
+                    format!("u{i}"),
+                    1,
+                    WorkSpec::Sleep(SimDuration::from_secs(60 + (i as u64 % 13) * 15)),
+                )
+            })
+            .collect(),
+    );
+    // Event-driven completion: polling the unit vector per step would
+    // itself be O(units × events) and dominate the measurement.
+    let sess = session.clone();
+    let p = pilot.clone();
+    when_all_done(&mut e, &units, move |eng| {
+        PilotManager::new(&sess).cancel(eng, &p);
+    });
+    e.run();
+    assert!(
+        units.iter().all(|u| u.state() == UnitState::Done),
+        "scale run must complete every unit"
+    );
+    out.counters
+        .insert("scale.units".into(), params.units as u64);
+    out.counters
+        .insert("scale.events_executed".into(), e.events_executed());
+    out.counters.insert(
+        "scale.peak_live_spans".into(),
+        e.trace.peak_live_spans() as u64,
+    );
+    out.counters
+        .insert("scale.event_slab_slots".into(), e.slab_len() as u64);
+    absorb_run(
+        &mut out,
+        &format!("{} sleep units", params.units),
+        &e,
+        "unit.run",
+    );
+    out
+}
+
 /// Run the named scenario once.
 pub fn run_scenario(name: &str) -> VirtualResult {
     match name {
@@ -381,6 +482,8 @@ pub fn run_scenario(name: &str) -> VirtualResult {
         "fig6_kmeans" => run_fig6_kmeans(),
         "fault_matrix" => run_fault_matrix(FaultMatrixParams::default()),
         "pilot_loss" => run_pilot_loss(PilotLossParams::default()),
+        "scale_1k" => run_scale(ScaleParams::scale_1k()),
+        "scale_10k" => run_scale(ScaleParams::scale_10k()),
         other => panic!("unknown scenario {other:?} (expected one of {SCENARIO_NAMES:?})"),
     }
 }
@@ -393,6 +496,10 @@ pub struct BenchArtifact {
     pub virtual_json: String,
     /// Host wall-clock per repetition, milliseconds.
     pub host_ms: Vec<f64>,
+    /// Virtual events executed per repetition (rep-invariant), when the
+    /// scenario reports a `scale.events_executed` counter. Turns the host
+    /// median into an events-per-second throughput figure.
+    pub virtual_events: Option<u64>,
     /// Markdown rendering of the report (for PR descriptions).
     pub markdown: String,
 }
@@ -402,11 +509,23 @@ impl BenchArtifact {
         percentile(&self.host_ms, 50.0)
     }
 
+    /// Virtual events divided by the median host wall-clock, when the
+    /// scenario reports an event count. Host-dependent, so it lives in the
+    /// artifact's `host` section (informational, not exact-diffed).
+    pub fn events_per_sec(&self) -> Option<f64> {
+        self.virtual_events
+            .map(|n| n as f64 / (self.median_ms() / 1e3).max(1e-9))
+    }
+
     /// The full schema-versioned artifact document.
     pub fn to_json(&self) -> String {
+        let throughput = self
+            .events_per_sec()
+            .map(|eps| format!(",\"events_per_sec\":{eps:.1}"))
+            .unwrap_or_default();
         format!(
             "{{\"schema\":{SCHEMA_VERSION},\"scenario\":\"{}\",\"virtual\":{},\
-             \"host\":{{\"reps\":{},\"median_ms\":{:.3},\"p95_ms\":{:.3},\"min_ms\":{:.3},\"max_ms\":{:.3}}}}}",
+             \"host\":{{\"reps\":{},\"median_ms\":{:.3},\"p95_ms\":{:.3},\"min_ms\":{:.3},\"max_ms\":{:.3}{throughput}}}}}",
             rp_sim::trace::escape_json(&self.scenario),
             self.virtual_json,
             self.reps,
@@ -425,6 +544,7 @@ pub fn bench_with(scenario: &str, reps: u64, run: impl Fn() -> VirtualResult) ->
     assert!(reps >= 1);
     let mut host_ms = Vec::with_capacity(reps as usize);
     let mut virtual_json: Option<String> = None;
+    let mut virtual_events = None;
     let mut markdown = String::new();
     for _ in 0..reps {
         let t0 = Instant::now();
@@ -434,6 +554,7 @@ pub fn bench_with(scenario: &str, reps: u64, run: impl Fn() -> VirtualResult) ->
         match &virtual_json {
             None => {
                 markdown = v.report.to_markdown();
+                virtual_events = v.counters.get("scale.events_executed").copied();
                 virtual_json = Some(vj);
             }
             Some(prev) => assert_eq!(
@@ -447,6 +568,7 @@ pub fn bench_with(scenario: &str, reps: u64, run: impl Fn() -> VirtualResult) ->
         reps,
         virtual_json: virtual_json.unwrap(),
         host_ms,
+        virtual_events,
         markdown,
     }
 }

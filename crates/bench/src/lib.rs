@@ -138,11 +138,11 @@ pub fn profile_pilot_startup(
     let root = pilot.root_span();
     let root_begin = e.trace.span(root).expect("pilot.run span").begin;
     let phases = profile_span(&e.trace, root);
+    let bootstrap = e.trace.symbol("pilot.bootstrap");
     let startup_s = e
         .trace
-        .spans()
-        .iter()
-        .find(|s| s.parent == Some(root) && s.name == "pilot.bootstrap")
+        .iter_spans()
+        .find(|s| s.parent == Some(root) && Some(s.name) == bootstrap)
         .and_then(|s| s.end)
         .map(|t| t.since(root_begin).as_secs_f64())
         .expect("pilot.bootstrap span");
@@ -221,11 +221,11 @@ pub fn profile_unit_startup(
     let root = units[0].root_span();
     let root_begin = e.trace.span(root).expect("unit.run span").begin;
     let phases = profile_span(&e.trace, root);
+    let exec = e.trace.symbol("unit.exec");
     let startup_s = e
         .trace
-        .spans()
-        .iter()
-        .find(|s| s.parent == Some(root) && s.name == "unit.exec")
+        .iter_spans()
+        .find(|s| s.parent == Some(root) && Some(s.name) == exec)
         .map(|s| s.begin.since(root_begin).as_secs_f64())
         .expect("unit.exec span");
     UnitProfile { startup_s, phases }

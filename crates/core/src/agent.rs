@@ -66,6 +66,131 @@ struct ActiveRun {
     alive: Rc<Cell<bool>>,
 }
 
+/// Dense per-node slot accounting for the plain scheduler.
+///
+/// The allocation's nodes are stored sorted by id with all per-node state
+/// in parallel vectors indexed by rank, so the first-fit scan walks flat
+/// arrays instead of chasing B-tree nodes and a slot update is one binary
+/// search plus an O(1) write. Ascending-id iteration matches the
+/// `BTreeMap`s this replaces, so placement decisions are bit-identical.
+struct NodeSlots {
+    /// Allocation nodes, sorted ascending; rank here keys every other field.
+    ids: Vec<NodeId>,
+    free_cores: Vec<u32>,
+    /// Sum of `free_cores` over live nodes, so a saturated pilot answers
+    /// "anything placeable?" in O(1) instead of rescanning the queue.
+    free_total: u64,
+    /// Memory committed per node (pressure model for the plain scheduler).
+    committed_mem: Vec<u64>,
+    /// Compute-slowdown factors (>1 ⇒ slower) from injected `NodeSlowdown`
+    /// faults; applied to Compute work at launch time.
+    slowdown: Vec<f64>,
+    /// Nodes lost to injected crashes. The scheduler never places new work
+    /// on them; `release` tolerates them.
+    dead: Vec<bool>,
+    dead_count: usize,
+}
+
+impl NodeSlots {
+    fn new(nodes: &[NodeId], cores_per_node: u32) -> Self {
+        let mut ids = nodes.to_vec();
+        ids.sort_unstable();
+        let n = ids.len();
+        NodeSlots {
+            ids,
+            free_cores: vec![cores_per_node; n],
+            free_total: cores_per_node as u64 * n as u64,
+            committed_mem: vec![0; n],
+            slowdown: vec![1.0; n],
+            dead: vec![false; n],
+            dead_count: 0,
+        }
+    }
+
+    /// Rank of a node; `None` for nodes outside the allocation
+    /// (framework-placed containers may reference those).
+    fn idx(&self, n: NodeId) -> Option<usize> {
+        self.ids.binary_search(&n).ok()
+    }
+
+    fn is_dead(&self, n: NodeId) -> bool {
+        self.idx(n).is_some_and(|i| self.dead[i])
+    }
+
+    fn any_dead(&self) -> bool {
+        self.dead_count > 0
+    }
+
+    /// Crashed nodes, ascending.
+    fn dead_nodes(&self) -> Vec<NodeId> {
+        self.ids
+            .iter()
+            .zip(&self.dead)
+            .filter(|&(_, &d)| d)
+            .map(|(&n, _)| n)
+            .collect()
+    }
+
+    /// Mark a node crashed and drop its slots. Returns `false` if it was
+    /// already dead (or unknown).
+    fn kill(&mut self, n: NodeId) -> bool {
+        let Some(i) = self.idx(n) else { return false };
+        if self.dead[i] {
+            return false;
+        }
+        self.dead[i] = true;
+        self.dead_count += 1;
+        self.free_total -= self.free_cores[i] as u64;
+        self.free_cores[i] = 0;
+        self.committed_mem[i] = 0;
+        true
+    }
+
+    /// Committed memory on a node (0 for crashed or untracked nodes).
+    fn committed(&self, n: NodeId) -> u64 {
+        self.idx(n).map_or(0, |i| self.committed_mem[i])
+    }
+
+    /// Slowdown factor for a node (1.0 when unset or untracked).
+    fn slowdown_factor(&self, n: NodeId) -> f64 {
+        self.idx(n).map_or(1.0, |i| self.slowdown[i])
+    }
+
+    fn set_slowdown(&mut self, n: NodeId, factor: f64) {
+        if let Some(i) = self.idx(n) {
+            self.slowdown[i] = factor;
+        }
+    }
+
+    fn clear_slowdown(&mut self, n: NodeId) {
+        if let Some(i) = self.idx(n) {
+            self.slowdown[i] = 1.0;
+        }
+    }
+
+    /// Take a placement's share of a node. The scheduler only ever picks
+    /// live allocation nodes, so the rank lookup must succeed.
+    fn reserve(&mut self, n: NodeId, cores: u32, mem_share: u64) {
+        let i = self.idx(n).expect("node known");
+        self.free_cores[i] -= cores;
+        self.free_total -= cores as u64;
+        self.committed_mem[i] += mem_share;
+    }
+
+    /// Give back a placement's share. Crashed nodes lost their slots with
+    /// the crash — their share of the placement is simply gone.
+    fn release(&mut self, n: NodeId, cores: u32, mem_share: u64) {
+        if let Some(i) = self.idx(n) {
+            if self.dead[i] {
+                return;
+            }
+            self.free_cores[i] += cores;
+            self.free_total += cores as u64;
+            self.committed_mem[i] = self.committed_mem[i].saturating_sub(mem_share);
+        }
+    }
+}
+
 struct AgentInner {
     pilot: PilotId,
     machine: MachineHandle,
@@ -73,10 +198,8 @@ struct AgentInner {
     access: RuntimeAccess,
     cfg: SessionConfig,
     store: CoordinationStore,
-    /// Plain-scheduler slot accounting.
-    free_cores: BTreeMap<NodeId, u32>,
-    /// Memory committed per node (pressure model for the plain scheduler).
-    committed_mem: BTreeMap<NodeId, u64>,
+    /// Plain-scheduler slot accounting, dense per allocation node.
+    slots: NodeSlots,
     /// Submission gate for framework-backed units (framework does its own
     /// placement; the agent avoids flooding it).
     yarn_inflight: Resource,
@@ -87,12 +210,6 @@ struct AgentInner {
     spawner_busy: bool,
     running: usize,
     stopping: bool,
-    /// Nodes lost to injected crashes. Removed from the slot maps so the
-    /// scheduler never places new work there; `release` tolerates them.
-    dead_nodes: BTreeSet<NodeId>,
-    /// Compute-slowdown factors per node (>1 ⇒ slower), from injected
-    /// `NodeSlowdown` faults; applied to Compute work at launch time.
-    slowdown: BTreeMap<NodeId, f64>,
     /// Pending injected staging errors: each one fails the next staging
     /// directive once.
     staging_faults: u32,
@@ -154,12 +271,7 @@ impl Agent {
         let dedicated = machine.dedicated.clone();
         let finish =
             move |eng: &mut Engine, access: RuntimeAccess, framework_bootstrap: SimDuration| {
-                let free_cores = alloc
-                    .nodes
-                    .iter()
-                    .map(|&n| (n, machine.cluster.spec().cores_per_node))
-                    .collect();
-                let committed_mem = alloc.nodes.iter().map(|&n| (n, 0u64)).collect();
+                let slots = NodeSlots::new(&alloc.nodes, machine.cluster.spec().cores_per_node);
                 let deadline = machine.batch.deadline(alloc.job_id);
                 let agent = Agent {
                     inner: Rc::new(RefCell::new(AgentInner {
@@ -169,8 +281,7 @@ impl Agent {
                         access,
                         cfg,
                         store: store.clone(),
-                        free_cores,
-                        committed_mem,
+                        slots,
                         yarn_inflight: Resource::new(0, 0),
                         spark_inflight_cores: 0,
                         queue: VecDeque::new(),
@@ -178,8 +289,6 @@ impl Agent {
                         spawner_busy: false,
                         running: 0,
                         stopping: false,
-                        dead_nodes: BTreeSet::new(),
-                        slowdown: BTreeMap::new(),
                         staging_faults: 0,
                         active: BTreeMap::new(),
                         finishing: BTreeMap::new(),
@@ -324,7 +433,7 @@ impl Agent {
 
     /// Nodes of the allocation lost to injected crashes.
     pub fn dead_nodes(&self) -> Vec<NodeId> {
-        self.inner.borrow().dead_nodes.iter().copied().collect()
+        self.inner.borrow().slots.dead_nodes()
     }
 
     pub fn queued_units(&self) -> usize {
@@ -353,7 +462,11 @@ impl Agent {
         };
         self.inner.borrow().store.deregister_agent(pilot);
         for u in queued {
-            u.advance(engine, UnitState::Canceled);
+            // Cancelled units are dropped from the queue lazily; skip any
+            // that already reached a final state.
+            if !u.state().is_final() {
+                u.advance(engine, UnitState::Canceled);
+            }
         }
         for am in pool {
             am.finish(engine);
@@ -907,9 +1020,9 @@ impl Agent {
         let pressure = nodes
             .iter()
             .map(|&(n, _)| {
-                let committed = inner.committed_mem.get(&n).copied().unwrap_or(0) as f64;
+                let committed = inner.slots.committed(n) as f64;
                 let cap = cluster.spec().mem_per_node_mb as f64;
-                let slow = inner.slowdown.get(&n).copied().unwrap_or(1.0);
+                let slow = inner.slots.slowdown_factor(n);
                 (committed / cap).max(1.0) * slow
             })
             .fold(1.0f64, f64::max);
@@ -1391,18 +1504,8 @@ impl Agent {
                     cores,
                 } => {
                     for (n, c) in nodes {
-                        // Crashed nodes were dropped from the slot maps;
-                        // their share of the placement is simply gone.
-                        if inner.dead_nodes.contains(&n) {
-                            continue;
-                        }
-                        if let Some(free) = inner.free_cores.get_mut(&n) {
-                            *free += c;
-                        }
                         let share = mem_mb * c as u64 / cores.max(1) as u64;
-                        if let Some(slot) = inner.committed_mem.get_mut(&n) {
-                            *slot = slot.saturating_sub(share);
-                        }
+                        inner.slots.release(n, c, share);
                     }
                 }
                 Placement::Yarn { vcores, mem_mb } => {
@@ -1436,9 +1539,7 @@ impl Agent {
     fn placement_lost(&self, placement: &Placement) -> bool {
         let inner = self.inner.borrow();
         match placement {
-            Placement::Nodes { nodes, .. } => {
-                nodes.iter().any(|(n, _)| inner.dead_nodes.contains(n))
-            }
+            Placement::Nodes { nodes, .. } => nodes.iter().any(|&(n, _)| inner.slots.is_dead(n)),
             _ => false,
         }
     }
@@ -1470,7 +1571,7 @@ impl Agent {
                 if let Some(victim) = self.map_node(*node) {
                     {
                         let mut inner = self.inner.borrow_mut();
-                        inner.slowdown.insert(victim, factor.max(1.0));
+                        inner.slots.set_slowdown(victim, factor.max(1.0));
                         inner.degraded = true;
                     }
                     engine.trace.record(
@@ -1480,7 +1581,7 @@ impl Agent {
                     );
                     let this = self.clone();
                     engine.schedule_in(*duration, move |eng| {
-                        this.inner.borrow_mut().slowdown.remove(&victim);
+                        this.inner.borrow_mut().slots.clear_slowdown(victim);
                         eng.trace
                             .record(eng.now(), "agent", format!("{victim:?} speed restored"));
                     });
@@ -1523,11 +1624,9 @@ impl Agent {
     fn inject_node_crash(&self, engine: &mut Engine, victim: NodeId) {
         let access = {
             let mut inner = self.inner.borrow_mut();
-            if !inner.dead_nodes.insert(victim) {
+            if !inner.slots.kill(victim) {
                 return; // already dead
             }
-            inner.free_cores.remove(&victim);
-            inner.committed_mem.remove(&victim);
             inner.degraded = true;
             inner.access.clone()
         };
@@ -1589,7 +1688,7 @@ impl Agent {
     fn detect_dead_runs(&self, engine: &mut Engine) {
         let stranded: Vec<u64> = {
             let inner = self.inner.borrow();
-            if inner.dead_nodes.is_empty() {
+            if !inner.slots.any_dead() {
                 return;
             }
             inner
@@ -1597,7 +1696,7 @@ impl Agent {
                 .iter()
                 .filter(|(_, run)| match &run.placement {
                     Placement::Nodes { nodes, .. } => {
-                        nodes.iter().any(|(n, _)| inner.dead_nodes.contains(n))
+                        nodes.iter().any(|&(n, _)| inner.slots.is_dead(n))
                     }
                     _ => false,
                 })
@@ -1699,11 +1798,13 @@ impl AgentInner {
         drain_deadline: Option<SimTime>,
         drained: &mut Vec<UnitHandle>,
     ) -> Option<(UnitHandle, Placement)> {
-        self.queue.retain(|u| !u.state().is_final());
         if let Some(deadline) = drain_deadline {
             let margin = SimDuration::from_secs_f64(self.cfg.drain_margin_s);
             let mut keep = VecDeque::with_capacity(self.queue.len());
             for u in std::mem::take(&mut self.queue) {
+                if u.state().is_final() {
+                    continue;
+                }
                 match self.expected_runtime(&u.description()) {
                     Some(est) if now + est + margin > deadline => drained.push(u),
                     _ => keep.push_back(u),
@@ -1711,7 +1812,24 @@ impl AgentInner {
             }
             self.queue = keep;
         }
-        for i in 0..self.queue.len() {
+        // A saturated plain pilot can place nothing (every unit needs at
+        // least one core), so skip the queue scan entirely — with 10k+
+        // queued units this turns the per-completion rescan from O(queue)
+        // into O(1).
+        if matches!(self.access, RuntimeAccess::Plain) && self.slots.free_total == 0 {
+            return None;
+        }
+        // Final (cancelled) units are dropped lazily as the scan reaches
+        // them instead of a full `retain` sweep per call: the last call of
+        // every scheduling round scans the whole queue (it returns `None`
+        // only after finding nothing placeable), so the queue still ends
+        // each round fully compacted.
+        let mut i = 0;
+        while i < self.queue.len() {
+            if self.queue[i].state().is_final() {
+                self.queue.remove(i);
+                continue;
+            }
             let d = self.queue[i].description();
             let placement = match &self.access {
                 RuntimeAccess::Plain => self.place_on_nodes(&d),
@@ -1765,9 +1883,8 @@ impl AgentInner {
                         cores,
                     } => {
                         for &(n, c) in nodes {
-                            *self.free_cores.get_mut(&n).expect("node known") -= c;
-                            *self.committed_mem.get_mut(&n).expect("node known") +=
-                                *mem_mb * c as u64 / (*cores).max(1) as u64;
+                            self.slots
+                                .reserve(n, c, *mem_mb * c as u64 / (*cores).max(1) as u64);
                         }
                     }
                     Placement::Yarn { vcores, mem_mb } => {
@@ -1781,6 +1898,7 @@ impl AgentInner {
                 let unit = self.queue.remove(i).expect("index valid");
                 return Some((unit, p));
             }
+            i += 1;
         }
         None
     }
@@ -1789,13 +1907,17 @@ impl AgentInner {
     /// greedy multi-node spread for MPI units.
     fn place_on_nodes(&self, d: &crate::description::ComputeUnitDescription) -> Option<Placement> {
         let cores = d.cores.max(1);
+        let slots = &self.slots;
         if !d.mpi {
-            // First node with enough free cores (BTreeMap → deterministic).
-            let node = self
-                .free_cores
+            // First node with enough free cores (ascending node id →
+            // deterministic, same order as the BTreeMap this replaced).
+            let node = slots
+                .ids
                 .iter()
-                .find(|&(_, &free)| free >= cores)
-                .map(|(&n, _)| n)?;
+                .zip(&slots.free_cores)
+                .zip(&slots.dead)
+                .find(|&((_, &free), &dead)| !dead && free >= cores)
+                .map(|((&n, _), _)| n)?;
             return Some(Placement::Nodes {
                 nodes: vec![(node, cores)],
                 mem_mb: d.mem_mb,
@@ -1805,8 +1927,8 @@ impl AgentInner {
         // MPI: take cores greedily across nodes.
         let mut need = cores;
         let mut picked = Vec::new();
-        for (&n, &free) in &self.free_cores {
-            if free == 0 {
+        for ((&n, &free), &dead) in slots.ids.iter().zip(&slots.free_cores).zip(&slots.dead) {
+            if dead || free == 0 {
                 continue;
             }
             let take = free.min(need);

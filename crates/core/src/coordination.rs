@@ -13,6 +13,15 @@
 //! logical message happens exactly once. With the default lossless
 //! profile the store never touches its private RNG and the event schedule
 //! is bit-identical to the ideal exactly-once store.
+//!
+//! Scaling: same-instant `push_units` calls for one pilot coalesce into a
+//! single sequence-numbered envelope (one transport message, one delivery
+//! event) before the write latency is paid — delivery times are unchanged,
+//! but a 100k-unit submission burst no longer schedules 100k store events.
+//! The receiver-side dedup state is watermark-compacted: a low-water mark
+//! covers the dense prefix of applied sequences and only the (bounded,
+//! transient) out-of-order tail is kept as a set, so dedup memory does not
+//! grow with run length.
 
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
@@ -111,8 +120,14 @@ struct StoreInner {
     rng: Option<SimRng>,
     /// Sequence counter stamped on every message.
     next_seq: u64,
-    /// Sequences already applied (receiver-side idempotency).
-    applied: BTreeSet<u64>,
+    /// All sequences `<= applied_watermark` have been applied.
+    applied_watermark: u64,
+    /// Applied sequences above the watermark (out-of-order arrivals only;
+    /// compacted back into the watermark as the gap fills).
+    applied_above: BTreeSet<u64>,
+    /// Same-instant push staging: units accumulated for a pilot whose
+    /// flush event is already scheduled at the current instant.
+    staged_pushes: BTreeMap<PilotId, Vec<UnitHandle>>,
     /// The Unit-Manager-side client that accepts units an agent hands
     /// back (pilot loss, walltime draining).
     client: Option<ClientFn>,
@@ -122,6 +137,21 @@ struct StoreInner {
     msgs_dropped: u64,
     msgs_duplicated: u64,
     dup_applies_ignored: u64,
+}
+
+impl StoreInner {
+    /// Receiver-side idempotency check: returns `true` the first time a
+    /// sequence is seen, `false` on duplicates. Compacts the dense prefix
+    /// into the watermark so dedup state stays bounded.
+    fn mark_applied(&mut self, seq: u64) -> bool {
+        if seq <= self.applied_watermark || !self.applied_above.insert(seq) {
+            return false;
+        }
+        while self.applied_above.remove(&(self.applied_watermark + 1)) {
+            self.applied_watermark += 1;
+        }
+        true
+    }
 }
 
 /// Shared handle to the session's coordination store.
@@ -145,7 +175,9 @@ impl CoordinationStore {
                 polls: 0,
                 rng,
                 next_seq: 0,
-                applied: BTreeSet::new(),
+                applied_watermark: 0,
+                applied_above: BTreeSet::new(),
+                staged_pushes: BTreeMap::new(),
                 client: None,
                 heartbeats: BTreeMap::new(),
                 msgs_dropped: 0,
@@ -182,6 +214,13 @@ impl CoordinationStore {
     /// Duplicate applies suppressed by sequence-number dedup.
     pub fn dup_applies_ignored(&self) -> u64 {
         self.inner.borrow().dup_applies_ignored
+    }
+
+    /// Out-of-order dedup entries currently held above the applied
+    /// watermark. Bounded by in-flight reordering, not run length — the
+    /// scale gate asserts it returns to zero at quiescence.
+    pub fn dedup_backlog(&self) -> usize {
+        self.inner.borrow().applied_above.len()
     }
 
     /// Stamp a fresh sequence number and hand the message to the
@@ -261,7 +300,7 @@ impl CoordinationStore {
             let this = self.clone();
             let apply = apply.clone();
             engine.schedule_in(latency + jitter, move |eng| {
-                if !this.inner.borrow_mut().applied.insert(seq) {
+                if !this.inner.borrow_mut().mark_applied(seq) {
                     this.inner.borrow_mut().dup_applies_ignored += 1;
                     eng.metrics.incr("coordination.dup_applies_ignored");
                     return;
@@ -275,7 +314,46 @@ impl CoordinationStore {
 
     /// Queue unit documents for a pilot (U.2). The write latency is paid
     /// before the documents become visible to the agent's polls.
+    ///
+    /// Same-instant calls for one pilot coalesce into a single envelope:
+    /// the first call stages the units and schedules a flush at the
+    /// current instant; later calls in the same instant append to the
+    /// stage. One sequence number, one write, one delivery event — the
+    /// delivery time is identical to sending each call separately.
     pub fn push_units(&self, engine: &mut Engine, pilot: PilotId, units: Vec<UnitHandle>) {
+        if units.is_empty() {
+            return;
+        }
+        let flush_needed = {
+            let mut inner = self.inner.borrow_mut();
+            match inner.staged_pushes.get_mut(&pilot) {
+                Some(staged) => {
+                    staged.extend(units);
+                    false
+                }
+                None => {
+                    inner.staged_pushes.insert(pilot, units);
+                    true
+                }
+            }
+        };
+        if !flush_needed {
+            return;
+        }
+        let this = self.clone();
+        engine.schedule_now(move |eng| {
+            let staged = this
+                .inner
+                .borrow_mut()
+                .staged_pushes
+                .remove(&pilot)
+                .unwrap_or_default();
+            this.flush_push(eng, pilot, staged);
+        });
+    }
+
+    /// Send one coalesced `push_units` envelope.
+    fn flush_push(&self, engine: &mut Engine, pilot: PilotId, units: Vec<UnitHandle>) {
         if units.is_empty() {
             return;
         }

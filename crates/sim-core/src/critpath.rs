@@ -47,10 +47,17 @@
 //! without displacing the activity that was actually gating the run. That
 //! is a deterministic lower bound on scheduling headroom, reported per
 //! span and summarised per phase.
+//!
+//! Scaling: the walk shares one [`Profiler`] per analysis — the CSR
+//! children index replaces the per-node full-trace rescans the legacy
+//! walk did, and causal-edge construction compares interned [`Symbol`]s
+//! instead of strings. The rendered output is pinned byte-for-byte
+//! against the legacy walk by `tests/stream_equivalence.rs`.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
-use crate::profile::{effective_phase, Phase, PhaseBreakdown};
+use crate::intern::Symbol;
+use crate::profile::{Phase, PhaseBreakdown, Profiler};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{Span, SpanId, Trace};
 
@@ -59,7 +66,8 @@ use crate::trace::{Span, SpanId, Trace};
 pub struct PathSegment {
     /// Span whose activity gated the run over this interval.
     pub span: SpanId,
-    /// That span's name (copied out for rendering without a trace handle).
+    /// That span's name (resolved out of the intern table so segments can
+    /// be rendered without a trace handle).
     pub name: String,
     /// Effective phase (own mapping or nearest mapped ancestor's).
     pub phase: Phase,
@@ -162,45 +170,46 @@ struct CausalEdges {
     adopted: BTreeMap<SpanId, Vec<SpanId>>,
 }
 
-fn attr<'a>(span: &'a Span, key: &str) -> Option<&'a str> {
-    span.attrs
-        .iter()
-        .find(|(k, _)| k == key)
-        .map(|(_, v)| v.as_str())
-}
-
 impl CausalEdges {
-    fn build(trace: &Trace) -> CausalEdges {
+    fn build(profiler: &Profiler) -> CausalEdges {
+        let trace = profiler.trace();
         let mut adopted: BTreeMap<SpanId, Vec<SpanId>> = BTreeMap::new();
-        let spans = trace.spans();
+        let pilot_run = trace.symbol("pilot.run");
+        let unit_run = trace.symbol("unit.run");
+        let scheduling = trace.symbol("unit.scheduling");
+        let queue_wait = trace.symbol("pilot.queue_wait");
+        let bootstrap = trace.symbol("pilot.bootstrap");
         // pilot id -> pilot.run span id (completed roots only).
-        let pilots: BTreeMap<&str, SpanId> = spans
-            .iter()
-            .filter(|s| s.name == "pilot.run" && s.parent.is_none() && s.end.is_some())
-            .filter_map(|s| attr(s, "pilot").map(|p| (p, s.id)))
+        let pilots: BTreeMap<&str, SpanId> = trace
+            .iter_spans()
+            .filter(|s| Some(s.name) == pilot_run && s.parent.is_none() && s.end.is_some())
+            .filter_map(|s| trace.attr(s, "pilot").map(|p| (p, s.id)))
             .collect();
-        for unit in spans
-            .iter()
-            .filter(|s| s.name == "unit.run" && s.parent.is_none() && s.end.is_some())
+        for unit in trace
+            .iter_spans()
+            .filter(|s| Some(s.name) == unit_run && s.parent.is_none() && s.end.is_some())
         {
-            let Some(pilot_span) = attr(unit, "pilot").and_then(|p| pilots.get(p)) else {
+            let Some(&pilot_span) = trace.attr(unit, "pilot").and_then(|p| pilots.get(p)) else {
                 continue;
             };
             // Edge 2: the pilot's completion causally waits on its units.
-            adopted.entry(*pilot_span).or_default().push(unit.id);
+            adopted.entry(pilot_span).or_default().push(unit.id);
             // Edge 3: the unit's first scheduling span waits on the pilot's
             // queue wait + bootstrap.
-            let Some(first_sched) = spans.iter().find(|s| {
-                s.parent == Some(unit.id) && s.name == "unit.scheduling" && s.end.is_some()
-            }) else {
+            let Some(first_sched) = profiler
+                .children(unit.id)
+                .iter()
+                .filter_map(|&c| trace.span(c))
+                .find(|s| Some(s.name) == scheduling && s.end.is_some())
+            else {
                 continue;
             };
-            let startup: Vec<SpanId> = spans
+            let startup: Vec<SpanId> = profiler
+                .children(pilot_span)
                 .iter()
+                .filter_map(|&c| trace.span(c))
                 .filter(|s| {
-                    s.parent == Some(*pilot_span)
-                        && (s.name == "pilot.queue_wait" || s.name == "pilot.bootstrap")
-                        && s.end.is_some()
+                    (Some(s.name) == queue_wait || Some(s.name) == bootstrap) && s.end.is_some()
                 })
                 .map(|s| s.id)
                 .collect();
@@ -209,11 +218,13 @@ impl CausalEdges {
         CausalEdges { adopted }
     }
 
-    fn children_of<'a>(&self, trace: &'a Trace, id: SpanId) -> Vec<&'a Span> {
-        let mut kids: Vec<&Span> = trace
-            .spans()
+    fn children_of<'a>(&self, profiler: &Profiler<'a>, id: SpanId) -> Vec<&'a Span> {
+        let trace = profiler.trace();
+        let mut kids: Vec<&Span> = profiler
+            .children(id)
             .iter()
-            .filter(|s| s.parent == Some(id) && s.end.is_some())
+            .filter_map(|&c| trace.span(c))
+            .filter(|s| s.end.is_some())
             .collect();
         if let Some(extra) = self.adopted.get(&id) {
             kids.extend(extra.iter().filter_map(|&c| trace.span(c)));
@@ -227,8 +238,11 @@ impl CausalEdges {
 pub fn critical_path(trace: &Trace, root: SpanId) -> Option<CriticalPath> {
     let root_span = trace.span(root)?;
     let end = root_span.end?;
-    let edges = CausalEdges::build(trace);
-    finish_walk(trace, &edges, root_span, root_span.begin, end)
+    let profiler = Profiler::new(trace);
+    let edges = CausalEdges::build(&profiler);
+    let mut state = WalkState::new(&profiler, &edges, root_span.begin, end);
+    state.descend(root_span, end);
+    state.finish(root_span.begin, end)
 }
 
 /// Critical path of the whole run: a virtual root spanning the earliest
@@ -236,47 +250,35 @@ pub fn critical_path(trace: &Trace, root: SpanId) -> Option<CriticalPath> {
 /// the completed roots not already adopted under a pilot. Returns `None`
 /// on a trace with no completed root spans.
 pub fn critical_path_run(trace: &Trace) -> Option<CriticalPath> {
-    let edges = CausalEdges::build(trace);
-    let adopted_units: Vec<SpanId> = edges.adopted.values().flatten().copied().collect();
+    let profiler = Profiler::new(trace);
+    let edges = CausalEdges::build(&profiler);
+    let adopted_units: BTreeSet<SpanId> = edges.adopted.values().flatten().copied().collect();
     let tops: Vec<&Span> = trace
-        .spans()
-        .iter()
+        .iter_spans()
         .filter(|s| s.parent.is_none() && s.end.is_some() && !adopted_units.contains(&s.id))
         .collect();
     let begin = tops.iter().map(|s| s.begin).min()?;
     let end = tops.iter().map(|s| s.end.unwrap()).max()?;
     // Virtual root: walk the top-level roots as the children of an
-    // unnamed containing activity charged to Overhead.
+    // unnamed containing activity charged to Overhead. `Symbol::NONE`
+    // marks it; rendering special-cases it to "run".
     let virtual_root = Span {
         id: SpanId::NONE,
         parent: None,
         category: "run",
-        name: "run".into(),
+        name: Symbol::NONE,
         begin,
         end: Some(end),
         attrs: Vec::new(),
     };
-    let mut state = WalkState::new(trace, &edges, begin, end);
+    let mut state = WalkState::new(&profiler, &edges, begin, end);
     state.walk_children(&virtual_root, tops, end);
     state.finish(begin, end)
 }
 
-/// Walk the completed subtree of `root` backwards from `hi`.
-fn finish_walk(
-    trace: &Trace,
-    edges: &CausalEdges,
-    root: &Span,
-    lo: SimTime,
-    hi: SimTime,
-) -> Option<CriticalPath> {
-    let mut state = WalkState::new(trace, edges, lo, hi);
-    state.descend(root, hi);
-    state.finish(lo, hi)
-}
-
-struct WalkState<'a> {
-    trace: &'a Trace,
-    edges: &'a CausalEdges,
+struct WalkState<'p, 'a> {
+    profiler: &'p Profiler<'a>,
+    edges: &'p CausalEdges,
     lo: SimTime,
     hi: SimTime,
     /// Segments in reverse time order while walking.
@@ -288,10 +290,10 @@ struct WalkState<'a> {
     visited: Vec<SpanId>,
 }
 
-impl<'a> WalkState<'a> {
-    fn new(trace: &'a Trace, edges: &'a CausalEdges, lo: SimTime, hi: SimTime) -> Self {
+impl<'p, 'a> WalkState<'p, 'a> {
+    fn new(profiler: &'p Profiler<'a>, edges: &'p CausalEdges, lo: SimTime, hi: SimTime) -> Self {
         WalkState {
-            trace,
+            profiler,
             edges,
             lo,
             hi,
@@ -307,14 +309,17 @@ impl<'a> WalkState<'a> {
         if end <= begin {
             return;
         }
-        let phase = if span.id.is_none() {
-            Phase::Overhead
+        let (name, phase) = if span.id.is_none() {
+            ("run".to_string(), Phase::Overhead)
         } else {
-            effective_phase(self.trace, span)
+            (
+                self.profiler.trace().span_name(span).to_string(),
+                self.profiler.effective_phase(span),
+            )
         };
         self.segments.push(PathSegment {
             span: span.id,
-            name: span.name.clone(),
+            name,
             phase,
             begin,
             end,
@@ -331,7 +336,7 @@ impl<'a> WalkState<'a> {
                 .0
                 .min(clamp_end.0),
         );
-        let kids = self.edges.children_of(self.trace, span.id);
+        let kids = self.edges.children_of(self.profiler, span.id);
         self.walk_children_inner(span, kids, span.begin, end);
     }
 
@@ -411,8 +416,7 @@ impl<'a> WalkState<'a> {
         }
 
         // Slack + off-path busy time over the considered set.
-        let mut on_path: std::collections::BTreeSet<SpanId> =
-            clipped.iter().map(|s| s.span).collect();
+        let mut on_path: BTreeSet<SpanId> = clipped.iter().map(|s| s.span).collect();
         on_path.extend(self.visited.iter().copied());
         let mut considered: Vec<SpanId> = std::mem::take(&mut self.considered);
         considered.sort_unstable();
@@ -424,7 +428,7 @@ impl<'a> WalkState<'a> {
             if on_path.contains(&id) {
                 continue;
             }
-            let Some(span) = self.trace.span(id) else {
+            let Some(span) = self.profiler.trace().span(id) else {
                 continue;
             };
             let Some(end) = span.end else { continue };
@@ -439,8 +443,8 @@ impl<'a> WalkState<'a> {
             // charges intervals with no active descendant to Overhead;
             // those are this span's self-time, so fold them back into its
             // own phase when it has one.
-            let sub = crate::profile::profile_span(self.trace, id);
-            let phase = effective_phase(self.trace, span);
+            let sub = self.profiler.profile(id);
+            let phase = self.profiler.effective_phase(span);
             for (idx, &p) in Phase::ALL.iter().enumerate() {
                 let mut d = sub.get(p).0;
                 if phase != Phase::Overhead {

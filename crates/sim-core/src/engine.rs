@@ -5,33 +5,57 @@
 //! `Rc<RefCell<_>>` handles captured by those closures. Ties in time are
 //! broken by a monotonically increasing sequence number, so a run is fully
 //! deterministic given the same schedule of events and RNG seed.
+//!
+//! ## Slab-backed queue
+//!
+//! Closures live in a slab (`Vec<Slot>` + LIFO free list); the binary heap
+//! orders small `Copy` entries `(time, seq, slot)`. Scheduling reuses a
+//! freed slot instead of growing, so a steady-state run touches a bounded
+//! working set no matter how many events it executes. Invariants:
+//!
+//! * exactly one heap entry exists per occupied slot — a slot is occupied
+//!   by `schedule_*` and freed only when its heap entry pops;
+//! * cancellation tombstones the slot's closure (`f = None`) without
+//!   freeing it, so a slot can never be re-used while its heap entry is
+//!   still pending — an [`EventId`]'s `(slot, seq)` pair therefore never
+//!   aliases a different live event;
+//! * the free list is a `Vec` (LIFO), so slot assignment is a pure
+//!   function of the event sequence — replays are bit-identical.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 
 use crate::metrics::MetricsRegistry;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::Trace;
 
-/// Identifier of a scheduled event, usable for cancellation.
+/// Identifier of a scheduled event, usable for cancellation. Generational:
+/// the `(slot, seq)` pair identifies one scheduling, so cancelling after
+/// the slot was recycled is a detectable no-op.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct EventId(u64);
+pub struct EventId {
+    slot: u32,
+    seq: u64,
+}
 
 type EventFn = Box<dyn FnOnce(&mut Engine)>;
 
-struct Entry {
-    time: SimTime,
+/// Slab cell: the generation (`seq`) of the event occupying it plus its
+/// closure. `f == None` on an occupied slot means cancelled.
+struct Slot {
     seq: u64,
     f: Option<EventFn>,
 }
 
-impl PartialEq for Entry {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
+/// Heap entry: ordering key plus the slab slot holding the closure.
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    time: SimTime,
+    seq: u64,
+    slot: u32,
 }
-impl Eq for Entry {}
+
 impl PartialOrd for Entry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
@@ -52,7 +76,8 @@ pub struct Engine {
     now: SimTime,
     seq: u64,
     queue: BinaryHeap<Entry>,
-    cancelled: HashSet<u64>,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
     executed: u64,
     /// Seeded random source shared by all stochastic models in the run.
     pub rng: SimRng,
@@ -69,7 +94,8 @@ impl Engine {
             now: SimTime::ZERO,
             seq: 0,
             queue: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
             executed: 0,
             rng: SimRng::new(seed),
             trace: Trace::disabled(),
@@ -102,6 +128,13 @@ impl Engine {
         self.queue.len()
     }
 
+    /// Total slab slots ever allocated. With free-list reuse this is the
+    /// peak number of simultaneously pending events, not the number of
+    /// events scheduled — the scale gate asserts it stays bounded.
+    pub fn slab_len(&self) -> usize {
+        self.slots.len()
+    }
+
     /// Schedule an event at an absolute time (must not be in the past).
     pub fn schedule_at(&mut self, time: SimTime, f: impl FnOnce(&mut Engine) + 'static) -> EventId {
         assert!(
@@ -111,12 +144,20 @@ impl Engine {
         );
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Entry {
-            time,
-            seq,
-            f: Some(Box::new(f)),
-        });
-        EventId(seq)
+        let f = Some(Box::new(f) as EventFn);
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize] = Slot { seq, f };
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("event slab overflow");
+                self.slots.push(Slot { seq, f });
+                slot
+            }
+        };
+        self.queue.push(Entry { time, seq, slot });
+        EventId { slot, seq }
     }
 
     /// Schedule an event after a relative delay.
@@ -137,19 +178,34 @@ impl Engine {
     /// Cancel a previously scheduled event. Cancelling an event that already
     /// ran (or was already cancelled) is a no-op.
     pub fn cancel(&mut self, id: EventId) {
-        self.cancelled.insert(id.0);
+        // The generation check makes stale ids harmless: once the event
+        // ran, its slot is free (or re-occupied under a different seq).
+        if let Some(slot) = self.slots.get_mut(id.slot as usize) {
+            if slot.seq == id.seq {
+                slot.f = None;
+            }
+        }
+    }
+
+    /// Free `entry`'s slab slot and return its closure (`None` if the
+    /// event was cancelled).
+    fn release(&mut self, entry: Entry) -> Option<EventFn> {
+        let slot = &mut self.slots[entry.slot as usize];
+        debug_assert_eq!(slot.seq, entry.seq, "heap entry aliases a recycled slot");
+        let f = slot.f.take();
+        self.free.push(entry.slot);
+        f
     }
 
     /// Execute the next event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
-        while let Some(mut entry) = self.queue.pop() {
-            if self.cancelled.remove(&entry.seq) {
-                continue;
-            }
+        while let Some(entry) = self.queue.pop() {
+            let Some(f) = self.release(entry) else {
+                continue; // cancelled
+            };
             debug_assert!(entry.time >= self.now, "event queue went backwards");
             self.now = entry.time;
             self.executed += 1;
-            let f = entry.f.take().expect("event closure taken twice");
             f(self);
             return true;
         }
@@ -166,10 +222,11 @@ impl Engine {
     pub fn run_until(&mut self, until: SimTime) {
         loop {
             let next = loop {
-                match self.queue.peek() {
-                    Some(e) if self.cancelled.contains(&e.seq) => {
-                        let e = self.queue.pop().unwrap();
-                        self.cancelled.remove(&e.seq);
+                match self.queue.peek().copied() {
+                    Some(e) if self.slots[e.slot as usize].f.is_none() => {
+                        // Cancelled: drop it and free the slot.
+                        self.queue.pop();
+                        self.release(e);
                     }
                     Some(e) => break Some(e.time),
                     None => break None,

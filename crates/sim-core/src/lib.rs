@@ -30,6 +30,7 @@
 pub mod critpath;
 pub mod engine;
 pub mod fault;
+pub mod intern;
 pub mod json;
 pub mod link;
 pub mod metrics;
@@ -45,11 +46,12 @@ pub mod trace;
 pub use critpath::{critical_path, critical_path_run, CritPhaseRow, CriticalPath, PathSegment};
 pub use engine::{Engine, EventId};
 pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan};
+pub use intern::{Symbol, SymbolTable};
 pub use link::{FairLink, FlowId};
 pub use metrics::{metric_key, MetricsRegistry, MetricsSnapshot};
 pub use profile::{
     aggregate_roots, mean_breakdown, pilot_utilization, profile_roots, profile_span, Phase,
-    PhaseBreakdown,
+    PhaseBreakdown, Profiler,
 };
 pub use report::RunReport;
 pub use rng::SimRng;
@@ -57,7 +59,8 @@ pub use stats::Summary;
 pub use time::{SimDuration, SimTime};
 pub use tokens::Tokens;
 pub use trace::{
-    escape_json, validate_chrome_json, ChromeTraceStats, Span, SpanId, Trace, TraceEvent,
+    escape_json, validate_chrome_json, validate_chrome_reader, ChromeTraceStats, Span, SpanId,
+    SpanIndex, Trace, TraceEvent,
 };
 
 /// Convenience: megabytes → bytes (storage models are specified in MB/s).

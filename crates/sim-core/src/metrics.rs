@@ -60,10 +60,16 @@ impl MetricsRegistry {
         self.enabled
     }
 
-    /// Add to a counter (no-op when disabled).
+    /// Add to a counter (no-op when disabled). Existing keys take a
+    /// borrowed-lookup fast path — no per-call `String` allocation on the
+    /// hot counters an at-scale run bumps millions of times.
     pub fn add(&mut self, name: &str, n: u64) {
         if self.enabled {
-            *self.counters.entry(name.to_string()).or_insert(0) += n;
+            if let Some(v) = self.counters.get_mut(name) {
+                *v += n;
+            } else {
+                self.counters.insert(name.to_string(), n);
+            }
         }
     }
 
@@ -89,7 +95,11 @@ impl MetricsRegistry {
     /// Set a gauge to the latest value (no-op when disabled).
     pub fn gauge_set(&mut self, name: &str, value: f64) {
         if self.enabled {
-            self.gauges.insert(name.to_string(), value);
+            if let Some(v) = self.gauges.get_mut(name) {
+                *v = value;
+            } else {
+                self.gauges.insert(name.to_string(), value);
+            }
         }
     }
 
@@ -100,10 +110,11 @@ impl MetricsRegistry {
     /// Append a time-stamped observation to a series (no-op when disabled).
     pub fn observe(&mut self, name: &str, time: SimTime, value: f64) {
         if self.enabled {
-            self.series
-                .entry(name.to_string())
-                .or_default()
-                .push((time, value));
+            if let Some(points) = self.series.get_mut(name) {
+                points.push((time, value));
+            } else {
+                self.series.insert(name.to_string(), vec![(time, value)]);
+            }
         }
     }
 

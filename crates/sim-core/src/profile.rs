@@ -16,9 +16,16 @@
 //!
 //! Open (never-ended) spans — e.g. attempts abandoned by an injected node
 //! crash — are ignored.
+//!
+//! Scaling: a [`Profiler`] is built once per analysis — one O(n) pass over
+//! the streamed chunks for the parent→children index
+//! ([`crate::trace::SpanIndex`]) plus an O(#symbols) name→phase table —
+//! after which each subtree profile touches only its own spans. The legacy
+//! walk rescanned the whole materialized span list per frontier node,
+//! which was quadratic on scale runs.
 
 use crate::time::SimDuration;
-use crate::trace::{Span, SpanId, Trace};
+use crate::trace::{Span, SpanId, SpanIndex, Trace};
 
 /// The paper's timing phases (Fig. 5 / Fig. 5 inset / Fig. 6 stages).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -142,79 +149,127 @@ impl PhaseBreakdown {
     }
 }
 
-/// Profile the subtree rooted at `root`. Returns an empty breakdown if the
-/// root is missing or still open.
-pub fn profile_span(trace: &Trace, root: SpanId) -> PhaseBreakdown {
-    let mut out = PhaseBreakdown::default();
-    let Some(root_span) = trace.span(root) else {
-        return out;
-    };
-    let Some(root_end) = root_span.end else {
-        return out;
-    };
-    // Collect the completed spans of the subtree, with their depth.
-    let spans = trace.spans();
-    let mut subtree: Vec<(&Span, u32)> = Vec::new();
-    let mut frontier = vec![(root, 0u32)];
-    while let Some((id, depth)) = frontier.pop() {
-        for s in spans.iter().filter(|s| s.parent == Some(id)) {
-            if s.end.is_some() {
-                subtree.push((s, depth + 1));
-            }
-            // Children of open spans still count (the parent link is what
-            // places them in the subtree), so recurse regardless.
-            frontier.push((s.id, depth + 1));
-        }
-    }
-    // Clamp to the root interval and build the elementary boundaries.
-    let lo = root_span.begin;
-    let hi = root_end;
-    let mut bounds: Vec<u64> = vec![lo.0, hi.0];
-    for (s, _) in &subtree {
-        let b = s.begin.0.clamp(lo.0, hi.0);
-        let e = s.end.unwrap().0.clamp(lo.0, hi.0);
-        bounds.push(b);
-        bounds.push(e);
-    }
-    bounds.sort_unstable();
-    bounds.dedup();
-    for w in bounds.windows(2) {
-        let (a, b) = (w[0], w[1]);
-        if b <= a || b > hi.0 || a < lo.0 {
-            continue;
-        }
-        // Deepest span active over [a, b); ties: later begin, higher id.
-        let active = subtree
-            .iter()
-            .filter(|(s, _)| s.begin.0 <= a && s.end.unwrap().0 >= b)
-            .max_by_key(|(s, depth)| (*depth, s.begin.0, s.id.0));
-        let phase = match active {
-            Some((s, _)) => effective_phase(trace, s),
-            None => Phase::Overhead,
-        };
-        out.charge(phase, b - a);
-    }
-    out
+/// Reusable analysis context over one trace: the CSR children index plus a
+/// symbol-id → phase table, built in one pass each. Resolving a span's
+/// phase is then an array lookup (integer symbol id), not a string match.
+pub struct Profiler<'a> {
+    trace: &'a Trace,
+    index: SpanIndex,
+    phase_of_sym: Vec<Option<Phase>>,
 }
 
-/// A span's own phase, or the nearest mapped ancestor's, or `Overhead`.
-pub(crate) fn effective_phase(trace: &Trace, span: &Span) -> Phase {
-    let mut cur = Some(span.id);
-    while let Some(id) = cur {
-        let Some(s) = trace.span(id) else { break };
-        if let Some(p) = Phase::of_span(&s.name) {
-            return p;
+impl<'a> Profiler<'a> {
+    pub fn new(trace: &'a Trace) -> Profiler<'a> {
+        let index = SpanIndex::build(trace);
+        let phase_of_sym = trace
+            .symbols()
+            .names()
+            .iter()
+            .map(|n| Phase::of_span(n))
+            .collect();
+        Profiler {
+            trace,
+            index,
+            phase_of_sym,
         }
-        cur = s.parent;
     }
-    Phase::Overhead
+
+    pub fn trace(&self) -> &'a Trace {
+        self.trace
+    }
+
+    /// Direct (tree) children of `id`, in id order.
+    pub fn children(&self, id: SpanId) -> &[SpanId] {
+        self.index.children(id)
+    }
+
+    /// A span's own phase mapping, if any.
+    pub fn span_phase(&self, span: &Span) -> Option<Phase> {
+        self.phase_of_sym.get(span.name.index()).copied().flatten()
+    }
+
+    /// A span's own phase, or the nearest mapped ancestor's, or `Overhead`.
+    pub fn effective_phase(&self, span: &Span) -> Phase {
+        let mut cur = Some(span.id);
+        while let Some(id) = cur {
+            let Some(s) = self.trace.span(id) else { break };
+            if let Some(p) = self.span_phase(s) {
+                return p;
+            }
+            cur = s.parent;
+        }
+        Phase::Overhead
+    }
+
+    /// Profile the subtree rooted at `root`. Returns an empty breakdown if
+    /// the root is missing or still open.
+    pub fn profile(&self, root: SpanId) -> PhaseBreakdown {
+        let mut out = PhaseBreakdown::default();
+        let Some(root_span) = self.trace.span(root) else {
+            return out;
+        };
+        let Some(root_end) = root_span.end else {
+            return out;
+        };
+        // Collect the completed spans of the subtree, with their depth.
+        let mut subtree: Vec<(&Span, u32)> = Vec::new();
+        let mut frontier = vec![(root, 0u32)];
+        while let Some((id, depth)) = frontier.pop() {
+            for &cid in self.index.children(id) {
+                let s = self.trace.span(cid).expect("indexed span exists");
+                if s.end.is_some() {
+                    subtree.push((s, depth + 1));
+                }
+                // Children of open spans still count (the parent link is
+                // what places them in the subtree), so recurse regardless.
+                frontier.push((cid, depth + 1));
+            }
+        }
+        // Clamp to the root interval and build the elementary boundaries.
+        let lo = root_span.begin;
+        let hi = root_end;
+        let mut bounds: Vec<u64> = vec![lo.0, hi.0];
+        for (s, _) in &subtree {
+            let b = s.begin.0.clamp(lo.0, hi.0);
+            let e = s.end.unwrap().0.clamp(lo.0, hi.0);
+            bounds.push(b);
+            bounds.push(e);
+        }
+        bounds.sort_unstable();
+        bounds.dedup();
+        for w in bounds.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            if b <= a || b > hi.0 || a < lo.0 {
+                continue;
+            }
+            // Deepest span active over [a, b); ties: later begin, higher id.
+            let active = subtree
+                .iter()
+                .filter(|(s, _)| s.begin.0 <= a && s.end.unwrap().0 >= b)
+                .max_by_key(|(s, depth)| (*depth, s.begin.0, s.id.0));
+            let phase = match active {
+                Some((s, _)) => self.effective_phase(s),
+                None => Phase::Overhead,
+            };
+            out.charge(phase, b - a);
+        }
+        out
+    }
+}
+
+/// Profile the subtree rooted at `root` (one-shot convenience; for many
+/// roots over one trace build a [`Profiler`] once or use
+/// [`profile_roots`]).
+pub fn profile_span(trace: &Trace, root: SpanId) -> PhaseBreakdown {
+    Profiler::new(trace).profile(root)
 }
 
 /// Profile every completed root span with the given name, in id order.
 pub fn profile_roots(trace: &Trace, name: &str) -> Vec<(SpanId, PhaseBreakdown)> {
+    let profiler = Profiler::new(trace);
     trace
         .roots_named(name)
-        .map(|s| (s.id, profile_span(trace, s.id)))
+        .map(|s| (s.id, profiler.profile(s.id)))
         .collect()
 }
 
@@ -257,19 +312,14 @@ pub fn pilot_utilization(trace: &Trace, pilot_root: SpanId, cores: u32) -> f64 {
         return 0.0;
     };
     let Some(end) = root.end else { return 0.0 };
-    let attr = |s: &Span, key: &str| -> Option<String> {
-        s.attrs
-            .iter()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| v.clone())
-    };
-    let Some(pilot) = attr(root, "pilot") else {
+    let Some(pilot) = trace.attr(root, "pilot") else {
         return 0.0;
     };
+    let bootstrap = trace.symbol("pilot.bootstrap");
+    let compute = trace.symbol("unit.compute");
     let start = trace
-        .spans()
-        .iter()
-        .filter(|s| s.parent == Some(pilot_root) && s.name == "pilot.bootstrap")
+        .iter_spans()
+        .filter(|s| s.parent == Some(pilot_root) && Some(s.name) == bootstrap)
         .filter_map(|s| s.end)
         .max()
         .unwrap_or(root.begin);
@@ -278,14 +328,17 @@ pub fn pilot_utilization(trace: &Trace, pilot_root: SpanId, cores: u32) -> f64 {
         return 0.0;
     }
     let mut busy: u128 = 0;
-    for s in trace.spans() {
-        if s.name != "unit.compute" || attr(s, "pilot").as_deref() != Some(pilot.as_str()) {
+    for s in trace.iter_spans() {
+        if Some(s.name) != compute || trace.attr(s, "pilot") != Some(pilot) {
             continue;
         }
         let Some(e) = s.end else { continue };
         let b = s.begin.0.clamp(start.0, end.0);
         let e = e.0.clamp(start.0, end.0);
-        let span_cores: u32 = attr(s, "cores").and_then(|c| c.parse().ok()).unwrap_or(1);
+        let span_cores: u32 = trace
+            .attr(s, "cores")
+            .and_then(|c| c.parse().ok())
+            .unwrap_or(1);
         busy += (e.saturating_sub(b)) as u128 * span_cores as u128;
     }
     busy as f64 / (window as u128 * cores as u128) as f64

@@ -7,8 +7,25 @@
 //! the span tree to attribute wall-clock to the paper's phases. When
 //! disabled (the default) every recording call is a no-op, so an
 //! uninstrumented run stays bit-identical to an instrumented one.
+//!
+//! Scaling (DESIGN.md §11): span names and attributes are interned
+//! [`Symbol`]s (4 bytes instead of an owned `String` each), and spans live
+//! in fixed-size chunks (`Vec<Vec<Span>>`) — an append-only sink that
+//! never reallocates or moves recorded spans, so a 100k-unit run appends
+//! in O(1) and readers stream chunk-by-chunk ([`Trace::iter_spans`],
+//! [`Trace::write_chrome_json`]) instead of demanding one contiguous
+//! buffer. The trace also tracks the live (begun-but-unended) span count
+//! and its high-water mark, which the scale gate caps.
 
+use std::io;
+
+pub use crate::intern::{Symbol, SymbolTable};
 use crate::time::SimTime;
+
+/// Spans per storage chunk. Chunks are never resized once full, so a
+/// reader holding `&Span` across appends would stay valid (Rust's borrow
+/// rules are stricter, but exports never pay a move/copy of the tail).
+const CHUNK: usize = 1024;
 
 /// One recorded trace event.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,15 +53,18 @@ impl SpanId {
 /// A begin/end interval in virtual time. `end` is `None` while the span is
 /// open (and stays `None` forever for spans abandoned by a fault-killed
 /// attempt — exports and the profiler only consider completed spans).
+///
+/// `name` and `attrs` are [`Symbol`]s into the owning trace's intern
+/// table; resolve with [`Trace::span_name`] / [`Trace::attr`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct Span {
     pub id: SpanId,
     pub parent: Option<SpanId>,
     pub category: &'static str,
-    pub name: String,
+    pub name: Symbol,
     pub begin: SimTime,
     pub end: Option<SimTime>,
-    pub attrs: Vec<(String, String)>,
+    pub attrs: Vec<(Symbol, Symbol)>,
 }
 
 impl Span {
@@ -54,12 +74,16 @@ impl Span {
     }
 }
 
-/// Append-only trace log.
+/// Append-only trace log with chunked span storage.
 #[derive(Debug, Default)]
 pub struct Trace {
     enabled: bool,
     events: Vec<TraceEvent>,
-    spans: Vec<Span>,
+    chunks: Vec<Vec<Span>>,
+    count: usize,
+    open: usize,
+    peak_open: usize,
+    syms: SymbolTable,
 }
 
 impl Trace {
@@ -95,32 +119,42 @@ impl Trace {
         &mut self,
         time: SimTime,
         category: &'static str,
-        name: impl Into<String>,
+        name: &str,
         parent: SpanId,
     ) -> SpanId {
         if !self.enabled {
             return SpanId::NONE;
         }
-        let id = SpanId(self.spans.len() as u64 + 1);
-        self.spans.push(Span {
+        let id = SpanId(self.count as u64 + 1);
+        let name = self.syms.intern(name);
+        if self.chunks.last().is_none_or(|c| c.len() == CHUNK) {
+            self.chunks.push(Vec::with_capacity(CHUNK));
+        }
+        let last = self.chunks.len() - 1;
+        self.chunks[last].push(Span {
             id,
             parent: if parent.is_none() { None } else { Some(parent) },
             category,
-            name: name.into(),
+            name,
             begin: time,
             end: None,
             attrs: Vec::new(),
         });
+        self.count += 1;
+        self.open += 1;
+        self.peak_open = self.peak_open.max(self.open);
         id
     }
 
     /// Attach a key/value attribute to an open span (no-op on `NONE`).
-    pub fn span_attr(&mut self, id: SpanId, key: impl Into<String>, value: impl Into<String>) {
+    pub fn span_attr(&mut self, id: SpanId, key: &str, value: impl AsRef<str>) {
         if id.is_none() {
             return;
         }
-        let span = &mut self.spans[id.0 as usize - 1];
-        span.attrs.push((key.into(), value.into()));
+        let key = self.syms.intern(key);
+        let value = self.syms.intern(value.as_ref());
+        let span = self.span_mut(id);
+        span.attrs.push((key, value));
     }
 
     /// Close a span (no-op on `NONE` or if already closed).
@@ -128,34 +162,101 @@ impl Trace {
         if id.is_none() {
             return;
         }
-        let span = &mut self.spans[id.0 as usize - 1];
+        let span = self.span_mut(id);
         if span.end.is_none() {
             debug_assert!(time >= span.begin, "span ends before it begins");
             span.end = Some(time);
+            self.open -= 1;
         }
+    }
+
+    fn span_mut(&mut self, id: SpanId) -> &mut Span {
+        let idx = id.0 as usize - 1;
+        &mut self.chunks[idx / CHUNK][idx % CHUNK]
     }
 
     pub fn events(&self) -> &[TraceEvent] {
         &self.events
     }
 
-    /// All spans, in begin order (open spans included).
-    pub fn spans(&self) -> &[Span] {
-        &self.spans
+    /// All spans in begin (= id) order, streamed chunk-by-chunk (open
+    /// spans included).
+    pub fn iter_spans(&self) -> impl DoubleEndedIterator<Item = &Span> + Clone + '_ {
+        self.chunks.iter().flatten()
+    }
+
+    /// Number of recorded spans.
+    pub fn span_count(&self) -> usize {
+        self.count
+    }
+
+    /// Spans currently open (begun but not ended).
+    pub fn live_spans(&self) -> usize {
+        self.open
+    }
+
+    /// High-water mark of [`Trace::live_spans`] over the run — the figure
+    /// the scale gate caps (bounded live set ⇒ bounded resident memory
+    /// for the mutable frontier of the trace).
+    pub fn peak_live_spans(&self) -> usize {
+        self.peak_open
     }
 
     pub fn span(&self, id: SpanId) -> Option<&Span> {
-        if id.is_none() {
+        if id.is_none() || id.0 as usize > self.count {
             return None;
         }
-        self.spans.get(id.0 as usize - 1)
+        let idx = id.0 as usize - 1;
+        Some(&self.chunks[idx / CHUNK][idx % CHUNK])
+    }
+
+    /// Resolve an interned symbol (empty string for `Symbol::NONE`).
+    pub fn name(&self, sym: Symbol) -> &str {
+        self.syms.resolve(sym)
+    }
+
+    /// Resolved name of a span.
+    pub fn span_name(&self, span: &Span) -> &str {
+        self.syms.resolve(span.name)
+    }
+
+    /// Look up the symbol for `s`, if it was ever recorded.
+    pub fn symbol(&self, s: &str) -> Option<Symbol> {
+        self.syms.lookup(s)
+    }
+
+    /// Intern a string in this trace's table (for building comparison
+    /// symbols in tests/tools; recording paths intern implicitly).
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        self.syms.intern(s)
+    }
+
+    /// The intern table (read-only; index side tables by `Symbol::index`).
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.syms
+    }
+
+    /// Value of a span attribute, resolved.
+    pub fn attr<'a>(&'a self, span: &Span, key: &str) -> Option<&'a str> {
+        let key = self.syms.lookup(key)?;
+        span.attrs
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|&(_, v)| self.syms.resolve(v))
+    }
+
+    /// A span's attributes as resolved `(key, value)` pairs.
+    pub fn attrs<'a>(&'a self, span: &'a Span) -> impl Iterator<Item = (&'a str, &'a str)> {
+        span.attrs
+            .iter()
+            .map(|&(k, v)| (self.syms.resolve(k), self.syms.resolve(v)))
     }
 
     /// Completed root spans (no parent) with the given name, in id order.
-    pub fn roots_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Span> {
-        self.spans
-            .iter()
-            .filter(move |s| s.parent.is_none() && s.name == name && s.end.is_some())
+    pub fn roots_named<'a>(&'a self, name: &str) -> impl Iterator<Item = &'a Span> + 'a {
+        let sym = self.syms.lookup(name);
+        self.iter_spans()
+            .filter(move |s| s.parent.is_none() && Some(s.name) == sym && s.end.is_some())
     }
 
     /// Events in a given category.
@@ -172,36 +273,43 @@ impl Trace {
     /// instant events as `"ph":"i"`, completed spans as async-nestable
     /// `"ph":"b"`/`"ph":"e"` pairs keyed by span id (no per-thread stack
     /// discipline required), grouped by category as thread names.
-    pub fn to_chrome_json(&self) -> String {
+    ///
+    /// Streams chunk-by-chunk into `w` — peak memory is one span's
+    /// rendering, not the document, so scale-run traces export without
+    /// materializing hundreds of MB. [`Trace::to_chrome_json`] wraps this
+    /// for small traces.
+    pub fn write_chrome_json<W: io::Write>(&self, w: &mut W) -> io::Result<()> {
         let mut cats: Vec<&'static str> = self
             .events
             .iter()
             .map(|e| e.category)
-            .chain(self.spans.iter().map(|s| s.category))
+            .chain(self.iter_spans().map(|s| s.category))
             .collect();
         cats.sort_unstable();
         cats.dedup();
         let tid = |c: &str| cats.iter().position(|&x| x == c).unwrap_or(0) + 1;
-        let mut out = String::from("[");
+        w.write_all(b"[")?;
         for (i, c) in cats.iter().enumerate() {
             if i > 0 {
-                out.push(',');
+                w.write_all(b",")?;
             }
-            out.push_str(&format!(
+            write!(
+                w,
                 "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\"args\":{{\"name\":\"{}\"}}}}",
                 tid(c),
                 escape_json(c)
-            ));
+            )?;
         }
         for e in &self.events {
-            out.push_str(&format!(
+            write!(
+                w,
                 ",{{\"name\":\"{}\",\"ph\":\"i\",\"ts\":{},\"pid\":1,\"tid\":{},\"s\":\"t\"}}",
                 escape_json(&e.message),
                 e.time.0,
                 tid(e.category)
-            ));
+            )?;
         }
-        for s in &self.spans {
+        for s in self.iter_spans() {
             let Some(end) = s.end else { continue };
             let mut args = String::new();
             if let Some(p) = s.parent {
@@ -211,28 +319,43 @@ impl Trace {
                 if !args.is_empty() {
                     args.push(',');
                 }
-                args.push_str(&format!("\"{}\":\"{}\"", escape_json(k), escape_json(v)));
+                args.push_str(&format!(
+                    "\"{}\":\"{}\"",
+                    escape_json(self.syms.resolve(*k)),
+                    escape_json(self.syms.resolve(*v))
+                ));
             }
-            out.push_str(&format!(
+            let name = escape_json(self.syms.resolve(s.name));
+            write!(
+                w,
                 ",{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"b\",\"ts\":{},\"pid\":1,\"tid\":{},\"id\":\"0x{:x}\",\"args\":{{{}}}}}",
-                escape_json(&s.name),
+                name,
                 escape_json(s.category),
                 s.begin.0,
                 tid(s.category),
                 s.id.0,
                 args
-            ));
-            out.push_str(&format!(
+            )?;
+            write!(
+                w,
                 ",{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"e\",\"ts\":{},\"pid\":1,\"tid\":{},\"id\":\"0x{:x}\"}}",
-                escape_json(&s.name),
+                name,
                 escape_json(s.category),
                 end.0,
                 tid(s.category),
                 s.id.0
-            ));
+            )?;
         }
-        out.push(']');
-        out
+        w.write_all(b"]")?;
+        Ok(())
+    }
+
+    /// [`Trace::write_chrome_json`] into a `String` (small traces,
+    /// tests).
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = Vec::new();
+        self.write_chrome_json(&mut out).expect("write to Vec");
+        String::from_utf8(out).expect("escaped JSON is UTF-8")
     }
 
     /// Render the trace as an aligned timeline (for examples / debugging).
@@ -252,7 +375,7 @@ impl Trace {
     /// Render the span list, one line per span (for goldens / debugging).
     pub fn render_spans(&self) -> String {
         let mut out = String::new();
-        for s in &self.spans {
+        for s in self.iter_spans() {
             let end = match s.end {
                 Some(t) => format!("{}", t.0),
                 None => "open".into(),
@@ -263,10 +386,60 @@ impl Trace {
             };
             out.push_str(&format!(
                 "#{} parent={} [{}] {} {}..{}\n",
-                s.id.0, parent, s.category, s.name, s.begin.0, end
+                s.id.0,
+                parent,
+                s.category,
+                self.syms.resolve(s.name),
+                s.begin.0,
+                end
             ));
         }
         out
+    }
+}
+
+/// Parent → children adjacency over a trace, in CSR form: one O(n) build,
+/// then `children(id)` is a slice lookup. Replaces the legacy full-scan
+/// (`spans.iter().filter(|s| s.parent == id)`) that made the profiler and
+/// critical-path walker O(n²) on scale runs. Children are listed in id
+/// (= begin) order, matching the scan order the legacy walk produced.
+#[derive(Debug)]
+pub struct SpanIndex {
+    off: Vec<u32>,
+    kids: Vec<SpanId>,
+}
+
+impl SpanIndex {
+    pub fn build(trace: &Trace) -> SpanIndex {
+        let n = trace.span_count();
+        let mut counts = vec![0u32; n + 2];
+        for s in trace.iter_spans() {
+            if let Some(p) = s.parent {
+                counts[p.0 as usize] += 1;
+            }
+        }
+        let mut off = vec![0u32; n + 2];
+        for id in 1..=n {
+            off[id + 1] = off[id] + counts[id];
+        }
+        let mut next = off.clone();
+        let mut kids = vec![SpanId::NONE; off[n + 1] as usize];
+        for s in trace.iter_spans() {
+            if let Some(p) = s.parent {
+                kids[next[p.0 as usize] as usize] = s.id;
+                next[p.0 as usize] += 1;
+            }
+        }
+        SpanIndex { off, kids }
+    }
+
+    /// Direct children of `id`, in id order.
+    pub fn children(&self, id: SpanId) -> &[SpanId] {
+        let i = id.0 as usize;
+        if id.is_none() || i + 1 >= self.off.len() {
+            return &[];
+        }
+        &self.kids[self.off[i] as usize..self.off[i + 1] as usize]
     }
 }
 
@@ -297,10 +470,59 @@ pub struct ChromeTraceStats {
     pub ends: usize,
 }
 
-/// Validate a Chrome tracing JSON document: it must parse as a JSON array
-/// of objects, and every async `"ph":"b"` must have a matching `"ph":"e"`
-/// with the same id (balanced, never closing an unopened id). Used by CI
-/// on the artifact the quickstart example emits.
+/// Shared per-element check between the in-memory and streaming
+/// validators.
+fn check_chrome_element(
+    item: &crate::json::Value,
+    i: usize,
+    stats: &mut ChromeTraceStats,
+    open: &mut std::collections::BTreeMap<String, i64>,
+) -> Result<(), String> {
+    use crate::json;
+    let json::Value::Object(fields) = item else {
+        return Err(format!("array element {i} is not an object"));
+    };
+    let get = |key: &str| -> Option<&json::Value> {
+        fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    };
+    let Some(json::Value::String(ph)) = get("ph") else {
+        return Err(format!("array element {i} has no \"ph\" field"));
+    };
+    match ph.as_str() {
+        "i" => stats.instants += 1,
+        "b" | "e" => {
+            let Some(json::Value::String(id)) = get("id") else {
+                return Err(format!("async event {i} has no \"id\" field"));
+            };
+            let n = open.entry(id.clone()).or_insert(0);
+            if ph == "b" {
+                stats.begins += 1;
+                *n += 1;
+            } else {
+                stats.ends += 1;
+                *n -= 1;
+                if *n < 0 {
+                    return Err(format!("\"e\" for id {id} without a matching \"b\""));
+                }
+            }
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+fn check_chrome_balance(open: &std::collections::BTreeMap<String, i64>) -> Result<(), String> {
+    if let Some((id, n)) = open.iter().find(|(_, &n)| n != 0) {
+        return Err(format!("id {id} has {n} unclosed \"b\" event(s)"));
+    }
+    Ok(())
+}
+
+/// Validate a Chrome tracing JSON document held in memory: it must parse
+/// as a JSON array of objects, and every async `"ph":"b"` must have a
+/// matching `"ph":"e"` with the same id (balanced, never closing an
+/// unopened id). For large on-disk traces use [`validate_chrome_reader`],
+/// which checks the same properties chunk-by-chunk in bounded memory.
 pub fn validate_chrome_json(s: &str) -> Result<ChromeTraceStats, String> {
     use crate::json;
     let value = json::parse(s)?;
@@ -315,39 +537,123 @@ pub fn validate_chrome_json(s: &str) -> Result<ChromeTraceStats, String> {
     };
     let mut open: std::collections::BTreeMap<String, i64> = std::collections::BTreeMap::new();
     for (i, item) in items.iter().enumerate() {
-        let json::Value::Object(fields) = item else {
-            return Err(format!("array element {i} is not an object"));
+        check_chrome_element(item, i, &mut stats, &mut open)?;
+    }
+    check_chrome_balance(&open)?;
+    Ok(stats)
+}
+
+/// Streaming variant of [`validate_chrome_json`]: scans the top-level
+/// array one element at a time, parsing each object individually, so peak
+/// memory is one element plus the open-id table — a multi-GB scale-run
+/// trace validates without being materialized. Byte-for-byte the same
+/// accept/reject decisions as the in-memory validator.
+pub fn validate_chrome_reader<R: io::Read>(r: R) -> Result<ChromeTraceStats, String> {
+    use io::Read as _;
+    let mut bytes = io::BufReader::new(r).bytes();
+    let mut next = || -> Result<Option<u8>, String> {
+        match bytes.next() {
+            Some(Ok(b)) => Ok(Some(b)),
+            Some(Err(e)) => Err(format!("read error: {e}")),
+            None => Ok(None),
+        }
+    };
+    // Leading whitespace then '['.
+    let mut c = next()?;
+    while matches!(c, Some(b) if (b as char).is_ascii_whitespace()) {
+        c = next()?;
+    }
+    if c != Some(b'[') {
+        return Err("top-level JSON value is not an array".into());
+    }
+    let mut stats = ChromeTraceStats {
+        objects: 0,
+        instants: 0,
+        begins: 0,
+        ends: 0,
+    };
+    let mut open: std::collections::BTreeMap<String, i64> = std::collections::BTreeMap::new();
+    let mut expect_element = false; // after a comma an element is mandatory
+    loop {
+        // Between elements: skip whitespace, handle ',' and ']'.
+        let mut b = match next()? {
+            Some(b) => b,
+            None => return Err("unexpected end of document inside array".into()),
         };
-        let get = |key: &str| -> Option<&json::Value> {
-            fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
-        };
-        let Some(json::Value::String(ph)) = get("ph") else {
-            return Err(format!("array element {i} has no \"ph\" field"));
-        };
-        match ph.as_str() {
-            "i" => stats.instants += 1,
-            "b" | "e" => {
-                let Some(json::Value::String(id)) = get("id") else {
-                    return Err(format!("async event {i} has no \"id\" field"));
-                };
-                let n = open.entry(id.clone()).or_insert(0);
-                if ph == "b" {
-                    stats.begins += 1;
-                    *n += 1;
-                } else {
-                    stats.ends += 1;
-                    *n -= 1;
-                    if *n < 0 {
-                        return Err(format!("\"e\" for id {id} without a matching \"b\""));
-                    }
-                }
+        if (b as char).is_ascii_whitespace() {
+            continue;
+        }
+        match b {
+            b']' if !expect_element => break,
+            b',' if !expect_element && stats.objects > 0 => {
+                expect_element = true;
+                continue;
             }
+            b',' | b']' => return Err("malformed array separators".into()),
             _ => {}
         }
+        // Accumulate one balanced element. Trace documents contain only
+        // objects; scalars are accumulated too and rejected by the parse.
+        let mut elem: Vec<u8> = Vec::new();
+        let mut depth = 0usize;
+        let mut in_str = false;
+        let mut escaped = false;
+        loop {
+            elem.push(b);
+            if in_str {
+                if escaped {
+                    escaped = false;
+                } else if b == b'\\' {
+                    escaped = true;
+                } else if b == b'"' {
+                    in_str = false;
+                }
+            } else {
+                match b {
+                    b'"' => in_str = true,
+                    b'{' | b'[' => depth += 1,
+                    b'}' | b']' => {
+                        depth = depth
+                            .checked_sub(1)
+                            .ok_or_else(|| "unbalanced brackets in array element".to_string())?;
+                    }
+                    _ => {}
+                }
+                // A scalar element ends at the next top-level ',' or ']';
+                // push-back is handled by peeking below.
+                if depth == 0 && !matches!(b, b'0'..=b'9' | b'a'..=b'z' | b'.' | b'-' | b'+' | b'E')
+                {
+                    break;
+                }
+            }
+            b = match next()? {
+                Some(b) => b,
+                None => {
+                    if depth == 0 && !in_str {
+                        break;
+                    }
+                    return Err("unexpected end of document inside array element".into());
+                }
+            };
+            // Scalar elements (numbers, literals) end before ',' / ']'.
+            if depth == 0 && !in_str && (b == b',' || b == b']') {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&elem).map_err(|e| format!("invalid UTF-8: {e}"))?;
+        let value = crate::json::parse(text.trim())?;
+        check_chrome_element(&value, stats.objects, &mut stats, &mut open)?;
+        stats.objects += 1;
+        expect_element = false;
+        // If the element scan stopped *on* the separator byte, honor it.
+        if depth == 0 && !in_str && (b == b',' || b == b']') {
+            if b == b']' {
+                break;
+            }
+            expect_element = true;
+        }
     }
-    if let Some((id, n)) = open.iter().find(|(_, &n)| n != 0) {
-        return Err(format!("id {id} has {n} unclosed \"b\" event(s)"));
-    }
+    check_chrome_balance(&open)?;
     Ok(stats)
 }
 
@@ -364,7 +670,8 @@ mod tests {
         t.span_attr(id, "k", "v");
         t.span_end(SimTime(9), id);
         assert!(t.events().is_empty());
-        assert!(t.spans().is_empty());
+        assert_eq!(t.span_count(), 0);
+        assert_eq!(t.iter_spans().count(), 0);
     }
 
     #[test]
@@ -392,8 +699,55 @@ mod tests {
         let c = t.span(child).unwrap();
         assert_eq!(c.parent, Some(root));
         assert_eq!(c.duration().unwrap().0, 40);
-        assert_eq!(c.attrs, vec![("mode".to_string(), "I".to_string())]);
+        assert_eq!(t.span_name(c), "pilot.bootstrap");
+        assert_eq!(t.attr(c, "mode"), Some("I"));
+        assert_eq!(t.attr(c, "nope"), None);
+        assert_eq!(t.attrs(c).collect::<Vec<_>>(), vec![("mode", "I")],);
         assert_eq!(t.roots_named("pilot.run").count(), 1);
+    }
+
+    #[test]
+    fn span_names_are_interned() {
+        let mut t = Trace::enabled();
+        let a = t.span_begin(SimTime(1), "x", "unit.run", SpanId::NONE);
+        let b = t.span_begin(SimTime(2), "x", "unit.run", SpanId::NONE);
+        assert_eq!(t.span(a).unwrap().name, t.span(b).unwrap().name);
+        assert_eq!(t.symbol("unit.run"), Some(t.span(a).unwrap().name));
+        assert_eq!(t.symbol("never.recorded"), None);
+    }
+
+    #[test]
+    fn live_span_accounting_tracks_peak() {
+        let mut t = Trace::enabled();
+        let a = t.span_begin(SimTime(1), "x", "a", SpanId::NONE);
+        let b = t.span_begin(SimTime(2), "x", "b", a);
+        assert_eq!(t.live_spans(), 2);
+        t.span_end(SimTime(3), b);
+        let c = t.span_begin(SimTime(4), "x", "c", a);
+        t.span_end(SimTime(5), c);
+        t.span_end(SimTime(6), a);
+        assert_eq!(t.live_spans(), 0);
+        assert_eq!(t.peak_live_spans(), 2);
+        // Idempotent re-end must not underflow the live counter.
+        t.span_end(SimTime(7), a);
+        assert_eq!(t.live_spans(), 0);
+    }
+
+    #[test]
+    fn chunked_storage_spans_multiple_chunks() {
+        let mut t = Trace::enabled();
+        let n = CHUNK * 2 + 7;
+        for i in 0..n {
+            let id = t.span_begin(SimTime(i as u64), "x", "s", SpanId::NONE);
+            t.span_end(SimTime(i as u64 + 1), id);
+        }
+        assert_eq!(t.span_count(), n);
+        assert_eq!(t.iter_spans().count(), n);
+        // Ids remain sequential and addressable across chunk boundaries.
+        for probe in [1u64, CHUNK as u64, CHUNK as u64 + 1, n as u64] {
+            assert_eq!(t.span(SpanId(probe)).unwrap().id, SpanId(probe));
+        }
+        assert!(t.span(SpanId(n as u64 + 1)).is_none());
     }
 
     #[test]
@@ -450,6 +804,44 @@ mod tests {
     }
 
     #[test]
+    fn streaming_validator_matches_in_memory_validator() {
+        let mut t = Trace::enabled();
+        t.record(SimTime(1), "pilot", "launch \"x\"\nnext");
+        let root = t.span_begin(SimTime(0), "unit", "unit.run", SpanId::NONE);
+        let child = t.span_begin(SimTime(5), "unit", "unit.stage_in", root);
+        t.span_attr(child, "bytes", "1024");
+        t.span_end(SimTime(9), child);
+        t.span_end(SimTime(20), root);
+        let j = t.to_chrome_json();
+        let a = validate_chrome_json(&j).unwrap();
+        let b = validate_chrome_reader(j.as_bytes()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn streaming_validator_rejects_what_the_in_memory_one_rejects() {
+        for doc in [
+            "[",
+            "{}",
+            "[1]",
+            r#"[{"name":"s","cat":"c","ph":"b","ts":1,"pid":1,"tid":1,"id":"0x1","args":{}}]"#,
+            r#"[{"name":"s","cat":"c","ph":"e","ts":1,"pid":1,"tid":1,"id":"0x1"}]"#,
+            "[{\"ph\":\"i\",\"name\":\"a\nb\"}]",
+            "[,]",
+            "[{\"ph\":\"i\"},]",
+        ] {
+            assert!(
+                validate_chrome_reader(doc.as_bytes()).is_err(),
+                "accepted {doc:?}"
+            );
+        }
+        // Whitespace layouts the in-memory parser accepts also pass.
+        let ok = " [ {\"ph\":\"i\"} , {\"ph\":\"i\"} ] ";
+        assert_eq!(validate_chrome_reader(ok.as_bytes()).unwrap().instants, 2);
+        assert_eq!(validate_chrome_reader("[]".as_bytes()).unwrap().objects, 0);
+    }
+
+    #[test]
     fn validator_rejects_broken_documents() {
         assert!(validate_chrome_json("[").is_err());
         assert!(validate_chrome_json("{}").is_err());
@@ -463,6 +855,28 @@ mod tests {
         assert!(validate_chrome_json(inverted).is_err());
         // Raw newline inside a string is invalid JSON.
         assert!(validate_chrome_json("[{\"ph\":\"i\",\"name\":\"a\nb\"}]").is_err());
+    }
+
+    #[test]
+    fn span_index_matches_naive_children_scan() {
+        let mut t = Trace::enabled();
+        let root = t.span_begin(SimTime(0), "x", "root", SpanId::NONE);
+        let a = t.span_begin(SimTime(1), "x", "a", root);
+        let _b = t.span_begin(SimTime(2), "x", "b", root);
+        let c = t.span_begin(SimTime(3), "x", "c", a);
+        let idx = SpanIndex::build(&t);
+        assert_eq!(idx.children(root).len(), 2);
+        assert_eq!(idx.children(a), &[c]);
+        assert_eq!(idx.children(c), &[] as &[SpanId]);
+        assert_eq!(idx.children(SpanId::NONE), &[] as &[SpanId]);
+        for s in t.iter_spans() {
+            let naive: Vec<SpanId> = t
+                .iter_spans()
+                .filter(|k| k.parent == Some(s.id))
+                .map(|k| k.id)
+                .collect();
+            assert_eq!(idx.children(s.id), &naive[..]);
+        }
     }
 
     #[test]

@@ -94,8 +94,7 @@ fn forced_shutdown_leaves_roots_open_and_unprofiled() {
     eng.run_until(secs(10));
     assert_eq!(eng.now(), secs(10));
 
-    let spans = eng.trace.spans();
-    let root_span = spans.iter().find(|s| s.id == root).unwrap();
+    let root_span = eng.trace.span(root).unwrap();
     assert!(root_span.end.is_none(), "root must still be open");
     assert_eq!(profile_span(&eng.trace, root).total_secs(), 0.0);
     assert!(profile_roots(&eng.trace, "pilot.run").is_empty());

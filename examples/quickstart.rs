@@ -127,8 +127,7 @@ fn main() {
             "wrote {} spans + {} instants to {path}",
             engine
                 .trace
-                .spans()
-                .iter()
+                .iter_spans()
                 .filter(|s| s.end.is_some())
                 .count(),
             engine.trace.events().len()

@@ -44,6 +44,9 @@ struct Outcome {
     states: Vec<UnitState>,
     events: Vec<TraceEvent>,
     spans: Vec<Span>,
+    /// (category, resolved name) of every span left open at shutdown —
+    /// resolved before the trace (and its intern table) is dropped.
+    open_spans: Vec<(&'static str, String)>,
     metrics: MetricsSnapshot,
     rebinds: u64,
     done: usize,
@@ -139,7 +142,13 @@ fn chaos_run(seed: u64, mode: Mode) -> Outcome {
             .count(),
         units_completed: counter(&e.metrics.snapshot(), "agent.units_completed"),
         events: e.trace.events().to_vec(),
-        spans: e.trace.spans().to_vec(),
+        spans: e.trace.iter_spans().cloned().collect(),
+        open_spans: e
+            .trace
+            .iter_spans()
+            .filter(|s| s.end.is_none())
+            .map(|s| (s.category, e.trace.span_name(s).to_string()))
+            .collect(),
         metrics: e.metrics.snapshot(),
         rebinds: um.rebinds(),
         msgs_dropped: store.msgs_dropped(),
@@ -173,11 +182,10 @@ fn check_invariants(seed: u64, out: &Outcome) {
         "seed {seed}: every duplicated message must be applied exactly once"
     );
     // (c) open spans at shutdown are only abandoned attempt spans.
-    for span in out.spans.iter().filter(|s| s.end.is_none()) {
+    for (category, name) in &out.open_spans {
         assert_eq!(
-            span.name, "unit.compute",
-            "seed {seed}: unexpected open span {:?}/{} at shutdown",
-            span.category, span.name
+            name, "unit.compute",
+            "seed {seed}: unexpected open span {category:?}/{name} at shutdown"
         );
     }
 }

@@ -85,11 +85,11 @@ fn same_seed_same_spans_and_metrics() {
     let (e1, t1) = mixed_run_with(42, true);
     let (e2, t2) = mixed_run_with(42, true);
     assert_eq!(t1, t2);
-    assert_eq!(e1.trace.spans(), e2.trace.spans());
+    assert!(e1.trace.iter_spans().eq(e2.trace.iter_spans()));
     assert_eq!(e1.trace.render_spans(), e2.trace.render_spans());
     assert_eq!(e1.metrics.snapshot(), e2.metrics.snapshot());
     // ... and the run actually fed both subsystems.
-    assert!(!e1.trace.spans().is_empty());
+    assert!(e1.trace.span_count() > 0);
     let counters = e1.metrics.snapshot().counters;
     assert!(
         counters.iter().any(|(k, _)| k == "agent.units_completed"),
@@ -107,9 +107,9 @@ fn tracing_does_not_perturb_the_timeline() {
     let (on_engine, on) = mixed_run_with(42, true);
     assert_eq!(off, on, "enabling tracing must not move a single event");
     // The disabled engine recorded nothing; the traced one recorded spans.
-    assert!(off_engine.trace.spans().is_empty());
+    assert_eq!(off_engine.trace.span_count(), 0);
     assert!(off_engine.metrics.snapshot().counters.is_empty());
-    assert!(!on_engine.trace.spans().is_empty());
+    assert!(on_engine.trace.span_count() > 0);
 }
 
 #[test]

@@ -14,7 +14,7 @@
 use std::collections::BTreeMap;
 
 use hadoop_hpc::pilot::*;
-use hadoop_hpc::sim::{validate_chrome_json, Engine, FaultPlan, SimDuration, Span, SpanId};
+use hadoop_hpc::sim::{validate_chrome_json, Engine, FaultPlan, SimDuration, Span, SpanId, Trace};
 
 /// The `determinism.rs` mixed workload, but traced: a 2-node pilot with the
 /// given access mode running 12 heterogeneous Compute units to completion,
@@ -60,50 +60,52 @@ fn traced_mixed(seed: u64, machine: &str, access: AccessMode) -> Engine {
     e
 }
 
-fn name_counts(spans: &[Span]) -> BTreeMap<&str, usize> {
+fn name_counts(tr: &Trace) -> BTreeMap<&str, usize> {
     let mut counts = BTreeMap::new();
-    for s in spans {
-        *counts.entry(s.name.as_str()).or_insert(0) += 1;
+    for s in tr.iter_spans() {
+        *counts.entry(tr.span_name(s)).or_insert(0) += 1;
     }
     counts
 }
 
 /// Direct children of `root`, in id order.
-fn children(spans: &[Span], root: SpanId) -> Vec<&Span> {
-    spans.iter().filter(|s| s.parent == Some(root)).collect()
+fn children(tr: &Trace, root: SpanId) -> Vec<&Span> {
+    tr.iter_spans().filter(|s| s.parent == Some(root)).collect()
 }
 
 /// Structural invariants every exported span stream must satisfy.
-fn assert_span_invariants(spans: &[Span]) {
+fn assert_span_invariants(tr: &Trace) {
+    let spans: Vec<&Span> = tr.iter_spans().collect();
     for (i, s) in spans.iter().enumerate() {
+        let name = tr.span_name(s);
         // Ids are assigned sequentially from 1 in begin order.
-        assert_eq!(s.id.0, i as u64 + 1, "non-sequential id for {:?}", s.name);
+        assert_eq!(s.id.0, i as u64 + 1, "non-sequential id for {name:?}");
         if i > 0 {
             assert!(
                 spans[i - 1].begin <= s.begin,
                 "begin times must be monotone in id order: {:?} then {:?}",
-                spans[i - 1].name,
-                s.name
+                tr.span_name(spans[i - 1]),
+                name
             );
         }
         if let Some(end) = s.end {
-            assert!(end >= s.begin, "{:?} ends before it begins", s.name);
+            assert!(end >= s.begin, "{name:?} ends before it begins");
         }
         if let Some(p) = s.parent {
-            assert!(p.0 >= 1 && p.0 < s.id.0, "{:?}: parent after child", s.name);
-            let parent = &spans[p.0 as usize - 1];
+            assert!(p.0 >= 1 && p.0 < s.id.0, "{name:?}: parent after child");
+            let parent = spans[p.0 as usize - 1];
             assert!(
                 parent.begin <= s.begin,
                 "{:?} begins before its parent {:?}",
-                s.name,
-                parent.name
+                name,
+                tr.span_name(parent)
             );
             if let (Some(ce), Some(pe)) = (s.end, parent.end) {
                 assert!(
                     ce <= pe,
                     "{:?} outlives its parent {:?} ({} > {})",
-                    s.name,
-                    parent.name,
+                    name,
+                    tr.span_name(parent),
                     ce,
                     pe
                 );
@@ -115,15 +117,15 @@ fn assert_span_invariants(spans: &[Span]) {
 /// Per-unit taxonomy: every `unit.run` root owns the canonical phase
 /// children, and the single `unit.compute` sits inside the `unit.exec`
 /// interval.
-fn assert_unit_taxonomy(spans: &[Span], min_scheduling: usize) {
-    let roots: Vec<&Span> = spans
-        .iter()
-        .filter(|s| s.name == "unit.run" && s.parent.is_none())
+fn assert_unit_taxonomy(tr: &Trace, min_scheduling: usize) {
+    let roots: Vec<&Span> = tr
+        .iter_spans()
+        .filter(|s| tr.span_name(s) == "unit.run" && s.parent.is_none())
         .collect();
     assert!(!roots.is_empty());
     for root in roots {
-        let kids = children(spans, root.id);
-        let count = |n: &str| kids.iter().filter(|s| s.name == n).count();
+        let kids = children(tr, root.id);
+        let count = |n: &str| kids.iter().filter(|s| tr.span_name(s) == n).count();
         assert!(
             count("unit.scheduling") >= min_scheduling,
             "unit {:?}: expected >= {min_scheduling} scheduling spans, got {}",
@@ -133,10 +135,13 @@ fn assert_unit_taxonomy(spans: &[Span], min_scheduling: usize) {
         assert_eq!(count("unit.stage_in"), 1, "unit {:?}", root.attrs);
         assert_eq!(count("unit.stage_out"), 1, "unit {:?}", root.attrs);
         assert_eq!(count("unit.exec"), 1, "unit {:?}", root.attrs);
-        let exec = kids.iter().find(|s| s.name == "unit.exec").unwrap();
-        let computes = children(spans, exec.id);
+        let exec = kids
+            .iter()
+            .find(|s| tr.span_name(s) == "unit.exec")
+            .unwrap();
+        let computes = children(tr, exec.id);
         assert_eq!(computes.len(), 1, "unit {:?}", root.attrs);
-        assert_eq!(computes[0].name, "unit.compute");
+        assert_eq!(tr.span_name(computes[0]), "unit.compute");
         assert!(computes[0].begin >= exec.begin);
         assert!(computes[0].end.unwrap() <= exec.end.unwrap());
     }
@@ -149,8 +154,8 @@ fn mode_i_golden_span_stream() {
         "xsede.stampede",
         AccessMode::YarnModeI { with_hdfs: true },
     );
-    let spans = e.trace.spans();
-    assert_span_invariants(spans);
+    let tr = &e.trace;
+    assert_span_invariants(tr);
 
     // Census: the full stream of the fixed-seed run, by span name.
     let expected: BTreeMap<&str, usize> = [
@@ -170,12 +175,12 @@ fn mode_i_golden_span_stream() {
     ]
     .into_iter()
     .collect();
-    assert_eq!(name_counts(spans), expected);
-    assert_eq!(spans.len(), 113);
+    assert_eq!(name_counts(tr), expected);
+    assert_eq!(tr.span_count(), 113);
 
     // Pinned prefix: the pilot root opens the stream, every unit.run root
     // immediately opens its first scheduling child.
-    let prefix: Vec<&str> = spans.iter().take(6).map(|s| s.name.as_str()).collect();
+    let prefix: Vec<&str> = tr.iter_spans().take(6).map(|s| tr.span_name(s)).collect();
     assert_eq!(
         prefix,
         [
@@ -190,29 +195,30 @@ fn mode_i_golden_span_stream() {
 
     // Mode I nests the framework bootstrap: yarn.startup under
     // pilot.bootstrap, hdfs.startup under yarn.startup.
-    let bootstrap = spans.iter().find(|s| s.name == "pilot.bootstrap").unwrap();
-    let yarn = spans.iter().find(|s| s.name == "yarn.startup").unwrap();
-    let hdfs = spans.iter().find(|s| s.name == "hdfs.startup").unwrap();
+    let find = |n: &str| tr.iter_spans().find(|s| tr.span_name(s) == n).unwrap();
+    let bootstrap = find("pilot.bootstrap");
+    let yarn = find("yarn.startup");
+    let hdfs = find("hdfs.startup");
     assert_eq!(yarn.parent, Some(bootstrap.id));
     assert_eq!(hdfs.parent, Some(yarn.id));
 
     // A clean run abandons nothing: the export carries every span.
-    assert_eq!(spans.iter().filter(|s| s.end.is_none()).count(), 0);
-    assert_unit_taxonomy(spans, 2);
-    let stats = validate_chrome_json(&e.trace.to_chrome_json()).unwrap();
-    assert_eq!(stats.begins, spans.len());
-    assert_eq!(stats.ends, spans.len());
+    assert_eq!(tr.live_spans(), 0);
+    assert_unit_taxonomy(tr, 2);
+    let stats = validate_chrome_json(&tr.to_chrome_json()).unwrap();
+    assert_eq!(stats.begins, tr.span_count());
+    assert_eq!(stats.ends, tr.span_count());
 }
 
 #[test]
 fn mode_ii_golden_span_stream() {
     let e = traced_mixed(42, "xsede.wrangler", AccessMode::YarnModeII);
-    let spans = e.trace.spans();
-    assert_span_invariants(spans);
+    let tr = &e.trace;
+    assert_span_invariants(tr);
 
     // Mode II connects to the dedicated cluster's YARN: same census as
     // Mode I minus the HDFS deployment.
-    let counts = name_counts(spans);
+    let counts = name_counts(tr);
     assert_eq!(counts.get("hdfs.startup"), None);
     assert_eq!(counts["yarn.startup"], 1);
     assert_eq!(counts["pilot.run"], 1);
@@ -220,12 +226,12 @@ fn mode_ii_golden_span_stream() {
     assert_eq!(counts["unit.compute"], 12);
     assert_eq!(counts["yarn.am_allocation"], 12);
     assert_eq!(counts["yarn.container_allocation"], 12);
-    assert_eq!(spans.len(), 112);
+    assert_eq!(tr.span_count(), 112);
 
-    assert_eq!(spans.iter().filter(|s| s.end.is_none()).count(), 0);
-    assert_unit_taxonomy(spans, 2);
-    let stats = validate_chrome_json(&e.trace.to_chrome_json()).unwrap();
-    assert_eq!(stats.begins, spans.len());
+    assert_eq!(tr.live_spans(), 0);
+    assert_unit_taxonomy(tr, 2);
+    let stats = validate_chrome_json(&tr.to_chrome_json()).unwrap();
+    assert_eq!(stats.begins, tr.span_count());
 }
 
 /// The ci.sh smoke matrix, traced: 3 seeds × 3 fault intensities through a
@@ -270,24 +276,20 @@ fn fault_matrix_span_invariants_survive_crash_requeue() {
             pm.cancel(&mut e, &pilot);
             e.run();
 
-            let spans = e.trace.spans();
-            assert_span_invariants(spans);
+            let tr = &e.trace;
+            assert_span_invariants(tr);
 
             // Every retried unit's extra attempts show up as extra
             // scheduling spans under its unchanged root.
             for u in &units {
-                let root = spans
-                    .iter()
-                    .find(|s| {
-                        s.name == "unit.run"
-                            && s.attrs
-                                .iter()
-                                .any(|(k, v)| k == "unit" && *v == u.id().0.to_string())
-                    })
+                let unit_id = u.id().0.to_string();
+                let root = tr
+                    .iter_spans()
+                    .find(|s| tr.span_name(s) == "unit.run" && tr.attr(s, "unit") == Some(&unit_id))
                     .expect("every unit has a root span");
-                let sched = children(spans, root.id)
+                let sched = children(tr, root.id)
                     .iter()
-                    .filter(|s| s.name == "unit.scheduling")
+                    .filter(|s| tr.span_name(s) == "unit.scheduling")
                     .count();
                 assert_eq!(
                     sched,
@@ -303,14 +305,14 @@ fn fault_matrix_span_invariants_survive_crash_requeue() {
 
             // Abandoned (still-open) spans never reach the export: the
             // Chrome document stays parseable and balanced.
-            let open = spans.iter().filter(|s| s.end.is_none()).count();
+            let open = tr.live_spans();
             if open > 0 {
                 saw_abandoned = true;
             }
-            let stats = validate_chrome_json(&e.trace.to_chrome_json())
+            let stats = validate_chrome_json(&tr.to_chrome_json())
                 .unwrap_or_else(|err| panic!("seed={seed} intensity={intensity}: {err}"));
-            assert_eq!(stats.begins, spans.len() - open);
-            assert_eq!(stats.ends, spans.len() - open);
+            assert_eq!(stats.begins, tr.span_count() - open);
+            assert_eq!(stats.ends, tr.span_count() - open);
         }
     }
     assert!(saw_retry, "matrix must exercise at least one crash-requeue");

@@ -1,0 +1,126 @@
+//! Equivalence gate for the streamed-chunk profiler and critical-path
+//! walker: their rendered output on the golden Mode I / Mode II traces is
+//! pinned byte-for-byte against the legacy fully-materialized in-memory
+//! walk (captured before the chunked rework and stored under
+//! `tests/golden/`). Any divergence — a phase total, a path segment, a
+//! slack figure — fails here before it can drift a bench baseline.
+//!
+//! Regenerate the goldens (only for an *intended* behavior change) with:
+//!
+//! ```text
+//! REGEN_GOLDEN=1 cargo test --test stream_equivalence
+//! ```
+
+use hadoop_hpc::pilot::*;
+use hadoop_hpc::sim::{
+    aggregate_roots, critical_path_run, profile_span, Engine, RunReport, SimDuration,
+};
+
+/// The observability.rs golden workload: a 2-node pilot with the given
+/// access mode running 12 heterogeneous Compute units to completion.
+fn traced_mixed(seed: u64, machine: &str, access: AccessMode) -> Engine {
+    let mut e = Engine::with_trace(seed);
+    let session = Session::new(SessionConfig::test_profile());
+    let pm = PilotManager::new(&session);
+    let pilot = pm
+        .submit(
+            &mut e,
+            PilotDescription::new(machine, 2, SimDuration::from_secs(7200)).with_access(access),
+        )
+        .unwrap();
+    let mut um = UnitManager::new(&session, UmScheduler::Direct);
+    um.add_pilot(&pilot);
+    let units = um.submit_units(
+        &mut e,
+        (0..12)
+            .map(|i| {
+                ComputeUnitDescription::new(
+                    format!("u{i}"),
+                    1 + (i % 4),
+                    WorkSpec::Compute {
+                        core_seconds: 30.0 + i as f64,
+                        read_mb: 5.0 * i as f64,
+                        write_mb: 2.0 * i as f64,
+                        io: if i % 2 == 0 {
+                            UnitIoTarget::Lustre
+                        } else {
+                            UnitIoTarget::LocalDisk
+                        },
+                    },
+                )
+            })
+            .collect(),
+    );
+    while units.iter().any(|u| !u.state().is_final()) {
+        assert!(e.step(), "simulation stalled with live units");
+    }
+    pm.cancel(&mut e, &pilot);
+    e.run();
+    e
+}
+
+/// Render everything the bench artifacts derive from a trace: the phase
+/// report (pilot root + unit aggregate), its JSON form, and the full
+/// critical-path rendering including off-path slack.
+fn render_all(e: &Engine, title: &str) -> String {
+    let pilot_root = e
+        .trace
+        .roots_named("pilot.run")
+        .next()
+        .expect("pilot root")
+        .id;
+    let mut report = RunReport::new(title);
+    report.push("pilot.run", profile_span(&e.trace, pilot_root));
+    report.push("units (aggregate)", aggregate_roots(&e.trace, "unit.run"));
+    let cp = critical_path_run(&e.trace).expect("critical path");
+    report.push_critical("run", &cp);
+    format!(
+        "{}\n{}\n{}",
+        report.render_table(),
+        report.to_json(),
+        cp.render()
+    )
+}
+
+fn check(golden_path: &str, actual: &str) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(golden_path);
+    if std::env::var("REGEN_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expect = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e} (run with REGEN_GOLDEN=1 to create)",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expect,
+        "streamed walk diverged from the legacy in-memory walk ({golden_path})"
+    );
+}
+
+#[test]
+fn mode_i_profiler_and_critpath_match_legacy_walk() {
+    let e = traced_mixed(
+        42,
+        "xsede.stampede",
+        AccessMode::YarnModeI { with_hdfs: true },
+    );
+    check(
+        "equiv_mode_i.txt",
+        &render_all(&e, "mode I (legacy-pinned)"),
+    );
+}
+
+#[test]
+fn mode_ii_profiler_and_critpath_match_legacy_walk() {
+    let e = traced_mixed(42, "xsede.wrangler", AccessMode::YarnModeII);
+    check(
+        "equiv_mode_ii.txt",
+        &render_all(&e, "mode II (legacy-pinned)"),
+    );
+}
