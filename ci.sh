@@ -50,9 +50,16 @@ TRACE_OUT="${TRACE_OUT:-target/quickstart_trace.json}"
 cargo run --release -q --example quickstart -- --trace-out "$TRACE_OUT" > /dev/null
 cargo run --release -q -p rp-bench --bin trace_validate -- "$TRACE_OUT"
 
+echo "==> PDES differential tier (serial == parallel, RP_THREADS=2 smoke)"
+# The tier drives every bench scenario plus fault/lossy grids under
+# EngineMode::Serial and EngineMode::Parallel and asserts bit-identical
+# spans, metrics and coordination effects. RP_THREADS is pinned so the
+# run never depends on the host's core count.
+RP_THREADS=2 cargo test --release -q --test pdes_differential
+
 echo "==> bench suite (quick) + regression gate"
 BENCH_OUT="${BENCH_OUT:-target/bench}"
-cargo run --release -q -p rp-bench --bin bench_suite -- --quick --out-dir "$BENCH_OUT"
+RP_THREADS="${RP_THREADS:-2}" cargo run --release -q -p rp-bench --bin bench_suite -- --quick --out-dir "$BENCH_OUT"
 baselines_present=true
 for s in fig5_startup fig5_unit_startup fig6_kmeans fault_matrix pilot_loss scale_1k scale_10k; do
     [ -f "BENCH_$s.json" ] || baselines_present=false
@@ -119,6 +126,9 @@ print("--- pilot-kill: %d/%d done, %d re-bound, makespan %.0fs"
 if [ "${CI_SCALE:-0}" = "1" ]; then
     echo "==> CI_SCALE=1: 100k-unit scale tier (same assertions, full volume)"
     SCALE_UNITS=100000 cargo test --release -q --test scale
+    echo "==> CI_SCALE=1: 100k-unit scale tier under the parallel engine"
+    RP_ENGINE_MODE=parallel RP_THREADS=4 SCALE_UNITS=100000 \
+        cargo test --release -q --test scale
 fi
 
 if [ "${CI_SANITIZE:-0}" = "1" ]; then
@@ -133,6 +143,11 @@ if [ "${CI_SANITIZE:-0}" = "1" ]; then
             RUSTFLAGS="-Zsanitizer=thread" CHAOS_SEEDS=4 \
                 cargo +nightly test -Z build-std --target "$(rustc -vV | sed -n 's/^host: //p')" \
                     --release -q --test chaos
+            # The differential tier exercises the scoped-thread batch path
+            # under TSan: any unsynchronized prep/apply access is a failure.
+            RUSTFLAGS="-Zsanitizer=thread" RP_THREADS=2 \
+                cargo +nightly test -Z build-std --target "$(rustc -vV | sed -n 's/^host: //p')" \
+                    --release -q --test pdes_differential
         else
             echo "    (nightly build-std unavailable — likely offline; skipping)"
         fi

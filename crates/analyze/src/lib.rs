@@ -9,8 +9,9 @@
 //!    the blessed ordering in `lockorder.toml`.
 //! 3. **determinism hazards** — `hash-iter` (HashMap/HashSet iteration
 //!    order leaking into traces), `wallclock` (host-time reads in
-//!    virtual-time code), `unwrap-ratchet` (panic budget per file against
-//!    `lint_baseline.toml`).
+//!    virtual-time code), `par-hazard` (relaxed atomics and thread-identity
+//!    reads in code the parallel engine runs on workers), `unwrap-ratchet`
+//!    (panic budget per file against `lint_baseline.toml`).
 //! 4. **span-balance** — every `span_begin` must be matched by a
 //!    `span_end` or an ownership transfer on all return paths.
 //!
@@ -80,6 +81,7 @@ pub fn run_pass(root: &Path, opts: &Options) -> std::io::Result<Pass> {
     // Family 3: determinism hazards.
     hazards::check_wallclock(&files, &mut report);
     hazards::check_hash_iter(&files, &mut report);
+    hazards::check_par_hazard(&files, &mut report);
     hazards::check_unwrap_ratchet(&files, root, opts.bless, &mut report)?;
 
     // Family 4: span balance.

@@ -128,6 +128,7 @@ pub const RULES: &[&str] = &[
     "lock-order",
     "hash-iter",
     "wallclock",
+    "par-hazard",
     "unwrap-ratchet",
     "span-balance",
 ];
@@ -180,6 +181,18 @@ pub fn explain(rule: &str) -> Option<&'static str> {
              determinism. Allowed in crates/bench (host-side measurement is its\n\
              job), examples, tests and benches. Waive an intentional use with\n\
              `// rp-lint: allow(wallclock): <justification>`."
+        }
+        "par-hazard" => {
+            "par-hazard: scheduling nondeterminism from the parallel engine.\n\
+             The conservative PDES mode runs split-event prep closures on\n\
+             worker threads, so code in crates/sim-core and crates/core must\n\
+             not let thread identity or weakly-ordered atomics influence\n\
+             results. The rule flags `Ordering::Relaxed`, `thread_local!`,\n\
+             `thread::current()` and `ThreadId` in library code there.\n\
+             Fix by using acquire/release (or stronger) orderings and engine\n\
+             state instead of thread identity; waive a provably\n\
+             order-insensitive use with\n\
+             `// rp-lint: allow(par-hazard): <why results cannot differ>`."
         }
         "unwrap-ratchet" => {
             "unwrap-ratchet: panic-prone `.unwrap()`/`.expect()` budget.\n\

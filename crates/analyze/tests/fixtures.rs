@@ -332,6 +332,55 @@ fn collect_all() -> Vec<u64> {
 }
 
 #[test]
+fn par_hazard_fires_on_relaxed_atomics_and_thread_identity() {
+    let relaxed = "fn bump(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }\n";
+    let tls = "thread_local! {\n    static SCRATCH: Cell<u64> = const { Cell::new(0) };\n}\n";
+    let tid = "fn tag() -> ThreadId { std::thread::current().id() }\n";
+    let mut report = Report::default();
+    hazards::check_par_hazard(
+        &[
+            lib_file("crates/sim-core/src/a.rs", relaxed),
+            lib_file("crates/core/src/b.rs", tls),
+            lib_file("crates/sim-core/src/c.rs", tid),
+        ],
+        &mut report,
+    );
+    // `tid` hits twice (ThreadId + thread::current); the others once each.
+    assert_eq!(report.fatal_count(), 4, "{}", report.render_text());
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.message.contains("Relaxed")));
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.message.contains("thread_local!")));
+}
+
+#[test]
+fn par_hazard_scoped_to_sim_crates_and_honors_waivers_and_tests() {
+    // Same hazards outside the simulation crates: out of scope.
+    let elsewhere = "fn bump(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }\n";
+    // Acquire/release ordering in scope: fine.
+    let acq = "fn read(c: &AtomicU64) -> u64 { c.load(Ordering::Acquire) }\n";
+    // Waived and test-only uses: reported but not fatal / skipped.
+    let waived = "fn bump(c: &AtomicU64) {\n    // rp-lint: allow(par-hazard): order-insensitive counter\n    c.fetch_add(1, Ordering::Relaxed);\n}\n";
+    let test_only = "#[cfg(test)]\nmod tests {\n    fn t(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }\n}\n";
+    let mut report = Report::default();
+    hazards::check_par_hazard(
+        &[
+            lib_file("crates/analyze/src/elsewhere.rs", elsewhere),
+            lib_file("crates/sim-core/src/acq.rs", acq),
+            lib_file("crates/sim-core/src/waived.rs", waived),
+            lib_file("crates/core/src/test_only.rs", test_only),
+        ],
+        &mut report,
+    );
+    assert_eq!(report.fatal_count(), 0, "{}", report.render_text());
+    assert!(report.findings.iter().any(|f| f.waived));
+}
+
+#[test]
 fn unwrap_ratchet_fails_above_baseline_and_notes_below() {
     let two = "fn a(x: Option<u32>) -> u32 { x.unwrap() + x.expect(\"set\") }\n";
     let files = vec![lib_file("crates/x/src/two.rs", two)];

@@ -20,8 +20,8 @@ use rp_pilot::{
 };
 use rp_sim::stats::percentile;
 use rp_sim::{
-    aggregate_roots, critical_path_run, json, Engine, FaultPlan, MetricsSnapshot, RunReport,
-    SimDuration,
+    aggregate_roots, critical_path_run, json, Engine, EngineMode, FaultPlan, MetricsSnapshot,
+    RunReport, SimDuration,
 };
 
 use crate::Variant;
@@ -500,6 +500,13 @@ pub struct BenchArtifact {
     /// scenario reports a `scale.events_executed` counter. Turns the host
     /// median into an events-per-second throughput figure.
     pub virtual_events: Option<u64>,
+    /// Host wall-clock per repetition under `EngineMode::Parallel`, when
+    /// the parallel timing pass ran (empty otherwise). The pass asserts
+    /// the parallel virtual result is bit-identical to the serial one
+    /// before recording any timing.
+    pub parallel_host_ms: Vec<f64>,
+    /// Worker count the parallel pass ran with (`RP_THREADS` or 4).
+    pub parallel_threads: Option<usize>,
     /// Markdown rendering of the report (for PR descriptions).
     pub markdown: String,
 }
@@ -517,12 +524,40 @@ impl BenchArtifact {
             .map(|n| n as f64 / (self.median_ms() / 1e3).max(1e-9))
     }
 
+    /// Median of the parallel-mode repetitions, when the pass ran.
+    pub fn parallel_median_ms(&self) -> Option<f64> {
+        if self.parallel_host_ms.is_empty() {
+            None
+        } else {
+            Some(percentile(&self.parallel_host_ms, 50.0))
+        }
+    }
+
+    /// Serial median divided by parallel median: the host-time speedup of
+    /// `EngineMode::Parallel`. Like every `host.*` field this depends on
+    /// the machine (a single-core host reports ~1.0 or below); it is
+    /// recorded, never exact-diffed.
+    pub fn speedup(&self) -> Option<f64> {
+        self.parallel_median_ms()
+            .map(|p| self.median_ms() / p.max(1e-9))
+    }
+
     /// The full schema-versioned artifact document.
     pub fn to_json(&self) -> String {
-        let throughput = self
+        let mut throughput = self
             .events_per_sec()
             .map(|eps| format!(",\"events_per_sec\":{eps:.1}"))
             .unwrap_or_default();
+        if let (Some(threads), Some(par_ms), Some(speedup)) = (
+            self.parallel_threads,
+            self.parallel_median_ms(),
+            self.speedup(),
+        ) {
+            throughput.push_str(&format!(
+                ",\"parallel_threads\":{threads},\"parallel_median_ms\":{par_ms:.3},\
+                 \"speedup\":{speedup:.3}"
+            ));
+        }
         format!(
             "{{\"schema\":{SCHEMA_VERSION},\"scenario\":\"{}\",\"virtual\":{},\
              \"host\":{{\"reps\":{},\"median_ms\":{:.3},\"p95_ms\":{:.3},\"min_ms\":{:.3},\"max_ms\":{:.3}{throughput}}}}}",
@@ -569,13 +604,55 @@ pub fn bench_with(scenario: &str, reps: u64, run: impl Fn() -> VirtualResult) ->
         virtual_json: virtual_json.unwrap(),
         host_ms,
         virtual_events,
+        parallel_host_ms: Vec::new(),
+        parallel_threads: None,
         markdown,
     }
 }
 
-/// Run + time the named scenario.
+/// Worker count for the parallel timing pass: `RP_THREADS` (any integer
+/// ≥ 1) or 4. Deliberately never `available_parallelism()` — only the
+/// timings themselves may depend on the host, not the configuration the
+/// artifact records.
+pub fn parallel_pass_threads() -> usize {
+    std::env::var("RP_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or(4)
+}
+
+/// Time `run` under serial mode, then repeat it under
+/// `EngineMode::Parallel` — asserting the parallel virtual result is
+/// bit-identical to the serial one — and record both timings.
+pub fn bench_with_parallel(
+    scenario: &str,
+    reps: u64,
+    run: impl Fn() -> VirtualResult,
+) -> BenchArtifact {
+    let mut art = bench_with(scenario, reps, &run);
+    let threads = parallel_pass_threads();
+    Engine::set_default_mode(Some(EngineMode::parallel(threads)));
+    let mut parallel_host_ms = Vec::with_capacity(reps as usize);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let v = run();
+        parallel_host_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(
+            v.to_json(),
+            art.virtual_json,
+            "{scenario}: parallel({threads}) virtual result diverged from serial"
+        );
+    }
+    Engine::set_default_mode(None);
+    art.parallel_host_ms = parallel_host_ms;
+    art.parallel_threads = Some(threads);
+    art
+}
+
+/// Run + time the named scenario, serial then parallel.
 pub fn bench_scenario(name: &str, reps: u64) -> BenchArtifact {
-    bench_with(name, reps, || run_scenario(name))
+    bench_with_parallel(name, reps, || run_scenario(name))
 }
 
 /// Absolute host-time allowance on top of the factor, so sub-millisecond
@@ -736,6 +813,32 @@ mod tests {
             .and_then(json::Value::as_f64)
             .is_some());
         assert!(art.markdown.contains("| case |"));
+    }
+
+    #[test]
+    fn parallel_pass_records_speedup_fields_and_identical_virtual() {
+        let art = bench_with_parallel("fault_matrix", 1, || run_fault_matrix(small_params()));
+        assert_eq!(art.parallel_host_ms.len(), 1);
+        assert!(art.parallel_threads.is_some());
+        assert!(art.speedup().unwrap() > 0.0);
+        let doc = art.to_json();
+        let v = json::parse(&doc).expect("artifact parses");
+        let host = v.get("host").expect("host section");
+        assert!(host
+            .get("parallel_median_ms")
+            .and_then(json::Value::as_f64)
+            .is_some());
+        assert!(host.get("speedup").and_then(json::Value::as_f64).is_some());
+        assert!(host
+            .get("parallel_threads")
+            .and_then(json::Value::as_f64)
+            .is_some());
+        // The serial-only path must not emit the fields at all.
+        let serial = bench_with("fault_matrix", 1, || run_fault_matrix(small_params()));
+        assert!(!serial.to_json().contains("parallel_median_ms"));
+        // The parallel pass changed only host fields: both artifacts carry
+        // the identical virtual subtree.
+        assert_eq!(serial.virtual_json, art.virtual_json);
     }
 
     #[test]

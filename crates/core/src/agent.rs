@@ -16,7 +16,7 @@ use std::rc::Rc;
 
 use rp_hpc::{Allocation, IoKind, NodeId, StorageTarget};
 use rp_saga::filetransfer::{transfer, Endpoint};
-use rp_sim::{Engine, FaultKind, SimDuration, SimTime, SpanId};
+use rp_sim::{Domain, Engine, FaultKind, SimDuration, SimTime, SpanId};
 use rp_spark::SparkCluster;
 use rp_yarn::{
     bootstrap_mode_i_in_span, connect_mode_ii, AmHandle, HadoopEnv, Resource, ResourceRequest,
@@ -27,7 +27,7 @@ use crate::description::{AccessMode, StageEndpoint, StagingDirective, UnitIoTarg
 use crate::launch::{self, LaunchMethod};
 use crate::session::{MachineHandle, SessionConfig};
 use crate::states::UnitState;
-use crate::unit::{PilotId, UnitHandle};
+use crate::unit::{PilotId, TransitionDraft, UnitHandle};
 
 /// What the LRM provisioned for this pilot.
 #[derive(Clone)]
@@ -388,6 +388,22 @@ impl Agent {
         self.inner.borrow().heartbeats
     }
 
+    /// This agent's event [`Domain`]: one partition per pilot, so the
+    /// parallel engine can prepare independent pilots' events concurrently.
+    /// `+1` keeps pilot 0 out of [`Domain::GLOBAL`].
+    fn domain(&self) -> Domain {
+        Domain::from_parts((self.inner.borrow().pilot.0 as u16).wrapping_add(1), 0)
+    }
+
+    /// Per-node sub-domain of this agent (`+1` keeps node 0 distinct from
+    /// the agent-wide lane).
+    fn node_domain(&self, node: NodeId) -> Domain {
+        Domain::from_parts(
+            (self.inner.borrow().pilot.0 as u16).wrapping_add(1),
+            (node.0 as u16).wrapping_add(1),
+        )
+    }
+
     /// Arm the next heartbeat if work is in flight and none is scheduled.
     fn ensure_heartbeat(&self, engine: &mut Engine) {
         {
@@ -399,7 +415,11 @@ impl Agent {
             inner.heartbeat_armed = true;
         }
         let this = self.clone();
-        engine.schedule_in(SimDuration::from_secs(10), move |eng| {
+        // The heartbeat period is a cross-domain coupling interval (the
+        // UM's gap monitor reads it) — register it as lookahead.
+        engine.note_lookahead(SimDuration::from_secs(10));
+        let domain = self.domain();
+        engine.schedule_in_domain(SimDuration::from_secs(10), domain, move |eng| {
             let (pilot, still_busy) = {
                 let mut inner = this.inner.borrow_mut();
                 inner.heartbeat_armed = false;
@@ -983,13 +1003,13 @@ impl Agent {
         unit.advance(engine, UnitState::Executing);
         let this = self.clone();
         let u2 = unit.clone();
-        self.run_work(engine, &unit, &nodes, &alive.clone(), move |eng| {
+        self.run_work(engine, &unit, &nodes, &alive.clone(), move |eng, draft| {
             if !alive.get() {
                 // Node crashed mid-run and the attempt was requeued; this
                 // stale completion must not double-finish the unit.
                 return;
             }
-            this.complete_unit(eng, u2, placement);
+            this.complete_unit(eng, u2, placement, draft);
         });
     }
 
@@ -997,13 +1017,17 @@ impl Agent {
     /// kill flag: a stale completion for a killed attempt must leave the
     /// compute span abandoned (open) instead of ending it after the unit
     /// has already been requeued and its exec span closed.
+    ///
+    /// `done` receives the `-> StagingOutput` [`TransitionDraft`] when the
+    /// completion travelled as a split event (its prepare closure formats
+    /// the strings, off-thread in parallel mode), `None` otherwise.
     fn run_work(
         &self,
         engine: &mut Engine,
         unit: &UnitHandle,
         nodes: &[(NodeId, u32)],
         alive: &Rc<Cell<bool>>,
-        done: impl FnOnce(&mut Engine) + 'static,
+        done: impl FnOnce(&mut Engine, Option<TransitionDraft>) + 'static,
     ) {
         let d = unit.description();
         let inner = self.inner.borrow();
@@ -1042,16 +1066,28 @@ impl Agent {
             .trace
             .span_attr(span, "cores", total_cores.to_string());
         let alive = alive.clone();
-        let done = move |eng: &mut Engine| {
+        let done = move |eng: &mut Engine, draft: Option<TransitionDraft>| {
             if alive.get() {
                 eng.trace.span_end(eng.now(), span);
             }
-            done(eng);
+            done(eng, draft);
         };
 
         match d.work {
             WorkSpec::Sleep(dur) => {
-                engine.schedule_in(dur, done);
+                // The scale hot path: one completion event per unit. It
+                // rides as a split event in the node's domain — the prepare
+                // closure formats the `-> StagingOutput` transition strings
+                // (off-thread in parallel mode), the apply closure runs the
+                // ordinary completion with them.
+                let domain = self.node_domain(primary);
+                let unit_id = unit.id();
+                engine.schedule_split_in(
+                    dur,
+                    domain,
+                    move || TransitionDraft::format(unit_id, UnitState::StagingOutput),
+                    move |eng, draft: TransitionDraft| done(eng, Some(draft)),
+                );
             }
             WorkSpec::Native(f) => {
                 // Native work runs a real closure and bills its measured host
@@ -1062,7 +1098,7 @@ impl Agent {
                 let t0 = std::time::Instant::now();
                 f();
                 let dur = SimDuration::from_secs_f64(t0.elapsed().as_secs_f64());
-                engine.schedule_in(dur, done);
+                engine.schedule_in(dur, move |eng| done(eng, None));
             }
             WorkSpec::Compute {
                 core_seconds,
@@ -1088,6 +1124,7 @@ impl Agent {
                     .compute_duration(core_seconds / total_cores as f64)
                     .mul_f64(pressure * jitter);
                 let cluster2 = cluster.clone();
+                let done = move |eng: &mut Engine| done(eng, None);
                 cluster.storage_io(
                     engine,
                     target,
@@ -1150,7 +1187,7 @@ impl Agent {
                         return;
                     }
                     u2.rec.borrow_mut().mr_stats = Some(stats);
-                    this.complete_unit(eng, u2.clone(), Placement::Yarn { vcores, mem_mb });
+                    this.complete_unit(eng, u2.clone(), Placement::Yarn { vcores, mem_mb }, None);
                 },
             );
             return;
@@ -1310,7 +1347,7 @@ impl Agent {
                 &unit,
                 &[(container.node, cores)],
                 &alive.clone(),
-                move |eng| {
+                move |eng, draft| {
                     if !alive.get() || !run_alive.get() {
                         // This attempt was preempted mid-flight (the restart
                         // owns the unit) or the pilot died (the UM does).
@@ -1329,7 +1366,7 @@ impl Agent {
                     if !pooled {
                         am2.finish(eng);
                     }
-                    this2.complete_unit(eng, u2.clone(), Placement::Yarn { vcores, mem_mb });
+                    this2.complete_unit(eng, u2.clone(), Placement::Yarn { vcores, mem_mb }, draft);
                 },
             );
         });
@@ -1361,9 +1398,12 @@ impl Agent {
                     return;
                 }
                 match res {
-                    Ok(_stats) => {
-                        this.complete_unit(eng, u2.clone(), Placement::Spark { cores: gate_cores })
-                    }
+                    Ok(_stats) => this.complete_unit(
+                        eng,
+                        u2.clone(),
+                        Placement::Spark { cores: gate_cores },
+                        None,
+                    ),
                     Err(e) => {
                         this.fail_and_release(
                             eng,
@@ -1421,7 +1461,12 @@ impl Agent {
                         }
                         eng.trace.span_end(eng.now(), span);
                         spark.finish_app(eng, app_id);
-                        this.complete_unit(eng, u2.clone(), Placement::Spark { cores: gate_cores });
+                        this.complete_unit(
+                            eng,
+                            u2.clone(),
+                            Placement::Spark { cores: gate_cores },
+                            None,
+                        );
                     });
                 }
                 Err(e) => {
@@ -1438,7 +1483,13 @@ impl Agent {
 
     // ---- completion ----
 
-    fn complete_unit(&self, engine: &mut Engine, unit: UnitHandle, placement: Placement) {
+    fn complete_unit(
+        &self,
+        engine: &mut Engine,
+        unit: UnitHandle,
+        placement: Placement,
+        draft: Option<TransitionDraft>,
+    ) {
         // The attempt survived execution; it no longer needs crash recovery.
         // The `finishing` entry is this path's ownership token: `terminate`
         // drains it when the pilot dies, after which the stale staging /
@@ -1449,7 +1500,12 @@ impl Agent {
             inner.active.remove(&unit.id().0);
             inner.finishing.insert(unit.id().0, unit.clone());
         }
-        unit.advance(engine, UnitState::StagingOutput);
+        match draft {
+            // Split-event completion: the strings were formatted by the
+            // prepare closure (possibly on a worker thread).
+            Some(d) => unit.advance_with(engine, UnitState::StagingOutput, d),
+            None => unit.advance(engine, UnitState::StagingOutput),
+        }
         let directives = unit.description().output_staging;
         let primary = unit.exec_nodes().first().copied();
         let this = self.clone();

@@ -137,6 +137,12 @@ struct StoreInner {
     msgs_dropped: u64,
     msgs_duplicated: u64,
     dup_applies_ignored: u64,
+    /// Ordered log of applied message effects `(time, seq, label)` —
+    /// `Some` only when [`CoordinationStore::enable_effect_log`] was
+    /// called. The differential tier compares this log across engine
+    /// modes: coordination effects must apply at the same virtual times,
+    /// in the same order, exactly once.
+    effect_log: Option<Vec<(SimTime, u64, &'static str)>>,
 }
 
 impl StoreInner {
@@ -183,6 +189,7 @@ impl CoordinationStore {
                 msgs_dropped: 0,
                 msgs_duplicated: 0,
                 dup_applies_ignored: 0,
+                effect_log: None,
             })),
         }
     }
@@ -216,6 +223,21 @@ impl CoordinationStore {
         self.inner.borrow().dup_applies_ignored
     }
 
+    /// Start recording applied message effects (idempotent). Recording is
+    /// pure observation; it cannot change delivery behavior.
+    pub fn enable_effect_log(&self) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.effect_log.is_none() {
+            inner.effect_log = Some(Vec::new());
+        }
+    }
+
+    /// The applied-effect log `(time, seq, label)` recorded since
+    /// [`CoordinationStore::enable_effect_log`]; empty when disabled.
+    pub fn effect_log(&self) -> Vec<(SimTime, u64, &'static str)> {
+        self.inner.borrow().effect_log.clone().unwrap_or_default()
+    }
+
     /// Out-of-order dedup entries currently held above the applied
     /// watermark. Bounded by in-flight reordering, not run length — the
     /// scale gate asserts it returns to zero at quiescence.
@@ -238,6 +260,12 @@ impl CoordinationStore {
             inner.next_seq += 1;
             inner.next_seq
         };
+        // Every store message pays at least `latency` of virtual time
+        // before its effect lands — a genuine cross-domain propagation
+        // delay, which the parallel engine exploits as lookahead.
+        if latency > SimDuration::ZERO {
+            engine.note_lookahead(latency);
+        }
         let apply: Rc<RefCell<Option<ApplyFn>>> = Rc::new(RefCell::new(Some(Box::new(apply))));
         self.transmit(engine, seq, latency, label, apply);
     }
@@ -304,6 +332,10 @@ impl CoordinationStore {
                     this.inner.borrow_mut().dup_applies_ignored += 1;
                     eng.metrics.incr("coordination.dup_applies_ignored");
                     return;
+                }
+                let now = eng.now();
+                if let Some(log) = this.inner.borrow_mut().effect_log.as_mut() {
+                    log.push((now, seq, label));
                 }
                 if let Some(f) = apply.borrow_mut().take() {
                     f(eng);

@@ -2,9 +2,13 @@
 //!
 //! The substrate every other crate in this workspace builds on:
 //!
-//! * [`engine::Engine`] — a sequential event loop over virtual time.
-//!   Events are `FnOnce(&mut Engine)` closures; ties are broken by schedule
-//!   order, so a run is bit-reproducible given the same seed.
+//! * [`engine::Engine`] — an event loop over virtual time. Events are
+//!   `FnOnce(&mut Engine)` closures; ties are broken by schedule order, so
+//!   a run is bit-reproducible given the same seed. An opt-in conservative
+//!   PDES mode ([`engine::EngineMode::Parallel`]) prepares domain-tagged
+//!   *split events* on scoped worker threads inside a lookahead horizon
+//!   while applying all effects on the main thread in the exact serial
+//!   order — parallel runs are bit-identical to serial ones.
 //! * [`time::SimTime`] / [`time::SimDuration`] — integer-microsecond
 //!   virtual time.
 //! * [`link::FairLink`] — a max–min fair-shared bandwidth resource used to
@@ -23,9 +27,9 @@
 //!   it on or off.
 //!
 //! Components live in `Rc<RefCell<_>>` handles captured by event closures;
-//! the simulator core is intentionally single-threaded (determinism), while
-//! the *native* execution engines elsewhere in the workspace use real thread
-//! pools.
+//! all model *state* stays on the main thread (determinism). Parallelism
+//! enters only through `Send` prepare closures of split events, which are
+//! pure functions of their captures — see `DESIGN.md` §12.
 
 pub mod critpath;
 pub mod engine;
@@ -44,11 +48,11 @@ pub mod tokens;
 pub mod trace;
 
 pub use critpath::{critical_path, critical_path_run, CritPhaseRow, CriticalPath, PathSegment};
-pub use engine::{Engine, EventId};
+pub use engine::{safe_horizon, Domain, Engine, EngineMode, EventId};
 pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan};
 pub use intern::{Symbol, SymbolTable};
 pub use link::{FairLink, FlowId};
-pub use metrics::{metric_key, MetricsRegistry, MetricsSnapshot};
+pub use metrics::{metric_key, MetricDraft, MetricsRegistry, MetricsSnapshot};
 pub use profile::{
     aggregate_roots, mean_breakdown, pilot_utilization, profile_roots, profile_span, Phase,
     PhaseBreakdown, Profiler,
@@ -59,8 +63,8 @@ pub use stats::Summary;
 pub use time::{SimDuration, SimTime};
 pub use tokens::Tokens;
 pub use trace::{
-    escape_json, validate_chrome_json, validate_chrome_reader, ChromeTraceStats, Span, SpanId,
-    SpanIndex, Trace, TraceEvent,
+    escape_json, validate_chrome_json, validate_chrome_reader, ChromeTraceStats, Span, SpanDraft,
+    SpanId, SpanIndex, Trace, TraceEvent,
 };
 
 /// Convenience: megabytes → bytes (storage models are specified in MB/s).

@@ -113,6 +113,14 @@ impl FairLink {
             "invalid transfer size {bytes}"
         );
         assert!(per_flow_cap > 0.0, "per-flow cap must be positive");
+        // A nonzero transfer can never land before its ideal (uncontended)
+        // duration — fair sharing only slows flows down — so that duration
+        // is a true propagation delay the parallel engine can use as
+        // lookahead. Zero-byte transfers complete instantly: no hint.
+        let ideal = self.ideal_duration(bytes, per_flow_cap);
+        if ideal > SimDuration::ZERO {
+            engine.note_lookahead(ideal);
+        }
         let now = engine.now();
         let id;
         {

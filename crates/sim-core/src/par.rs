@@ -5,14 +5,31 @@
 //! uneven partitions balance dynamically.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 /// Number of worker threads to use for `n` items.
+///
+/// Honors the `RP_THREADS` environment variable (any integer ≥ 1) so
+/// bench and CI runs can pin a fixed count; only when it is unset or
+/// unparsable does the host's `available_parallelism` leak in. The env
+/// lookup is cached for the life of the process so the answer cannot
+/// change mid-run.
 pub fn default_threads(n: usize) -> usize {
-    let hw = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4);
+    static PINNED: OnceLock<Option<usize>> = OnceLock::new();
+    let pinned = *PINNED.get_or_init(|| parse_pinned(std::env::var("RP_THREADS").ok().as_deref()));
+    let hw = pinned.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4)
+    });
     hw.min(n).max(1)
+}
+
+/// Parse an `RP_THREADS` value: any integer ≥ 1 pins the count; empty,
+/// junk, or `0` falls through to host detection.
+fn parse_pinned(raw: Option<&str>) -> Option<usize> {
+    raw.and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&t| t >= 1)
 }
 
 /// Apply `f` to every index in `0..n` on `threads` workers; results are
@@ -35,6 +52,7 @@ where
     std::thread::scope(|scope| {
         for _ in 0..threads.min(n) {
             scope.spawn(|| loop {
+                // rp-lint: allow(par-hazard): work-stealing index only; every index is claimed exactly once and results land by position
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
@@ -129,5 +147,16 @@ mod tests {
     fn default_threads_bounded_by_items() {
         assert_eq!(default_threads(1), 1);
         assert!(default_threads(1024) >= 1);
+    }
+
+    #[test]
+    fn rp_threads_override_parses_strictly() {
+        assert_eq!(parse_pinned(Some("8")), Some(8));
+        assert_eq!(parse_pinned(Some(" 2 ")), Some(2));
+        assert_eq!(parse_pinned(Some("0")), None);
+        assert_eq!(parse_pinned(Some("-3")), None);
+        assert_eq!(parse_pinned(Some("four")), None);
+        assert_eq!(parse_pinned(Some("")), None);
+        assert_eq!(parse_pinned(None), None);
     }
 }

@@ -1,0 +1,268 @@
+//! Seeded property tests for the conservative PDES machinery:
+//!
+//! * `safe_horizon` obeys the conservative-lookahead rule — it never
+//!   admits an event that a pending cross-domain event could still beat
+//!   (checked against a brute-force oracle over random head sets);
+//! * random mixed workloads (split events, plain closures, nested
+//!   scheduling, cross-domain cancels) replay bit-identically under
+//!   serial and parallel modes;
+//! * generational `EventId`s stay cancel-safe when a slot is recycled
+//!   into a different domain and the stale cancel crosses a domain
+//!   boundary — in both engine modes.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use rp_sim::{safe_horizon, Domain, Engine, EngineMode, SimDuration, SimRng, SimTime};
+
+const CASES: u64 = 200;
+
+fn with_mode<T>(mode: EngineMode, f: impl FnOnce() -> T) -> T {
+    Engine::set_default_mode(Some(mode));
+    let out = f();
+    Engine::set_default_mode(None);
+    out
+}
+
+// ---------------------------------------------------------------------
+// safe_horizon: the conservative-lookahead rule.
+// ---------------------------------------------------------------------
+
+#[test]
+fn safe_horizon_never_admits_past_a_cross_domain_event() {
+    let mut rng = SimRng::new(0x5AFE);
+    for case in 0..CASES {
+        let lookahead = SimDuration(rng.uniform_u64(0, 5_000_000));
+        let n_heads = rng.index(6) + 1;
+        let heads: Vec<(Domain, SimTime)> = (0..n_heads)
+            .map(|_| {
+                (
+                    Domain(rng.index(4) as u32), // Domain(0) == GLOBAL
+                    SimTime(rng.uniform_u64(0, 10_000_000)),
+                )
+            })
+            .collect();
+        for domain_id in 0..4u32 {
+            let domain = Domain(domain_id);
+            let Some(horizon) = safe_horizon(domain, &heads, lookahead) else {
+                // Unbounded is only allowed when no cross-domain head
+                // exists at all.
+                assert!(
+                    heads.iter().all(|&(d, _)| d == domain),
+                    "case {case}: unbounded horizon despite cross-domain heads"
+                );
+                continue;
+            };
+            // The rule, brute-forced: an admitted event (any event at or
+            // before the horizon) must not be able to be influenced by a
+            // pending cross-domain event — a global head influences
+            // instantly (so the horizon may not pass it), a non-global
+            // head needs `lookahead` of virtual time.
+            for &(d, t) in &heads {
+                if d == domain {
+                    continue;
+                }
+                if d.is_global() {
+                    assert!(
+                        horizon <= t,
+                        "case {case}: horizon {horizon} admits events after \
+                         pending global event at {t}"
+                    );
+                } else {
+                    assert!(
+                        horizon <= t + lookahead,
+                        "case {case}: horizon {horizon} outruns lookahead past \
+                         cross-domain head at {t}"
+                    );
+                }
+            }
+            // Tightness: the bound is the min, not something weaker — the
+            // horizon equals one of the per-head caps.
+            assert!(
+                heads.iter().any(|&(d, t)| {
+                    d != domain && horizon == if d.is_global() { t } else { t + lookahead }
+                }),
+                "case {case}: horizon is not attained by any head"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Randomized engine workloads: serial ≡ parallel.
+// ---------------------------------------------------------------------
+
+/// A random workload over 4 domains + GLOBAL: split events and plain
+/// closures at random times, nested rescheduling, random cross-domain
+/// cancels. Returns the apply log and the engine for inspection.
+fn random_workload(seed: u64) -> (Vec<String>, Engine) {
+    let mut e = Engine::new(seed);
+    e.note_lookahead(SimDuration(rng_lookahead(seed)));
+    let log: Rc<RefCell<Vec<String>>> = Rc::new(RefCell::new(Vec::new()));
+    let mut rng = SimRng::new(seed ^ 0xD1CE);
+    let mut cancellable = Vec::new();
+    for i in 0..60u32 {
+        let t = SimTime(rng.uniform_u64(0, 2_000_000));
+        let domain = Domain(rng.index(5) as u32);
+        if rng.chance(0.6) {
+            let l = log.clone();
+            let id = e.schedule_split_at(
+                t,
+                domain,
+                move || format!("split#{i}"),
+                move |eng, s: String| {
+                    l.borrow_mut().push(format!("{s}@{}", eng.now()));
+                },
+            );
+            cancellable.push(id);
+        } else {
+            let l = log.clone();
+            let nest = rng.chance(0.5);
+            e.schedule_at_domain(t, domain, move |eng| {
+                l.borrow_mut().push(format!("closure#{i}@{}", eng.now()));
+                if nest {
+                    // Nested mixed scheduling from inside an event.
+                    let l2 = l.clone();
+                    eng.schedule_split_in(
+                        SimDuration(1_000),
+                        Domain(1 + (i % 4)),
+                        move || i * 2,
+                        move |eng, v: u32| {
+                            l2.borrow_mut().push(format!("nested#{v}@{}", eng.now()));
+                        },
+                    );
+                }
+            });
+        }
+    }
+    // Cross-domain cancels: a GLOBAL closure cancels a random sample of
+    // split events (some already executed by then — stale, must no-op).
+    let victims: Vec<_> = cancellable
+        .iter()
+        .copied()
+        .filter(|_| rng.chance(0.25))
+        .collect();
+    e.schedule_at_domain(SimTime(1_000_000), Domain::GLOBAL, move |eng| {
+        for id in victims {
+            eng.cancel(id);
+        }
+    });
+    e.run();
+    let out = log.borrow().clone();
+    (out, e)
+}
+
+fn rng_lookahead(seed: u64) -> u64 {
+    SimRng::new(seed ^ 0x100C).uniform_u64(0, 200_000)
+}
+
+#[test]
+fn random_workloads_replay_identically_across_modes() {
+    for seed in 1..=40u64 {
+        let (serial, _) = with_mode(EngineMode::Serial, || random_workload(seed));
+        for threads in [2, 4] {
+            let (par, pe) = with_mode(EngineMode::parallel(threads), || random_workload(seed));
+            assert_eq!(
+                serial, par,
+                "seed {seed}: parallel({threads}) apply order diverged"
+            );
+            assert!(
+                pe.par_prepared() > 0,
+                "seed {seed}: parallel({threads}) never prepared a batch"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// EventId generational safety across domain boundaries.
+// ---------------------------------------------------------------------
+
+/// Force slot recycling: schedule a split event in domain A, run it (its
+/// slot is freed), schedule a new event (split or closure) in domain B —
+/// which reuses the slot — then fire a stale cancel from a GLOBAL event.
+/// The stale cancel must be a no-op; the recycled slot's event must fire.
+fn cancel_after_recycle(mode: EngineMode) -> Vec<String> {
+    with_mode(mode, || {
+        let mut e = Engine::new(9);
+        e.note_lookahead(SimDuration::from_secs(1));
+        let log: Rc<RefCell<Vec<String>>> = Rc::new(RefCell::new(Vec::new()));
+
+        let l = log.clone();
+        let stale = e.schedule_split_at(
+            SimTime(10),
+            Domain(1),
+            || "first".to_string(),
+            move |_, s: String| l.borrow_mut().push(s),
+        );
+
+        // After `stale` runs, its slot is on the free list; this LIFO
+        // reuse puts the next event in the same slot under a new seq.
+        let l = log.clone();
+        e.schedule_at_domain(SimTime(20), Domain::GLOBAL, move |eng| {
+            let l2 = l.clone();
+            let _recycled = eng.schedule_split_at(
+                SimTime(40),
+                Domain(2),
+                || "recycled".to_string(),
+                move |_, s: String| l2.borrow_mut().push(s),
+            );
+            // Stale cancel from the GLOBAL domain, crossing into the slot
+            // now owned by a Domain(2) event: generation check must make
+            // it a no-op (and must NOT kill `recycled`).
+            let l3 = l.clone();
+            eng.schedule_at_domain(SimTime(30), Domain::GLOBAL, move |eng| {
+                eng.cancel(stale);
+                l3.borrow_mut().push("stale-cancel".to_string());
+            });
+        });
+
+        e.run();
+        assert_eq!(e.events_executed(), 4);
+        let out = log.borrow().clone();
+        out
+    })
+}
+
+#[test]
+fn stale_cancel_across_domains_is_generation_safe_in_both_modes() {
+    let serial = cancel_after_recycle(EngineMode::Serial);
+    assert_eq!(serial, vec!["first", "stale-cancel", "recycled"]);
+    for threads in [1, 2, 4] {
+        assert_eq!(
+            cancel_after_recycle(EngineMode::parallel(threads)),
+            serial,
+            "parallel({threads}) diverged"
+        );
+    }
+}
+
+/// Cancelling a *live* split event from another domain must drop it in
+/// both modes — including when the parallel engine already prepared it
+/// (output computed, then discarded).
+#[test]
+fn live_cross_domain_cancel_drops_prepared_output() {
+    for mode in [EngineMode::Serial, EngineMode::parallel(2)] {
+        with_mode(mode, || {
+            let mut e = Engine::new(11);
+            e.note_lookahead(SimDuration::from_secs(10));
+            let hit = Rc::new(RefCell::new(false));
+            let h = hit.clone();
+            let id = e.schedule_split_at(
+                SimTime(500),
+                Domain(3),
+                || 1u8,
+                move |_, _| *h.borrow_mut() = true,
+            );
+            // An earlier GLOBAL event cancels it. In parallel mode the
+            // batch built at t=0 may have prepared the split already —
+            // its output must be discarded, not applied.
+            e.schedule_at_domain(SimTime(100), Domain::GLOBAL, move |eng| {
+                eng.cancel(id);
+            });
+            e.run();
+            assert!(!*hit.borrow(), "{mode:?}: cancelled split applied");
+            assert_eq!(e.events_executed(), 1);
+        });
+    }
+}

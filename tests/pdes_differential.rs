@@ -1,0 +1,243 @@
+//! Serial ≡ parallel differential tier.
+//!
+//! The conservative PDES mode (`EngineMode::Parallel`) claims to change
+//! *where prepare closures run* and nothing else. This tier is the proof:
+//! every bench scenario and a grid of chaos/fault/lossy-store scenarios
+//! run under `Serial` and under `Parallel` at the same seed, and every
+//! observable — the span census (including intern-sensitive symbol ids),
+//! instant trace events, metrics snapshots, unit states, and the
+//! coordination store's applied-effect log — must be bit-identical.
+//!
+//! The tier also asserts the parallel runs actually *exercised* the
+//! worker path (`par_prepared > 0`): a parallel mode that silently
+//! degrades to serial would pass any equivalence check.
+
+use hadoop_hpc::pilot::*;
+use hadoop_hpc::sim::{
+    Engine, EngineMode, FaultPlan, MetricsSnapshot, SimDuration, SimTime, Span, TraceEvent,
+};
+use rp_bench::harness::run_scenario;
+
+/// Run `f` with the given thread-default engine mode, restoring the
+/// environment-derived default afterwards.
+fn with_mode<T>(mode: EngineMode, f: impl FnOnce() -> T) -> T {
+    Engine::set_default_mode(Some(mode));
+    let out = f();
+    Engine::set_default_mode(None);
+    out
+}
+
+// ---------------------------------------------------------------------
+// Bench scenarios: the exact virtual JSON the regression gate diffs.
+// ---------------------------------------------------------------------
+
+#[test]
+fn bench_scenarios_bit_identical_across_modes() {
+    // scale_10k is excluded for runtime only; the CI_SCALE=1 block in
+    // ci.sh runs the 100k configuration in parallel mode.
+    for scenario in [
+        "fig5_startup",
+        "fig5_unit_startup",
+        "fig6_kmeans",
+        "fault_matrix",
+        "pilot_loss",
+        "scale_1k",
+    ] {
+        let serial = with_mode(EngineMode::Serial, || run_scenario(scenario).to_json());
+        for threads in [2, 4] {
+            let par = with_mode(EngineMode::parallel(threads), || {
+                run_scenario(scenario).to_json()
+            });
+            assert_eq!(
+                serial, par,
+                "{scenario}: parallel({threads}) virtual result diverged from serial"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Full-capture scenarios: spans, events, metrics, states, effect log.
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Copy)]
+struct Scenario {
+    /// Mixed-fault plan: `Some((seed, count))` installs
+    /// `FaultPlan::generate_mixed` on both pilots.
+    faults: Option<(u64, usize)>,
+    /// Lossy coordination store (drops, duplicates, delivery jitter).
+    lossy: bool,
+}
+
+struct Outcome {
+    states: Vec<UnitState>,
+    events: Vec<TraceEvent>,
+    spans: Vec<Span>,
+    metrics: MetricsSnapshot,
+    /// Applied coordination effects `(time, seq, label)`.
+    effects: Vec<(SimTime, u64, &'static str)>,
+    rebinds: u64,
+    /// Split events prepared by worker batches (0 in serial mode).
+    par_prepared: u64,
+}
+
+/// Two three-node pilots, RoundRobin UM with failover + gap monitor, 16
+/// sleep units; optionally lossy store and a mixed fault plan. Driven by
+/// `Engine::run` end to end so the parallel mode's batch loop engages.
+fn capture_run(seed: u64, scenario: Scenario) -> Outcome {
+    let mut e = Engine::with_trace(seed);
+    let mut cfg = SessionConfig::test_profile();
+    if scenario.lossy {
+        cfg.coordination.loss = LossProfile {
+            drop_p: 0.15,
+            dup_p: 0.10,
+            delay_jitter_ms: 25.0,
+            seed,
+        };
+    }
+    let session = Session::new(cfg);
+    session.store().enable_effect_log();
+    let pm = PilotManager::new(&session);
+    let pilots: Vec<PilotHandle> = (0..2)
+        .map(|_| {
+            pm.submit(
+                &mut e,
+                PilotDescription::new("xsede.stampede", 3, SimDuration::from_secs(14_400)),
+            )
+            .unwrap()
+        })
+        .collect();
+    let mut um = UnitManager::new(&session, UmScheduler::RoundRobin);
+    for p in &pilots {
+        um.add_pilot(p);
+    }
+    um.enable_failover(&mut e);
+    um.set_heartbeat_gap(&mut e, SimDuration::from_secs(120));
+    if let Some((fault_seed, count)) = scenario.faults {
+        let plan = FaultPlan::generate_mixed(
+            fault_seed,
+            SimDuration::from_secs(1_800),
+            3,
+            pilots.len(),
+            count,
+        );
+        install_faults_multi(&mut e, &plan, &pilots);
+    }
+    let units = um.submit_units(
+        &mut e,
+        (0..16)
+            .map(|i| {
+                ComputeUnitDescription::new(
+                    format!("c{i}"),
+                    1,
+                    WorkSpec::Sleep(SimDuration::from_secs(150 + (i as u64 % 5) * 30)),
+                )
+            })
+            .collect(),
+    );
+    e.run();
+    assert!(
+        units.iter().all(|u| u.state().is_final()),
+        "seed {seed}: run drained with non-terminal units"
+    );
+    let store = session.store();
+    Outcome {
+        states: units.iter().map(|u| u.state()).collect(),
+        events: e.trace.events().to_vec(),
+        spans: e.trace.iter_spans().cloned().collect(),
+        metrics: e.metrics.snapshot(),
+        effects: store.effect_log(),
+        rebinds: um.rebinds(),
+        par_prepared: e.par_prepared(),
+    }
+}
+
+fn assert_identical(label: &str, serial: &Outcome, parallel: &Outcome) {
+    assert_eq!(serial.states, parallel.states, "{label}: states diverge");
+    assert_eq!(
+        serial.events, parallel.events,
+        "{label}: trace events diverge"
+    );
+    assert_eq!(serial.spans, parallel.spans, "{label}: spans diverge");
+    assert_eq!(serial.metrics, parallel.metrics, "{label}: metrics diverge");
+    assert_eq!(
+        serial.effects, parallel.effects,
+        "{label}: coordination effect logs diverge"
+    );
+    assert_eq!(serial.rebinds, parallel.rebinds, "{label}: rebinds diverge");
+    assert_eq!(serial.par_prepared, 0, "{label}: serial mode batched");
+}
+
+#[test]
+fn healthy_run_bit_identical_and_parallel_path_exercised() {
+    for seed in [1u64, 7, 23] {
+        let scenario = Scenario {
+            faults: None,
+            lossy: false,
+        };
+        let serial = capture_run(seed, scenario);
+        for threads in [1, 2, 4] {
+            let par = with_mode(EngineMode::parallel(threads), || {
+                capture_run(seed, scenario)
+            });
+            assert_identical(&format!("seed {seed} t{threads}"), &serial, &par);
+            assert!(
+                par.par_prepared > 0,
+                "seed {seed} t{threads}: parallel run never prepared a batch"
+            );
+        }
+        // The effect log must have recorded real traffic in both modes.
+        assert!(!serial.effects.is_empty(), "seed {seed}: empty effect log");
+    }
+}
+
+#[test]
+fn fault_matrix_bit_identical() {
+    // 3×3: three fault-plan seeds × three injection counts, mixed kinds
+    // (crashes, slowdowns, container kills, staging errors, pilot kills)
+    // on a lossless store — isolates fault handling from transport loss.
+    for fault_seed in [11u64, 12, 13] {
+        for count in [2usize, 4, 8] {
+            let scenario = Scenario {
+                faults: Some((fault_seed, count)),
+                lossy: false,
+            };
+            let label = format!("faults {fault_seed}×{count}");
+            let serial = capture_run(fault_seed, scenario);
+            let par = with_mode(EngineMode::parallel(2), || {
+                capture_run(fault_seed, scenario)
+            });
+            assert_identical(&label, &serial, &par);
+        }
+    }
+}
+
+#[test]
+fn lossy_store_bit_identical() {
+    // Transport loss without injected faults: drops force retransmits,
+    // duplicates force dedup — the seq-stamped delivery machinery and its
+    // effect log must replay identically under the parallel engine.
+    for seed in [5u64, 17] {
+        let scenario = Scenario {
+            faults: None,
+            lossy: true,
+        };
+        let serial = capture_run(seed, scenario);
+        let par = with_mode(EngineMode::parallel(4), || capture_run(seed, scenario));
+        assert_identical(&format!("lossy seed {seed}"), &serial, &par);
+    }
+}
+
+#[test]
+fn chaos_bit_identical() {
+    // Everything at once: mixed faults AND a lossy store.
+    for seed in [3u64, 9] {
+        let scenario = Scenario {
+            faults: Some((seed, 6)),
+            lossy: true,
+        };
+        let serial = capture_run(seed, scenario);
+        let par = with_mode(EngineMode::parallel(2), || capture_run(seed, scenario));
+        assert_identical(&format!("chaos seed {seed}"), &serial, &par);
+    }
+}
