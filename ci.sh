@@ -80,6 +80,20 @@ else
     cp "$BENCH_OUT"/BENCH_*.json .
 fi
 
+echo "==> telemetry differential tier (recorder on == recorder off, both modes)"
+RP_THREADS=2 cargo test --release -q --test telemetry
+
+echo "==> trace_diff attribution smoke (self-diff clean, perturbation attributed)"
+# A baseline diffed against itself must be clean (exit 0)...
+if [ -f BENCH_fault_matrix.json ]; then
+    cargo run --release -q -p rp-bench --bin trace_diff -- \
+        BENCH_fault_matrix.json BENCH_fault_matrix.json > /dev/null
+fi
+# ...and the integration tier proves a perturbed run (longer sleeps) is
+# attributed to the compute phase, with the chrome reduction cross-checked
+# against Trace::name_totals.
+cargo test --release -q -p rp-bench --test trace_diff
+
 echo "==> fault-matrix smoke (3 seeds x 3 intensities, JSON-checked)"
 for seed in 1 2 3; do
     for intensity in 2 6 12; do

@@ -282,6 +282,26 @@ fn wallclock_allows_bench_crate_and_string_mentions() {
 }
 
 #[test]
+fn wallclock_allows_only_the_telemetry_module_in_sim_core() {
+    let clocky = "fn t() { let t0 = Instant::now(); }\n";
+    let mut report = Report::default();
+    hazards::check_wallclock(
+        &[lib_file("crates/sim-core/src/telemetry.rs", clocky)],
+        &mut report,
+    );
+    assert_eq!(report.fatal_count(), 0, "{}", report.render_text());
+
+    // Any other sim-core module reading the host clock is still flagged:
+    // the flight recorder is the single allowed wall-clock site.
+    let mut report = Report::default();
+    hazards::check_wallclock(
+        &[lib_file("crates/sim-core/src/engine.rs", clocky)],
+        &mut report,
+    );
+    assert_eq!(report.fatal_count(), 1, "{}", report.render_text());
+}
+
+#[test]
 fn hash_iter_fires_on_iteration_not_on_keyed_access() {
     let bad = r#"
 fn summarize(m: &HashMap<String, u64>) -> u64 {

@@ -16,6 +16,7 @@
 
 use std::path::{Path, PathBuf};
 
+use rp_bench::diff::{diff_documents, DEFAULT_EPS};
 use rp_bench::harness::{artifact_file_name, compare_artifacts, SCENARIO_NAMES};
 
 fn dir_arg(args: &[String], flag: &str) -> Option<PathBuf> {
@@ -56,6 +57,7 @@ fn main() {
         std::fs::read_to_string(&path).map_err(|e| format!("cannot read {}: {e}", path.display()))
     };
 
+    let mut drifted: Vec<String> = Vec::new();
     let mut failed = false;
     for name in &scenarios {
         match (read(&baseline_dir, name), read(&candidate_dir, name)) {
@@ -63,9 +65,20 @@ fn main() {
                 Ok(()) => println!("  {name:<18} OK"),
                 Err(errs) => {
                     failed = true;
+                    drifted.push(name.clone());
                     println!("  {name:<18} DRIFT ({} difference(s))", errs.len());
                     for e in errs {
                         println!("      {e}");
+                    }
+                    // Attribute the drift: which phase / critical-path
+                    // segment / counter moved, and by how much.
+                    match diff_documents(&b, &c) {
+                        Ok(d) => {
+                            for line in d.render_table(DEFAULT_EPS).lines() {
+                                println!("      {line}");
+                            }
+                        }
+                        Err(e) => println!("      (trace_diff attribution unavailable: {e})"),
                     }
                 }
             },
@@ -80,7 +93,16 @@ fn main() {
         }
     }
     if failed {
-        println!("bench_compare: FAILED — see EXPERIMENTS.md for re-baselining");
+        if drifted.is_empty() {
+            println!("bench_compare: FAILED — artifacts missing or unreadable (see above)");
+        } else {
+            println!(
+                "bench_compare: FAILED — virtual drift in [{}]; the attribution above names \
+                 the moved fields (expected vs got) and phases. If the change is intentional, \
+                 re-baseline per EXPERIMENTS.md",
+                drifted.join(", ")
+            );
+        }
         std::process::exit(1);
     }
     println!("bench_compare: all scenarios match the baselines");

@@ -21,7 +21,7 @@ use rp_pilot::{
 use rp_sim::stats::percentile;
 use rp_sim::{
     aggregate_roots, critical_path_run, json, Engine, EngineMode, FaultPlan, MetricsSnapshot,
-    RunReport, SimDuration,
+    RunReport, SimDuration, TelemetrySnapshot,
 };
 
 use crate::Variant;
@@ -56,6 +56,11 @@ pub struct VirtualResult {
     /// Sum of the per-case critical-path makespans (one scalar that moves
     /// whenever any case's end-to-end virtual time moves).
     pub makespan_s: f64,
+    /// Engine flight-recorder snapshots merged across the scenario's
+    /// engines, when the recorder was on. Host-side observation only —
+    /// deliberately **excluded** from [`VirtualResult::to_json`], which
+    /// feeds the exact-diffed `virtual` subtree of the bench artifact.
+    pub telemetry: Option<TelemetrySnapshot>,
 }
 
 impl VirtualResult {
@@ -87,6 +92,13 @@ fn absorb_run(out: &mut VirtualResult, label: &str, e: &Engine, breakdown_root: 
     out.makespan_s += cp.makespan_secs();
     out.report.push_critical(label, &cp);
     merge_counters(&mut out.counters, &e.metrics.snapshot());
+    if e.telemetry.is_enabled() {
+        let snap = e.telemetry_snapshot();
+        match &mut out.telemetry {
+            Some(t) => t.merge(&snap),
+            None => out.telemetry = Some(snap),
+        }
+    }
 }
 
 fn new_result(title: &str) -> VirtualResult {
@@ -94,6 +106,7 @@ fn new_result(title: &str) -> VirtualResult {
         report: RunReport::new(title),
         counters: BTreeMap::new(),
         makespan_s: 0.0,
+        telemetry: None,
     }
 }
 
@@ -507,6 +520,13 @@ pub struct BenchArtifact {
     pub parallel_host_ms: Vec<f64>,
     /// Worker count the parallel pass ran with (`RP_THREADS` or 4).
     pub parallel_threads: Option<usize>,
+    /// Flight-recorder snapshot of the first serial repetition (merged
+    /// over the scenario's engines). Host section only.
+    pub telemetry: Option<TelemetrySnapshot>,
+    /// Flight-recorder snapshot of the first parallel repetition, when
+    /// the parallel pass ran — the one whose `par`/stall counters say
+    /// how the PDES machinery actually behaved.
+    pub parallel_telemetry: Option<TelemetrySnapshot>,
     /// Markdown rendering of the report (for PR descriptions).
     pub markdown: String,
 }
@@ -542,6 +562,13 @@ impl BenchArtifact {
             .map(|p| self.median_ms() / p.max(1e-9))
     }
 
+    /// The flight-recorder snapshot whose parallel/stall counters are
+    /// authoritative for this artifact: the parallel pass when it ran
+    /// (the serial pass never batches), the serial one otherwise.
+    pub fn primary_telemetry(&self) -> Option<&TelemetrySnapshot> {
+        self.parallel_telemetry.as_ref().or(self.telemetry.as_ref())
+    }
+
     /// The full schema-versioned artifact document.
     pub fn to_json(&self) -> String {
         let mut throughput = self
@@ -557,6 +584,29 @@ impl BenchArtifact {
                 ",\"parallel_threads\":{threads},\"parallel_median_ms\":{par_ms:.3},\
                  \"speedup\":{speedup:.3}"
             ));
+        }
+        // Engine flight-recorder output: parallel/stall counters at the
+        // top of `host` (grep-able), full schema-v1 snapshots nested.
+        // Everything here is host-side observation — the regression gate
+        // never exact-diffs the `host` section.
+        if let Some(t) = self.primary_telemetry() {
+            throughput.push_str(&format!(
+                ",\"par_batches\":{},\"par_prepared\":{},\
+                 \"stalls_attempted\":{},\"stalls_empty\":{},\
+                 \"stalls_clamped\":{},\"stalls_extended\":{}",
+                t.par_batches,
+                t.par_prepared,
+                t.batches_attempted,
+                t.empty_batches,
+                t.horizon_clamped,
+                t.horizon_extended,
+            ));
+        }
+        if let Some(t) = &self.telemetry {
+            throughput.push_str(&format!(",\"telemetry\":{}", t.to_json()));
+        }
+        if let Some(t) = &self.parallel_telemetry {
+            throughput.push_str(&format!(",\"parallel_telemetry\":{}", t.to_json()));
         }
         format!(
             "{{\"schema\":{SCHEMA_VERSION},\"scenario\":\"{}\",\"virtual\":{},\
@@ -580,7 +630,13 @@ pub fn bench_with(scenario: &str, reps: u64, run: impl Fn() -> VirtualResult) ->
     let mut host_ms = Vec::with_capacity(reps as usize);
     let mut virtual_json: Option<String> = None;
     let mut virtual_events = None;
+    let mut telemetry: Option<TelemetrySnapshot> = None;
     let mut markdown = String::new();
+    // Benchmarks always fly with the recorder on: its snapshot is what
+    // the artifact's host.telemetry section and trace_diff attribution
+    // are built from, and the telemetry differential tier guarantees it
+    // cannot move the virtual result.
+    Engine::set_default_telemetry(Some(true));
     for _ in 0..reps {
         let t0 = Instant::now();
         let v = run();
@@ -588,8 +644,13 @@ pub fn bench_with(scenario: &str, reps: u64, run: impl Fn() -> VirtualResult) ->
         let vj = v.to_json();
         match &virtual_json {
             None => {
-                markdown = v.report.to_markdown();
+                let mut report = v.report.clone();
+                if let Some(t) = &v.telemetry {
+                    report.push_host_note(t.summary_line());
+                }
+                markdown = report.to_markdown();
                 virtual_events = v.counters.get("scale.events_executed").copied();
+                telemetry = v.telemetry;
                 virtual_json = Some(vj);
             }
             Some(prev) => assert_eq!(
@@ -598,6 +659,7 @@ pub fn bench_with(scenario: &str, reps: u64, run: impl Fn() -> VirtualResult) ->
             ),
         }
     }
+    Engine::set_default_telemetry(None);
     BenchArtifact {
         scenario: scenario.to_string(),
         reps,
@@ -606,6 +668,8 @@ pub fn bench_with(scenario: &str, reps: u64, run: impl Fn() -> VirtualResult) ->
         virtual_events,
         parallel_host_ms: Vec::new(),
         parallel_threads: None,
+        telemetry,
+        parallel_telemetry: None,
         markdown,
     }
 }
@@ -633,7 +697,9 @@ pub fn bench_with_parallel(
     let mut art = bench_with(scenario, reps, &run);
     let threads = parallel_pass_threads();
     Engine::set_default_mode(Some(EngineMode::parallel(threads)));
+    Engine::set_default_telemetry(Some(true));
     let mut parallel_host_ms = Vec::with_capacity(reps as usize);
+    let mut parallel_telemetry: Option<TelemetrySnapshot> = None;
     for _ in 0..reps {
         let t0 = Instant::now();
         let v = run();
@@ -643,10 +709,15 @@ pub fn bench_with_parallel(
             art.virtual_json,
             "{scenario}: parallel({threads}) virtual result diverged from serial"
         );
+        if parallel_telemetry.is_none() {
+            parallel_telemetry = v.telemetry;
+        }
     }
+    Engine::set_default_telemetry(None);
     Engine::set_default_mode(None);
     art.parallel_host_ms = parallel_host_ms;
     art.parallel_threads = Some(threads);
+    art.parallel_telemetry = parallel_telemetry;
     art
 }
 
@@ -746,7 +817,7 @@ fn diff_values(path: &str, a: &json::Value, b: &json::Value, out: &mut Vec<Strin
             }
         }
         _ if a == b => {}
-        _ => out.push(format!("{path}: {} != {}", brief(a), brief(b))),
+        _ => out.push(format!("{path}: expected {}, got {}", brief(a), brief(b))),
     }
 }
 

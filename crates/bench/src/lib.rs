@@ -2,6 +2,7 @@
 //! measurement runners and a plain-text table formatter that prints the
 //! same rows/series the paper's figures report.
 
+pub mod diff;
 pub mod harness;
 
 use std::cell::RefCell;

@@ -417,7 +417,7 @@ impl Agent {
         let this = self.clone();
         // The heartbeat period is a cross-domain coupling interval (the
         // UM's gap monitor reads it) — register it as lookahead.
-        engine.note_lookahead(SimDuration::from_secs(10));
+        engine.note_lookahead_from("agent.heartbeat", SimDuration::from_secs(10));
         let domain = self.domain();
         engine.schedule_in_domain(SimDuration::from_secs(10), domain, move |eng| {
             let (pilot, still_busy) = {

@@ -264,7 +264,7 @@ impl CoordinationStore {
         // before its effect lands — a genuine cross-domain propagation
         // delay, which the parallel engine exploits as lookahead.
         if latency > SimDuration::ZERO {
-            engine.note_lookahead(latency);
+            engine.note_lookahead_from("store.write", latency);
         }
         let apply: Rc<RefCell<Option<ApplyFn>>> = Rc::new(RefCell::new(Some(Box::new(apply))));
         self.transmit(engine, seq, latency, label, apply);
@@ -332,6 +332,12 @@ impl CoordinationStore {
                     this.inner.borrow_mut().dup_applies_ignored += 1;
                     eng.metrics.incr("coordination.dup_applies_ignored");
                     return;
+                }
+                if eng.telemetry.is_enabled() {
+                    // Flight-recorder high-water sample of the dedup
+                    // backlog; write-only observation, never read back.
+                    let depth = this.inner.borrow().applied_above.len();
+                    eng.telemetry.sample_coord_backlog(depth);
                 }
                 let now = eng.now();
                 if let Some(log) = this.inner.borrow_mut().effect_log.as_mut() {

@@ -59,6 +59,7 @@ use std::sync::OnceLock;
 
 use crate::metrics::MetricsRegistry;
 use crate::rng::SimRng;
+use crate::telemetry::{EngineTelemetry, HorizonOutcome, TelemetrySnapshot};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::Trace;
 
@@ -137,6 +138,27 @@ impl EngineMode {
 // rp-lint: allow(par-hazard): mode selection only; serial ≡ parallel is enforced by tests/pdes_differential.rs
 thread_local! {
     static DEFAULT_MODE: Cell<Option<EngineMode>> = const { Cell::new(None) };
+}
+
+// Whether new engines start with the flight recorder on. Same shape as
+// DEFAULT_MODE, and equally harmless: telemetry is write-only host-side
+// observation, so it cannot affect results (tests/telemetry.rs holds
+// runs bit-identical with the recorder on vs off).
+// rp-lint: allow(par-hazard): telemetry default selection only; on ≡ off is enforced by tests/telemetry.rs
+thread_local! {
+    static DEFAULT_TELEMETRY: Cell<Option<bool>> = const { Cell::new(None) };
+}
+
+/// `RP_TELEMETRY=1|true|on` enables the flight recorder on every engine
+/// created without an explicit thread default. Parsed once per process.
+fn telemetry_from_env() -> bool {
+    static FROM_ENV: OnceLock<bool> = OnceLock::new();
+    *FROM_ENV.get_or_init(|| {
+        matches!(
+            std::env::var("RP_TELEMETRY").ok().as_deref(),
+            Some("1") | Some("true") | Some("on")
+        )
+    })
 }
 
 /// Identifier of a scheduled event, usable for cancellation. Generational:
@@ -261,6 +283,10 @@ pub struct Engine {
     pub trace: Trace,
     /// Run-wide metrics registry (cheap no-op unless enabled).
     pub metrics: MetricsRegistry,
+    /// Engine flight recorder: host-side-only observation of the engine
+    /// itself (batch timing, occupancy, stalls, high-water marks). Never
+    /// read by the simulation — see `crate::telemetry`.
+    pub telemetry: EngineTelemetry,
 }
 
 impl Engine {
@@ -270,6 +296,13 @@ impl Engine {
         let mode = DEFAULT_MODE
             .with(Cell::get)
             .unwrap_or_else(EngineMode::from_env);
+        let mut telemetry = EngineTelemetry::new();
+        if DEFAULT_TELEMETRY
+            .with(Cell::get)
+            .unwrap_or_else(telemetry_from_env)
+        {
+            telemetry.enable();
+        }
         Engine {
             now: SimTime::ZERO,
             seq: 0,
@@ -286,6 +319,7 @@ impl Engine {
             rng: SimRng::new(seed),
             trace: Trace::disabled(),
             metrics: MetricsRegistry::disabled(),
+            telemetry,
         }
     }
 
@@ -304,6 +338,26 @@ impl Engine {
     /// Tests use this to run identical scenario code under both modes.
     pub fn set_default_mode(mode: Option<EngineMode>) {
         DEFAULT_MODE.with(|m| m.set(mode));
+    }
+
+    /// Set whether engines subsequently created on *this thread* start
+    /// with the flight recorder enabled (`None` restores the
+    /// `RP_TELEMETRY` environment default). The differential tier proves
+    /// this can never change what a run computes.
+    pub fn set_default_telemetry(on: Option<bool>) {
+        DEFAULT_TELEMETRY.with(|t| t.set(on));
+    }
+
+    /// Enable the flight recorder on this engine (idempotent).
+    pub fn enable_telemetry(&mut self) {
+        self.telemetry.enable();
+    }
+
+    /// Freeze the flight recorder into a mergeable
+    /// [`TelemetrySnapshot`], folding in the engine's parallel counters
+    /// (which are maintained even with the recorder off).
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        self.telemetry.snapshot(self.par_batches, self.par_prepared)
     }
 
     /// Current execution mode.
@@ -336,6 +390,15 @@ impl Engine {
     /// never affect results (application order is always `(time, seq)`),
     /// only how much work each parallel batch carries.
     pub fn note_lookahead(&mut self, delay: SimDuration) {
+        self.note_lookahead_from("unlabeled", delay);
+    }
+
+    /// [`Engine::note_lookahead`] with a source label, so the flight
+    /// recorder can report which component's delay is the binding
+    /// constraint on the batch horizon. The label is pure bookkeeping;
+    /// the registered lookahead is identical either way.
+    pub fn note_lookahead_from(&mut self, source: &'static str, delay: SimDuration) {
+        self.telemetry.note_lookahead_source(source, delay);
         self.lookahead = Some(match self.lookahead {
             Some(cur) => cur.min(delay),
             None => delay,
@@ -539,6 +602,11 @@ impl Engine {
             debug_assert!(entry.time >= self.now, "event queue went backwards");
             self.now = entry.time;
             self.executed += 1;
+            if self.telemetry.is_enabled() {
+                let live = self.trace.live_spans();
+                self.telemetry
+                    .on_apply(entry.domain.0, self.slots.len(), live);
+            }
             match payload {
                 Payload::Closure(f) => f(self),
                 Payload::Split { prep, out, apply } => {
@@ -579,12 +647,31 @@ impl Engine {
         if self.unprepared == 0 {
             return;
         }
-        let Some(horizon) = self.batch_horizon() else {
+        let horizon = self.batch_horizon();
+        if self.telemetry.is_enabled() {
+            // Stall accounting: how the horizon came out for this attempt.
+            let outcome = match horizon {
+                None => HorizonOutcome::NoHorizon,
+                Some(_) => {
+                    let extended = self.lookahead.is_some()
+                        && self.queue.peek().is_some_and(|e| !e.domain.is_global());
+                    if extended {
+                        HorizonOutcome::Extended
+                    } else {
+                        HorizonOutcome::Clamped
+                    }
+                }
+            };
+            self.telemetry.note_batch_attempt(outcome);
+        }
+        let Some(horizon) = horizon else {
             return;
         };
         if self.par_queue.peek().is_none_or(|e| e.time > horizon) {
+            self.telemetry.note_empty_batch();
             return;
         }
+        let timer = self.telemetry.start_batch_timer();
         // Group admissible prep closures by domain; pops arrive in
         // (time, seq) order, so each domain's vector is ordered too.
         let mut by_domain: BTreeMap<Domain, Vec<(u32, PrepFn)>> = BTreeMap::new();
@@ -609,6 +696,7 @@ impl Engine {
             by_domain.entry(e.domain).or_default().push((e.slot, prep));
         }
         if batched == 0 {
+            self.telemetry.note_empty_batch();
             return;
         }
         self.par_batches += 1;
@@ -652,6 +740,7 @@ impl Engine {
             // A cancel between batch collection and write-back tombstoned
             // the payload; the prepared output is simply dropped.
         }
+        self.telemetry.finish_batch(timer, batched as u64);
     }
 
     /// Run until no events remain; returns the final virtual time. In

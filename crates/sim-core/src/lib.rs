@@ -25,6 +25,10 @@
 //!   examples and the experiment harness. Disabled observability costs
 //!   nothing: recording is a pure no-op, so runs are bit-identical with
 //!   it on or off.
+//! * [`telemetry::EngineTelemetry`] — the engine *flight recorder*:
+//!   host-side-only histograms/counters over batch timing, occupancy,
+//!   horizon stalls and high-water marks. The only sim-core module
+//!   allowed to read the wall clock; never consulted by the simulation.
 //!
 //! Components live in `Rc<RefCell<_>>` handles captured by event closures;
 //! all model *state* stays on the main thread (determinism). Parallelism
@@ -43,6 +47,7 @@ pub mod profile;
 pub mod report;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 pub mod tokens;
 pub mod trace;
@@ -59,7 +64,8 @@ pub use profile::{
 };
 pub use report::RunReport;
 pub use rng::SimRng;
-pub use stats::Summary;
+pub use stats::{Histogram, Summary};
+pub use telemetry::{EngineTelemetry, TelemetrySnapshot, TELEMETRY_SCHEMA_VERSION};
 pub use time::{SimDuration, SimTime};
 pub use tokens::Tokens;
 pub use trace::{

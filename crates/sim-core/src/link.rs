@@ -119,7 +119,7 @@ impl FairLink {
         // lookahead. Zero-byte transfers complete instantly: no hint.
         let ideal = self.ideal_duration(bytes, per_flow_cap);
         if ideal > SimDuration::ZERO {
-            engine.note_lookahead(ideal);
+            engine.note_lookahead_from("link.transfer", ideal);
         }
         let now = engine.now();
         let id;

@@ -244,6 +244,28 @@ impl Trace {
         self.peak_open
     }
 
+    /// Per-name aggregate over all *completed* spans: `(name, count,
+    /// total duration)`, sorted by name. The same aggregation
+    /// `trace_diff` reconstructs from an exported Chrome trace — tests
+    /// use this to cross-check the export round trip.
+    pub fn name_totals(&self) -> Vec<(String, u64, crate::time::SimDuration)> {
+        let mut totals: std::collections::BTreeMap<&str, (u64, crate::time::SimDuration)> =
+            std::collections::BTreeMap::new();
+        for s in self.iter_spans() {
+            if let Some(d) = s.duration() {
+                let e = totals
+                    .entry(self.syms.resolve(s.name))
+                    .or_insert((0, crate::time::SimDuration(0)));
+                e.0 += 1;
+                e.1 += d;
+            }
+        }
+        totals
+            .into_iter()
+            .map(|(name, (n, d))| (name.to_string(), n, d))
+            .collect()
+    }
+
     pub fn span(&self, id: SpanId) -> Option<&Span> {
         if id.is_none() || id.0 as usize > self.count {
             return None;
