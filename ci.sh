@@ -61,19 +61,19 @@ echo "==> bench suite (quick) + regression gate"
 BENCH_OUT="${BENCH_OUT:-target/bench}"
 RP_THREADS="${RP_THREADS:-2}" cargo run --release -q -p rp-bench --bin bench_suite -- --quick --out-dir "$BENCH_OUT"
 baselines_present=true
-for s in fig5_startup fig5_unit_startup fig6_kmeans fault_matrix pilot_loss scale_1k scale_10k; do
+for s in fig5_startup fig5_unit_startup fig6_kmeans fault_matrix pilot_loss partition_heal scale_1k scale_10k; do
     [ -f "BENCH_$s.json" ] || baselines_present=false
 done
 if $baselines_present; then
     # scale_10k is excluded: the quick suite deliberately skips the one
     # slow scenario, so the candidate dir has no artifact to diff. The
     # full-reps invocation in EXPERIMENTS.md still regenerates (and a
-    # manual bench_compare without --scenario still gates) all seven.
+    # manual bench_compare without --scenario still gates) all eight.
     cargo run --release -q -p rp-bench --bin bench_compare -- \
         --baseline . --candidate "$BENCH_OUT" \
         --scenario fig5_startup --scenario fig5_unit_startup \
         --scenario fig6_kmeans --scenario fault_matrix \
-        --scenario pilot_loss --scenario scale_1k
+        --scenario pilot_loss --scenario partition_heal --scenario scale_1k
 else
     echo "    (no checked-in baselines; seeding BENCH_*.json from this run"
     echo "     — run 'bench_suite --out-dir .' without --quick for real host stats)"
@@ -129,12 +129,33 @@ import json, sys
 d = json.loads(sys.stdin.read())
 assert d["mode"] == "pilot_kill", d
 assert d["kinds"] == ["NodeCrash", "NodeSlowdown", "ContainerKill",
-                      "LinkDegrade", "StagingError", "PilotKill"], d["kinds"]
+                      "LinkDegrade", "StagingError", "PilotKill",
+                      "Partition"], d["kinds"]
 assert d["injected"] == d["planned"] == 1, d
 assert d["done"] == d["units"] and d["failed"] == 0, d
 assert d["rebound"] >= 1, d
 print("--- pilot-kill: %d/%d done, %d re-bound, makespan %.0fs"
       % (d["done"], d["units"], d["rebound"], d["makespan_s"]))
+'
+
+echo "==> partition smoke (split-brain: self-fence, re-bind, stale-epoch rejection)"
+cargo run --release -q --example fault_injection 5 --partition 600 --json \
+    | python3 -c '
+import json, sys
+d = json.loads(sys.stdin.read())
+assert d["mode"] == "partition", d
+assert d["injected"] == d["planned"] == 1, d
+assert d["done"] == d["units"] and d["failed"] == 0, d
+assert d["rebound"] >= 1, d
+assert d["partition_windows"] >= 1, d
+# The zombie must have written under a stale epoch after the heal, and
+# every one of those writes must have been fenced (held, then rejected).
+assert d["fence_rejections"] >= 1, d
+assert d["partition_holds"] >= d["fence_rejections"], d
+assert d["lease_renewals"] >= 1, d
+print("--- partition: %d/%d done, %d re-bound, %d held, %d fenced, makespan %.0fs"
+      % (d["done"], d["units"], d["rebound"], d["partition_holds"],
+         d["fence_rejections"], d["makespan_s"]))
 '
 
 if [ "${CI_SCALE:-0}" = "1" ]; then
@@ -157,6 +178,12 @@ if [ "${CI_SANITIZE:-0}" = "1" ]; then
             RUSTFLAGS="-Zsanitizer=thread" CHAOS_SEEDS=4 \
                 cargo +nightly test -Z build-std --target "$(rustc -vV | sed -n 's/^host: //p')" \
                     --release -q --test chaos
+            # The split-brain grid (partitions + leases + fencing) under
+            # TSan at 8 seeds: lease renewal and held-message replay must
+            # be data-race free too.
+            RUSTFLAGS="-Zsanitizer=thread" CHAOS_SEEDS=8 \
+                cargo +nightly test -Z build-std --target "$(rustc -vV | sed -n 's/^host: //p')" \
+                    --release -q --test chaos partition_heal_grid
             # The differential tier exercises the scoped-thread batch path
             # under TSan: any unsynchronized prep/apply access is a failure.
             RUSTFLAGS="-Zsanitizer=thread" RP_THREADS=2 \

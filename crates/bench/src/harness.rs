@@ -15,13 +15,14 @@ use std::time::Instant;
 
 use rp_analytics::{fig6_session_config, run_rp_kmeans, run_rp_yarn_kmeans, KMeansCalibration};
 use rp_pilot::{
-    install_faults, when_all_done, ComputeUnitDescription, PilotDescription, PilotManager,
-    PilotState, Session, SessionConfig, UmScheduler, UnitManager, UnitState, WorkSpec,
+    install_faults, install_faults_multi, when_all_done, ComputeUnitDescription, PilotDescription,
+    PilotManager, PilotState, Session, SessionConfig, UmScheduler, UnitManager, UnitState,
+    WorkSpec,
 };
 use rp_sim::stats::percentile;
 use rp_sim::{
-    aggregate_roots, critical_path_run, json, Engine, EngineMode, FaultPlan, MetricsSnapshot,
-    RunReport, SimDuration, TelemetrySnapshot,
+    aggregate_roots, critical_path_run, json, Engine, EngineMode, FaultEvent, FaultKind, FaultPlan,
+    MetricsSnapshot, RunReport, SimDuration, SimTime, TelemetrySnapshot,
 };
 
 use crate::Variant;
@@ -34,12 +35,13 @@ pub const SCHEMA_VERSION: u32 = 1;
 /// raw engine/agent/coordination throughput (events per second, peak live
 /// spans) on large plain-pilot bags; `scale_10k` is skipped under
 /// `bench_suite --quick`.
-pub const SCENARIO_NAMES: [&str; 7] = [
+pub const SCENARIO_NAMES: [&str; 8] = [
     "fig5_startup",
     "fig5_unit_startup",
     "fig6_kmeans",
     "fault_matrix",
     "pilot_loss",
+    "partition_heal",
     "scale_1k",
     "scale_10k",
 ];
@@ -391,6 +393,160 @@ pub fn run_pilot_loss(params: PilotLossParams) -> VirtualResult {
     out
 }
 
+/// Parameters of the partition-heal scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct PartitionHealParams {
+    pub seed: u64,
+    pub units: usize,
+    /// When pilot 0 is partitioned from the coordination store.
+    pub partition_at_s: u64,
+    /// How long the partition lasts before it heals.
+    pub partition_s: u64,
+    /// Lease duration granted to agents.
+    pub lease_s: u64,
+    /// Re-bind grace on top of lease expiry (must exceed the heartbeat
+    /// period so a live agent always self-fences before re-binding).
+    pub grace_s: u64,
+}
+
+impl Default for PartitionHealParams {
+    fn default() -> Self {
+        PartitionHealParams {
+            seed: 1,
+            units: 16,
+            partition_at_s: 50,
+            partition_s: 300,
+            lease_s: 60,
+            grace_s: 30,
+        }
+    }
+}
+
+/// One partition-heal case: 2 three-node pilots under lease-based
+/// ownership, optionally partitioning pilot 0 from the coordination store
+/// mid-run. Returns the traced engine, the workload makespan, the re-bind
+/// count and the stale-epoch rejection count.
+fn partition_heal_case(params: PartitionHealParams, partition: bool) -> (Engine, f64, u64, u64) {
+    let mut e = Engine::with_trace(params.seed);
+    let session = Session::new(SessionConfig::test_profile());
+    let pm = PilotManager::new(&session);
+    let pilots: Vec<_> = (0..2)
+        .map(|_| {
+            pm.submit(
+                &mut e,
+                PilotDescription::new("xsede.stampede", 3, SimDuration::from_secs(14_400)),
+            )
+            .expect("pilot submits")
+        })
+        .collect();
+    let mut um = UnitManager::new(&session, UmScheduler::RoundRobin);
+    for p in &pilots {
+        um.add_pilot(p);
+    }
+    um.enable_leases(
+        &mut e,
+        SimDuration::from_secs(params.lease_s),
+        SimDuration::from_secs(params.grace_s),
+    );
+    let injector = if partition {
+        // Asymmetric split-brain: the agent keeps receiving batches but
+        // its renewals and completions are held, so its lease lapses, it
+        // self-fences, and its held writes are rejected post-heal at a
+        // stale fencing epoch. `partition_at_s` must be past agent
+        // bootstrap (Active by ~47 s on the test profile) or the event is
+        // dropped.
+        let plan = FaultPlan {
+            events: vec![FaultEvent {
+                at: SimTime::from_secs_f64(params.partition_at_s as f64),
+                kind: FaultKind::Partition {
+                    pilot: 0,
+                    duration: SimDuration::from_secs(params.partition_s),
+                    symmetric: false,
+                },
+            }],
+        };
+        Some(install_faults_multi(&mut e, &plan, &pilots))
+    } else {
+        None
+    };
+    // Staggered short sleeps: the first wave completes inside the
+    // partition-to-fence window so its completions are held.
+    let units = um.submit_units(
+        &mut e,
+        (0..params.units)
+            .map(|i| {
+                ComputeUnitDescription::new(
+                    format!("u{i}"),
+                    1,
+                    WorkSpec::Sleep(SimDuration::from_secs(15 + (i as u64 % 4) * 10)),
+                )
+            })
+            .collect(),
+    );
+    while units.iter().any(|u| !u.state().is_final()) {
+        assert!(e.step(), "simulation stalled with live units");
+    }
+    for p in &pilots {
+        if !p.state().is_final() {
+            pm.cancel(&mut e, p);
+        }
+    }
+    // Drain past the heal: the zombie's held completions must be
+    // delivered (and fenced), not left pending.
+    e.run();
+    if let Some(injector) = injector {
+        assert_eq!(injector.injected(), 1, "the partition must inject");
+    }
+    assert!(
+        units.iter().all(|u| u.state() == UnitState::Done),
+        "every unit must survive the partition"
+    );
+    let makespan = units
+        .iter()
+        .map(|u| u.times().done.expect("unit finished"))
+        .max()
+        .unwrap()
+        .as_secs_f64();
+    let fence_rejections = session.store().fence_rejections();
+    (e, makespan, um.rebinds(), fence_rejections)
+}
+
+/// Partition heal: the same 2-pilot lease-owned workload with and without
+/// an asymmetric mid-run partition of pilot 0. The partitioned variant
+/// must re-bind the victim's units, reject every stale-epoch write from
+/// the healed zombie, and still complete every unit; its makespan
+/// overhead is the price of split-brain recovery.
+pub fn run_partition_heal(params: PartitionHealParams) -> VirtualResult {
+    let mut out = new_result(&format!(
+        "partition_heal: {} sleep units on 2 lease-owned pilots, partition at {}s for {}s, seed {}",
+        params.units, params.partition_at_s, params.partition_s, params.seed
+    ));
+    let (e, baseline_s, baseline_rebinds, baseline_fences) = partition_heal_case(params, false);
+    absorb_run(&mut out, "2 pilots, no partition", &e, "unit.run");
+    assert_eq!(baseline_rebinds, 0, "quiet leases must not re-bind");
+    assert_eq!(baseline_fences, 0, "quiet leases must not fence");
+    let (e, healed_s, rebinds, fence_rejections) = partition_heal_case(params, true);
+    absorb_run(&mut out, "pilot 0 partitioned mid-run", &e, "unit.run");
+    assert!(rebinds > 0, "the partition must force re-binds");
+    assert!(
+        fence_rejections > 0,
+        "the healed zombie must be fenced at a stale epoch"
+    );
+    assert!(
+        healed_s > baseline_s,
+        "split-brain recovery must cost makespan ({healed_s} vs {baseline_s})"
+    );
+    out.counters
+        .insert("bench.partition_rebinds".into(), rebinds);
+    out.counters
+        .insert("bench.fence_rejections".into(), fence_rejections);
+    out.counters.insert(
+        "bench.partition_overhead_ms".into(),
+        ((healed_s - baseline_s) * 1e3).round() as u64,
+    );
+    out
+}
+
 /// Parameters of the scale scenario family.
 #[derive(Debug, Clone, Copy)]
 pub struct ScaleParams {
@@ -495,6 +651,7 @@ pub fn run_scenario(name: &str) -> VirtualResult {
         "fig6_kmeans" => run_fig6_kmeans(),
         "fault_matrix" => run_fault_matrix(FaultMatrixParams::default()),
         "pilot_loss" => run_pilot_loss(PilotLossParams::default()),
+        "partition_heal" => run_partition_heal(PartitionHealParams::default()),
         "scale_1k" => run_scale(ScaleParams::scale_1k()),
         "scale_10k" => run_scale(ScaleParams::scale_10k()),
         other => panic!("unknown scenario {other:?} (expected one of {SCENARIO_NAMES:?})"),

@@ -233,6 +233,17 @@ struct AgentInner {
     units_completed: u64,
     heartbeats: u64,
     heartbeat_armed: bool,
+    /// Fencing epoch of the currently/last held ownership lease (0 =
+    /// never acquired). Stamped on every completion/return message.
+    lease_epoch: u64,
+    /// Local expiry of the held lease (the store's expiry from the last
+    /// successful grant/renewal — virtual clocks are identical, so the
+    /// agent's view is never later than the store's).
+    lease_deadline: SimTime,
+    /// Self-fenced: the lease expired without renewal. The agent stops
+    /// dispatching, drops in-flight completion tokens and waits to
+    /// re-acquire at a fresh epoch once reachable again.
+    fenced: bool,
 }
 
 /// Shared handle to a running agent.
@@ -299,12 +310,30 @@ impl Agent {
                         units_completed: 0,
                         heartbeats: 0,
                         heartbeat_armed: false,
+                        lease_epoch: 0,
+                        lease_deadline: SimTime::ZERO,
+                        fenced: false,
                     })),
                 };
                 let a2 = agent.clone();
                 store.register_agent(eng, pilot, move |eng, batch| {
                     a2.receive_units(eng, batch);
                 });
+                // Ownership lease: acquired at registration, renewed on
+                // every heartbeat. A partition at bootstrap just defers
+                // acquisition to the first reachable heartbeat tick.
+                if store.leases_enabled() {
+                    if let Some((epoch, expires)) = store.try_acquire_lease(eng, pilot) {
+                        let mut inner = agent.inner.borrow_mut();
+                        inner.lease_epoch = epoch;
+                        inner.lease_deadline = expires;
+                    }
+                    // A lease-holding agent heartbeats for its whole
+                    // lifetime (idle included): renewal is proof of life,
+                    // and a lapsed-while-idle lease would force a
+                    // spurious self-fence the moment work arrives.
+                    agent.ensure_heartbeat(eng);
+                }
                 eng.trace
                     .record(eng.now(), "agent", format!("{pilot:?} active"));
                 on_active(eng, agent);
@@ -405,10 +434,17 @@ impl Agent {
     }
 
     /// Arm the next heartbeat if work is in flight and none is scheduled.
+    /// A fenced agent keeps beating too: the tick is where it re-acquires
+    /// its lease at a fresh epoch once the partition heals. With leases
+    /// enabled the beat never stops while the agent lives — renewal is
+    /// proof of life even when idle.
     fn ensure_heartbeat(&self, engine: &mut Engine) {
         {
             let mut inner = self.inner.borrow_mut();
-            let busy = inner.running > 0 || !inner.queue.is_empty();
+            let busy = inner.running > 0
+                || !inner.queue.is_empty()
+                || inner.fenced
+                || inner.store.leases_enabled();
             if inner.heartbeat_armed || inner.stopping || !busy {
                 return;
             }
@@ -427,15 +463,29 @@ impl Agent {
                     return;
                 }
                 inner.heartbeats += 1;
-                (inner.pilot, inner.running > 0 || !inner.queue.is_empty())
+                (
+                    inner.pilot,
+                    inner.running > 0
+                        || !inner.queue.is_empty()
+                        || inner.fenced
+                        || inner.store.leases_enabled(),
+                )
             };
             eng.metrics.incr("agent.heartbeats");
             eng.trace
                 .record(eng.now(), "agent", format!("{pilot:?} heartbeat"));
-            // Liveness signal for cross-pilot failover: the Unit-Manager's
-            // heartbeat-gap monitor reads this (droppable, no events).
-            let store = this.inner.borrow().store.clone();
-            store.report_heartbeat(eng, pilot);
+            // Lease maintenance piggybacks on the heartbeat: renew under
+            // the held epoch, self-fence the moment the local deadline
+            // passes unrenewed, re-acquire at a fresh epoch after a
+            // fence. May leave the agent fenced — then the liveness beat
+            // is skipped (a fenced agent must look dead to the monitor).
+            let fenced = this.lease_tick(eng, pilot);
+            if !fenced {
+                // Liveness signal for cross-pilot failover: the
+                // Unit-Manager's gap monitor reads this (droppable).
+                let store = this.inner.borrow().store.clone();
+                store.report_heartbeat(eng, pilot);
+            }
             // The Heartbeat Monitor doubles as the failure detector: any
             // run stranded on a dead node is requeued (or failed) now.
             this.detect_dead_runs(eng);
@@ -443,6 +493,99 @@ impl Agent {
                 this.ensure_heartbeat(eng);
             }
         });
+    }
+
+    /// Per-heartbeat lease maintenance. Returns whether the agent is
+    /// fenced after the tick.
+    fn lease_tick(&self, engine: &mut Engine, pilot: PilotId) -> bool {
+        let store = self.inner.borrow().store.clone();
+        if !store.leases_enabled() {
+            return false;
+        }
+        let (fenced, epoch, deadline) = {
+            let inner = self.inner.borrow();
+            (inner.fenced, inner.lease_epoch, inner.lease_deadline)
+        };
+        if fenced {
+            // Fenced: the only way back is a fresh grant (new fencing
+            // epoch). Fails while partitioned or while another owner
+            // holds an unexpired lease — both just retry next tick.
+            if let Some((epoch, expires)) = store.try_acquire_lease(engine, pilot) {
+                let mut inner = self.inner.borrow_mut();
+                inner.lease_epoch = epoch;
+                inner.lease_deadline = expires;
+                inner.fenced = false;
+                engine.trace.record(
+                    engine.now(),
+                    "agent",
+                    format!("{pilot:?} re-acquired lease at epoch {epoch}"),
+                );
+                return false;
+            }
+            return true;
+        }
+        if epoch == 0 {
+            // Acquisition at registration was blocked (partition during
+            // bootstrap); keep trying.
+            if let Some((epoch, expires)) = store.try_acquire_lease(engine, pilot) {
+                let mut inner = self.inner.borrow_mut();
+                inner.lease_epoch = epoch;
+                inner.lease_deadline = expires;
+            }
+            return false;
+        }
+        if engine.now() >= deadline {
+            self.self_fence(engine);
+            return true;
+        }
+        if let Some(expires) = store.renew_lease(engine, pilot, epoch) {
+            self.inner.borrow_mut().lease_deadline = expires;
+        }
+        // A failed renewal (partition or stale epoch) keeps the old local
+        // deadline: dispatch continues only until it passes, then the
+        // deadline check above fences.
+        false
+    }
+
+    /// Self-fence: the ownership lease expired without renewal, so from
+    /// this virtual instant the agent must produce no more side effects —
+    /// the Unit-Manager is free to re-bind the moment expiry + grace
+    /// passes. Queued work is dropped (the UM still tracks it), live
+    /// attempts are invalidated, and in-flight stage-out/completion
+    /// callbacks find their `finishing` ownership tokens gone. Unlike
+    /// `hang`, the agent stays registered and keeps ticking: after the
+    /// partition heals it may re-acquire at a fresh epoch.
+    fn self_fence(&self, engine: &mut Engine) {
+        let (pilot, active, spawn) = {
+            let mut inner = self.inner.borrow_mut();
+            if inner.fenced {
+                return;
+            }
+            inner.fenced = true;
+            inner.finishing.clear();
+            inner.queue.clear();
+            // Invalidated attempts will never release their bookkeeping
+            // (their completion events die on the alive flag), so the
+            // running count is reset here rather than leaked.
+            inner.running = 0;
+            (
+                inner.pilot,
+                std::mem::take(&mut inner.active),
+                std::mem::take(&mut inner.spawn_queue),
+            )
+        };
+        for (_, run) in active {
+            run.alive.set(false);
+        }
+        for (_, _, alive) in spawn {
+            alive.set(false);
+        }
+        engine.metrics.incr("agent.self_fences");
+        engine.trace.record(
+            engine.now(),
+            "agent",
+            format!("{pilot:?} self-fenced (lease expired unrenewed)"),
+        );
     }
 
     /// Whether any injected fault hit this pilot (a crash was detected, a
@@ -576,8 +719,11 @@ impl Agent {
                 unfinished.len()
             ),
         );
-        let store = self.inner.borrow().store.clone();
-        store.return_units(engine, pilot, unfinished, cause);
+        let (store, epoch) = {
+            let inner = self.inner.borrow();
+            (inner.store.clone(), inner.lease_epoch)
+        };
+        store.return_units_from(engine, pilot, epoch, unfinished, cause);
     }
 
     /// Chaos hook: the agent process dies *silently* — heartbeats stop,
@@ -608,7 +754,21 @@ impl Agent {
     // ---- unit intake & scheduling ----
 
     fn receive_units(&self, engine: &mut Engine, batch: Vec<UnitHandle>) {
-        let pilot = self.inner.borrow().pilot;
+        let (pilot, fenced) = {
+            let inner = self.inner.borrow();
+            (inner.pilot, inner.fenced)
+        };
+        if fenced {
+            // A fenced agent takes no new work: the units stay bound to
+            // this (suspect) pilot in the Unit-Manager's tracking and are
+            // re-bound once lease expiry + grace passes.
+            engine.trace.record(
+                engine.now(),
+                "agent",
+                format!("{pilot:?} fenced; ignoring {} delivered units", batch.len()),
+            );
+            return;
+        }
         for unit in batch {
             unit.advance(engine, UnitState::AgentScheduling);
             // Ties the unit's root span to its pilot so the critical-path
@@ -673,11 +833,25 @@ impl Agent {
     }
 
     fn try_schedule(&self, engine: &mut Engine) {
+        // Lazy fencing: if the lease deadline passed between heartbeats,
+        // fence before dispatching anything (the heartbeat tick would
+        // catch it too, but never after new side effects).
+        {
+            let inner = self.inner.borrow();
+            let overdue = !inner.fenced
+                && inner.lease_epoch > 0
+                && inner.store.leases_enabled()
+                && engine.now() >= inner.lease_deadline;
+            drop(inner);
+            if overdue {
+                self.self_fence(engine);
+            }
+        }
         let mut drained = Vec::new();
         loop {
             let next = {
                 let mut inner = self.inner.borrow_mut();
-                if inner.stopping {
+                if inner.stopping || inner.fenced {
                     break;
                 }
                 // Walltime-aware draining only makes sense when someone is
@@ -696,9 +870,9 @@ impl Agent {
             }
         }
         if !drained.is_empty() {
-            let (pilot, store) = {
+            let (pilot, store, epoch) = {
                 let inner = self.inner.borrow();
-                (inner.pilot, inner.store.clone())
+                (inner.pilot, inner.store.clone(), inner.lease_epoch)
             };
             engine
                 .metrics
@@ -711,9 +885,10 @@ impl Agent {
                     drained.len()
                 ),
             );
-            store.return_units(
+            store.return_units_from(
                 engine,
                 pilot,
+                epoch,
                 drained,
                 "drained: insufficient walltime left",
             );
@@ -1526,11 +1701,17 @@ impl Agent {
                     return;
                 }
                 // Output staging is done; the remaining coordination
-                // roundtrip is overhead, not staging.
+                // roundtrip is overhead, not staging. It carries the
+                // lease's fencing epoch: if ownership moves before the
+                // update lands (partition → lease revoked), the store
+                // rejects it instead of double-completing the unit.
                 u2.end_open_span(eng);
-                let store = this.inner.borrow().store.clone();
+                let (store, pilot, epoch) = {
+                    let inner = this.inner.borrow();
+                    (inner.store.clone(), inner.pilot, inner.lease_epoch)
+                };
                 let this2 = this.clone();
-                store.roundtrip(eng, move |eng| {
+                store.roundtrip_from(eng, pilot, epoch, move |eng| {
                     if this2
                         .inner
                         .borrow_mut()
@@ -1670,6 +1851,23 @@ impl Agent {
                 // Whole-pilot loss is routed at the Pilot-Manager level (the
                 // placeholder batch job is killed and `terminate` runs from
                 // its end-callback); nothing to do inside the agent itself.
+            }
+            FaultKind::Partition {
+                duration,
+                symmetric,
+                ..
+            } => {
+                // Cut this agent off from the coordination store for
+                // `duration` (the logical pilot index was already resolved
+                // by the installer's routing). The agent itself keeps
+                // running — that is the point: work continues while
+                // heartbeats, lease renewals and completions are held.
+                let (store, pilot) = {
+                    let mut inner = self.inner.borrow_mut();
+                    inner.degraded = true;
+                    (inner.store.clone(), inner.pilot)
+                };
+                store.partition_pilot(engine, pilot, *duration, *symmetric);
             }
         }
     }

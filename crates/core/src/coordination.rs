@@ -110,6 +110,52 @@ struct AgentRegistration {
 type ClientFn = Rc<dyn Fn(&mut Engine, PilotId, Vec<UnitHandle>, &str)>;
 type ApplyFn = Box<dyn FnOnce(&mut Engine)>;
 
+/// Message origin for fencing and partition routing: the sending pilot
+/// and the fencing epoch its lease carried when the message left.
+type Origin = Option<(PilotId, u64)>;
+
+/// A topology-aware reachability window: until `until`, the pilot's
+/// agent cannot reach the store (and, when `symmetric`, the store cannot
+/// reach the agent either). Expiry is passive — windows are checked
+/// against the current virtual time at each use, never via scheduled
+/// events, so an expired window costs nothing and heals exactly on time.
+#[derive(Debug, Clone, Copy)]
+struct PartitionWindow {
+    until: SimTime,
+    symmetric: bool,
+}
+
+/// Per-pilot lease record. `epoch` is the fencing epoch: it increments
+/// on every grant *and* every revoke, so a write stamped under an old
+/// lease can never match the table again once ownership moved on.
+#[derive(Debug, Clone, Copy, Default)]
+struct LeaseState {
+    epoch: u64,
+    expires: SimTime,
+    held: bool,
+}
+
+/// What happened to a lease (audit log; see
+/// [`CoordinationStore::enable_lease_audit`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeaseOp {
+    Grant,
+    Renew,
+    Revoke,
+}
+
+/// One entry of the lease audit log: the operation, which pilot's lease,
+/// the fencing epoch after the operation, when it happened and (for
+/// grants/renewals) when the lease expires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeaseAuditEntry {
+    pub op: LeaseOp,
+    pub pilot: PilotId,
+    pub epoch: u64,
+    pub at: SimTime,
+    pub expires: SimTime,
+}
+
 struct StoreInner {
     config: CoordinationConfig,
     queues: BTreeMap<PilotId, PilotQueue>,
@@ -137,6 +183,23 @@ struct StoreInner {
     msgs_dropped: u64,
     msgs_duplicated: u64,
     dup_applies_ignored: u64,
+    /// In-flight (sent, not yet recorded) delayed heartbeats per pilot.
+    /// The gap monitor consults this so a delayed-but-delivered beat is
+    /// never mistaken for silence.
+    hb_in_flight: BTreeMap<PilotId, u32>,
+    /// Active partition reachability windows per pilot.
+    partitions: BTreeMap<PilotId, PartitionWindow>,
+    /// Lease duration; `Some` iff lease-based ownership is enabled.
+    lease_duration: Option<SimDuration>,
+    /// Lease table keyed by pilot.
+    leases: BTreeMap<PilotId, LeaseState>,
+    /// Lease audit log — `Some` only when
+    /// [`CoordinationStore::enable_lease_audit`] was called.
+    lease_audit: Option<Vec<LeaseAuditEntry>>,
+    partition_windows: u64,
+    partition_holds: u64,
+    lease_renewals: u64,
+    fence_rejections: u64,
     /// Ordered log of applied message effects `(time, seq, label)` —
     /// `Some` only when [`CoordinationStore::enable_effect_log`] was
     /// called. The differential tier compares this log across engine
@@ -157,6 +220,47 @@ impl StoreInner {
             self.applied_watermark += 1;
         }
         true
+    }
+
+    /// Whether the agent→store direction is cut for `pilot` at `now`
+    /// (any active window, symmetric or not).
+    fn blocked_out(&self, pilot: PilotId, now: SimTime) -> bool {
+        self.partitions.get(&pilot).is_some_and(|w| now < w.until)
+    }
+
+    /// Whether the store→agent direction is cut for `pilot` at `now`
+    /// (symmetric windows only — an asymmetric window leaves polls open).
+    fn blocked_in(&self, pilot: PilotId, now: SimTime) -> bool {
+        self.partitions
+            .get(&pilot)
+            .is_some_and(|w| w.symmetric && now < w.until)
+    }
+
+    /// The current fencing epoch of `pilot`'s lease (0 before any grant).
+    fn current_epoch(&self, pilot: PilotId) -> u64 {
+        self.leases.get(&pilot).map(|l| l.epoch).unwrap_or(0)
+    }
+
+    /// Record a heartbeat observation, keeping the timestamp monotone so
+    /// out-of-order delayed deliveries never regress it.
+    fn record_heartbeat(&mut self, pilot: PilotId, at: SimTime) {
+        let e = self.heartbeats.entry(pilot).or_insert(at);
+        if at > *e {
+            *e = at;
+        }
+    }
+
+    fn audit(&mut self, op: LeaseOp, pilot: PilotId, at: SimTime) {
+        if let Some(log) = self.lease_audit.as_mut() {
+            let l = self.leases.get(&pilot).copied().unwrap_or_default();
+            log.push(LeaseAuditEntry {
+                op,
+                pilot,
+                epoch: l.epoch,
+                at,
+                expires: l.expires,
+            });
+        }
     }
 }
 
@@ -189,6 +293,15 @@ impl CoordinationStore {
                 msgs_dropped: 0,
                 msgs_duplicated: 0,
                 dup_applies_ignored: 0,
+                hb_in_flight: BTreeMap::new(),
+                partitions: BTreeMap::new(),
+                lease_duration: None,
+                leases: BTreeMap::new(),
+                lease_audit: None,
+                partition_windows: 0,
+                partition_holds: 0,
+                lease_renewals: 0,
+                fence_rejections: 0,
                 effect_log: None,
             })),
         }
@@ -255,6 +368,20 @@ impl CoordinationStore {
         label: &'static str,
         apply: impl FnOnce(&mut Engine) + 'static,
     ) {
+        self.send_from(engine, None, latency, label, apply);
+    }
+
+    /// [`CoordinationStore::send`] with a message origin: the sending
+    /// pilot (partition windows hold the message until heal) and its
+    /// fencing epoch (a stale epoch at apply time rejects the effect).
+    fn send_from(
+        &self,
+        engine: &mut Engine,
+        origin: Origin,
+        latency: SimDuration,
+        label: &'static str,
+        apply: impl FnOnce(&mut Engine) + 'static,
+    ) {
         let seq = {
             let mut inner = self.inner.borrow_mut();
             inner.next_seq += 1;
@@ -267,7 +394,7 @@ impl CoordinationStore {
             engine.note_lookahead_from("store.write", latency);
         }
         let apply: Rc<RefCell<Option<ApplyFn>>> = Rc::new(RefCell::new(Some(Box::new(apply))));
-        self.transmit(engine, seq, latency, label, apply);
+        self.transmit(engine, seq, origin, latency, label, apply);
     }
 
     /// One delivery attempt of message `seq` (re-entered on retransmit).
@@ -275,10 +402,44 @@ impl CoordinationStore {
         &self,
         engine: &mut Engine,
         seq: u64,
+        origin: Origin,
         latency: SimDuration,
         label: &'static str,
         apply: Rc<RefCell<Option<ApplyFn>>>,
     ) {
+        // Partition windows are checked before any RNG draw: a held
+        // message consumes no randomness, so a partition-free run's RNG
+        // stream is bit-identical to one without partition plumbing.
+        if let Some((pilot, _)) = origin {
+            let (held, retry_after) = {
+                let inner = self.inner.borrow();
+                let poll = SimDuration(inner.config.poll_ms * 1_000);
+                match inner.partitions.get(&pilot) {
+                    // Retry at the heal, not on a poll-interval spin: the
+                    // window end is known, and the window is half-open
+                    // (healed exactly at `until`). A later overlapping
+                    // partition just holds the message once more.
+                    Some(w) if engine.now() < w.until => {
+                        (true, w.until.since(engine.now()).max(poll))
+                    }
+                    _ => (false, poll),
+                }
+            };
+            if held {
+                self.inner.borrow_mut().partition_holds += 1;
+                engine.metrics.incr("coordination.partition_holds");
+                engine.trace.record(
+                    engine.now(),
+                    "store",
+                    format!("{label} #{seq} held by partition; retry in {retry_after}"),
+                );
+                let this = self.clone();
+                engine.schedule_in(latency + retry_after, move |eng| {
+                    this.transmit(eng, seq, origin, latency, label, apply);
+                });
+                return;
+            }
+        }
         let (dropped, duplicated, retry_after) = {
             let mut inner = self.inner.borrow_mut();
             let loss = inner.config.loss;
@@ -298,7 +459,7 @@ impl CoordinationStore {
             );
             let this = self.clone();
             engine.schedule_in(latency + retry_after, move |eng| {
-                this.transmit(eng, seq, latency, label, apply);
+                this.transmit(eng, seq, origin, latency, label, apply);
             });
             return;
         }
@@ -332,6 +493,29 @@ impl CoordinationStore {
                     this.inner.borrow_mut().dup_applies_ignored += 1;
                     eng.metrics.incr("coordination.dup_applies_ignored");
                     return;
+                }
+                // Fencing: a message stamped under an epoch the lease
+                // table has moved past is a zombie's write — reject it
+                // (it never reaches the effect log). The sequence was
+                // still marked applied above, so a duplicate of a
+                // rejected message counts as a dup, not a second
+                // rejection.
+                if let Some((pilot, epoch)) = origin {
+                    let stale = {
+                        let inner = this.inner.borrow();
+                        inner.lease_duration.is_some() && inner.current_epoch(pilot) != epoch
+                    };
+                    if stale {
+                        this.inner.borrow_mut().fence_rejections += 1;
+                        eng.metrics.incr("coordination.fence_rejections");
+                        eng.telemetry.note_fence_rejection();
+                        eng.trace.record(
+                            eng.now(),
+                            "store",
+                            format!("{label} #{seq} rejected: stale fencing epoch {epoch}"),
+                        );
+                        return;
+                    }
                 }
                 if eng.telemetry.is_enabled() {
                     // Flight-recorder high-water sample of the dedup
@@ -465,6 +649,21 @@ impl CoordinationStore {
         self.send(engine, update, "update", cb);
     }
 
+    /// [`CoordinationStore::roundtrip`] stamped with a sending pilot and
+    /// its fencing epoch: the update is held while the pilot is
+    /// partitioned and rejected at apply time if the epoch went stale
+    /// (agents route their completion updates through this).
+    pub fn roundtrip_from(
+        &self,
+        engine: &mut Engine,
+        pilot: PilotId,
+        epoch: u64,
+        cb: impl FnOnce(&mut Engine) + 'static,
+    ) {
+        let update = SimDuration::from_secs_f64(self.inner.borrow().config.update_ms / 1e3);
+        self.send_from(engine, Some((pilot, epoch)), update, "update", cb);
+    }
+
     /// Register the Unit-Manager-side client that accepts units an agent
     /// hands back (pilot loss, walltime draining). At most one client per
     /// session; registering is what arms the failover paths — without a
@@ -492,6 +691,30 @@ impl CoordinationStore {
         units: Vec<UnitHandle>,
         cause: impl Into<String>,
     ) {
+        self.return_units_via(engine, None, pilot, units, cause);
+    }
+
+    /// [`CoordinationStore::return_units`] stamped with the sending
+    /// pilot's fencing epoch (held by partitions, fenced when stale).
+    pub fn return_units_from(
+        &self,
+        engine: &mut Engine,
+        pilot: PilotId,
+        epoch: u64,
+        units: Vec<UnitHandle>,
+        cause: impl Into<String>,
+    ) {
+        self.return_units_via(engine, Some((pilot, epoch)), pilot, units, cause);
+    }
+
+    fn return_units_via(
+        &self,
+        engine: &mut Engine,
+        origin: Origin,
+        pilot: PilotId,
+        units: Vec<UnitHandle>,
+        cause: impl Into<String>,
+    ) {
         if units.is_empty() {
             return;
         }
@@ -501,7 +724,7 @@ impl CoordinationStore {
         engine
             .metrics
             .add("coordination.units_returned", units.len() as u64);
-        self.send(engine, update, "return_units", move |eng| {
+        self.send_from(engine, origin, update, "return_units", move |eng| {
             let client = this.inner.borrow().client.clone();
             if let Some(cb) = client {
                 cb(eng, pilot, units, &cause);
@@ -510,23 +733,285 @@ impl CoordinationStore {
     }
 
     /// Record an agent heartbeat. Heartbeats are fire-and-forget: a lossy
-    /// transport may drop them silently (no retransmit) — exactly the
-    /// signal a heartbeat-gap detector must tolerate. Schedules nothing.
-    pub fn report_heartbeat(&self, engine: &Engine, pilot: PilotId) {
-        let mut inner = self.inner.borrow_mut();
-        let drop_p = inner.config.loss.drop_p;
-        let dropped = match inner.rng.as_mut() {
-            Some(rng) if drop_p > 0.0 => rng.chance(drop_p),
-            _ => false,
+    /// transport may drop them silently (no retransmit), a partition
+    /// window swallows them outright, and delivery jitter delays them —
+    /// exactly the signals a heartbeat-gap detector must tolerate. With a
+    /// lossless profile the record is synchronous and schedules nothing;
+    /// a jittered beat is delivered by an event and counted as in-flight
+    /// until it lands (see [`CoordinationStore::heartbeat_in_flight`]).
+    pub fn report_heartbeat(&self, engine: &mut Engine, pilot: PilotId) {
+        let now = engine.now();
+        let (dropped, delay) = {
+            let mut inner = self.inner.borrow_mut();
+            // Partition check precedes any RNG draw: partition-free runs
+            // keep a bit-identical loss stream.
+            if inner.blocked_out(pilot, now) {
+                return;
+            }
+            let loss = inner.config.loss;
+            match inner.rng.as_mut() {
+                Some(rng) => {
+                    let dropped = loss.drop_p > 0.0 && rng.chance(loss.drop_p);
+                    let delay = if !dropped && loss.delay_jitter_ms > 0.0 {
+                        SimDuration::from_secs_f64(rng.uniform(0.0, loss.delay_jitter_ms) / 1e3)
+                    } else {
+                        SimDuration::ZERO
+                    };
+                    (dropped, delay)
+                }
+                None => (false, SimDuration::ZERO),
+            }
         };
-        if !dropped {
-            inner.heartbeats.insert(pilot, engine.now());
+        if dropped {
+            return;
         }
+        if delay == SimDuration::ZERO {
+            self.inner.borrow_mut().record_heartbeat(pilot, now);
+            return;
+        }
+        *self
+            .inner
+            .borrow_mut()
+            .hb_in_flight
+            .entry(pilot)
+            .or_insert(0) += 1;
+        engine.note_lookahead_from("store.heartbeat", delay);
+        let this = self.clone();
+        engine.schedule_in(delay, move |eng| {
+            let mut inner = this.inner.borrow_mut();
+            if let Some(c) = inner.hb_in_flight.get_mut(&pilot) {
+                *c -= 1;
+                if *c == 0 {
+                    inner.hb_in_flight.remove(&pilot);
+                }
+            }
+            let at = eng.now();
+            inner.record_heartbeat(pilot, at);
+        });
     }
 
     /// Last heartbeat seen from `pilot`'s agent, if any.
     pub fn last_heartbeat(&self, pilot: PilotId) -> Option<SimTime> {
         self.inner.borrow().heartbeats.get(&pilot).copied()
+    }
+
+    /// Whether a delayed heartbeat from `pilot` is still in flight (sent
+    /// but not yet recorded). The gap monitor defers suspicion while one
+    /// is pending — a delayed-but-delivered beat is not silence.
+    pub fn heartbeat_in_flight(&self, pilot: PilotId) -> bool {
+        self.inner.borrow().hb_in_flight.contains_key(&pilot)
+    }
+
+    // ---- partitions ----
+
+    /// Open (or extend) a partition reachability window against `pilot`:
+    /// until `duration` elapses, the pilot's agent cannot reach the store
+    /// — heartbeats vanish, lease operations fail, and fenced messages
+    /// are held for retransmit after heal. When `symmetric`, the store's
+    /// polls to the agent are cut too; otherwise the agent keeps
+    /// receiving batches while its own writes are silenced (the richest
+    /// split-brain: a zombie that keeps taking work). Overlapping windows
+    /// merge conservatively (latest heal time, symmetric if either was).
+    pub fn partition_pilot(
+        &self,
+        engine: &mut Engine,
+        pilot: PilotId,
+        duration: SimDuration,
+        symmetric: bool,
+    ) {
+        let now = engine.now();
+        let until = now + duration;
+        {
+            let mut inner = self.inner.borrow_mut();
+            let w = inner
+                .partitions
+                .entry(pilot)
+                .or_insert(PartitionWindow { until, symmetric });
+            w.until = w.until.max(until);
+            w.symmetric |= symmetric;
+            inner.partition_windows += 1;
+        }
+        engine.metrics.incr("coordination.partition_windows");
+        engine.telemetry.note_partition_window();
+        let kind = if symmetric { "symmetric" } else { "asymmetric" };
+        engine.trace.record(
+            now,
+            "store",
+            format!("{pilot:?} partitioned ({kind}) until {until:?}"),
+        );
+    }
+
+    /// Whether `pilot` is inside an active partition window right now.
+    pub fn is_partitioned(&self, engine: &Engine, pilot: PilotId) -> bool {
+        self.inner.borrow().blocked_out(pilot, engine.now())
+    }
+
+    /// Partition windows opened so far.
+    pub fn partition_windows(&self) -> u64 {
+        self.inner.borrow().partition_windows
+    }
+
+    /// Messages held (and re-queued) by partition windows so far.
+    pub fn partition_holds(&self) -> u64 {
+        self.inner.borrow().partition_holds
+    }
+
+    // ---- leases & fencing ----
+
+    /// Turn on lease-based ownership: grants and renewals last `duration`
+    /// and every fenced message is checked against the lease table's
+    /// fencing epoch at apply time. Off by default — lease-free sessions
+    /// carry no lease state and never reject anything.
+    pub fn enable_leases(&self, duration: SimDuration) {
+        self.inner.borrow_mut().lease_duration = Some(duration);
+    }
+
+    /// Whether lease-based ownership is on.
+    pub fn leases_enabled(&self) -> bool {
+        self.inner.borrow().lease_duration.is_some()
+    }
+
+    /// The configured lease duration, if leases are enabled.
+    pub fn lease_duration(&self) -> Option<SimDuration> {
+        self.inner.borrow().lease_duration
+    }
+
+    /// Start recording lease grants/renewals/revocations (idempotent).
+    /// Pure observation, like the effect log.
+    pub fn enable_lease_audit(&self) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.lease_audit.is_none() {
+            inner.lease_audit = Some(Vec::new());
+        }
+    }
+
+    /// The lease audit log recorded since
+    /// [`CoordinationStore::enable_lease_audit`]; empty when disabled.
+    pub fn lease_audit(&self) -> Vec<LeaseAuditEntry> {
+        self.inner.borrow().lease_audit.clone().unwrap_or_default()
+    }
+
+    /// Try to acquire the ownership lease for `pilot`. Fails (`None`)
+    /// when leases are disabled, the pilot is partitioned from the store,
+    /// or an unexpired lease is still held — the two-owner invariant is
+    /// enforced right here. On success the fencing epoch increments and
+    /// the new `(epoch, expires)` pair is returned.
+    pub fn try_acquire_lease(&self, engine: &mut Engine, pilot: PilotId) -> Option<(u64, SimTime)> {
+        let now = engine.now();
+        let granted = {
+            let mut inner = self.inner.borrow_mut();
+            let duration = inner.lease_duration?;
+            if inner.blocked_out(pilot, now) {
+                return None;
+            }
+            let lease = inner.leases.entry(pilot).or_default();
+            if lease.held && now < lease.expires {
+                return None;
+            }
+            lease.epoch += 1;
+            lease.expires = now + duration;
+            lease.held = true;
+            let granted = (lease.epoch, lease.expires);
+            inner.audit(LeaseOp::Grant, pilot, now);
+            granted
+        };
+        engine.metrics.incr("coordination.lease_grants");
+        engine.trace.record(
+            now,
+            "store",
+            format!(
+                "{pilot:?} lease granted (epoch {}, expires {:?})",
+                granted.0, granted.1
+            ),
+        );
+        Some(granted)
+    }
+
+    /// Renew `pilot`'s lease under fencing epoch `epoch`. Fails (`None`)
+    /// when leases are disabled, the pilot is partitioned (the renewal —
+    /// or its ack — cannot cross the cut), or the epoch is stale (which
+    /// also counts as a fence rejection: the zombie tried to write).
+    /// On success returns the new expiry.
+    pub fn renew_lease(&self, engine: &mut Engine, pilot: PilotId, epoch: u64) -> Option<SimTime> {
+        let now = engine.now();
+        let stale = {
+            let mut inner = self.inner.borrow_mut();
+            let duration = inner.lease_duration?;
+            if inner.blocked_out(pilot, now) {
+                return None;
+            }
+            let lease = inner.leases.entry(pilot).or_default();
+            if lease.held && lease.epoch == epoch {
+                lease.expires = now + duration;
+                let expires = lease.expires;
+                inner.lease_renewals += 1;
+                inner.audit(LeaseOp::Renew, pilot, now);
+                drop(inner);
+                engine.metrics.incr("coordination.lease_renewals");
+                engine.telemetry.note_lease_renewal();
+                return Some(expires);
+            }
+            inner.fence_rejections += 1;
+            true
+        };
+        if stale {
+            engine.metrics.incr("coordination.fence_rejections");
+            engine.telemetry.note_fence_rejection();
+            engine.trace.record(
+                now,
+                "store",
+                format!("{pilot:?} lease renewal rejected: stale epoch {epoch}"),
+            );
+        }
+        None
+    }
+
+    /// Revoke `pilot`'s lease (the Unit-Manager calls this at expiry +
+    /// grace, before re-binding). Bumps the fencing epoch so every
+    /// message still stamped with the old lease is rejected on arrival,
+    /// no matter when the partition heals.
+    pub fn revoke_lease(&self, engine: &mut Engine, pilot: PilotId) {
+        let now = engine.now();
+        {
+            let mut inner = self.inner.borrow_mut();
+            if inner.lease_duration.is_none() {
+                return;
+            }
+            let lease = inner.leases.entry(pilot).or_default();
+            lease.held = false;
+            lease.epoch += 1;
+            inner.audit(LeaseOp::Revoke, pilot, now);
+        }
+        engine.metrics.incr("coordination.lease_revocations");
+        engine
+            .trace
+            .record(now, "store", format!("{pilot:?} lease revoked"));
+    }
+
+    /// The current fencing epoch of `pilot` (0 before any grant).
+    pub fn lease_epoch(&self, pilot: PilotId) -> u64 {
+        self.inner.borrow().current_epoch(pilot)
+    }
+
+    /// When `pilot`'s currently-held lease expires, if one is held.
+    pub fn lease_expiry(&self, pilot: PilotId) -> Option<SimTime> {
+        self.inner
+            .borrow()
+            .leases
+            .get(&pilot)
+            .filter(|l| l.held)
+            .map(|l| l.expires)
+    }
+
+    /// Lease renewals performed so far.
+    pub fn lease_renewals(&self) -> u64 {
+        self.inner.borrow().lease_renewals
+    }
+
+    /// Stale-epoch effects rejected so far (fenced messages and stale
+    /// renewals).
+    pub fn fence_rejections(&self) -> u64 {
+        self.inner.borrow().fence_rejections
     }
 
     /// Arm the next poll for `pilot` if documents are pending, a consumer
@@ -560,6 +1045,10 @@ impl CoordinationStore {
                 let mut inner = this.inner.borrow_mut();
                 inner.polls += 1;
                 eng.metrics.incr("coordination.polls");
+                // A symmetric partition cuts the store→agent direction:
+                // the poll fires but delivers nothing; re-arming below
+                // retries every poll interval until the window heals.
+                let blocked = inner.blocked_in(pilot, eng.now());
                 let q = match inner.queues.get_mut(&pilot) {
                     Some(q) => q,
                     None => return,
@@ -569,7 +1058,11 @@ impl CoordinationStore {
                     None => return, // agent went away while poll in flight
                 };
                 reg.poll_armed = false;
-                (std::mem::take(&mut q.pending), reg.on_batch.clone())
+                if blocked {
+                    (Vec::new(), reg.on_batch.clone())
+                } else {
+                    (std::mem::take(&mut q.pending), reg.on_batch.clone())
+                }
             };
             if !batch.is_empty() {
                 cb(eng, batch);
@@ -771,15 +1264,189 @@ mod tests {
 
     #[test]
     fn heartbeats_recorded_and_droppable() {
-        let e = Engine::new(1);
+        let mut e = Engine::new(1);
         let s = store();
         assert_eq!(s.last_heartbeat(PilotId(0)), None);
-        s.report_heartbeat(&e, PilotId(0));
+        s.report_heartbeat(&mut e, PilotId(0));
         assert_eq!(s.last_heartbeat(PilotId(0)), Some(SimTime::ZERO));
-        assert_eq!(e.pending(), 0, "heartbeats schedule nothing");
+        assert_eq!(e.pending(), 0, "lossless heartbeats schedule nothing");
         // A fully lossy transport swallows every heartbeat.
         let lossy = lossy_store(1.0, 0.0, 4);
-        lossy.report_heartbeat(&e, PilotId(0));
+        lossy.report_heartbeat(&mut e, PilotId(0));
         assert_eq!(lossy.last_heartbeat(PilotId(0)), None);
+    }
+
+    #[test]
+    fn jittered_heartbeats_deliver_late_and_track_in_flight() {
+        let mut e = Engine::new(1);
+        // No drops, but 20 ms delivery jitter: the beat arrives by event.
+        let s = lossy_store(0.0, 0.0, 7);
+        s.report_heartbeat(&mut e, PilotId(0));
+        assert!(
+            s.heartbeat_in_flight(PilotId(0)),
+            "beat should be in flight"
+        );
+        assert_eq!(s.last_heartbeat(PilotId(0)), None, "not recorded yet");
+        assert!(e.pending() > 0, "delayed delivery is an event");
+        e.run();
+        assert!(!s.heartbeat_in_flight(PilotId(0)));
+        let at = s.last_heartbeat(PilotId(0)).expect("beat delivered");
+        assert!(at > SimTime::ZERO && at < SimTime::from_secs_f64(0.02));
+    }
+
+    #[test]
+    fn partition_swallows_heartbeats_and_holds_fenced_messages() {
+        let mut e = Engine::new(1);
+        let s = store();
+        s.partition_pilot(&mut e, PilotId(0), SimDuration::from_secs(5), false);
+        assert!(s.is_partitioned(&e, PilotId(0)));
+        assert_eq!(s.partition_windows(), 1);
+        // Heartbeats from the partitioned side vanish.
+        s.report_heartbeat(&mut e, PilotId(0));
+        assert_eq!(s.last_heartbeat(PilotId(0)), None);
+        // A fenced update is held until the window heals, then applies
+        // exactly once.
+        let applies: Rc<RefCell<Vec<SimTime>>> = Rc::new(RefCell::new(Vec::new()));
+        let a = applies.clone();
+        s.roundtrip_from(&mut e, PilotId(0), 0, move |eng| {
+            a.borrow_mut().push(eng.now());
+        });
+        // An unfenced message (no origin) is unaffected by the window.
+        let free_at = Rc::new(RefCell::new(SimTime::ZERO));
+        let f = free_at.clone();
+        s.roundtrip(&mut e, move |eng| *f.borrow_mut() = eng.now());
+        e.run();
+        assert_eq!(*free_at.borrow(), SimTime::from_secs_f64(0.06));
+        let applies = applies.borrow();
+        assert_eq!(applies.len(), 1, "held message applies exactly once");
+        assert!(
+            applies[0] >= SimTime::from_secs_f64(5.0),
+            "held until heal, applied at {:?}",
+            applies[0]
+        );
+        assert!(s.partition_holds() > 0);
+        // After heal the window is inert.
+        assert!(!s.is_partitioned(&e, PilotId(0)));
+        s.report_heartbeat(&mut e, PilotId(0));
+        assert!(s.last_heartbeat(PilotId(0)).is_some());
+    }
+
+    #[test]
+    fn symmetric_partition_blocks_polls_until_heal() {
+        let mut e = Engine::new(1);
+        let s = store();
+        let got: Rc<RefCell<Vec<SimTime>>> = Rc::new(RefCell::new(Vec::new()));
+        let g = got.clone();
+        s.register_agent(&mut e, PilotId(0), move |eng, batch| {
+            g.borrow_mut().push(eng.now());
+            assert_eq!(batch.len(), 1);
+        });
+        s.partition_pilot(&mut e, PilotId(0), SimDuration::from_secs(4), true);
+        s.push_units(&mut e, PilotId(0), vec![unit(0)]);
+        e.run();
+        let got = got.borrow();
+        assert_eq!(got.len(), 1);
+        // Without the partition the batch lands at the 1 s poll boundary;
+        // the symmetric window defers it to the first boundary at/after
+        // the heal instant (the window is half-open: healed at t=4).
+        assert_eq!(got[0], SimTime::from_secs_f64(4.0));
+    }
+
+    #[test]
+    fn asymmetric_partition_still_delivers_polls() {
+        let mut e = Engine::new(1);
+        let s = store();
+        let got: Rc<RefCell<Vec<SimTime>>> = Rc::new(RefCell::new(Vec::new()));
+        let g = got.clone();
+        s.register_agent(&mut e, PilotId(0), move |eng, _| {
+            g.borrow_mut().push(eng.now());
+        });
+        s.partition_pilot(&mut e, PilotId(0), SimDuration::from_secs(4), false);
+        s.push_units(&mut e, PilotId(0), vec![unit(0)]);
+        e.run();
+        assert_eq!(*got.borrow(), vec![SimTime::from_secs_f64(1.0)]);
+    }
+
+    #[test]
+    fn lease_grant_renew_revoke_and_two_owner_refusal() {
+        let mut e = Engine::new(1);
+        let s = store();
+        // Disabled: every operation is a no-op failure.
+        assert!(!s.leases_enabled());
+        assert_eq!(s.try_acquire_lease(&mut e, PilotId(0)), None);
+        s.enable_leases(SimDuration::from_secs(60));
+        assert!(s.leases_enabled());
+        let (epoch, expires) = s.try_acquire_lease(&mut e, PilotId(0)).expect("grant");
+        assert_eq!(epoch, 1);
+        assert_eq!(expires, SimTime::from_secs_f64(60.0));
+        assert_eq!(s.lease_epoch(PilotId(0)), 1);
+        // A second owner cannot acquire while the lease is unexpired.
+        assert_eq!(s.try_acquire_lease(&mut e, PilotId(0)), None);
+        // Renewal under the held epoch extends; a stale epoch is fenced.
+        let renewed = s.renew_lease(&mut e, PilotId(0), epoch).expect("renew");
+        assert_eq!(renewed, SimTime::from_secs_f64(60.0));
+        assert_eq!(s.lease_renewals(), 1);
+        assert_eq!(s.renew_lease(&mut e, PilotId(0), epoch + 5), None);
+        assert_eq!(s.fence_rejections(), 1);
+        // Revocation frees the lease and bumps the fencing epoch, so the
+        // next grant is strictly newer.
+        s.revoke_lease(&mut e, PilotId(0));
+        assert_eq!(s.lease_epoch(PilotId(0)), 2);
+        assert_eq!(s.lease_expiry(PilotId(0)), None);
+        assert_eq!(s.renew_lease(&mut e, PilotId(0), epoch), None);
+        let (epoch2, _) = s.try_acquire_lease(&mut e, PilotId(0)).expect("re-grant");
+        assert_eq!(epoch2, 3);
+    }
+
+    #[test]
+    fn stale_epoch_messages_are_rejected_not_applied() {
+        let mut e = Engine::new(1);
+        let s = store();
+        s.enable_leases(SimDuration::from_secs(60));
+        s.enable_effect_log();
+        let (epoch, _) = s.try_acquire_lease(&mut e, PilotId(0)).expect("grant");
+        let applied = Rc::new(RefCell::new(0usize));
+        let a = applied.clone();
+        s.roundtrip_from(&mut e, PilotId(0), epoch, move |_| *a.borrow_mut() += 1);
+        // Ownership moves on before the second message lands.
+        s.revoke_lease(&mut e, PilotId(0));
+        let a2 = applied.clone();
+        s.roundtrip_from(&mut e, PilotId(0), epoch, move |_| *a2.borrow_mut() += 1);
+        e.run();
+        // First update raced the revoke: it was sent before but lands
+        // after, so it is fenced too — both writes are zombie writes.
+        assert_eq!(*applied.borrow(), 0);
+        assert_eq!(s.fence_rejections(), 2);
+        assert!(
+            s.effect_log().is_empty(),
+            "rejected effects must never reach the effect log"
+        );
+        // A current-epoch write still lands.
+        let (epoch2, _) = s.try_acquire_lease(&mut e, PilotId(0)).expect("re-grant");
+        let a3 = applied.clone();
+        s.roundtrip_from(&mut e, PilotId(0), epoch2, move |_| *a3.borrow_mut() += 1);
+        e.run();
+        assert_eq!(*applied.borrow(), 1);
+        assert_eq!(s.effect_log().len(), 1);
+    }
+
+    #[test]
+    fn partitioned_pilot_cannot_touch_its_lease() {
+        let mut e = Engine::new(1);
+        let s = store();
+        s.enable_leases(SimDuration::from_secs(60));
+        s.enable_lease_audit();
+        let (epoch, _) = s.try_acquire_lease(&mut e, PilotId(0)).expect("grant");
+        s.partition_pilot(&mut e, PilotId(0), SimDuration::from_secs(10), false);
+        assert_eq!(s.renew_lease(&mut e, PilotId(0), epoch), None);
+        assert_eq!(
+            s.try_acquire_lease(&mut e, PilotId(1)),
+            Some((1, SimTime::from_secs_f64(60.0)))
+        );
+        let audit = s.lease_audit();
+        assert_eq!(audit.len(), 2);
+        assert_eq!(audit[0].op, LeaseOp::Grant);
+        assert_eq!(audit[0].pilot, PilotId(0));
+        assert_eq!(audit[1].pilot, PilotId(1));
     }
 }

@@ -21,7 +21,9 @@ pub fn install_faults(engine: &mut Engine, plan: &FaultPlan, pilot: &PilotHandle
 }
 
 /// Install `plan` against a set of pilots. [`FaultKind::PilotKill`] kills
-/// `pilots[pilot % len]` outright (batch-job loss); every other fault
+/// `pilots[pilot % len]` outright (batch-job loss);
+/// [`FaultKind::Partition`] cuts `pilots[pilot % len]`'s agent off from
+/// the coordination store for the window's duration; every other fault
 /// kind targets one pilot's agent, rotating round-robin so a multi-pilot
 /// session degrades evenly. With a single pilot this is exactly
 /// [`install_faults`].
@@ -37,6 +39,14 @@ pub fn install_faults_multi(
     injector.on_fault(move |eng, kind| {
         if let FaultKind::PilotKill { pilot } = kind {
             pilots[pilot % pilots.len()].kill(eng);
+            return;
+        }
+        if let FaultKind::Partition { pilot, .. } = kind {
+            // Targeted, not round-robin: the plan names the victim so a
+            // grid can guarantee heal-after-rebind zombie scenarios.
+            if let Some(agent) = pilots[pilot % pilots.len()].agent() {
+                agent.apply_fault(eng, kind);
+            }
             return;
         }
         let i = cursor.get();

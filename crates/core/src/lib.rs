@@ -50,7 +50,9 @@ pub mod states;
 pub mod unit;
 
 pub use agent::Agent;
-pub use coordination::{CoordinationConfig, CoordinationStore, LossProfile};
+pub use coordination::{
+    CoordinationConfig, CoordinationStore, LeaseAuditEntry, LeaseOp, LossProfile,
+};
 pub use data::{
     remote_bytes, DataError, DataPilot, DataPilotBackend, DataPilotDescription, DataUnit,
     DataUnitDescription, DataUnitId, DataUnitState, LogicalFile,

@@ -352,6 +352,11 @@ struct UmInner {
     /// Declare a pilot dead when it is Active, holds unfinished units and
     /// has not heartbeated for this long (silent agent death detector).
     heartbeat_gap: Option<SimDuration>,
+    /// Lease-mode grace: a pilot is declared lost only once its ownership
+    /// lease has been expired for this long (replaces the raw gap
+    /// threshold; the lease is revoked — fencing epoch bumped — before
+    /// any unit is re-bound).
+    lease_grace: Option<SimDuration>,
     monitor_armed: bool,
     /// When units were last pushed to each pilot (grace period for the
     /// heartbeat-gap monitor: work may not have started heartbeating yet).
@@ -420,6 +425,7 @@ impl UnitManager {
                 tracked: Vec::new(),
                 dead: std::collections::BTreeSet::new(),
                 heartbeat_gap: None,
+                lease_grace: None,
                 monitor_armed: false,
                 bound_at: std::collections::BTreeMap::new(),
                 backfill: None,
@@ -478,6 +484,23 @@ impl UnitManager {
     /// lost. Requires `enable_failover`.
     pub fn set_heartbeat_gap(&self, engine: &mut Engine, gap: SimDuration) {
         self.inner.borrow_mut().heartbeat_gap = Some(gap);
+        self.ensure_monitor(engine);
+    }
+
+    /// Arm lease-based ownership: every agent must hold a `duration`-long
+    /// lease (renewed on its heartbeat tick) to dispatch; the monitor
+    /// declares a pilot lost only once its lease has been expired for
+    /// `grace` — and first revokes it, bumping the fencing epoch so a
+    /// healed zombie's stale writes are rejected at the store. Replaces
+    /// the raw heartbeat-gap threshold; implies `enable_failover`.
+    ///
+    /// Safety requires `grace` to exceed the agent heartbeat period
+    /// (10 s): the agent self-fences at its first tick past expiry, so it
+    /// is guaranteed fenced before any unit is re-bound.
+    pub fn enable_leases(&self, engine: &mut Engine, duration: SimDuration, grace: SimDuration) {
+        self.enable_failover(engine);
+        self.session.store().enable_leases(duration);
+        self.inner.borrow_mut().lease_grace = Some(grace);
         self.ensure_monitor(engine);
     }
 
@@ -792,12 +815,19 @@ impl UnitManager {
     /// some unit is still in flight. Quiet on healthy systems: the tick
     /// emits no trace or metrics unless it declares a pilot dead.
     fn ensure_monitor(&self, engine: &mut Engine) {
+        let lease_cadence = match (
+            self.inner.borrow().lease_grace,
+            self.session.store().lease_duration(),
+        ) {
+            (Some(g), Some(d)) => Some(d + g),
+            _ => None,
+        };
         let (gap, tick) = {
             let mut inner = self.inner.borrow_mut();
             if !inner.failover || inner.monitor_armed {
                 return;
             }
-            let Some(gap) = inner.heartbeat_gap else {
+            let Some(gap) = inner.heartbeat_gap.or(lease_cadence) else {
                 return;
             };
             if !inner.tracked.iter().any(|u| !u.state().is_final()) {
@@ -822,6 +852,11 @@ impl UnitManager {
     fn monitor_tick(&self, engine: &mut Engine, gap: SimDuration) {
         let now = engine.now();
         let store = self.session.store();
+        let lease_grace = if store.leases_enabled() {
+            self.inner.borrow().lease_grace
+        } else {
+            None
+        };
         let suspects: Vec<PilotId> = {
             let inner = self.inner.borrow();
             inner
@@ -839,6 +874,32 @@ impl UnitManager {
                     if !bound {
                         return false;
                     }
+                    if let Some(grace) = lease_grace {
+                        // Lease mode: ownership moves only once the lease
+                        // the agent last held has been expired for the
+                        // grace window — the agent self-fenced at expiry,
+                        // so re-binding can never double-run a unit.
+                        return match store.lease_expiry(id) {
+                            Some(expires) => now > expires + grace,
+                            // Never acquired (partitioned since bootstrap
+                            // or already revoked): fall back to
+                            // binding-age silence at the same horizon.
+                            None => {
+                                let lease = store.lease_duration().unwrap_or(SimDuration::ZERO);
+                                let mut since = p.times().active.unwrap_or(SimTime::ZERO);
+                                if let Some(&b) = inner.bound_at.get(&id) {
+                                    since = since.max(b);
+                                }
+                                now.since(since) > lease + grace
+                            }
+                        };
+                    }
+                    // A heartbeat already sent but still in flight (lossy
+                    // delivery jitter) is proof of life: do not declare a
+                    // delayed-but-delivered pilot dead.
+                    if store.heartbeat_in_flight(id) {
+                        return false;
+                    }
                     let mut last = p.times().active.unwrap_or(SimTime::ZERO);
                     if let Some(hb) = store.last_heartbeat(id) {
                         last = last.max(hb);
@@ -852,7 +913,15 @@ impl UnitManager {
                 .collect()
         };
         for id in suspects {
-            self.handle_pilot_loss(engine, id, "pilot heartbeat lost");
+            if lease_grace.is_some() {
+                // Revoke first: the epoch bump fences any in-flight or
+                // post-heal writes from the old owner before new
+                // ownership exists.
+                store.revoke_lease(engine, id);
+                self.handle_pilot_loss(engine, id, "pilot lease expired");
+            } else {
+                self.handle_pilot_loss(engine, id, "pilot heartbeat lost");
+            }
         }
         self.ensure_monitor(engine);
     }
@@ -1464,6 +1533,128 @@ mod tests {
         assert!(units.iter().all(|u| u.pilot() == Some(p1.id())));
         // The batch job is still burning walltime — only the agent died.
         assert_eq!(p0.state(), PilotState::Active);
+    }
+
+    #[test]
+    fn delayed_heartbeats_do_not_trigger_spurious_rebind() {
+        // Delivery jitter pushes heartbeats right up against the gap
+        // threshold. A delayed-but-delivered beat is proof of life: the
+        // monitor must consult the in-flight counter instead of declaring
+        // the pilot dead and double-scheduling its units.
+        let mut e = Engine::new(31);
+        let mut cfg = SessionConfig::test_profile();
+        cfg.coordination.loss = crate::coordination::LossProfile {
+            drop_p: 0.0,
+            dup_p: 0.0,
+            delay_jitter_ms: 24_000.0,
+            seed: 7,
+        };
+        let session = Session::new(cfg);
+        let pm = PilotManager::new(&session);
+        let p0 = pm
+            .submit(
+                &mut e,
+                PilotDescription::new("localhost", 2, SimDuration::from_secs(7200)),
+            )
+            .unwrap();
+        let p1 = pm
+            .submit(
+                &mut e,
+                PilotDescription::new("localhost", 2, SimDuration::from_secs(7200)),
+            )
+            .unwrap();
+        let mut um = UnitManager::new(&session, UmScheduler::Direct);
+        um.add_pilot(&p0);
+        um.add_pilot(&p1);
+        um.enable_failover(&mut e);
+        // Gap (25 s) barely above the worst-case beat spacing (10 s
+        // period + 24 s jitter): without the in-flight check this setup
+        // produces spurious deaths.
+        um.set_heartbeat_gap(&mut e, SimDuration::from_secs(25));
+        let units = um.submit_units(
+            &mut e,
+            (0..4).map(|i| sleep_unit(&format!("u{i}"), 120)).collect(),
+        );
+        while units.iter().any(|u| !u.state().is_final()) {
+            assert!(e.step(), "stalled with live units");
+        }
+        assert!(
+            units.iter().all(|u| u.state() == UnitState::Done),
+            "{:?}",
+            units.iter().map(|u| u.state()).collect::<Vec<_>>()
+        );
+        assert_eq!(um.rebinds(), 0, "delayed heartbeat mistaken for death");
+        assert!(units.iter().all(|u| u.attempts() <= 1));
+    }
+
+    #[test]
+    fn lease_expiry_fences_partitioned_pilot_and_rebinds() {
+        let mut e = Engine::new(33);
+        let session = Session::new(SessionConfig::test_profile());
+        let pm = PilotManager::new(&session);
+        let p0 = pm
+            .submit(
+                &mut e,
+                PilotDescription::new("localhost", 2, SimDuration::from_secs(7200)),
+            )
+            .unwrap();
+        let p1 = pm
+            .submit(
+                &mut e,
+                PilotDescription::new("localhost", 2, SimDuration::from_secs(7200)),
+            )
+            .unwrap();
+        let mut um = UnitManager::new(&session, UmScheduler::RoundRobin);
+        um.add_pilot(&p0);
+        um.add_pilot(&p1);
+        um.enable_leases(
+            &mut e,
+            SimDuration::from_secs(60),
+            SimDuration::from_secs(30),
+        );
+        // 60 s units: the first completions land while p0 is partitioned
+        // but not yet self-fenced, so their roundtrips are sent at the old
+        // epoch and held by the partition window.
+        let units = um.submit_units(
+            &mut e,
+            (0..6).map(|i| sleep_unit(&format!("u{i}"), 60)).collect(),
+        );
+        // Cut p0's agent off from the store mid-run: renewals fail, its
+        // lease expires, it self-fences; the UM revokes (bumping the
+        // fencing epoch) and re-binds. After the heal the zombie's held
+        // completions arrive under the stale epoch and must be rejected.
+        let store = session.store();
+        let victim = p0.id();
+        e.schedule_in(SimDuration::from_secs(30), move |eng| {
+            store.partition_pilot(eng, victim, SimDuration::from_secs(600), false);
+        });
+        while units.iter().any(|u| !u.state().is_final()) {
+            assert!(e.step(), "stalled with live units");
+        }
+        // Drain past the heal so held zombie messages get delivered (and
+        // fenced) rather than left in the queue.
+        while e.step() {}
+        assert!(
+            units.iter().all(|u| u.state() == UnitState::Done),
+            "{:?}",
+            units
+                .iter()
+                .map(|u| (u.state(), u.failure()))
+                .collect::<Vec<_>>()
+        );
+        let store = session.store();
+        assert!(um.rebinds() > 0, "lease expiry must trigger re-binding");
+        assert!(
+            store.fence_rejections() > 0,
+            "healed zombie's stale-epoch writes must be rejected"
+        );
+        // Grant (1), revoke on loss (2), post-heal re-acquire (3): the
+        // fencing epoch is strictly monotone across ownership changes.
+        assert!(store.lease_epoch(p0.id()) >= 2);
+        // Exactly-once: every unit ran to Done exactly once per attempt —
+        // no zombie completion double-counted (Done is terminal; a stale
+        // apply would panic the state machine or inflate attempts).
+        assert!(units.iter().all(|u| u.attempts() >= 1));
     }
 
     #[test]

@@ -49,6 +49,17 @@ pub enum FaultKind {
     /// pilot must be failed over or failed. The index is logical
     /// (position in the installer's pilot list).
     PilotKill { pilot: usize },
+    /// Network partition between one pilot's agent and the coordination
+    /// store, healing after `duration`. The agent stays alive and keeps
+    /// executing — the split-brain case PilotKill can't produce. With
+    /// `symmetric` both directions are cut; otherwise only the
+    /// agent→store direction is (the agent still receives unit batches
+    /// but its heartbeats, lease renewals and completions are held).
+    Partition {
+        pilot: usize,
+        duration: SimDuration,
+        symmetric: bool,
+    },
 }
 
 /// A fault at a point in virtual time.
@@ -150,6 +161,55 @@ impl FaultPlan {
         FaultPlan { events }
     }
 
+    /// Generate a plan that additionally partitions agents from the
+    /// coordination store. Same contract as [`FaultPlan::generate_mixed`]
+    /// (private RNG stream, exactly `intensity` events, sorted) but the
+    /// kind distribution includes [`FaultKind::Partition`] windows with a
+    /// timed heal, and excludes [`FaultKind::PilotKill`] so a partitioned
+    /// zombie always has a surviving pilot to race against. A separate
+    /// stream from both older generators, so their schedules stay
+    /// bit-identical.
+    pub fn generate_partitioned(
+        seed: u64,
+        horizon: SimDuration,
+        nodes: usize,
+        pilots: usize,
+        intensity: usize,
+    ) -> Self {
+        let mut rng = SimRng::new(seed ^ 0xFC_u64.rotate_left(56));
+        let mut events: Vec<FaultEvent> = (0..intensity)
+            .map(|_| {
+                let at = SimTime(rng.uniform_u64(0, horizon.0.saturating_sub(1).max(1)));
+                let kind = match rng.index(7) {
+                    0 => FaultKind::NodeCrash {
+                        node: rng.index(nodes.max(1)),
+                    },
+                    1 => FaultKind::NodeSlowdown {
+                        node: rng.index(nodes.max(1)),
+                        factor: rng.uniform(1.5, 4.0),
+                        duration: SimDuration::from_secs(rng.uniform_u64(30, 300)),
+                    },
+                    2 => FaultKind::ContainerKill {
+                        count: rng.uniform_u64(1, 3) as usize,
+                    },
+                    3 => FaultKind::LinkDegrade {
+                        factor: rng.uniform(0.1, 0.6),
+                        duration: SimDuration::from_secs(rng.uniform_u64(30, 300)),
+                    },
+                    4 => FaultKind::StagingError,
+                    _ => FaultKind::Partition {
+                        pilot: rng.index(pilots.max(1)),
+                        duration: SimDuration::from_secs(rng.uniform_u64(60, 240)),
+                        symmetric: rng.chance(0.5),
+                    },
+                };
+                FaultEvent { at, kind }
+            })
+            .collect();
+        events.sort_by_key(|e| e.at);
+        FaultPlan { events }
+    }
+
     /// Number of scheduled faults.
     pub fn len(&self) -> usize {
         self.events.len()
@@ -172,6 +232,14 @@ impl FaultPlan {
         self.events
             .iter()
             .filter(|e| matches!(e.kind, FaultKind::PilotKill { .. }))
+            .count()
+    }
+
+    /// Number of partition windows in the plan.
+    pub fn partition_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::Partition { .. }))
             .count()
     }
 }
@@ -289,6 +357,43 @@ mod tests {
         // Distinct stream from `generate`: existing schedules unchanged.
         let legacy = FaultPlan::generate(7, SimDuration::from_secs(600), 4, 12);
         assert_eq!(legacy.pilot_kill_count(), 0);
+    }
+
+    #[test]
+    fn generate_partitioned_is_deterministic_and_includes_partitions() {
+        let a = FaultPlan::generate_partitioned(7, SimDuration::from_secs(600), 4, 2, 60);
+        let b = FaultPlan::generate_partitioned(7, SimDuration::from_secs(600), 4, 2, 60);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 60);
+        assert!(a.partition_count() > 0, "60 draws over 7 kinds");
+        // No whole-pilot kills: a partitioned zombie must always have a
+        // live peer to race against.
+        assert_eq!(a.pilot_kill_count(), 0);
+        let mut saw_symmetric = false;
+        let mut saw_asymmetric = false;
+        for ev in &a.events {
+            if let FaultKind::Partition {
+                pilot,
+                duration,
+                symmetric,
+            } = ev.kind
+            {
+                assert!(pilot < 2);
+                assert!(duration >= SimDuration::from_secs(60));
+                assert!(duration <= SimDuration::from_secs(240));
+                if symmetric {
+                    saw_symmetric = true;
+                } else {
+                    saw_asymmetric = true;
+                }
+            }
+        }
+        assert!(saw_symmetric && saw_asymmetric, "both directions covered");
+        // Distinct stream: the older generators stay bit-identical.
+        let legacy = FaultPlan::generate(7, SimDuration::from_secs(600), 4, 12);
+        assert_eq!(legacy.partition_count(), 0);
+        let mixed = FaultPlan::generate_mixed(7, SimDuration::from_secs(600), 4, 2, 60);
+        assert_eq!(mixed.partition_count(), 0);
     }
 
     #[test]

@@ -80,6 +80,9 @@ pub struct EngineTelemetry {
     live_spans_hw: u64,
     coord_backlog_hw: u64,
     coord_backlog_samples: u64,
+    lease_renewals: u64,
+    fence_rejections: u64,
+    partition_windows: u64,
 }
 
 impl EngineTelemetry {
@@ -176,6 +179,28 @@ impl EngineTelemetry {
         self.coord_backlog_hw = self.coord_backlog_hw.max(depth as u64);
     }
 
+    /// Hook: an agent's pilot lease was renewed through the store.
+    pub fn note_lease_renewal(&mut self) {
+        if self.enabled {
+            self.lease_renewals += 1;
+        }
+    }
+
+    /// Hook: the store rejected a stale-fencing-epoch effect (a healed
+    /// zombie's write arrived after ownership moved on).
+    pub fn note_fence_rejection(&mut self) {
+        if self.enabled {
+            self.fence_rejections += 1;
+        }
+    }
+
+    /// Hook: a partition reachability window opened against a pilot.
+    pub fn note_partition_window(&mut self) {
+        if self.enabled {
+            self.partition_windows += 1;
+        }
+    }
+
     /// Freeze the recorder into a mergeable snapshot. The engine passes
     /// its parallel counters in (they live on the engine, outside the
     /// recorder, because they are maintained even with telemetry off).
@@ -199,6 +224,9 @@ impl EngineTelemetry {
             live_spans_hw: self.live_spans_hw,
             coord_backlog_hw: self.coord_backlog_hw,
             coord_backlog_samples: self.coord_backlog_samples,
+            lease_renewals: self.lease_renewals,
+            fence_rejections: self.fence_rejections,
+            partition_windows: self.partition_windows,
         }
     }
 }
@@ -232,6 +260,9 @@ pub struct TelemetrySnapshot {
     pub live_spans_hw: u64,
     pub coord_backlog_hw: u64,
     pub coord_backlog_samples: u64,
+    pub lease_renewals: u64,
+    pub fence_rejections: u64,
+    pub partition_windows: u64,
 }
 
 /// How many domains get their own entry in the JSON document; the rest
@@ -267,6 +298,9 @@ impl TelemetrySnapshot {
         self.live_spans_hw = self.live_spans_hw.max(other.live_spans_hw);
         self.coord_backlog_hw = self.coord_backlog_hw.max(other.coord_backlog_hw);
         self.coord_backlog_samples += other.coord_backlog_samples;
+        self.lease_renewals += other.lease_renewals;
+        self.fence_rejections += other.fence_rejections;
+        self.partition_windows += other.partition_windows;
     }
 
     /// The binding lookahead constraint: the labelled source with the
@@ -332,7 +366,9 @@ impl TelemetrySnapshot {
                 "\"events_per_domain\":{{\"domains\":{nd},\"total\":{tot},",
                 "\"top\":{{{top}}},\"other\":{other}}},",
                 "\"highwater\":{{\"samples\":{hs},\"slab_len\":{slab},",
-                "\"live_spans\":{live},\"coord_backlog\":{cb},\"coord_samples\":{cs}}}}}"
+                "\"live_spans\":{live},\"coord_backlog\":{cb},\"coord_samples\":{cs}}},",
+                "\"ownership\":{{\"lease_renewals\":{lr},\"fence_rejections\":{fr},",
+                "\"partition_windows\":{pw}}}}}"
             ),
             schema = TELEMETRY_SCHEMA_VERSION,
             enabled = self.enabled,
@@ -358,6 +394,9 @@ impl TelemetrySnapshot {
             live = self.live_spans_hw,
             cb = self.coord_backlog_hw,
             cs = self.coord_backlog_samples,
+            lr = self.lease_renewals,
+            fr = self.fence_rejections,
+            pw = self.partition_windows,
         )
     }
 
@@ -409,6 +448,9 @@ mod tests {
             t.on_apply((i % 3) as u32, 10, 2);
         }
         t.sample_coord_backlog(4 + seed as usize);
+        t.note_lease_renewal();
+        t.note_fence_rejection();
+        t.note_partition_window();
         t.snapshot(2, 6)
     }
 
@@ -420,6 +462,9 @@ mod tests {
         t.note_batch_attempt(HorizonOutcome::Extended);
         t.note_empty_batch();
         t.sample_coord_backlog(9);
+        t.note_lease_renewal();
+        t.note_fence_rejection();
+        t.note_partition_window();
         let timer = t.start_batch_timer();
         t.finish_batch(timer, 5);
         let snap = t.snapshot(0, 0);
@@ -428,6 +473,9 @@ mod tests {
         assert!(snap.prep_batch_us.is_empty());
         assert!(snap.batch_occupancy.is_empty());
         assert_eq!(snap.coord_backlog_samples, 0);
+        assert_eq!(snap.lease_renewals, 0);
+        assert_eq!(snap.fence_rejections, 0);
+        assert_eq!(snap.partition_windows, 0);
     }
 
     #[test]
@@ -497,8 +545,17 @@ mod tests {
             "batch_occupancy",
             "events_per_domain",
             "highwater",
+            "ownership",
         ] {
             assert!(doc.get(key).is_some(), "missing {key} in {j}");
+        }
+        let own = doc.get("ownership").expect("ownership");
+        for key in ["lease_renewals", "fence_rejections", "partition_windows"] {
+            assert_eq!(
+                own.get(key).and_then(|v| v.as_f64()),
+                Some(1.0),
+                "ownership.{key}"
+            );
         }
         let look = doc.get("lookahead").expect("lookahead");
         assert_eq!(

@@ -5,14 +5,17 @@
 //! completion.
 //!
 //! ```text
-//! cargo run --example fault_injection [seed] [intensity] [--json] [--pilot-kill]
+//! cargo run --example fault_injection [seed] [intensity] [--json] [--pilot-kill] [--partition <dur_s>]
 //! ```
 //!
 //! With `--json`, emits one machine-checkable JSON line instead of the
 //! human-readable report (used by the CI fault-matrix smoke). With
 //! `--pilot-kill`, runs the pilot-loss case instead: two pilots with
 //! failover enabled, the first killed mid-run, every unit re-bound to
-//! the survivor.
+//! the survivor. With `--partition <dur_s>`, runs the split-brain case:
+//! lease-based ownership, pilot 0 partitioned from the coordination
+//! store for a timed window, fencing epochs rejecting the healed
+//! zombie's stale writes.
 
 use hadoop_hpc::pilot::*;
 use hadoop_hpc::sim::{
@@ -20,13 +23,14 @@ use hadoop_hpc::sim::{
 };
 
 /// Every injectable fault kind, in `FaultKind` declaration order.
-const KINDS: [&str; 6] = [
+const KINDS: [&str; 7] = [
     "NodeCrash",
     "NodeSlowdown",
     "ContainerKill",
     "LinkDegrade",
     "StagingError",
     "PilotKill",
+    "Partition",
 ];
 
 fn kinds_json() -> String {
@@ -38,7 +42,7 @@ fn print_help() {
     println!("fault_injection — deterministic fault schedules against a pilot workload");
     println!();
     println!(
-        "usage: cargo run --example fault_injection [seed] [intensity] [--json] [--pilot-kill]"
+        "usage: cargo run --example fault_injection [seed] [intensity] [--json] [--pilot-kill] [--partition <dur_s>]"
     );
     println!();
     println!("  seed          RNG seed for engine and fault plan (default 11)");
@@ -46,6 +50,12 @@ fn print_help() {
     println!("  --json        one machine-checkable JSON line (CI smoke)");
     println!("  --pilot-kill  pilot-loss case: 2 pilots with cross-pilot failover,");
     println!("                pilot 0 killed mid-run, units re-bound to the survivor");
+    println!("  --partition <dur_s>");
+    println!("                split-brain case: 2 pilots with lease-based ownership,");
+    println!("                pilot 0 partitioned from the store for dur_s seconds;");
+    println!("                it self-fences, the lease is revoked (fencing epoch");
+    println!("                bump), units re-bind, and the healed zombie's stale");
+    println!("                writes are rejected at the store");
     println!("  --help        this text");
     println!();
     println!("fault kinds:");
@@ -55,6 +65,8 @@ fn print_help() {
     println!("  LinkDegrade    scale shared-filesystem capacity down for a while");
     println!("  StagingError   fail the next staging directive once (retried after backoff)");
     println!("  PilotKill      kill a whole pilot allocation; unfinished units fail over");
+    println!("  Partition      cut a pilot's agent off from the coordination store for a");
+    println!("                 timed window (symmetric or asymmetric), then heal");
 }
 
 /// The `--pilot-kill` case: a `PilotKill` fault against a 2-pilot session
@@ -167,12 +179,173 @@ fn run_pilot_kill(seed: u64, json_out: bool) {
     }
 }
 
+/// The `--partition <dur_s>` case: lease-based ownership against a timed
+/// split-brain. Pilot 0 keeps computing while cut off from the store —
+/// its completions are held by the partition, its lease lapses and it
+/// self-fences; the Unit-Manager revokes the lease (bumping the fencing
+/// epoch) and re-binds to the survivor. When the window heals, the
+/// zombie's held writes arrive under the stale epoch and are rejected, so
+/// every unit completes exactly once.
+fn run_partition(seed: u64, dur_s: u64, json_out: bool) {
+    let mut engine = Engine::with_trace(seed);
+    let session = Session::new(SessionConfig::default());
+    let pm = PilotManager::new(&session);
+    let pilots: Vec<PilotHandle> = (0..2)
+        .map(|_| {
+            pm.submit(
+                &mut engine,
+                PilotDescription::new("xsede.stampede", 3, SimDuration::from_secs(4 * 3600)),
+            )
+            .expect("pilot")
+        })
+        .collect();
+    let mut um = UnitManager::new(&session, UmScheduler::RoundRobin);
+    for p in &pilots {
+        um.add_pilot(p);
+    }
+    um.enable_leases(
+        &mut engine,
+        SimDuration::from_secs(60),
+        SimDuration::from_secs(30),
+    );
+    let plan = FaultPlan {
+        events: vec![FaultEvent {
+            at: SimTime::from_secs_f64(120.0),
+            kind: FaultKind::Partition {
+                pilot: 0,
+                duration: SimDuration::from_secs(dur_s),
+                symmetric: false,
+            },
+        }],
+    };
+    if !json_out {
+        println!("partition plan (seed {seed}, window {dur_s} s):");
+        for ev in &plan.events {
+            println!("  {:>10}  {:?}", format!("{}", ev.at), ev.kind);
+        }
+    }
+    let injector = install_faults_multi(&mut engine, &plan, &pilots);
+    // Staggered sleeps: the first wave completes inside the
+    // partition-to-fence window, so those completions are sent under the
+    // soon-to-be-stale epoch and held by the partition.
+    let units = um.submit_units(
+        &mut engine,
+        (0..12)
+            .map(|i| {
+                ComputeUnitDescription::new(
+                    format!("work-{i}"),
+                    1,
+                    WorkSpec::Sleep(SimDuration::from_secs(90 + (i % 4) * 10)),
+                )
+            })
+            .collect(),
+    );
+    while units.iter().any(|u| !u.state().is_final()) {
+        assert!(engine.step(), "stalled");
+    }
+    for p in &pilots {
+        if !p.state().is_final() {
+            pm.cancel(&mut engine, p);
+        }
+    }
+    // Run past the heal so the zombie's held messages are delivered (and
+    // fenced) instead of left in the queue.
+    engine.run();
+    let store = session.store();
+    let done = units
+        .iter()
+        .filter(|u| u.state() == UnitState::Done)
+        .count();
+    let failed = units
+        .iter()
+        .filter(|u| u.state() == UnitState::Failed)
+        .count();
+    let makespan_s = units
+        .iter()
+        .filter_map(|u| u.times().done)
+        .map(|t| t.as_secs_f64())
+        .fold(0.0_f64, f64::max);
+    if json_out {
+        let unit_fields: Vec<String> = units
+            .iter()
+            .map(|u| {
+                format!(
+                    "{{\"name\":\"{}\",\"state\":\"{:?}\",\"attempts\":{}}}",
+                    escape_json(&u.name()),
+                    u.state(),
+                    u.attempts()
+                )
+            })
+            .collect();
+        println!(
+            "{{\"seed\":{seed},\"mode\":\"partition\",\"window_s\":{dur_s},\
+             \"planned\":{},\"injected\":{},\"units\":{},\"done\":{done},\
+             \"failed\":{failed},\"rebound\":{},\"partition_windows\":{},\
+             \"partition_holds\":{},\"fence_rejections\":{},\
+             \"lease_renewals\":{},\"kinds\":{},\"makespan_s\":{makespan_s:.6},\
+             \"unit_states\":[{}]}}",
+            plan.events.len(),
+            injector.injected(),
+            units.len(),
+            um.rebinds(),
+            store.partition_windows(),
+            store.partition_holds(),
+            store.fence_rejections(),
+            store.lease_renewals(),
+            kinds_json(),
+            unit_fields.join(",")
+        );
+        return;
+    }
+    println!(
+        "\npartition healed; {done}/{} units Done, {} re-bound, \
+         {} stale-epoch writes fenced, {} lease renewals",
+        units.len(),
+        um.rebinds(),
+        store.fence_rejections(),
+        store.lease_renewals()
+    );
+    for u in &units {
+        println!(
+            "  {:<8} {:?} attempts={} pilot={:?}",
+            u.name(),
+            u.state(),
+            u.attempts(),
+            u.pilot()
+        );
+    }
+    println!("\n-- ownership trace --");
+    for e in engine.trace.events() {
+        if e.message.contains("lease")
+            || e.message.contains("fenced")
+            || e.message.contains("partition")
+            || e.message.contains("rejected")
+            || e.message.contains("lost (")
+        {
+            println!(
+                "{:>10} [{:<5}] {}",
+                format!("{}", e.time),
+                e.category,
+                e.message
+            );
+        }
+    }
+}
+
 fn main() {
     let (mut positional, mut json_out, mut pilot_kill) = (Vec::new(), false, false);
+    let mut partition: Option<u64> = None;
+    let mut want_partition_dur = false;
     for a in std::env::args().skip(1) {
+        if want_partition_dur {
+            partition = Some(a.parse().expect("--partition takes a duration in seconds"));
+            want_partition_dur = false;
+            continue;
+        }
         match a.as_str() {
             "--json" => json_out = true,
             "--pilot-kill" => pilot_kill = true,
+            "--partition" => want_partition_dur = true,
             "--help" | "-h" => {
                 print_help();
                 return;
@@ -180,10 +353,18 @@ fn main() {
             _ => positional.push(a),
         }
     }
+    assert!(
+        !want_partition_dur,
+        "--partition takes a duration in seconds"
+    );
     let mut args = positional.into_iter();
     let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(11);
     let intensity: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(6);
 
+    if let Some(dur_s) = partition {
+        run_partition(seed, dur_s, json_out);
+        return;
+    }
     if pilot_kill {
         run_pilot_kill(seed, json_out);
         return;

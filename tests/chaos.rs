@@ -24,7 +24,10 @@
 //! `ci.sh` quick mode uses 8).
 
 use hadoop_hpc::pilot::*;
-use hadoop_hpc::sim::{Engine, FaultPlan, MetricsSnapshot, SimDuration, SimTime, Span, TraceEvent};
+use hadoop_hpc::sim::{
+    Engine, FaultEvent, FaultKind, FaultPlan, MetricsSnapshot, SimDuration, SimTime, Span,
+    TraceEvent,
+};
 
 const UNITS: usize = 12;
 const SLEEP_S: u64 = 150;
@@ -242,6 +245,318 @@ fn chaos_reruns_are_bit_identical() {
         assert_eq!(a.spans, b.spans, "seed {seed}: spans diverge");
         assert_eq!(a.metrics, b.metrics, "seed {seed}: metrics diverge");
         assert_eq!(a.rebinds, b.rebinds, "seed {seed}: rebinds diverge");
+    }
+}
+
+// ---- split-brain tier: partition × heal × lossy grid ----
+
+struct PartitionOutcome {
+    states: Vec<UnitState>,
+    events: Vec<TraceEvent>,
+    spans: Vec<Span>,
+    open_spans: Vec<(&'static str, String)>,
+    metrics: MetricsSnapshot,
+    /// Store effect log: every applied (non-deduped, non-fenced) message.
+    effects: Vec<(SimTime, u64, &'static str)>,
+    done: usize,
+    units_completed: u64,
+    msgs_duplicated: u64,
+    dup_applies_ignored: u64,
+    rebinds: u64,
+    partition_windows: u64,
+    fence_rejections: u64,
+}
+
+/// One split-brain scenario: 2 three-node pilots under lease-based
+/// ownership (60 s leases, 30 s grace), a partition-bearing fault plan,
+/// and optionally the lossy transport on top. A deterministic long
+/// asymmetric/symmetric window against one pilot is appended to the
+/// generated plan so every seed exercises the heal-after-rebind zombie
+/// path, not just whatever `generate_partitioned` happened to draw.
+fn partition_run(seed: u64, lossy: bool) -> PartitionOutcome {
+    let mut e = Engine::with_trace(seed);
+    let mut cfg = SessionConfig::test_profile();
+    if lossy {
+        cfg.coordination.loss = LossProfile {
+            drop_p: 0.10,
+            dup_p: 0.05,
+            delay_jitter_ms: 25.0,
+            seed,
+        };
+    }
+    let session = Session::new(cfg);
+    session.store().enable_effect_log();
+    let pm = PilotManager::new(&session);
+    let pilots: Vec<PilotHandle> = (0..2)
+        .map(|_| {
+            pm.submit(
+                &mut e,
+                PilotDescription::new("xsede.stampede", 3, SimDuration::from_secs(14_400)),
+            )
+            .unwrap()
+        })
+        .collect();
+    let mut um = UnitManager::new(&session, UmScheduler::RoundRobin);
+    for p in &pilots {
+        um.add_pilot(p);
+    }
+    um.enable_leases(
+        &mut e,
+        SimDuration::from_secs(60),
+        SimDuration::from_secs(30),
+    );
+    let mut plan =
+        FaultPlan::generate_partitioned(seed, SimDuration::from_secs(1_800), 3, pilots.len(), 6);
+    // Guaranteed zombie: partition one pilot at 50 s (agents are Active
+    // by ~47 s) for 300 s — long past lease expiry (60 s) + grace (30 s),
+    // so the victim self-fences and its units re-bind while the window is
+    // still open; its held completions arrive after the heal under a
+    // stale epoch.
+    plan.events.push(FaultEvent {
+        at: SimTime::from_secs_f64(50.0),
+        kind: FaultKind::Partition {
+            pilot: (seed as usize) % 2,
+            duration: SimDuration::from_secs(300),
+            symmetric: seed.is_multiple_of(2),
+        },
+    });
+    let injector = install_faults_multi(&mut e, &plan, &pilots);
+    // Staggered short sleeps: pilots only become Active around t ≈ 40 s
+    // (queue wait + bootstrap), so the first wave completes inside the
+    // partition-to-fence window (~40–100 s) and its completions are held;
+    // the rest re-bind after the fence.
+    let units = um.submit_units(
+        &mut e,
+        (0..UNITS)
+            .map(|i| {
+                ComputeUnitDescription::new(
+                    format!("c{i}"),
+                    1,
+                    WorkSpec::Sleep(SimDuration::from_secs(15 + (i as u64 % 4) * 10)),
+                )
+            })
+            .collect(),
+    );
+    let horizon = SimTime::from_secs_f64(20_000.0);
+    while units.iter().any(|u| !u.state().is_final()) {
+        assert!(e.step(), "seed {seed}: sim wedged with live units");
+        assert!(
+            e.now() < horizon,
+            "seed {seed}: units still live past the walltime backstop"
+        );
+    }
+    // Drain past every heal: held zombie messages must be delivered (and
+    // fenced), not left pending in the queue.
+    e.run();
+    assert!(
+        injector.injected() > 0,
+        "seed {seed}: plan injected nothing"
+    );
+    let store = session.store();
+    if std::env::var("CHAOS_DEBUG").is_ok() {
+        eprintln!(
+            "seed {seed}: injected={} windows={} holds={} fenced={} rebinds={} done={}",
+            injector.injected(),
+            store.partition_windows(),
+            store.partition_holds(),
+            store.fence_rejections(),
+            um.rebinds(),
+            units
+                .iter()
+                .filter(|u| u.state() == UnitState::Done)
+                .count()
+        );
+        for ev in e.trace.events() {
+            if ev.message.contains("lease")
+                || ev.message.contains("fenc")
+                || ev.message.contains("partition")
+                || ev.message.contains("held")
+                || ev.message.contains("rejected")
+                || ev.message.contains("lost (")
+            {
+                eprintln!("  {:?} [{}] {}", ev.time, ev.category, ev.message);
+            }
+        }
+    }
+    PartitionOutcome {
+        states: units.iter().map(|u| u.state()).collect(),
+        done: units
+            .iter()
+            .filter(|u| u.state() == UnitState::Done)
+            .count(),
+        units_completed: counter(&e.metrics.snapshot(), "agent.units_completed"),
+        events: e.trace.events().to_vec(),
+        spans: e.trace.iter_spans().cloned().collect(),
+        open_spans: e
+            .trace
+            .iter_spans()
+            .filter(|s| s.end.is_none())
+            .map(|s| (s.category, e.trace.span_name(s).to_string()))
+            .collect(),
+        metrics: e.metrics.snapshot(),
+        effects: store.effect_log(),
+        msgs_duplicated: store.msgs_duplicated(),
+        dup_applies_ignored: store.dup_applies_ignored(),
+        rebinds: um.rebinds(),
+        partition_windows: store.partition_windows(),
+        fence_rejections: store.fence_rejections(),
+    }
+}
+
+fn check_partition_invariants(seed: u64, out: &PartitionOutcome) {
+    // (a) every unit terminal.
+    for (i, s) in out.states.iter().enumerate() {
+        assert!(s.is_final(), "seed {seed}: c{i} not terminal: {s:?}");
+    }
+    // (b) exactly-once side effects. The effect log records every apply
+    // the store let through: sequence numbers must be unique (dedup
+    // suppressed duplicates, fencing suppressed stale epochs — a stale
+    // apply would show up here as a duplicate completion).
+    let mut seqs: Vec<u64> = out.effects.iter().map(|(_, seq, _)| *seq).collect();
+    seqs.sort_unstable();
+    let before = seqs.len();
+    seqs.dedup();
+    assert_eq!(
+        before,
+        seqs.len(),
+        "seed {seed}: a store message was applied twice"
+    );
+    assert_eq!(
+        out.units_completed, out.done as u64,
+        "seed {seed}: completion side effects diverge from Done count"
+    );
+    assert_eq!(
+        out.dup_applies_ignored, out.msgs_duplicated,
+        "seed {seed}: every duplicated message must be applied exactly once"
+    );
+    // (c) open spans at shutdown are only abandoned attempt spans.
+    for (category, name) in &out.open_spans {
+        assert_eq!(
+            name, "unit.compute",
+            "seed {seed}: unexpected open span {category:?}/{name} at shutdown"
+        );
+    }
+}
+
+#[test]
+fn partition_heal_grid() {
+    // ≥16-point grid (seed × lossy), env-overridable like the main soak.
+    let seeds = seed_count().clamp(16, 64);
+    let mut total_rebinds = 0u64;
+    let mut total_windows = 0u64;
+    let mut total_fenced = 0u64;
+    let mut any_failed = 0usize;
+    for seed in 1..=seeds {
+        let out = partition_run(seed, seed.is_multiple_of(2));
+        check_partition_invariants(seed, &out);
+        total_rebinds += out.rebinds;
+        total_windows += out.partition_windows;
+        total_fenced += out.fence_rejections;
+        any_failed += out.states.len() - out.done;
+    }
+    assert!(total_windows > 0, "no scenario opened a partition window");
+    assert!(
+        total_rebinds > 0,
+        "no scenario re-bound units off a fenced pilot"
+    );
+    // The heal-after-rebind zombie path must fire somewhere in the grid:
+    // at least one healed pilot's stale-epoch write reached the store and
+    // was rejected (zero such writes were ever *applied* — the effect-log
+    // uniqueness check above proves that side).
+    assert!(
+        total_fenced > 0,
+        "no scenario rejected a stale-epoch zombie write"
+    );
+    let total_units = seeds as usize * UNITS;
+    assert!(
+        any_failed * 4 < total_units,
+        "{any_failed}/{total_units} units failed — recovery is not pulling its weight"
+    );
+}
+
+#[test]
+fn partition_reruns_are_bit_identical() {
+    // Invariant (d) for the split-brain tier: partitions, leases and
+    // fencing are part of the deterministic simulation.
+    let seeds = seed_count().min(4);
+    for seed in 1..=seeds {
+        for lossy in [false, true] {
+            let a = partition_run(seed, lossy);
+            let b = partition_run(seed, lossy);
+            assert_eq!(a.states, b.states, "seed {seed}: states diverge");
+            assert_eq!(a.events, b.events, "seed {seed}: trace events diverge");
+            assert_eq!(a.spans, b.spans, "seed {seed}: spans diverge");
+            assert_eq!(a.metrics, b.metrics, "seed {seed}: metrics diverge");
+            assert_eq!(a.effects, b.effects, "seed {seed}: effect logs diverge");
+        }
+    }
+}
+
+#[test]
+fn leases_without_partitions_are_quiet() {
+    // Lease machinery at rest: with ownership leases on but no partition
+    // in the plan and a lossless transport, every renewal succeeds — no
+    // fence rejections, no self-fences, no re-binding — and the run stays
+    // deterministic.
+    for seed in [1u64, 9] {
+        let run = |seed: u64| {
+            let mut e = Engine::with_trace(seed);
+            let session = Session::new(SessionConfig::test_profile());
+            session.store().enable_effect_log();
+            let pm = PilotManager::new(&session);
+            let pilots: Vec<PilotHandle> = (0..2)
+                .map(|_| {
+                    pm.submit(
+                        &mut e,
+                        PilotDescription::new("xsede.stampede", 3, SimDuration::from_secs(14_400)),
+                    )
+                    .unwrap()
+                })
+                .collect();
+            let mut um = UnitManager::new(&session, UmScheduler::RoundRobin);
+            for p in &pilots {
+                um.add_pilot(p);
+            }
+            um.enable_leases(
+                &mut e,
+                SimDuration::from_secs(60),
+                SimDuration::from_secs(30),
+            );
+            let units = um.submit_units(
+                &mut e,
+                (0..UNITS)
+                    .map(|i| {
+                        ComputeUnitDescription::new(
+                            format!("c{i}"),
+                            1,
+                            WorkSpec::Sleep(SimDuration::from_secs(SLEEP_S)),
+                        )
+                    })
+                    .collect(),
+            );
+            while units.iter().any(|u| !u.state().is_final()) {
+                assert!(e.step(), "seed {seed}: sim wedged");
+            }
+            e.run();
+            let store = session.store();
+            (
+                units.iter().map(|u| u.state()).collect::<Vec<_>>(),
+                e.trace.events().to_vec(),
+                e.metrics.snapshot(),
+                store.fence_rejections(),
+                store.partition_windows(),
+                um.rebinds(),
+            )
+        };
+        let (states, events, metrics, fenced, windows, rebinds) = run(seed);
+        assert!(states.iter().all(|s| *s == UnitState::Done), "seed {seed}");
+        assert_eq!(fenced, 0, "seed {seed}: healthy renewals must not fence");
+        assert_eq!(windows, 0, "seed {seed}");
+        assert_eq!(rebinds, 0, "seed {seed}: healthy leases must not re-bind");
+        let (states2, events2, metrics2, ..) = run(seed);
+        assert_eq!(states, states2, "seed {seed}");
+        assert_eq!(events, events2, "seed {seed}");
+        assert_eq!(metrics, metrics2, "seed {seed}");
     }
 }
 

@@ -1,0 +1,254 @@
+//! Lease-safety property tier.
+//!
+//! Seeded property tests over the coordination store's lease table. Two
+//! invariants carry the whole split-brain design and are checked here
+//! from the store's own audit log:
+//!
+//! * **Two-owner invariant** — a pilot is never granted a lease while an
+//!   unexpired one is still held; ownership holds are disjoint in time.
+//! * **Fencing-epoch monotonicity** — grants and revocations bump the
+//!   epoch by exactly one, renewals never move it, so a zombie stamped
+//!   with an old epoch can never match the table again.
+//!
+//! The first tier fuzzes 128 raw grant/renew/revoke/partition
+//! interleavings directly against the store (including deliberately
+//! stale renewals); the second replays the same checks over full
+//! split-brain simulations with lease-owned Unit-Managers.
+
+use std::collections::HashMap;
+
+use hadoop_hpc::pilot::*;
+use hadoop_hpc::sim::{Engine, FaultEvent, FaultKind, FaultPlan, SimDuration, SimRng, SimTime};
+
+/// Replay the audit log through a per-pilot lease state machine,
+/// asserting both invariants on every entry; returns each pilot's final
+/// fencing epoch for cross-checking against the live table.
+fn check_audit(label: &str, entries: &[LeaseAuditEntry]) -> HashMap<PilotId, u64> {
+    let mut state: HashMap<PilotId, (bool, SimTime, u64)> = HashMap::new();
+    let mut last_at = SimTime::ZERO;
+    for a in entries {
+        assert!(a.at >= last_at, "{label}: audit log runs backwards in time");
+        last_at = a.at;
+        let (held, expires, epoch) = state.entry(a.pilot).or_insert((false, SimTime::ZERO, 0u64));
+        match a.op {
+            LeaseOp::Grant => {
+                assert!(
+                    !*held || a.at >= *expires,
+                    "{label}: {:?} re-granted at {:?} while an unexpired lease \
+                     (expires {:?}) was held — two owners",
+                    a.pilot,
+                    a.at,
+                    *expires
+                );
+                assert_eq!(
+                    a.epoch,
+                    *epoch + 1,
+                    "{label}: {:?} grant did not bump the fencing epoch by exactly one",
+                    a.pilot
+                );
+                assert!(
+                    a.expires > a.at,
+                    "{label}: {:?} was granted an already-expired lease",
+                    a.pilot
+                );
+                *held = true;
+                *expires = a.expires;
+                *epoch = a.epoch;
+            }
+            LeaseOp::Renew => {
+                assert!(
+                    *held,
+                    "{label}: {:?} renewal recorded without a held lease",
+                    a.pilot
+                );
+                assert_eq!(
+                    a.epoch, *epoch,
+                    "{label}: {:?} renewal moved the fencing epoch",
+                    a.pilot
+                );
+                assert!(
+                    a.expires >= *expires,
+                    "{label}: {:?} renewal shortened the lease",
+                    a.pilot
+                );
+                *expires = a.expires;
+            }
+            LeaseOp::Revoke => {
+                assert_eq!(
+                    a.epoch,
+                    *epoch + 1,
+                    "{label}: {:?} revoke did not bump the fencing epoch by exactly one",
+                    a.pilot
+                );
+                *held = false;
+                *epoch = a.epoch;
+            }
+        }
+    }
+    state.into_iter().map(|(p, (_, _, e))| (p, e)).collect()
+}
+
+/// Cross-check the replayed final state against the live store: the
+/// table's epoch must equal the audit replay's, and the renewal counter
+/// must equal the number of successful renewals recorded.
+fn check_store_agrees(label: &str, store: &CoordinationStore, audit: &[LeaseAuditEntry]) {
+    for (pilot, epoch) in check_audit(label, audit) {
+        assert_eq!(
+            store.lease_epoch(pilot),
+            epoch,
+            "{label}: replayed epoch diverges from the lease table for {pilot:?}"
+        );
+    }
+    let renews = audit.iter().filter(|a| a.op == LeaseOp::Renew).count() as u64;
+    assert_eq!(
+        store.lease_renewals(),
+        renews,
+        "{label}: renewal counter disagrees with the audit log"
+    );
+}
+
+#[test]
+fn random_op_interleavings_uphold_lease_invariants() {
+    let mut total_grants = 0u64;
+    let mut total_rejections = 0u64;
+    for seed in 0..128u64 {
+        let mut e = Engine::new(seed);
+        let session = Session::new(SessionConfig::test_profile());
+        let store = session.store();
+        let mut rng = SimRng::new(0xA11CE ^ seed);
+        store.enable_leases(SimDuration::from_secs(rng.uniform_u64(20, 90)));
+        store.enable_lease_audit();
+        let pilots = 1 + rng.index(3);
+        // Pre-schedule a random interleaving of lease ops and partition
+        // windows at strictly increasing times; the engine executes them
+        // in time order. Renewals come in three flavours: the epoch read
+        // at execution time (a live owner), that epoch minus one (a
+        // zombie replaying a fenced lease), and epoch 0 (never granted).
+        let mut at = 0u64;
+        for _ in 0..60 {
+            at += rng.uniform_u64(1, 40);
+            let delay = SimDuration::from_secs(at);
+            let pilot = PilotId(rng.index(pilots) as u64);
+            let s = store.clone();
+            match rng.index(9) {
+                0..=2 => {
+                    e.schedule_in(delay, move |eng| {
+                        s.try_acquire_lease(eng, pilot);
+                    });
+                }
+                3 | 4 => {
+                    e.schedule_in(delay, move |eng| {
+                        let epoch = s.lease_epoch(pilot);
+                        s.renew_lease(eng, pilot, epoch);
+                    });
+                }
+                5 => {
+                    e.schedule_in(delay, move |eng| {
+                        let epoch = s.lease_epoch(pilot);
+                        s.renew_lease(eng, pilot, epoch.saturating_sub(1));
+                    });
+                }
+                6 => {
+                    e.schedule_in(delay, move |eng| {
+                        s.renew_lease(eng, pilot, 0);
+                    });
+                }
+                7 => {
+                    e.schedule_in(delay, move |eng| s.revoke_lease(eng, pilot));
+                }
+                _ => {
+                    let dur = SimDuration::from_secs(rng.uniform_u64(10, 120));
+                    let symmetric = rng.chance(0.5);
+                    e.schedule_in(delay, move |eng| {
+                        s.partition_pilot(eng, pilot, dur, symmetric);
+                    });
+                }
+            }
+        }
+        e.run();
+        let audit = store.lease_audit();
+        check_store_agrees(&format!("seed {seed}"), &store, &audit);
+        total_grants += audit.iter().filter(|a| a.op == LeaseOp::Grant).count() as u64;
+        total_rejections += store.fence_rejections();
+    }
+    // The fuzz must actually exercise both sides of the fence.
+    assert!(total_grants > 0, "no grants across the whole fuzz");
+    assert!(
+        total_rejections > 0,
+        "no stale renewals were rejected across the whole fuzz"
+    );
+}
+
+#[test]
+fn split_brain_runs_uphold_lease_invariants() {
+    let mut total_revokes = 0u64;
+    for seed in 0..16u64 {
+        let mut e = Engine::new(seed);
+        let session = Session::new(SessionConfig::test_profile());
+        let store = session.store();
+        store.enable_lease_audit();
+        let pm = PilotManager::new(&session);
+        let pilots: Vec<PilotHandle> = (0..2)
+            .map(|_| {
+                pm.submit(
+                    &mut e,
+                    PilotDescription::new("xsede.stampede", 3, SimDuration::from_secs(14_400)),
+                )
+                .unwrap()
+            })
+            .collect();
+        let mut um = UnitManager::new(&session, UmScheduler::RoundRobin);
+        for p in &pilots {
+            um.add_pilot(p);
+        }
+        um.enable_leases(
+            &mut e,
+            SimDuration::from_secs(60),
+            SimDuration::from_secs(30),
+        );
+        let mut plan = FaultPlan::generate_partitioned(
+            seed,
+            SimDuration::from_secs(1_800),
+            3,
+            pilots.len(),
+            4,
+        );
+        // One guaranteed long partition past lease + grace, so every seed
+        // exercises self-fencing, revocation and post-heal rejection.
+        plan.events.push(FaultEvent {
+            at: SimTime::from_secs_f64(50.0),
+            kind: FaultKind::Partition {
+                pilot: (seed as usize) % 2,
+                duration: SimDuration::from_secs(300),
+                symmetric: seed.is_multiple_of(2),
+            },
+        });
+        install_faults_multi(&mut e, &plan, &pilots);
+        let units = um.submit_units(
+            &mut e,
+            (0..8)
+                .map(|i| {
+                    ComputeUnitDescription::new(
+                        format!("c{i}"),
+                        1,
+                        WorkSpec::Sleep(SimDuration::from_secs(15 + (i as u64 % 4) * 10)),
+                    )
+                })
+                .collect(),
+        );
+        let horizon = SimTime::from_secs_f64(20_000.0);
+        while units.iter().any(|u| !u.state().is_final()) {
+            assert!(e.step(), "seed {seed}: sim wedged with live units");
+            assert!(e.now() < horizon, "seed {seed}: past the walltime backstop");
+        }
+        e.run();
+        let audit = store.lease_audit();
+        assert!(!audit.is_empty(), "seed {seed}: empty lease audit log");
+        check_store_agrees(&format!("sim seed {seed}"), &store, &audit);
+        total_revokes += audit.iter().filter(|a| a.op == LeaseOp::Revoke).count() as u64;
+    }
+    assert!(
+        total_revokes > 0,
+        "no lease was ever revoked across the split-brain runs"
+    );
+}

@@ -14,7 +14,8 @@
 
 use hadoop_hpc::pilot::*;
 use hadoop_hpc::sim::{
-    Engine, EngineMode, FaultPlan, MetricsSnapshot, SimDuration, SimTime, Span, TraceEvent,
+    Engine, EngineMode, FaultEvent, FaultKind, FaultPlan, MetricsSnapshot, SimDuration, SimTime,
+    Span, TraceEvent,
 };
 use rp_bench::harness::run_scenario;
 
@@ -41,6 +42,7 @@ fn bench_scenarios_bit_identical_across_modes() {
         "fig6_kmeans",
         "fault_matrix",
         "pilot_loss",
+        "partition_heal",
         "scale_1k",
     ] {
         let serial = with_mode(EngineMode::Serial, || run_scenario(scenario).to_json());
@@ -67,6 +69,10 @@ struct Scenario {
     faults: Option<(u64, usize)>,
     /// Lossy coordination store (drops, duplicates, delivery jitter).
     lossy: bool,
+    /// Lease-based ownership plus a partitioned fault plan: the victim
+    /// pilot self-fences, its units re-bind, and its held writes are
+    /// rejected at a stale fencing epoch after the heal.
+    partition: bool,
 }
 
 struct Outcome {
@@ -77,6 +83,8 @@ struct Outcome {
     /// Applied coordination effects `(time, seq, label)`.
     effects: Vec<(SimTime, u64, &'static str)>,
     rebinds: u64,
+    /// Store writes rejected at a stale fencing epoch.
+    fence_rejections: u64,
     /// Split events prepared by worker batches (0 in serial mode).
     par_prepared: u64,
 }
@@ -111,8 +119,36 @@ fn capture_run(seed: u64, scenario: Scenario) -> Outcome {
     for p in &pilots {
         um.add_pilot(p);
     }
-    um.enable_failover(&mut e);
-    um.set_heartbeat_gap(&mut e, SimDuration::from_secs(120));
+    if scenario.partition {
+        um.enable_leases(
+            &mut e,
+            SimDuration::from_secs(60),
+            SimDuration::from_secs(30),
+        );
+        let mut plan = FaultPlan::generate_partitioned(
+            seed,
+            SimDuration::from_secs(1_800),
+            3,
+            pilots.len(),
+            4,
+        );
+        // Guaranteed zombie: partition one pilot at 50 s (agents are
+        // Active by ~47 s) for 300 s — long past lease expiry + grace —
+        // so self-fencing, re-binding and stale-epoch rejection all run
+        // under both engine modes.
+        plan.events.push(FaultEvent {
+            at: SimTime::from_secs_f64(50.0),
+            kind: FaultKind::Partition {
+                pilot: (seed as usize) % 2,
+                duration: SimDuration::from_secs(300),
+                symmetric: seed.is_multiple_of(2),
+            },
+        });
+        install_faults_multi(&mut e, &plan, &pilots);
+    } else {
+        um.enable_failover(&mut e);
+        um.set_heartbeat_gap(&mut e, SimDuration::from_secs(120));
+    }
     if let Some((fault_seed, count)) = scenario.faults {
         let plan = FaultPlan::generate_mixed(
             fault_seed,
@@ -127,10 +163,18 @@ fn capture_run(seed: u64, scenario: Scenario) -> Outcome {
         &mut e,
         (0..16)
             .map(|i| {
+                // Partition scenarios use short staggered sleeps so the
+                // first wave completes inside the partition-to-fence
+                // window and its completions are held until the heal.
+                let sleep = if scenario.partition {
+                    15 + (i as u64 % 4) * 10
+                } else {
+                    150 + (i as u64 % 5) * 30
+                };
                 ComputeUnitDescription::new(
                     format!("c{i}"),
                     1,
-                    WorkSpec::Sleep(SimDuration::from_secs(150 + (i as u64 % 5) * 30)),
+                    WorkSpec::Sleep(SimDuration::from_secs(sleep)),
                 )
             })
             .collect(),
@@ -148,6 +192,7 @@ fn capture_run(seed: u64, scenario: Scenario) -> Outcome {
         metrics: e.metrics.snapshot(),
         effects: store.effect_log(),
         rebinds: um.rebinds(),
+        fence_rejections: store.fence_rejections(),
         par_prepared: e.par_prepared(),
     }
 }
@@ -165,6 +210,10 @@ fn assert_identical(label: &str, serial: &Outcome, parallel: &Outcome) {
         "{label}: coordination effect logs diverge"
     );
     assert_eq!(serial.rebinds, parallel.rebinds, "{label}: rebinds diverge");
+    assert_eq!(
+        serial.fence_rejections, parallel.fence_rejections,
+        "{label}: fence rejections diverge"
+    );
     assert_eq!(serial.par_prepared, 0, "{label}: serial mode batched");
 }
 
@@ -174,6 +223,7 @@ fn healthy_run_bit_identical_and_parallel_path_exercised() {
         let scenario = Scenario {
             faults: None,
             lossy: false,
+            partition: false,
         };
         let serial = capture_run(seed, scenario);
         for threads in [1, 2, 4] {
@@ -201,6 +251,7 @@ fn fault_matrix_bit_identical() {
             let scenario = Scenario {
                 faults: Some((fault_seed, count)),
                 lossy: false,
+                partition: false,
             };
             let label = format!("faults {fault_seed}×{count}");
             let serial = capture_run(fault_seed, scenario);
@@ -221,10 +272,44 @@ fn lossy_store_bit_identical() {
         let scenario = Scenario {
             faults: None,
             lossy: true,
+            partition: false,
         };
         let serial = capture_run(seed, scenario);
         let par = with_mode(EngineMode::parallel(4), || capture_run(seed, scenario));
         assert_identical(&format!("lossy seed {seed}"), &serial, &par);
+    }
+}
+
+#[test]
+fn partition_bit_identical() {
+    // Split-brain scenario under both engine modes: leases renew on
+    // jittered heartbeats (the "store.heartbeat" lookahead label), a
+    // partitioned pilot self-fences, its units re-bind, and its held
+    // completions are rejected at a stale fencing epoch after the heal.
+    // Every observable — including the applied-effect log and the fence
+    // rejection counter — must be bit-identical.
+    for (seed, lossy) in [(2u64, false), (8, true)] {
+        let scenario = Scenario {
+            faults: None,
+            lossy,
+            partition: true,
+        };
+        let label = format!("partition seed {seed} lossy {lossy}");
+        let serial = capture_run(seed, scenario);
+        assert!(
+            serial.fence_rejections > 0,
+            "{label}: no stale-epoch writes were exercised"
+        );
+        for threads in [2, 4] {
+            let par = with_mode(EngineMode::parallel(threads), || {
+                capture_run(seed, scenario)
+            });
+            assert_identical(&format!("{label} t{threads}"), &serial, &par);
+            assert!(
+                par.par_prepared > 0,
+                "{label} t{threads}: parallel run never prepared a batch"
+            );
+        }
     }
 }
 
@@ -235,6 +320,7 @@ fn chaos_bit_identical() {
         let scenario = Scenario {
             faults: Some((seed, 6)),
             lossy: true,
+            partition: false,
         };
         let serial = capture_run(seed, scenario);
         let par = with_mode(EngineMode::parallel(2), || capture_run(seed, scenario));

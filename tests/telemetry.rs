@@ -157,6 +157,7 @@ fn recorder_is_result_inert_in_parallel_mode() {
                 "link.transfer",
                 "um.gap_monitor",
                 "agent.heartbeat",
+                "store.heartbeat",
                 "store.write"
             ]
             .contains(&source),
@@ -199,6 +200,7 @@ fn snapshot_json_matches_golden_schema() {
             "batch_occupancy",
             "events_per_domain",
             "highwater",
+            "ownership",
         ],
     );
     let get = |k: &str| doc.get(k).expect("checked above");
@@ -235,6 +237,11 @@ fn snapshot_json_matches_golden_schema() {
             "coord_backlog",
             "coord_samples",
         ],
+    );
+    assert_keys(
+        get("ownership"),
+        "ownership",
+        &["lease_renewals", "fence_rejections", "partition_windows"],
     );
     // The one-line human summary names the binding constraint.
     let line = on.snapshot.summary_line();
