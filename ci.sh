@@ -25,6 +25,10 @@ python3 -c '
 import json, sys
 d = json.load(open(sys.argv[1]))
 assert d["version"] == 1, d["version"]
+# The call-graph-aware PDES contract rules must actually be wired into the
+# pass — a refactor that drops one would otherwise fail silently forever.
+assert {"prep-purity", "lookahead-coverage", "effect-origin",
+        "stale-waiver"} <= set(d["rules"]), d["rules"]
 assert {"rule", "file", "line", "message", "waived", "fatal"} <= set(
     d["findings"][0]) if d["findings"] else True
 assert d["summary"]["fatal"] == 0, (
@@ -167,6 +171,11 @@ if [ "${CI_SCALE:-0}" = "1" ]; then
 fi
 
 if [ "${CI_SANITIZE:-0}" = "1" ]; then
+    echo "==> CI_SANITIZE=1: strict lint (waived prep-purity findings are fatal)"
+    # Sanitizer runs are where a quietly-waived impure prep closure would
+    # actually race; under TSan we do not honor prep-purity waivers.
+    RP_LINT_STRICT=1 cargo run --release -q -p rp-analyze --bin rp_lint -- --json > /dev/null
+
     echo "==> CI_SANITIZE=1: chaos soak under ThreadSanitizer (nightly)"
     # The sanitizer needs a nightly toolchain and a rebuilt std; both may be
     # unavailable offline. A missing/broken toolchain is a skip, not a

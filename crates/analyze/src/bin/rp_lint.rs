@@ -2,6 +2,7 @@
 //!
 //! Usage:
 //!   rp_lint [--json] [--root DIR] [--bless] [--emit-dot DIR] [--explain RULE]
+//!           [--timings] [--waivers] [--strict]
 //!
 //! Exit code 1 when any unwaived fatal finding remains (or on usage error),
 //! 0 otherwise.
@@ -9,7 +10,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use rp_analyze::{report, run_pass, scan, Options};
+use rp_analyze::{report, run_pass, scan, waivers, Options};
 
 const USAGE: &str = "\
 rp_lint: workspace static-analysis pass (rp-analyze)
@@ -25,6 +26,11 @@ OPTIONS:
     --emit-dot DIR    Write lifecycle DOT graphs into DIR
     --explain RULE    Print the long description of one rule and exit
                       (or list all rules when RULE is omitted)
+    --timings         Print per-rule wall time to stderr after the pass
+    --waivers         List every inline waiver (file, line, rules, reason)
+                      and exit without running the rules
+    --strict          Promote waived prep-purity findings to fatal (also
+                      enabled by RP_LINT_STRICT=1; used under sanitizers)
     -h, --help        Show this help
 ";
 
@@ -33,12 +39,19 @@ fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut opts = Options::default();
     let mut explain: Option<Option<String>> = None;
+    let mut list_waivers = false;
+    if std::env::var("RP_LINT_STRICT").is_ok_and(|v| v == "1") {
+        opts.strict = true;
+    }
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--json" => json = true,
             "--bless" => opts.bless = true,
+            "--timings" => opts.timings = true,
+            "--waivers" => list_waivers = true,
+            "--strict" => opts.strict = true,
             "--root" => match args.next() {
                 Some(d) => root = Some(PathBuf::from(d)),
                 None => return usage_error("--root needs a directory"),
@@ -90,6 +103,19 @@ fn main() -> ExitCode {
         }
     };
 
+    if list_waivers {
+        return match scan::load_workspace(&root) {
+            Ok(files) => {
+                print!("{}", waivers::render(&waivers::collect(&files)));
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("rp_lint: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
     let pass = match run_pass(&root, &opts) {
         Ok(p) => p,
         Err(e) => {
@@ -105,6 +131,13 @@ fn main() -> ExitCode {
         print!("{}", pass.report.render_json());
     } else {
         print!("{}", pass.report.render_text());
+    }
+    if opts.timings {
+        let total: f64 = pass.timings.iter().map(|(_, s)| s).sum();
+        for (rule, secs) in &pass.timings {
+            eprintln!("rp_lint: {rule:<20} {:8.2} ms", secs * 1e3);
+        }
+        eprintln!("rp_lint: {:<20} {:8.2} ms", "total", total * 1e3);
     }
 
     if pass.report.fatal_count() > 0 {

@@ -15,8 +15,10 @@ use crate::report::{Finding, Report};
 use crate::scan::SourceFile;
 
 /// Crates allowed to read host time: bench measures the host by design,
-/// and the harness binaries time real subprocess work.
-const WALLCLOCK_ALLOWED_PREFIXES: &[&str] = &["crates/bench/"];
+/// the harness binaries time real subprocess work, and the lint pass
+/// times its own rules (`--timings` — host-side tooling cost, not
+/// simulation state).
+const WALLCLOCK_ALLOWED_PREFIXES: &[&str] = &["crates/bench/", "crates/analyze/"];
 
 /// Individual files allowed to read host time outside the allowed crates.
 /// The engine flight recorder is the single sim-core module that may

@@ -29,38 +29,60 @@ impl Tok {
     pub fn is(&self, s: &str) -> bool {
         self.text == s
     }
+
+    /// Content of a plain `"..."` string literal token, `None` for every
+    /// other token. String tokens keep their quoted source text, so they
+    /// can never collide with identifier matches — rules that *want* the
+    /// literal (lookahead labels) go through this accessor.
+    pub fn str_content(&self) -> Option<&str> {
+        if self.kind == TokKind::Lit && self.text.len() >= 2 && self.text.starts_with('"') {
+            Some(&self.text[1..self.text.len() - 1])
+        } else {
+            None
+        }
+    }
 }
 
-/// Lexed file: tokens plus waiver comments (`line -> waived rule names`).
+/// Lexed file: tokens plus waiver comments (`line -> waived rule names`)
+/// and their justification text (`line -> reason`, for `--waivers`).
 #[derive(Debug, Default)]
 pub struct Lexed {
     pub toks: Vec<Tok>,
     pub waivers: BTreeMap<u32, Vec<String>>,
+    pub waiver_reasons: BTreeMap<u32, String>,
 }
 
-/// Parse the rule list out of an `rp-lint: allow(a, b)` comment body.
-fn parse_waiver(body: &str) -> Vec<String> {
+/// Parse the rule list (and trailing `: reason`) out of an
+/// `rp-lint: allow(a, b): reason` comment body.
+fn parse_waiver(body: &str) -> (Vec<String>, String) {
     let Some(idx) = body.find("rp-lint:") else {
-        return Vec::new();
+        return (Vec::new(), String::new());
     };
     let rest = body[idx + "rp-lint:".len()..].trim_start();
     let Some(rest) = rest.strip_prefix("allow(") else {
-        return Vec::new();
+        return (Vec::new(), String::new());
     };
     let Some(close) = rest.find(')') else {
-        return Vec::new();
+        return (Vec::new(), String::new());
     };
-    rest[..close]
+    let rules = rest[..close]
         .split(',')
         .map(|r| r.trim().to_string())
         .filter(|r| !r.is_empty())
-        .collect()
+        .collect();
+    let reason = rest[close + 1..]
+        .trim_start()
+        .strip_prefix(':')
+        .map(|r| r.trim().to_string())
+        .unwrap_or_default();
+    (rules, reason)
 }
 
 pub fn lex(src: &str) -> Lexed {
     let b = src.as_bytes();
     let mut toks = Vec::new();
     let mut waivers: BTreeMap<u32, Vec<String>> = BTreeMap::new();
+    let mut waiver_reasons: BTreeMap<u32, String> = BTreeMap::new();
     let mut i = 0usize;
     let mut line = 1u32;
     let n = b.len();
@@ -78,9 +100,18 @@ pub fn lex(src: &str) -> Lexed {
             b'/' if i + 1 < n && b[i + 1] == b'/' => {
                 let end = src[i..].find('\n').map(|p| i + p).unwrap_or(n);
                 let body = &src[i + 2..end];
-                let rules = parse_waiver(body);
+                // Doc comments (`///`, `//!`) are documentation — text
+                // that *mentions* the waiver syntax there must not become
+                // a live waiver. Only plain `//` comments carry waivers.
+                let is_doc = body.starts_with('/') || body.starts_with('!');
+                let (rules, reason) = if is_doc {
+                    (Vec::new(), String::new())
+                } else {
+                    parse_waiver(body)
+                };
                 if !rules.is_empty() {
                     waivers.entry(line).or_default().extend(rules);
+                    waiver_reasons.entry(line).or_insert(reason);
                 }
                 i = end;
             }
@@ -104,11 +135,16 @@ pub fn lex(src: &str) -> Lexed {
             }
             b'"' => {
                 let j = scan_string(b, i);
+                let start_line = line;
                 line += bump_lines(&b[i..j]);
+                // Keep the quoted source text: the quotes guarantee a
+                // string token can never match an identifier pattern, and
+                // rules that need the literal (lookahead labels) read it
+                // back through `Tok::str_content`.
                 toks.push(Tok {
                     kind: TokKind::Lit,
-                    text: "\"\"".into(),
-                    line,
+                    text: src[i..j].to_string(),
+                    line: start_line,
                 });
                 i = j;
             }
@@ -190,7 +226,11 @@ pub fn lex(src: &str) -> Lexed {
             }
         }
     }
-    Lexed { toks, waivers }
+    Lexed {
+        toks,
+        waivers,
+        waiver_reasons,
+    }
 }
 
 /// End index (exclusive) of a normal `"..."` string starting at `i`.
@@ -367,6 +407,28 @@ mod tests {
             l.waivers.get(&1).map(Vec::as_slice),
             Some(&["hash-iter".to_string(), "wallclock".to_string()][..])
         );
+        assert_eq!(l.waiver_reasons.get(&1).map(String::as_str), Some("reason"));
+    }
+
+    #[test]
+    fn waiver_without_reason_records_empty_reason() {
+        let l = lex("// rp-lint: allow(wallclock)\nlet a = 1;");
+        assert_eq!(l.waiver_reasons.get(&1).map(String::as_str), Some(""));
+    }
+
+    #[test]
+    fn string_content_is_readable_but_never_matches_idents() {
+        let l = lex(r#"note_lookahead_from("store.write", latency)"#);
+        let lit = l
+            .toks
+            .iter()
+            .find(|t| t.kind == TokKind::Lit)
+            .expect("string token");
+        assert_eq!(lit.str_content(), Some("store.write"));
+        // The quoted text cannot equal any identifier.
+        assert!(!l.toks.iter().any(|t| t.is("store.write")));
+        // Non-string tokens have no content.
+        assert_eq!(l.toks[0].str_content(), None);
     }
 
     #[test]

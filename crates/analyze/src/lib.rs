@@ -14,21 +14,39 @@
 //!    (panic budget per file against `lint_baseline.toml`).
 //! 4. **span-balance** — every `span_begin` must be matched by a
 //!    `span_end` or an ownership transfer on all return paths.
+//! 5. **PDES contracts** (call-graph-aware, see `callgraph`) —
+//!    `prep-purity` (split-event prepare closures must not reach
+//!    apply-side effects), `lookahead-coverage` (every latency feeding
+//!    cross-domain scheduling must be registered as lookahead), and
+//!    `effect-origin` (coordination-store effects must thread a real
+//!    fencing origin; re-bind paths revoke before re-dispatch).
+//! 6. **stale-waiver** — inline waivers that no longer suppress anything
+//!    are reported (info) so the exception inventory stays honest.
 //!
-//! Everything is lexical: a hand-rolled token scanner (`lexer`), no
+//! Everything is lexical: a hand-rolled token scanner (`lexer`) plus an
+//! intra-workspace call graph built from the same token stream, no
 //! external dependencies, no proc macros. Findings can be waived inline
 //! with `// rp-lint: allow(<rule>, ...): <reason>`.
 
 pub mod baseline;
+pub mod callgraph;
+pub mod effects;
 pub mod hazards;
 pub mod lexer;
 pub mod locks;
+pub mod lookahead;
+pub mod preppurity;
 pub mod report;
 pub mod scan;
 pub mod spans;
 pub mod states;
+pub mod waivers;
 
 use std::path::{Path, PathBuf};
+// The lint pass may time itself: per-rule wall time is host-side
+// tooling cost, not simulation state (crates/analyze is on the
+// wallclock allow-list for the same reason crates/bench is).
+use std::time::Instant;
 
 use report::{Finding, Report};
 
@@ -44,6 +62,13 @@ pub struct Options {
     pub bless: bool,
     /// Write lifecycle DOT graphs into this directory.
     pub emit_dot: Option<PathBuf>,
+    /// Record per-rule wall time in `Pass::timings`.
+    pub timings: bool,
+    /// Strict mode (`RP_LINT_STRICT=1` / `--strict`): waived
+    /// `prep-purity` findings are promoted back to fatal. Used by the
+    /// sanitizer CI stage — under TSan a "provably pure" waived prep
+    /// must actually prove itself, so the waiver is not honored.
+    pub strict: bool,
 }
 
 /// Outcome of a full pass.
@@ -51,41 +76,89 @@ pub struct Pass {
     pub report: Report,
     /// Parsed machines (name -> DOT source), for artifact checks.
     pub dots: Vec<(String, String)>,
+    /// Per-rule wall time in seconds (empty unless `Options::timings`).
+    pub timings: Vec<(&'static str, f64)>,
 }
 
 /// Run every rule over the workspace rooted at `root`.
 pub fn run_pass(root: &Path, opts: &Options) -> std::io::Result<Pass> {
     let files = scan::load_workspace(root)?;
     let mut report = Report::default();
+    let mut timings: Vec<(&'static str, f64)> = Vec::new();
+    macro_rules! timed {
+        ($name:literal, $body:expr) => {{
+            let t0 = opts.timings.then(Instant::now);
+            let out = $body;
+            if let Some(t0) = t0 {
+                timings.push(($name, t0.elapsed().as_secs_f64()));
+            }
+            out
+        }};
+    }
 
     // Family 1: state-machine conformance.
-    let machines = states::parse_machines(&files);
-    if machines.len() < EXPECTED_MACHINES {
-        report.push(Finding::new(
-            "state-machine",
-            "crates/core/src/states.rs",
-            0,
-            format!(
-                "expected {} lifecycle tables (PilotState, UnitState) but parsed {} — \
-                 the analyzer no longer recognizes the can_transition_to tables",
-                EXPECTED_MACHINES,
-                machines.len()
-            ),
-        ));
-    }
-    states::check(&files, &machines, &mut report);
+    let machines = timed!("state-machine", {
+        let machines = states::parse_machines(&files);
+        if machines.len() < EXPECTED_MACHINES {
+            report.push(Finding::new(
+                "state-machine",
+                "crates/core/src/states.rs",
+                0,
+                format!(
+                    "expected {} lifecycle tables (PilotState, UnitState) but parsed {} — \
+                     the analyzer no longer recognizes the can_transition_to tables",
+                    EXPECTED_MACHINES,
+                    machines.len()
+                ),
+            ));
+        }
+        states::check(&files, &machines, &mut report);
+        machines
+    });
 
     // Family 2: lock-order.
-    locks::check(&files, root, opts.bless, &mut report)?;
+    timed!(
+        "lock-order",
+        locks::check(&files, root, opts.bless, &mut report)?
+    );
 
     // Family 3: determinism hazards.
-    hazards::check_wallclock(&files, &mut report);
-    hazards::check_hash_iter(&files, &mut report);
-    hazards::check_par_hazard(&files, &mut report);
-    hazards::check_unwrap_ratchet(&files, root, opts.bless, &mut report)?;
+    timed!("wallclock", hazards::check_wallclock(&files, &mut report));
+    timed!("hash-iter", hazards::check_hash_iter(&files, &mut report));
+    timed!("par-hazard", hazards::check_par_hazard(&files, &mut report));
+    timed!(
+        "unwrap-ratchet",
+        hazards::check_unwrap_ratchet(&files, root, opts.bless, &mut report)?
+    );
 
     // Family 4: span balance.
-    spans::check(&files, &mut report);
+    timed!("span-balance", spans::check(&files, &mut report));
+
+    // Family 5: call-graph-aware PDES contracts. One graph serves all
+    // three rules.
+    let graph = timed!("callgraph", callgraph::CallGraph::build(&files));
+    timed!(
+        "prep-purity",
+        preppurity::check(&files, &graph, &mut report)
+    );
+    timed!(
+        "lookahead-coverage",
+        lookahead::check(&files, &graph, &mut report)
+    );
+    timed!("effect-origin", effects::check(&files, &graph, &mut report));
+
+    // Family 6: waiver hygiene — after every producing rule has run.
+    timed!("stale-waiver", waivers::check_stale(&files, &mut report));
+
+    if opts.strict {
+        for f in &mut report.findings {
+            if f.rule == "prep-purity" && f.waived {
+                f.waived = false;
+                f.fatal = true;
+                f.message.push_str(" [strict: waiver not honored]");
+            }
+        }
+    }
 
     report.sort();
 
@@ -100,7 +173,11 @@ pub fn run_pass(root: &Path, opts: &Options) -> std::io::Result<Pass> {
         }
     }
 
-    Ok(Pass { report, dots })
+    Ok(Pass {
+        report,
+        dots,
+        timings,
+    })
 }
 
 /// `PilotState` -> `pilot_states` (file-name style for DOT artifacts).

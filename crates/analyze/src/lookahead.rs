@@ -1,0 +1,237 @@
+//! Rule `lookahead-coverage`: every latency that feeds cross-domain
+//! scheduling must be registered as lookahead.
+//!
+//! The conservative PDES mode computes its safe horizon from the minimum
+//! registered lookahead (`note_lookahead`/`note_lookahead_from`). A
+//! component that schedules cross-domain work with a delay it never
+//! registered silently *shrinks* the true coupling interval below the
+//! claimed one — the engine then prepares events it should not, and the
+//! bug surfaces hours later as a differential mismatch with no
+//! attribution.
+//!
+//! The rule collects two kinds of *sources* in `crates/sim-core` and
+//! `crates/core` library code (the engine and its telemetry, which
+//! implement the mechanism, are exempt):
+//!
+//!   - every explicitly cross-domain schedule
+//!     (`schedule_{at,in}_domain`, `schedule_split_{at,in}`), always;
+//!   - every plain `schedule_at/in` whose delay expression mentions a
+//!     latency-like identifier (`latency`, `delay`, `period`, `tick`,
+//!     `jitter`, `poll`, `interval`, `rtt`, `ideal`, `timeout`,
+//!     `heartbeat`, `gap`) — the lexical signature of a propagation
+//!     delay, as opposed to a pure work duration.
+//!
+//! Each source is *covered* when a registration in the same function or
+//! any transitive caller mentions one of the same delay identifiers
+//! (duration constructors like `SimDuration::from_secs` are ignored on
+//! both sides). A constant-delay source is covered by any in-scope
+//! registration. Uncovered sources are fatal; waive an intra-domain
+//! schedule that genuinely makes no cross-domain claim with
+//! `// rp-lint: allow(lookahead-coverage): <why>`.
+
+use std::collections::BTreeSet;
+
+use crate::callgraph::{call_args, CallGraph};
+use crate::lexer::TokKind;
+use crate::report::{Finding, Report};
+use crate::scan::SourceFile;
+
+const SCOPE_PREFIXES: &[&str] = &["crates/sim-core/", "crates/core/"];
+
+/// Files implementing the lookahead mechanism itself.
+const EXEMPT_FILES: &[&str] = &[
+    "crates/sim-core/src/engine.rs",
+    "crates/sim-core/src/telemetry.rs",
+];
+
+/// Schedules that are cross-domain by construction.
+const DOMAIN_SCHEDULES: &[&str] = &[
+    "schedule_at_domain",
+    "schedule_in_domain",
+    "schedule_split_at",
+    "schedule_split_in",
+];
+
+/// Identifier fragments that mark a delay expression as a propagation
+/// latency rather than a work duration.
+const LATENCY_KEYWORDS: &[&str] = &[
+    "latency",
+    "delay",
+    "period",
+    "tick",
+    "jitter",
+    "poll",
+    "interval",
+    "rtt",
+    "ideal",
+    "timeout",
+    "heartbeat",
+    "gap",
+];
+
+/// Constructor/combinator names that appear inside duration expressions
+/// but carry no source identity.
+const DELAY_NOISE: &[&str] = &[
+    "SimDuration",
+    "SimTime",
+    "from_secs",
+    "from_millis",
+    "from_micros",
+    "from_secs_f64",
+    "max",
+    "min",
+    "ZERO",
+    "mul_f64",
+    "saturating_sub",
+    "since",
+    "now",
+];
+
+/// A `note_lookahead[_from]` call: its label, delay identifiers, and the
+/// fn it sits in.
+struct Registration {
+    label: String,
+    idents: BTreeSet<String>,
+    fn_idx: Option<usize>,
+}
+
+pub fn check(files: &[SourceFile], graph: &CallGraph, report: &mut Report) {
+    // Pass 1: collect every registration site in scope (registrations in
+    // exempt files still count — the engine's own tests register).
+    let mut regs: Vec<Registration> = Vec::new();
+    for (fi, f) in files.iter().enumerate() {
+        if !SCOPE_PREFIXES.iter().any(|p| f.rel.starts_with(p)) {
+            continue;
+        }
+        let t = &f.lexed.toks;
+        for i in 0..t.len() {
+            let from = t[i].is("note_lookahead_from");
+            let plain = t[i].is("note_lookahead");
+            if !(from || plain)
+                || !t.get(i + 1).is_some_and(|x| x.is("("))
+                || (i >= 1 && t[i - 1].is("fn"))
+                || f.is_test_code(t[i].line)
+            {
+                continue;
+            }
+            let args = call_args(t, i + 1);
+            let (label, delay_arg) = if from {
+                let label = args
+                    .first()
+                    .and_then(|&(lo, hi)| {
+                        t[lo..=hi.min(t.len() - 1)]
+                            .iter()
+                            .find_map(|x| x.str_content())
+                    })
+                    .unwrap_or("?")
+                    .to_string();
+                (label, args.get(1).copied())
+            } else {
+                ("unlabeled".to_string(), args.first().copied())
+            };
+            let idents = delay_arg.map(|r| delay_idents(t, r)).unwrap_or_default();
+            regs.push(Registration {
+                label,
+                idents,
+                fn_idx: graph.fn_at(fi, i),
+            });
+        }
+    }
+
+    // Pass 2: check every source against the in-scope registrations.
+    for (fi, f) in files.iter().enumerate() {
+        if !SCOPE_PREFIXES.iter().any(|p| f.rel.starts_with(p))
+            || EXEMPT_FILES.contains(&f.rel.as_str())
+        {
+            continue;
+        }
+        let t = &f.lexed.toks;
+        for i in 0..t.len() {
+            if t[i].kind != TokKind::Ident
+                || !t.get(i + 1).is_some_and(|x| x.is("("))
+                || (i >= 1 && t[i - 1].is("fn"))
+                || f.is_test_code(t[i].line)
+            {
+                continue;
+            }
+            let name = t[i].text.as_str();
+            let domain_tagged = DOMAIN_SCHEDULES.contains(&name);
+            let plain = name == "schedule_at" || name == "schedule_in";
+            if !domain_tagged && !plain {
+                continue;
+            }
+            let args = call_args(t, i + 1);
+            let Some(&delay_arg) = args.first() else {
+                continue;
+            };
+            let d = delay_idents(t, delay_arg);
+            if plain && !d.iter().any(|id| is_latency_ident(id)) {
+                continue; // plain schedule of a work duration — no claim
+            }
+            let line = t[i].line;
+            let fn_idx = graph.fn_at(fi, i);
+            let in_scope: Vec<&Registration> = match fn_idx {
+                Some(fx) => {
+                    let anc = graph.ancestors_of(fx);
+                    regs.iter()
+                        .filter(|r| r.fn_idx.is_some_and(|rf| anc.contains(&rf)))
+                        .collect()
+                }
+                None => Vec::new(),
+            };
+            let covered = if d.is_empty() {
+                !in_scope.is_empty()
+            } else {
+                in_scope.iter().any(|r| !r.idents.is_disjoint(&d))
+            };
+            if covered {
+                continue;
+            }
+            let srcs: Vec<String> = d.iter().cloned().collect();
+            let desc = if srcs.is_empty() {
+                "constant delay".to_string()
+            } else {
+                format!("delay from `{}`", srcs.join("`, `"))
+            };
+            let known: BTreeSet<&str> = regs.iter().map(|r| r.label.as_str()).collect();
+            let finding = Finding::new(
+                "lookahead-coverage",
+                &f.rel,
+                line,
+                format!(
+                    "`{name}` feeds cross-domain scheduling with {desc} that no \
+                     reachable note_lookahead registration covers (registered \
+                     sources: {}); register it with note_lookahead_from so the \
+                     safe horizon accounts for it, or waive an intra-domain \
+                     schedule with a justification",
+                    if known.is_empty() {
+                        "none".to_string()
+                    } else {
+                        known.into_iter().collect::<Vec<_>>().join(", ")
+                    }
+                ),
+            );
+            report.push(if f.is_waived(line, "lookahead-coverage") {
+                finding.waived()
+            } else {
+                finding
+            });
+        }
+    }
+}
+
+/// Identifiers carrying source identity in a delay expression.
+fn delay_idents(t: &[crate::lexer::Tok], (lo, hi): (usize, usize)) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for x in &t[lo..=hi.min(t.len() - 1)] {
+        if x.kind == TokKind::Ident && !DELAY_NOISE.contains(&x.text.as_str()) {
+            out.insert(x.text.clone());
+        }
+    }
+    out
+}
+
+fn is_latency_ident(id: &str) -> bool {
+    let l = id.to_ascii_lowercase();
+    LATENCY_KEYWORDS.iter().any(|k| l.contains(k))
+}

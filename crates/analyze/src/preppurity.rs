@@ -1,0 +1,296 @@
+//! Rule `prep-purity`: split-event prepare closures must stay pure.
+//!
+//! The parallel engine runs the prep argument of `schedule_split_at/in`
+//! on worker threads, concurrently with other preps in the same batch.
+//! The contract (engine.rs module docs) is that a prep only *computes* —
+//! it builds `Send` draft values (`SpanDraft`, `MetricDraft`,
+//! `TransitionDraft`) from captured state. Anything effectful must wait
+//! for the apply closure, which the engine runs on the main thread in
+//! deterministic (time, seq) order.
+//!
+//! This rule finds every inline prep closure in library code and walks
+//! the call graph from it, flagging any reachable call into apply-side
+//! APIs:
+//!
+//!   - `schedule_*` — scheduling from a worker races the event heap;
+//!   - coordination-store writes (`roundtrip*`, `return_units*`,
+//!     `push_units`, `report_heartbeat`, `revoke_lease`, ...) — store
+//!     effects must be sequenced by the applied-effect watermark;
+//!   - `span_begin` and direct metrics mutation (`incr`, `gauge_set`,
+//!     `observe`, ...) on an engine/registry receiver — interning and
+//!     counter order must match the serial path; drafts are the
+//!     sanctioned channel (calls into the draft builder types are
+//!     exempt);
+//!   - `SimRng` draws on shared state (receiver rooted at
+//!     `engine`/`eng`/`self` or through a `.rng` field) — a worker-side
+//!     draw perturbs the deterministic stream. Draws on a closure-local
+//!     rng threaded through captured state are allowed.
+//!
+//! The analysis is receiver-blind and over-approximate (see
+//! `callgraph.rs`); waive a provably-pure path with
+//! `// rp-lint: allow(prep-purity): <why the call cannot take effect>`.
+
+use crate::callgraph::{call_args, extract_calls, CallGraph, CallSite};
+use crate::lexer::{Tok, TokKind};
+use crate::report::{Finding, Report};
+use crate::scan::SourceFile;
+
+/// Engine scheduling entry points (anything that mutates the event heap).
+const SCHEDULE_SINKS: &[&str] = &[
+    "schedule_at",
+    "schedule_in",
+    "schedule_now",
+    "schedule_at_domain",
+    "schedule_in_domain",
+    "schedule_split_at",
+    "schedule_split_in",
+];
+
+/// Coordination-store effect emitters. Deliberately distinctive names
+/// only — generic verbs (`send`, `update`, `add`) would explode under
+/// receiver-blind matching.
+const STORE_SINKS: &[&str] = &[
+    "send_from",
+    "roundtrip",
+    "roundtrip_from",
+    "return_units",
+    "return_units_from",
+    "return_units_via",
+    "push_units",
+    "report_heartbeat",
+    "revoke_lease",
+    "acquire_lease",
+    "take_pending",
+];
+
+/// Metrics-registry mutators. Only flagged on a shared receiver — the
+/// same names on a `MetricDraft` builder are the sanctioned prep-side
+/// channel.
+const METRIC_SINKS: &[&str] = &["incr", "incr_labeled", "gauge_set", "observe"];
+
+/// `SimRng` draw methods. Only flagged on a shared receiver.
+const RNG_SINKS: &[&str] = &[
+    "next_u64",
+    "uniform",
+    "uniform_u64",
+    "chance",
+    "standard_normal",
+    "normal",
+    "normal_min",
+    "lognormal",
+    "exponential",
+];
+
+/// Draft builder types whose methods are pure by construction: fns
+/// defined in these impls are never treated as sinks, and reachability
+/// does not descend into them.
+const DRAFT_TYPES: &[&str] = &["SpanDraft", "MetricDraft", "TransitionDraft"];
+
+/// Crates whose prep closures the parallel engine actually runs.
+const PREP_PREFIXES: &[&str] = &["crates/sim-core/", "crates/core/"];
+
+/// One impure call found in or reachable from a prep closure.
+struct SinkHit {
+    what: String,
+    line: u32,
+}
+
+pub fn check(files: &[SourceFile], graph: &CallGraph, report: &mut Report) {
+    for f in files.iter() {
+        if !PREP_PREFIXES.iter().any(|p| f.rel.starts_with(p)) {
+            continue;
+        }
+        let t = &f.lexed.toks;
+        for i in 0..t.len() {
+            let is_split = (t[i].is("schedule_split_at") || t[i].is("schedule_split_in"))
+                && t.get(i + 1).is_some_and(|x| x.is("("))
+                // Skip the engine's own definitions/forwarders.
+                && !(i >= 1 && t[i - 1].is("fn"));
+            if !is_split || f.is_test_code(t[i].line) {
+                continue;
+            }
+            let args = call_args(t, i + 1);
+            // `schedule_split_at(time, domain, prep, apply)`.
+            let Some(&(plo, phi)) = args.get(2) else {
+                continue;
+            };
+            // Only inline closures are analyzable; a prep passed through a
+            // variable (the engine's own `schedule_split_in` forwarder)
+            // is covered at its construction site.
+            let Some(body) = closure_body(t, plo, phi) else {
+                continue;
+            };
+            let line = t[plo].line;
+            let mut hits = direct_hits(t, body);
+            if hits.is_empty() {
+                if let Some(hit) = reachable_hit(files, graph, t, body) {
+                    hits.push(hit);
+                }
+            }
+            let Some(hit) = hits.into_iter().next() else {
+                continue;
+            };
+            let finding = Finding::new(
+                "prep-purity",
+                &f.rel,
+                line,
+                format!(
+                    "split-event prep closure reaches an apply-side effect: {} — \
+                     preps run concurrently on worker threads and may only build \
+                     draft values; move the effect into the apply closure",
+                    hit.what
+                ),
+            );
+            report.push(if f.is_waived(line, "prep-purity") {
+                finding.waived()
+            } else {
+                finding
+            });
+        }
+    }
+}
+
+/// Body token range of an inline closure in `[lo, hi]`: after the
+/// parameter pipes (`|x, y|`, `||`, with optional leading `move`).
+/// `None` when the argument is not an inline closure.
+fn closure_body(t: &[Tok], lo: usize, hi: usize) -> Option<(usize, usize)> {
+    let mut i = lo;
+    if t.get(i).is_some_and(|x| x.is("move")) {
+        i += 1;
+    }
+    if !t.get(i).is_some_and(|x| x.is("|")) {
+        return None;
+    }
+    i += 1;
+    while i <= hi && !t[i].is("|") {
+        i += 1;
+    }
+    (i < hi).then_some((i + 1, hi))
+}
+
+/// Impure calls made directly inside `range`.
+fn direct_hits(t: &[Tok], range: (usize, usize)) -> Vec<SinkHit> {
+    let mut out = Vec::new();
+    let (lo, hi) = range;
+    for i in lo..=hi.min(t.len().saturating_sub(1)) {
+        if t[i].kind != TokKind::Ident || !t.get(i + 1).is_some_and(|x| x.is("(")) {
+            continue;
+        }
+        let name = t[i].text.as_str();
+        let what = if SCHEDULE_SINKS.contains(&name) {
+            Some(format!("`{name}(...)` schedules a new event"))
+        } else if STORE_SINKS.contains(&name) {
+            Some(format!("`{name}(...)` emits a coordination-store effect"))
+        } else if name == "span_begin" {
+            Some("`span_begin(...)` opens a span (interning order)".to_string())
+        } else if METRIC_SINKS.contains(&name) && shared_receiver(t, i) {
+            Some(format!("`{name}(...)` mutates the shared metrics registry"))
+        } else if RNG_SINKS.contains(&name) && shared_receiver(t, i) {
+            Some(format!("`{name}(...)` draws from the shared SimRng stream"))
+        } else {
+            None
+        };
+        if let Some(what) = what {
+            out.push(SinkHit {
+                what,
+                line: t[i].line,
+            });
+        }
+    }
+    out
+}
+
+/// True when the method call at `i` sits on a shared receiver: a dotted
+/// chain rooted at `engine`/`eng`/`self`, or routed through a
+/// `metrics`/`rng`/`trace` field. Draft builders and closure-local state
+/// (plain local roots) stay un-flagged.
+fn shared_receiver(t: &[Tok], i: usize) -> bool {
+    if i == 0 || !t[i - 1].is(".") {
+        return false; // free call or builder-entry; not a method on state
+    }
+    // Walk the `a.b().c.`-style chain backwards collecting segment names.
+    let mut j = i - 1;
+    let mut root = String::new();
+    let mut through_field = false;
+    while j > 0 {
+        if t[j].is(".") {
+            j -= 1;
+            continue;
+        }
+        if t[j].is(")") {
+            // Skip a call's argument list to its receiver.
+            let mut depth = 0i32;
+            while j > 0 {
+                if t[j].is(")") {
+                    depth += 1;
+                } else if t[j].is("(") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j -= 1;
+            }
+            j = j.saturating_sub(1);
+            continue;
+        }
+        if t[j].kind == TokKind::Ident {
+            if matches!(t[j].text.as_str(), "metrics" | "rng" | "trace") {
+                through_field = true;
+            }
+            root = t[j].text.clone();
+            // Chain continues only through a further `.`.
+            if j >= 1 && t[j - 1].is(".") {
+                j -= 1;
+                continue;
+            }
+        }
+        break;
+    }
+    through_field || matches!(root.as_str(), "engine" | "eng" | "self")
+}
+
+/// First impure call transitively reachable from the closure body through
+/// the workspace call graph.
+fn reachable_hit(
+    files: &[SourceFile],
+    graph: &CallGraph,
+    t: &[Tok],
+    body: (usize, usize),
+) -> Option<SinkHit> {
+    let seeds: Vec<CallSite> = extract_calls(t, body)
+        .into_iter()
+        .filter(|c| {
+            // Do not descend into the draft builders: their methods share
+            // names with registry mutators but are pure by construction.
+            let defs = graph.resolve(c);
+            defs.is_empty()
+                || !defs
+                    .iter()
+                    .all(|&d| DRAFT_TYPES.contains(&graph.fns[d].qual.as_str()))
+        })
+        .collect();
+    let mut hit: Option<SinkHit> = None;
+    let path = graph.path_to(&seeds, |d| {
+        if DRAFT_TYPES.contains(&graph.fns[d].qual.as_str()) {
+            return false;
+        }
+        let def = &graph.fns[d];
+        let ft = &files[def.file].lexed.toks;
+        if let Some(h) = direct_hits(ft, def.body).into_iter().next() {
+            hit = Some(SinkHit {
+                what: format!("{} at {}:{}", h.what, files[def.file].rel, h.line),
+                line: h.line,
+            });
+            true
+        } else {
+            false
+        }
+    });
+    let path = path?;
+    let hit = hit?;
+    Some(SinkHit {
+        what: format!("via {}: {}", path.join(" -> "), hit.what),
+        line: hit.line,
+    })
+}

@@ -81,7 +81,14 @@ impl Report {
     }
 
     pub fn render_json(&self) -> String {
-        let mut out = String::from("{\n  \"version\": 1,\n  \"findings\": [");
+        let mut out = String::from("{\n  \"version\": 1,\n  \"rules\": [");
+        for (i, r) in RULES.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\"", escape(r)));
+        }
+        out.push_str("],\n  \"findings\": [");
         for (i, f) in self.findings.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -131,6 +138,10 @@ pub const RULES: &[&str] = &[
     "par-hazard",
     "unwrap-ratchet",
     "span-balance",
+    "prep-purity",
+    "lookahead-coverage",
+    "effect-origin",
+    "stale-waiver",
 ];
 
 /// Long-form documentation shown by `--explain <rule>`.
@@ -213,6 +224,68 @@ pub fn explain(rule: &str) -> Option<&'static str> {
              result or a binding only ever fed to span_attr — can never be ended\n\
              and leaks an open span into the trace. Waive intentional leaks with\n\
              `// rp-lint: allow(span-balance): <why>`."
+        }
+        "prep-purity" => {
+            "prep-purity: split-event prepare closures must stay pure.\n\
+             The parallel engine runs the prep argument of schedule_split_at/in\n\
+             on worker threads, concurrently within a batch; only the apply\n\
+             closure runs on the main thread in deterministic (time, seq) order.\n\
+             The rule finds every inline prep closure in crates/sim-core and\n\
+             crates/core library code and walks the workspace call graph from\n\
+             it, flagging any reachable apply-side effect: schedule_* calls,\n\
+             coordination-store writes (roundtrip*, return_units*, push_units,\n\
+             report_heartbeat, revoke_lease, ...), span_begin, metrics mutation\n\
+             on a shared registry, and SimRng draws on shared state. Building\n\
+             SpanDraft/MetricDraft/TransitionDraft values is the sanctioned\n\
+             prep-side channel and is exempt, as are rng draws threaded through\n\
+             the closure's own captured state. The graph is receiver-blind and\n\
+             over-approximate; waive a provably-pure path with\n\
+             `// rp-lint: allow(prep-purity): <why the call cannot take effect>`.\n\
+             Under RP_LINT_STRICT=1 (the sanitizer CI stage) prep-purity\n\
+             waivers are not honored."
+        }
+        "lookahead-coverage" => {
+            "lookahead-coverage: every latency feeding cross-domain scheduling\n\
+             must be registered as lookahead. The conservative PDES safe horizon\n\
+             is the minimum registered via note_lookahead/note_lookahead_from; a\n\
+             delay that schedules cross-domain work without a registration\n\
+             silently shrinks the true coupling interval below the claimed one.\n\
+             Sources: every schedule_{at,in}_domain / schedule_split_{at,in}\n\
+             call, plus plain schedule_at/in whose delay expression mentions a\n\
+             latency-like identifier (latency, delay, period, tick, jitter,\n\
+             poll, interval, rtt, ideal, timeout, heartbeat, gap). A source is\n\
+             covered when a registration in the same function or any transitive\n\
+             caller shares one of its delay identifiers (duration constructors\n\
+             are ignored); constant delays accept any in-scope registration.\n\
+             Waive a genuinely intra-domain schedule with\n\
+             `// rp-lint: allow(lookahead-coverage): <why no cross-domain claim>`."
+        }
+        "effect-origin" => {
+            "effect-origin: coordination-store effects must thread a real\n\
+             fencing origin. Fencing (DESIGN.md §9) rejects writes stamped with\n\
+             a stale (PilotId, epoch) — but only when senders thread their\n\
+             origin. In crates/core library code outside the store itself the\n\
+             rule flags: (1) origin-less emission — calling roundtrip(...) or\n\
+             return_units(...) instead of the _from variants (UM authority\n\
+             writes like push_units are exempt: the manager is the fencing\n\
+             authority); (2) fabricated origins — literal Some((PilotId(N), E))\n\
+             tuples or numeric-literal epochs passed to _from calls (epochs\n\
+             come from the lease table, not the call site); (3) re-dispatch\n\
+             before revocation — a manager.rs function that calls both\n\
+             revoke_lease and handle_pilot_loss/rebind must revoke first, so\n\
+             the epoch bump fences the old owner before new ownership exists.\n\
+             Waive with `// rp-lint: allow(effect-origin): <why fencing is not\n\
+             bypassed>`."
+        }
+        "stale-waiver" => {
+            "stale-waiver: inline waivers must keep earning their place.\n\
+             After every pass, each `// rp-lint: allow(...)` comment is checked\n\
+             against the findings it actually suppressed. A waiver that matched\n\
+             nothing (the excused code was fixed or moved) or that names an\n\
+             unknown rule (typo — it never worked) is reported at info level so\n\
+             the exception inventory stays honest. unwrap-ratchet waivers are\n\
+             exempt: they suppress counting, not findings. List the full\n\
+             inventory with `rp_lint --waivers`."
         }
         _ => return None,
     })

@@ -58,27 +58,53 @@ impl SourceFile {
     }
 }
 
-/// Locate `#[cfg(test)] mod name { ... }` bodies by token walk.
+/// Locate test regions by token walk: `#[cfg(test)] mod name { ... }`
+/// bodies, and `#[test]`-attributed functions declared *outside* such a
+/// module (mixed files: integration-test helpers beside inline tests).
 fn find_test_regions(lexed: &Lexed) -> Vec<(u32, u32)> {
     let t = &lexed.toks;
     let mut out = Vec::new();
     let mut i = 0;
-    while i + 6 < t.len() {
-        let is_cfg_test = t[i].is("#")
+    while i + 3 < t.len() {
+        // `#[cfg(test)]` (mod form) or `#[test]` / `#[foo::test]` (fn form).
+        let is_cfg_test = i + 6 < t.len()
+            && t[i].is("#")
             && t[i + 1].is("[")
             && t[i + 2].is("cfg")
             && t[i + 3].is("(")
             && t[i + 4].is("test")
             && t[i + 5].is(")")
             && t[i + 6].is("]");
-        if !is_cfg_test {
+        let is_test_attr = t[i].is("#") && t[i + 1].is("[") && {
+            // Attribute path ends in `test` right before the `]`:
+            // `#[test]`, `#[tokio::test]`, ...
+            let mut j = i + 2;
+            let mut depth = 1i32;
+            let mut last_ident: Option<usize> = None;
+            while j < t.len() && depth > 0 {
+                if t[j].is("[") {
+                    depth += 1;
+                } else if t[j].is("]") {
+                    depth -= 1;
+                } else if depth == 1 && t[j].kind == crate::lexer::TokKind::Ident {
+                    last_ident = Some(j);
+                }
+                j += 1;
+            }
+            // `test` must be the attribute path itself (`#[test]`) or a
+            // path segment (`#[tokio::test]`) — not a `cfg(...)` argument.
+            last_ident.is_some_and(|l| {
+                t[l].is("test") && j > 0 && t[j - 1].is("]") && (l == i + 2 || t[l - 1].is("::"))
+            })
+        };
+        if !(is_cfg_test || is_test_attr) {
             i += 1;
             continue;
         }
-        // Skip over any further attributes to the `mod` keyword.
-        let mut j = i + 7;
+        // Skip this attribute and any further `#[...]` attributes to the
+        // introducing keyword (`mod` or `fn`).
+        let mut j = i;
         while j < t.len() && t[j].is("#") {
-            // Skip `#[...]`.
             let mut depth = 0;
             j += 1;
             while j < t.len() {
@@ -94,7 +120,10 @@ fn find_test_regions(lexed: &Lexed) -> Vec<(u32, u32)> {
                 j += 1;
             }
         }
-        if j < t.len() && t[j].is("mod") {
+        let introduces = j < t.len()
+            && ((is_cfg_test && t[j].is("mod"))
+                || (is_test_attr && (t[j].is("fn") || t[j].is("async"))));
+        if introduces {
             // Find the opening brace, then its match.
             let mut k = j;
             while k < t.len() && !t[k].is("{") {
@@ -241,6 +270,27 @@ mod tests {
         assert!(f.is_test_code(3));
         assert!(f.is_test_code(4));
         assert!(!f.is_test_code(6));
+    }
+
+    #[test]
+    fn bare_test_fns_outside_cfg_test_mods_are_test_code() {
+        let src = "fn lib() {}\n#[test]\nfn t() {\n    let x = 1;\n}\nfn tail() {}\n";
+        let f = SourceFile::from_source("x.rs", FileKind::Lib, src);
+        assert!(!f.is_test_code(1));
+        assert!(f.is_test_code(2));
+        assert!(f.is_test_code(4));
+        assert!(!f.is_test_code(6));
+    }
+
+    #[test]
+    fn pathed_test_attrs_count_but_cfg_not_test_does_not() {
+        let pathed = "#[tokio::test]\nasync fn t() {\n    let x = 1;\n}\n";
+        let f = SourceFile::from_source("x.rs", FileKind::Lib, pathed);
+        assert!(f.is_test_code(3));
+
+        let not_test = "#[cfg(not(test))]\nfn prod() {\n    let x = 1;\n}\n";
+        let f = SourceFile::from_source("y.rs", FileKind::Lib, not_test);
+        assert!(!f.is_test_code(3));
     }
 
     #[test]

@@ -1,0 +1,138 @@
+//! Waiver inventory (`rp_lint --waivers`) and the `stale-waiver` rule.
+//!
+//! Every inline `// rp-lint: allow(<rules>): <reason>` comment is a
+//! standing exception that erodes the lint's guarantees, so the set must
+//! stay auditable: `--waivers` lists them all with their justification,
+//! and after every pass the `stale-waiver` check (info-level) flags
+//! waivers that no longer suppress anything — either the code they
+//! excused was fixed (remove the comment) or they name a rule that does
+//! not exist (typo: the waiver never worked).
+//!
+//! `unwrap-ratchet` waivers are exempt from staleness: they suppress
+//! *counting* rather than producing a waived finding, so absence of a
+//! waived finding proves nothing.
+
+use std::collections::BTreeSet;
+
+use crate::report::{Finding, Report, RULES};
+use crate::scan::SourceFile;
+
+/// One waiver comment, for the `--waivers` listing.
+#[derive(Debug, Clone)]
+pub struct WaiverEntry {
+    pub file: String,
+    pub line: u32,
+    pub rules: Vec<String>,
+    pub reason: String,
+}
+
+/// Collect every waiver comment in the workspace, in stable order.
+pub fn collect(files: &[SourceFile]) -> Vec<WaiverEntry> {
+    let mut out = Vec::new();
+    for f in files {
+        for (&line, rules) in &f.lexed.waivers {
+            out.push(WaiverEntry {
+                file: f.rel.clone(),
+                line,
+                rules: rules.clone(),
+                reason: f
+                    .lexed
+                    .waiver_reasons
+                    .get(&line)
+                    .cloned()
+                    .unwrap_or_default(),
+            });
+        }
+    }
+    out
+}
+
+/// Aligned text table of the waiver inventory.
+pub fn render(entries: &[WaiverEntry]) -> String {
+    let mut out = String::new();
+    for e in entries {
+        let reason = if e.reason.is_empty() {
+            "(no reason given)"
+        } else {
+            &e.reason
+        };
+        out.push_str(&format!(
+            "{}:{}: allow({}) — {}\n",
+            e.file,
+            e.line,
+            e.rules.join(", "),
+            reason
+        ));
+    }
+    out.push_str(&format!("rp_lint: {} waiver(s)\n", entries.len()));
+    out
+}
+
+/// Rules whose waivers suppress counting instead of producing waived
+/// findings — staleness cannot be judged from the report.
+const COUNTING_RULES: &[&str] = &["unwrap-ratchet"];
+
+/// Run after all rules: flag waivers that suppressed nothing this pass.
+/// A waiver at line L covers findings at L and L+1 (see
+/// `SourceFile::is_waived`).
+pub fn check_stale(files: &[SourceFile], report: &mut Report) {
+    // Where did waived findings actually land?
+    let waived_at: BTreeSet<(String, &'static str, u32)> = report
+        .findings
+        .iter()
+        .filter(|f| f.waived)
+        .map(|f| (f.file.clone(), f.rule, f.line))
+        .collect();
+
+    let mut stale: Vec<Finding> = Vec::new();
+    for f in files {
+        for (&line, rules) in &f.lexed.waivers {
+            for rule in rules {
+                if !RULES.contains(&rule.as_str()) {
+                    stale.push(
+                        Finding::new(
+                            "stale-waiver",
+                            &f.rel,
+                            line,
+                            format!(
+                                "waiver names unknown rule `{rule}` (known: {}) — \
+                                 it has never suppressed anything",
+                                RULES.join(", ")
+                            ),
+                        )
+                        .info(),
+                    );
+                    continue;
+                }
+                if COUNTING_RULES.contains(&rule.as_str()) {
+                    continue;
+                }
+                let hit = [line, line + 1].iter().any(|&l| {
+                    RULES
+                        .iter()
+                        .find(|r| **r == rule.as_str())
+                        .is_some_and(|r| waived_at.contains(&(f.rel.clone(), *r, l)))
+                });
+                if !hit {
+                    stale.push(
+                        Finding::new(
+                            "stale-waiver",
+                            &f.rel,
+                            line,
+                            format!(
+                                "waiver for `{rule}` no longer matches any finding \
+                                 on line {line} or {} — the excused code was fixed \
+                                 or moved; remove the comment",
+                                line + 1
+                            ),
+                        )
+                        .info(),
+                    );
+                }
+            }
+        }
+    }
+    for s in stale {
+        report.push(s);
+    }
+}

@@ -1257,6 +1257,7 @@ impl Agent {
                 // ordinary completion with them.
                 let domain = self.node_domain(primary);
                 let unit_id = unit.id();
+                // rp-lint: allow(lookahead-coverage): `dur` is the unit's own compute time, scheduled by the node into its own domain — an intra-domain completion makes no cross-domain coupling claim, so no lookahead registration is owed
                 engine.schedule_split_in(
                     dur,
                     domain,
